@@ -1,0 +1,147 @@
+package repro
+
+// bench_test.go regenerates every table and figure of the paper under the
+// standard Go benchmark driver, one benchmark per artifact:
+//
+//	go test -bench=Fig2 .        # Figure 2, proportional attribution
+//	go test -bench=. -benchmem   # everything (quick suite)
+//
+// Benchmarks run the quick configuration (six representative benchmarks,
+// three sampling rates) so a full `go test -bench=.` stays in minutes;
+// `go run ./cmd/witchbench -exp all` runs the full suite and prints the
+// complete tables.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/witch"
+)
+
+// runExperiment drives one harness experiment b.N times, discarding the
+// textual report (the benchmark's value is its timing envelope plus the
+// accuracy metrics it asserts internally).
+func runExperiment(b *testing.B, fn func(io.Writer, harness.Options) error) {
+	b.Helper()
+	opts := harness.Options{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Attribution regenerates Figure 2 (proportional attribution
+// of dead writes across the a:b:x regions).
+func BenchmarkFig2Attribution(b *testing.B) { runExperiment(b, harness.Figure2) }
+
+// BenchmarkFig4Accuracy regenerates Figure 4 (sampled vs exhaustive total
+// redundancy across the suite and rate sweep).
+func BenchmarkFig4Accuracy(b *testing.B) { runExperiment(b, harness.Figure4) }
+
+// BenchmarkFig5DebugRegs regenerates Figure 5 (accuracy vs number of
+// debug registers).
+func BenchmarkFig5DebugRegs(b *testing.B) { runExperiment(b, harness.Figure5) }
+
+// BenchmarkTable1Overhead regenerates Table 1 (slowdown and memory bloat,
+// sampling vs exhaustive).
+func BenchmarkTable1Overhead(b *testing.B) { runExperiment(b, harness.Table1) }
+
+// BenchmarkTable2Periods regenerates Table 2 (craft overheads across
+// sampling periods).
+func BenchmarkTable2Periods(b *testing.B) { runExperiment(b, harness.Table2) }
+
+// BenchmarkTable3CaseStudies regenerates Table 3 (find-fix-measure case
+// studies).
+func BenchmarkTable3CaseStudies(b *testing.B) { runExperiment(b, harness.Table3) }
+
+// BenchmarkBlindSpots regenerates the §4.1 blind-spot statistics.
+func BenchmarkBlindSpots(b *testing.B) { runExperiment(b, harness.BlindSpots) }
+
+// BenchmarkDominance regenerates the §4.3 dominance claim (few pairs
+// cover 90% of waste).
+func BenchmarkDominance(b *testing.B) { runExperiment(b, harness.Dominance) }
+
+// BenchmarkAdversary regenerates the §4.1 adversary-sample lifetime
+// analysis (≈1.7·H).
+func BenchmarkAdversary(b *testing.B) { runExperiment(b, harness.Adversary) }
+
+// BenchmarkStability regenerates the §7 run-to-run stability experiment.
+func BenchmarkStability(b *testing.B) { runExperiment(b, harness.Stability) }
+
+// BenchmarkRankOrder regenerates the §7 top-pair rank-order comparison.
+func BenchmarkRankOrder(b *testing.B) { runExperiment(b, harness.RankOrder) }
+
+// BenchmarkAblations regenerates the §5 implementation ablations
+// (IOC_MODIFY fast replacement, LBR precise PC, sigaltstack).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, harness.Ablations) }
+
+// --- per-op microbenchmarks: the cost asymmetry Table 1 aggregates ---
+
+// benchProfile measures one monitored execution per iteration and reports
+// nanoseconds per retired memory access.
+func benchProfile(b *testing.B, run func() (accesses uint64, err error)) {
+	b.Helper()
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "ns/access")
+	}
+}
+
+// BenchmarkNativeExecution is the unmonitored baseline.
+func BenchmarkNativeExecution(b *testing.B) {
+	benchProfile(b, func() (uint64, error) {
+		p, err := witch.Workload("gcc")
+		if err != nil {
+			return 0, err
+		}
+		st, err := p.RunNative()
+		if err != nil {
+			return 0, err
+		}
+		return st.Loads + st.Stores, nil
+	})
+}
+
+// BenchmarkDeadCraft measures the sampling tool's full-run cost.
+func BenchmarkDeadCraft(b *testing.B) {
+	benchProfile(b, func() (uint64, error) {
+		p, err := witch.Workload("gcc")
+		if err != nil {
+			return 0, err
+		}
+		prof, err := witch.Run(p, witch.Options{Tool: witch.DeadStores, Seed: 1})
+		if err != nil {
+			return 0, err
+		}
+		return prof.Loads + prof.Stores, nil
+	})
+}
+
+// BenchmarkDeadSpy measures the exhaustive tool's full-run cost — the
+// order-of-magnitude gap against BenchmarkDeadCraft is the paper's core
+// overhead claim.
+func BenchmarkDeadSpy(b *testing.B) {
+	benchProfile(b, func() (uint64, error) {
+		p, err := witch.Workload("gcc")
+		if err != nil {
+			return 0, err
+		}
+		prof, err := witch.RunExhaustive(p, witch.DeadStores)
+		if err != nil {
+			return 0, err
+		}
+		return prof.Loads + prof.Stores, nil
+	})
+}

@@ -1,0 +1,82 @@
+// Command wasm assembles, disassembles, and runs programs in this
+// repository's assembly dialect (the toolchain face of the simulated
+// substrate).
+//
+// Usage:
+//
+//	wasm run prog.wa          # assemble and execute, print exec stats
+//	wasm check prog.wa        # assemble and validate only
+//	wasm dis prog.wa          # assemble then pretty-print the program
+//	wasm dis -workload gcc    # disassemble a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/witch"
+)
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "wasm: %v\n", err)
+	os.Exit(1)
+}
+
+func load(workload, path string) *witch.Program {
+	if workload != "" {
+		p, err := witch.Workload(workload)
+		if err != nil {
+			fatal(err)
+		}
+		return p
+	}
+	if path == "" {
+		fmt.Fprintln(os.Stderr, "wasm: need a file argument or -workload")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := witch.Compile(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return p
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: wasm run|check|dis [-workload name] [file.wa]")
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	workload := fs.String("workload", "", "use a built-in workload instead of a file")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		fatal(err)
+	}
+	path := ""
+	if fs.NArg() > 0 {
+		path = fs.Arg(0)
+	}
+	prog := load(*workload, path)
+
+	switch cmd {
+	case "check":
+		fmt.Printf("%s: ok\n", prog.Name())
+	case "dis":
+		fmt.Print(prog.Disassemble())
+	case "run":
+		st, err := prog.RunNative()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d instrs (%d loads, %d stores) in %v, %d bytes resident\n",
+			prog.Name(), st.Instrs, st.Loads, st.Stores, st.WallTime, st.FootprintBytes)
+	default:
+		fmt.Fprintf(os.Stderr, "wasm: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}

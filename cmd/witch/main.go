@@ -1,0 +1,142 @@
+// Command witch profiles a program with one of the witchcraft tools and
+// prints the calling-context-pair report, in the spirit of running
+// hpcrun with the paper's clients.
+//
+// Usage:
+//
+//	witch -tool dead -workload gcc              # built-in benchmark
+//	witch -tool load -file prog.wa              # assemble and profile a file
+//	witch -tool silent -workload lbm -period 1000 -top 10
+//	witch -workloads                            # list built-in workloads
+//	witch -tool dead -workload gcc -exhaustive  # ground-truth DeadSpy run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/witch"
+)
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "witch: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	tool := flag.String("tool", "dead", "detector: dead, silent, or load")
+	workload := flag.String("workload", "", "built-in workload name")
+	file := flag.String("file", "", "assembly file (.wa) to profile instead of a workload")
+	period := flag.Uint64("period", 0, "PMU sampling period (0 = tool default)")
+	regs := flag.Int("regs", 4, "hardware debug registers")
+	seed := flag.Int64("seed", 1, "replacement PRNG seed")
+	top := flag.Int("top", 10, "top pairs to print")
+	exhaustive := flag.Bool("exhaustive", false, "run the exhaustive spy instead of the sampling craft")
+	falseshare := flag.Bool("falseshare", false, "run the false-sharing detector instead of a craft")
+	chains := flag.Bool("chains", false, "print full synthetic call chains instead of src->dst")
+	tree := flag.Bool("tree", false, "print the hpcviewer-style top-down CCT view")
+	jsonOut := flag.String("json", "", "also write the profile as JSON to this file")
+	threads := flag.Int("threads", 1, "thread count (also used by -falseshare)")
+	listWorkloads := flag.Bool("workloads", false, "list built-in workloads and exit")
+	flag.Parse()
+
+	if *listWorkloads {
+		fmt.Println(strings.Join(witch.WorkloadNames(), "\n"))
+		return
+	}
+
+	var prog *witch.Program
+	var err error
+	switch {
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		prog, err = witch.Compile(*file, string(src))
+	case *workload != "":
+		prog, err = witch.Workload(*workload)
+	default:
+		fmt.Fprintln(os.Stderr, "witch: need -workload or -file (see -workloads)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *falseshare {
+		sp, err := witch.RunFalseSharing(prog, *threads, witch.Options{Period: *period, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("false-sharing detector on %s (%d threads)\n", sp.Program, *threads)
+		fmt.Printf("  %.0f false-sharing vs %.0f true-sharing conflicts (%.1f%% false)\n",
+			sp.FalseShares, sp.TrueShares, 100*sp.FalseFraction())
+		fmt.Printf("  %d samples, %d cross-thread traps\n", sp.Samples, sp.Traps)
+		for i, p := range sp.TopPairs(*top) {
+			fmt.Printf("%3d. conflicts=%10.0f  %s <-> %s\n", i+1, p.Waste, p.Src, p.Dst)
+		}
+		return
+	}
+
+	var prof *witch.Profile
+	if *exhaustive {
+		prof, err = witch.RunExhaustive(prog, witch.Tool(*tool))
+	} else {
+		prof, err = witch.Run(prog, witch.Options{
+			Tool:           witch.Tool(*tool),
+			Period:         *period,
+			DebugRegisters: *regs,
+			Seed:           *seed,
+			Threads:        *threads,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s\n", prof.Tool, prof.Program)
+	fmt.Printf("  redundancy:  %.2f%%  (waste %.0f / use %.0f)\n", 100*prof.Redundancy, prof.Waste, prof.Use)
+	fmt.Printf("  traffic:     %d instrs, %d loads, %d stores\n", prof.Instrs, prof.Loads, prof.Stores)
+	if !prof.Exhaustive {
+		fmt.Printf("  sampling:    %d samples, %d traps, %d spurious, blind spot %.3f%%\n",
+			prof.Stats.Samples, prof.Stats.Traps, prof.Stats.SpuriousTraps, 100*prof.BlindSpotFrac())
+	}
+	fmt.Printf("  cost:        %v wall, %d tool bytes\n", prof.WallTime, prof.ToolBytes)
+	n, covered := prof.Dominance(0.9)
+	fmt.Printf("  dominance:   top %d pairs cover %.1f%% of waste\n\n", n, 100*covered)
+
+	if *tree {
+		prof.WriteTopDown(os.Stdout, 0.01)
+		fmt.Println()
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("profile written to %s\n\n", *jsonOut)
+	}
+
+	pairs := prof.TopPairs(*top)
+	if len(pairs) == 0 {
+		fmt.Println("no inefficiency pairs detected")
+		return
+	}
+	fmt.Printf("top %d pairs by waste:\n", len(pairs))
+	for i, p := range pairs {
+		if *chains {
+			fmt.Printf("%3d. waste=%12.0f use=%12.0f\n     %s\n", i+1, p.Waste, p.Use, p.Chain)
+		} else {
+			fmt.Printf("%3d. waste=%12.0f use=%12.0f  %s -> %s\n", i+1, p.Waste, p.Use, p.Src, p.Dst)
+		}
+	}
+}

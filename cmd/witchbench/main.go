@@ -1,0 +1,47 @@
+// Command witchbench regenerates the tables and figures of "Watching for
+// Software Inefficiencies with Witch" (ASPLOS 2018) on this repository's
+// simulated substrate.
+//
+// Usage:
+//
+//	witchbench -exp all            # everything, full suite (minutes)
+//	witchbench -exp fig4 -quick    # one experiment on the quick subset
+//	witchbench -list               # list experiment names
+//
+// Experiment names map to the paper: fig2, fig4, fig5, table1, table2,
+// table3, plus the section-level claims blindspot, dominance, adversary,
+// stability, rank, and ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	quick := flag.Bool("quick", false, "run on a reduced suite and rate sweep")
+	seed := flag.Int64("seed", 1, "base PRNG seed")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.Names(), "\n"))
+		return
+	}
+	run, ok := harness.Registry()[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "witchbench: unknown experiment %q; available: %s\n",
+			*exp, strings.Join(harness.Names(), ", "))
+		os.Exit(2)
+	}
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	if err := run(os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "witchbench: %v\n", err)
+		os.Exit(1)
+	}
+}

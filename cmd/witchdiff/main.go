@@ -1,0 +1,60 @@
+// Command witchdiff compares two saved profiles (witch -json output) —
+// the check-in workflow the paper's introduction motivates: profile at
+// every commit, diff against the baseline, fail the build when a new
+// inefficiency pair appears.
+//
+// Usage:
+//
+//	witch -tool dead -workload gcc -json baseline.json
+//	...change code...
+//	witch -tool dead -workload gcc -json current.json
+//	witchdiff baseline.json current.json          # prints the delta
+//	witchdiff -fail-on-regression baseline.json current.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/witch"
+)
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "witchdiff: %v\n", err)
+	os.Exit(1)
+}
+
+func load(path string) *witch.Profile {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	p, err := witch.ReadProfileJSON(f)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return p
+}
+
+func main() {
+	failOnRegression := flag.Bool("fail-on-regression", false, "exit 1 if redundancy grew or new pairs appeared")
+	tolerance := flag.Float64("tolerance", 0.02, "redundancy growth tolerated before flagging a regression (fraction points)")
+	minWaste := flag.Float64("min-pair-waste", 1, "minimum waste for a new pair to count as a regression")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: witchdiff [flags] baseline.json current.json")
+		os.Exit(2)
+	}
+	before, after := load(flag.Arg(0)), load(flag.Arg(1))
+	d, err := witch.DiffProfiles(before, after)
+	if err != nil {
+		fatal(err)
+	}
+	d.Write(os.Stdout)
+	if *failOnRegression && d.Regressed(*tolerance, *minWaste) {
+		fmt.Fprintln(os.Stderr, "witchdiff: regression detected")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro reproduces "Watching for Software Inefficiencies with
+// Witch" (Wen, Liu, Byrne, Chabbi — ASPLOS 2018) as a self-contained Go
+// library: a simulated CPU substrate (ISA, machine, PMU with PEBS-style
+// precise sampling, hardware debug registers, a perf_event-like layer),
+// the Witch framework with its reservoir watchpoint replacement and
+// proportional context-sensitive attribution, the three witchcraft client
+// tools (DeadCraft, SilentCraft, LoadCraft), the exhaustive ground-truth
+// baselines (DeadSpy, RedSpy, LoadSpy), and a benchmark harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// Use the public API in repro/witch; see README.md for a tour, DESIGN.md
+// for the architecture and substitution notes, and EXPERIMENTS.md for the
+// paper-vs-measured record. The benchmarks in this package (bench_test.go)
+// regenerate the paper's tables and figures under `go test -bench`.
+package repro

@@ -1,0 +1,48 @@
+// Tracing demonstrates offline analysis: record a program's access stream
+// once, then run the exhaustive ground-truth tool over the trace —
+// collection separated from analysis, the way hpcrun's measurement files
+// feed hpcviewer postmortem.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/witch"
+)
+
+func main() {
+	prog, err := witch.Workload("bzip2")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: record the retired-access stream.
+	var buf bytes.Buffer
+	st, err := witch.RecordTrace(prog, &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d loads + %d stores (%d KiB of trace) in %v\n",
+		st.Loads, st.Stores, buf.Len()/1024, st.WallTime)
+
+	// Step 2: analyze the trace offline with DeadSpy.
+	offline, err := witch.ReplayExhaustive(bytes.NewReader(buf.Bytes()), prog, witch.DeadStores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline %s: %.1f%% dead stores\n", offline.Tool, 100*offline.Redundancy)
+
+	// Step 3: cross-check against a live run — identical attribution.
+	live, err := witch.RunExhaustive(prog, witch.DeadStores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live    %s: %.1f%% dead stores\n", live.Tool, 100*live.Redundancy)
+	if offline.Waste == live.Waste && offline.Use == live.Use {
+		fmt.Println("trace replay reproduces the live analysis exactly")
+	}
+}

@@ -1,0 +1,481 @@
+// Package asm implements a small text assembler and disassembler for the
+// internal/isa instruction set. It is both a substrate convenience (test
+// programs and examples can be written as text) and the public API's way
+// to feed custom programs to the profiler without exposing internal
+// types: the paper's tools run on arbitrary native binaries, and this
+// assembler plays the role of the compiler toolchain producing them.
+//
+// Syntax (one instruction per line, ';' or '#' start comments):
+//
+//	func main            ; begins a function; "main" is the entry point
+//	  movi  r1, 4096     ; r1 = 4096
+//	  fmovi r2, 1.5      ; r2 = float64 bits of 1.5
+//	  mov   r3, r1
+//	  add   r3, r1, r2   ; three-operand ALU: add sub mul div and or xor mod
+//	  addi  r3, r1, -8   ; immediate forms: addi muli shl shr
+//	  fadd  r3, r1, r2   ; float ALU: fadd fsub fmul fdiv
+//	  load  r4, [r1+16], 8   ; width 1, 2, 4 or 8
+//	  store [r1+16], r4, 8
+//	  fload r4, [r1+0]   ; float-typed 8-byte accesses
+//	  fstore [r1+0], r4
+//	  slowstore [r1+0], r4, 8 ; long-latency store (PEBS shadow class)
+//	loop:                ; label
+//	  beq  r1, r2, loop  ; branches: beq bne blt ble bgt bge, jmp label
+//	  call helper
+//	  halt               ; or ret
+//	func helper
+//	  ret
+//
+// Registers are r0..r31; sp is an alias for r31. Source line numbers of
+// the assembly text become the instructions' attribution lines, so
+// profiler reports point back into the .wa file.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Assemble parses source text into a validated program. file names the
+// program in profiler reports.
+func Assemble(file, source string) (*isa.Program, error) {
+	b := isa.NewBuilder(file)
+	var fb *isa.FuncBuilder
+	entry := "main"
+
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := lineNo + 1
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", file, ln, fmt.Sprintf(format, args...))
+		}
+
+		if strings.HasSuffix(line, ":") {
+			if fb == nil {
+				return nil, fail("label outside function")
+			}
+			fb.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+
+		op, rest, _ := strings.Cut(line, " ")
+		op = strings.ToLower(op)
+		args := splitArgs(rest)
+
+		if op == "func" {
+			if len(args) != 1 {
+				return nil, fail("func needs a name")
+			}
+			fb = b.Func(args[0])
+			continue
+		}
+		if op == "entry" {
+			if len(args) != 1 {
+				return nil, fail("entry needs a name")
+			}
+			entry = args[0]
+			continue
+		}
+		if fb == nil {
+			return nil, fail("instruction outside function")
+		}
+		fb.Line(ln)
+		if err := emit(fb, op, args); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	b.SetEntry(entry)
+	return b.Build()
+}
+
+// MustAssemble is Assemble that panics on error, for fixed programs.
+func MustAssemble(file, source string) *isa.Program {
+	p, err := Assemble(file, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// splitArgs splits "r1, [r2+8], 4" into trimmed tokens.
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// reg parses a register name.
+func reg(s string) (isa.Reg, error) {
+	ls := strings.ToLower(s)
+	if ls == "sp" {
+		return isa.SP, nil
+	}
+	if !strings.HasPrefix(ls, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(ls[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+// imm parses an integer immediate (decimal or 0x hex, optionally signed).
+func imm(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// memOperand parses "[rN+off]" or "[rN-off]" or "[rN]".
+func memOperand(s string) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := reg(inner)
+		return r, 0, err
+	}
+	r, err := reg(inner[:sep])
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := imm(inner[sep:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad offset in %q", s)
+	}
+	return r, off, nil
+}
+
+// width parses an access width.
+func width(s string) (uint8, error) {
+	switch s {
+	case "1", "2", "4", "8":
+		return uint8(s[0] - '0'), nil
+	}
+	return 0, fmt.Errorf("bad width %q (want 1, 2, 4 or 8)", s)
+}
+
+// need checks the operand count.
+func need(args []string, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("want %d operands, got %d", n, len(args))
+	}
+	return nil
+}
+
+var alu3 = map[string]isa.Op{
+	"add": isa.OpAdd, "sub": isa.OpSub, "mul": isa.OpMul, "div": isa.OpDiv,
+	"and": isa.OpAnd, "or": isa.OpOr, "xor": isa.OpXor, "mod": isa.OpMod,
+	"fadd": isa.OpFAdd, "fsub": isa.OpFSub, "fmul": isa.OpFMul, "fdiv": isa.OpFDiv,
+}
+
+var aluImm = map[string]isa.Op{
+	"addi": isa.OpAddImm, "muli": isa.OpMulImm, "shl": isa.OpShl, "shr": isa.OpShr,
+}
+
+var branches = map[string]isa.Op{
+	"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt,
+	"ble": isa.OpBle, "bgt": isa.OpBgt, "bge": isa.OpBge,
+}
+
+// emit assembles one instruction onto fb.
+func emit(fb *isa.FuncBuilder, op string, args []string) error {
+	if o, ok := alu3[op]; ok {
+		if err := need(args, 3); err != nil {
+			return err
+		}
+		d, err1 := reg(args[0])
+		a, err2 := reg(args[1])
+		b, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		fb.Emit(isa.Instr{Op: o, Dst: d, A: a, B: b})
+		return nil
+	}
+	if o, ok := aluImm[op]; ok {
+		if err := need(args, 3); err != nil {
+			return err
+		}
+		d, err1 := reg(args[0])
+		a, err2 := reg(args[1])
+		v, err3 := imm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		fb.Emit(isa.Instr{Op: o, Dst: d, A: a, Imm: v})
+		return nil
+	}
+	if o, ok := branches[op]; ok {
+		if err := need(args, 3); err != nil {
+			return err
+		}
+		a, err1 := reg(args[0])
+		b, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		switch o {
+		case isa.OpBeq:
+			fb.Beq(a, b, args[2])
+		case isa.OpBne:
+			fb.Bne(a, b, args[2])
+		case isa.OpBlt:
+			fb.Blt(a, b, args[2])
+		case isa.OpBle:
+			fb.Ble(a, b, args[2])
+		case isa.OpBgt:
+			fb.Bgt(a, b, args[2])
+		case isa.OpBge:
+			fb.Bge(a, b, args[2])
+		}
+		return nil
+	}
+
+	switch op {
+	case "nop":
+		fb.Emit(isa.Instr{Op: isa.OpNop})
+	case "movi":
+		if err := need(args, 2); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return err
+		}
+		fb.MovImm(d, v)
+	case "fmovi":
+		if err := need(args, 2); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return err
+		}
+		fb.FMovImm(d, f)
+	case "mov":
+		if err := need(args, 2); err != nil {
+			return err
+		}
+		d, err1 := reg(args[0])
+		a, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		fb.Mov(d, a)
+	case "load":
+		if err := need(args, 3); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		w, err := width(args[2])
+		if err != nil {
+			return err
+		}
+		fb.Load(d, base, off, w)
+	case "store", "slowstore":
+		if err := need(args, 3); err != nil {
+			return err
+		}
+		base, off, err := memOperand(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		w, err := width(args[2])
+		if err != nil {
+			return err
+		}
+		if op == "slowstore" {
+			fb.SlowStore(base, off, src, w)
+		} else {
+			fb.Store(base, off, src, w)
+		}
+	case "fload":
+		if err := need(args, 2); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		fb.FLoad(d, base, off)
+	case "fstore":
+		if err := need(args, 2); err != nil {
+			return err
+		}
+		base, off, err := memOperand(args[0])
+		if err != nil {
+			return err
+		}
+		src, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		fb.FStore(base, off, src)
+	case "jmp":
+		if err := need(args, 1); err != nil {
+			return err
+		}
+		fb.Jmp(args[0])
+	case "call":
+		if err := need(args, 1); err != nil {
+			return err
+		}
+		fb.Call(args[0])
+	case "ret":
+		fb.Ret()
+	case "halt":
+		fb.Halt()
+	default:
+		return fmt.Errorf("unknown mnemonic %q", op)
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Disassemble renders a program back to assembler syntax (labels are
+// synthesized as L<idx>).
+func Disassemble(p *isa.Program) string {
+	var sb strings.Builder
+	// Preserve a non-default entry point across round trips.
+	if p.Entry >= 0 && p.Entry < len(p.Funcs) && p.Funcs[p.Entry].Name != "main" {
+		fmt.Fprintf(&sb, "entry %s\n\n", p.Funcs[p.Entry].Name)
+	}
+	for fi, f := range p.Funcs {
+		// Collect branch targets.
+		targets := map[int]bool{}
+		for _, in := range f.Code {
+			switch in.Op {
+			case isa.OpJmp, isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBle, isa.OpBgt, isa.OpBge:
+				targets[int(in.Imm)] = true
+			}
+		}
+		fmt.Fprintf(&sb, "func %s\n", f.Name)
+		for ii, in := range f.Code {
+			if targets[ii] {
+				fmt.Fprintf(&sb, "L%d:\n", ii)
+			}
+			sb.WriteString("  ")
+			sb.WriteString(renderInstr(p, &in))
+			sb.WriteByte('\n')
+		}
+		if fi != len(p.Funcs)-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// renderInstr renders one instruction.
+func renderInstr(p *isa.Program, in *isa.Instr) string {
+	r := func(x isa.Reg) string {
+		if x == isa.SP {
+			return "sp"
+		}
+		return fmt.Sprintf("r%d", x)
+	}
+	memOp := func() string { return fmt.Sprintf("[%s%+d]", r(in.A), in.Imm) }
+	switch in.Op {
+	case isa.OpNop:
+		return "nop"
+	case isa.OpMovImm:
+		return fmt.Sprintf("movi %s, %d", r(in.Dst), in.Imm)
+	case isa.OpFMovImm:
+		return fmt.Sprintf("fmovi %s, %g", r(in.Dst), isa.F64(uint64(in.Imm)))
+	case isa.OpMov:
+		return fmt.Sprintf("mov %s, %s", r(in.Dst), r(in.A))
+	case isa.OpAddImm, isa.OpMulImm, isa.OpShl, isa.OpShr:
+		return fmt.Sprintf("%s %s, %s, %d", aluImmName(in.Op), r(in.Dst), r(in.A), in.Imm)
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpMod,
+		isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Dst), r(in.A), r(in.B))
+	case isa.OpLoad:
+		if in.Float {
+			return fmt.Sprintf("fload %s, %s", r(in.Dst), memOp())
+		}
+		return fmt.Sprintf("load %s, %s, %d", r(in.Dst), memOp(), in.Width)
+	case isa.OpStore:
+		if in.Float {
+			return fmt.Sprintf("fstore %s, %s", memOp(), r(in.B))
+		}
+		name := "store"
+		if in.Latency > 1 {
+			name = "slowstore"
+		}
+		return fmt.Sprintf("%s %s, %s, %d", name, memOp(), r(in.B), in.Width)
+	case isa.OpJmp:
+		return fmt.Sprintf("jmp L%d", in.Imm)
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBle, isa.OpBgt, isa.OpBge:
+		return fmt.Sprintf("%s %s, %s, L%d", in.Op, r(in.A), r(in.B), in.Imm)
+	case isa.OpCall:
+		if int(in.Fn) < len(p.Funcs) {
+			return "call " + p.Funcs[in.Fn].Name
+		}
+		return fmt.Sprintf("call f%d", in.Fn)
+	case isa.OpRet:
+		return "ret"
+	case isa.OpHalt:
+		return "halt"
+	}
+	return fmt.Sprintf("; unknown op %d", in.Op)
+}
+
+func aluImmName(o isa.Op) string {
+	switch o {
+	case isa.OpAddImm:
+		return "addi"
+	case isa.OpMulImm:
+		return "muli"
+	case isa.OpShl:
+		return "shl"
+	default:
+		return "shr"
+	}
+}

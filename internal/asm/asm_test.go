@@ -1,0 +1,142 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+const sample = `
+; dead store demo
+func main
+  movi r1, 4096
+  movi r2, 7
+  store [r1+0], r2, 8     ; dead
+  movi r2, 9
+  store [r1+0], r2, 8     ; kill
+  load r3, [r1+0], 8
+  call helper
+loop:
+  addi r4, r4, 1
+  movi r5, 3
+  blt r4, r5, loop
+  halt
+
+func helper
+  fmovi r6, 2.5
+  fstore [sp-8], r6
+  fload r7, [sp-8]
+  ret
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble("demo.wa", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(p, machine.Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	th := m.Threads[0]
+	if th.Regs[isa.R3] != 9 {
+		t.Fatalf("r3 = %d, want 9", th.Regs[isa.R3])
+	}
+	if isa.F64(th.Regs[isa.R7]) != 2.5 {
+		t.Fatalf("r7 = %v, want 2.5", isa.F64(th.Regs[isa.R7]))
+	}
+	if th.Regs[isa.R4] != 3 {
+		t.Fatalf("loop ran %d times", th.Regs[isa.R4])
+	}
+}
+
+func TestSourceLinesAttached(t *testing.T) {
+	p := MustAssemble("demo.wa", sample)
+	// The first store is on line 6 of the source text.
+	in := p.Funcs[0].Code[2]
+	if in.Op != isa.OpStore || in.Line != 6 {
+		t.Fatalf("store line = %d (op %v), want 6", in.Line, in.Op)
+	}
+	if loc := p.Location(isa.MakePC(0, 2)); loc != "demo.wa:main:6" {
+		t.Fatalf("location = %q", loc)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"no function":     "movi r1, 1",
+		"bad register":    "func main\n movi r99, 1\n halt",
+		"bad width":       "func main\n movi r1, 0\n load r2, [r1+0], 3\n halt",
+		"bad mem operand": "func main\n load r2, r1, 8\n halt",
+		"unknown op":      "func main\n frobnicate r1\n halt",
+		"bad label":       "func main\n jmp nowhere\n halt",
+		"label outside":   "x:\nfunc main\n halt",
+		"bad operand cnt": "func main\n add r1, r2\n halt",
+		"bad entry":       "entry ghost\nfunc main\n halt",
+		"bad imm":         "func main\n movi r1, abc\n halt",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("t.wa", src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestCommentsAndHex(t *testing.T) {
+	p, err := Assemble("t.wa", `
+func main
+  movi r1, 0x100   # hex immediate
+  movi r2, -5      ; negative
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Funcs[0].Code[0].Imm != 0x100 || p.Funcs[0].Code[1].Imm != -5 {
+		t.Fatal("immediates parsed wrong")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := MustAssemble("demo.wa", sample)
+	text := Disassemble(p)
+	for _, want := range []string{"func main", "func helper", "store [r1+0], r2, 8",
+		"fstore [sp-8], r6", "call helper", "blt r4, r5, L", "halt", "ret"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+	// Reassembling the disassembly must yield a runnable program with
+	// identical instruction count.
+	p2, err := Assemble("demo2.wa", text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	if p2.NumInstrs() != p.NumInstrs() {
+		t.Fatalf("instr count changed: %d vs %d", p2.NumInstrs(), p.NumInstrs())
+	}
+	m := machine.New(p2, machine.Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Threads[0].Regs[isa.R3] != 9 {
+		t.Fatal("reassembled program computes differently")
+	}
+}
+
+func TestSlowStoreRoundTrip(t *testing.T) {
+	p := MustAssemble("t.wa", `
+func main
+  movi r1, 64
+  slowstore [r1+0], r1, 8
+  halt
+`)
+	if p.Funcs[0].Code[1].Latency <= 1 {
+		t.Fatal("slowstore must set a long latency class")
+	}
+	if !strings.Contains(Disassemble(p), "slowstore") {
+		t.Fatal("disassembler must preserve slowstore")
+	}
+}

@@ -1,0 +1,47 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that anything it
+// accepts builds a structurally valid program (go's fuzzer extends the
+// seed corpus under `go test -fuzz=FuzzAssemble ./internal/asm`; under
+// plain `go test` the seeds below run as regular cases).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"func main\n halt",
+		"func main\n movi r1, 1\n halt",
+		"func main\n store [r1+0], r2, 8\n halt",
+		"func main\nl:\n jmp l",
+		"func main\n call main\n halt",
+		"entry main\nfunc main\n ret",
+		"func main\n load r1, [sp-8], 8\n halt",
+		"garbage input ; with comment",
+		"func main\n beq r1, r2, nowhere\n halt",
+		"func main\n movi r99, 1\n halt",
+		"func main\n fmovi r1, 3.25\n fstore [r1+0], r1\n halt",
+		"func a\n ret\nfunc a\n ret",
+		strings.Repeat("func main\n halt\n", 2),
+		"func main\n slowstore [r2+4], r3, 2\n halt",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz.wa", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource:\n%s", verr, src)
+		}
+		// Accepted programs must also disassemble and reassemble.
+		text := Disassemble(p)
+		if _, err := Assemble("fuzz2.wa", text); err != nil {
+			t.Fatalf("disassembly does not reassemble: %v\n%s", err, text)
+		}
+	})
+}

@@ -1,0 +1,53 @@
+package cct
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// BenchmarkNodeForContext measures interning a warm calling context (the
+// per-sample cost inside the Witch sample handler).
+func BenchmarkNodeForContext(b *testing.B) {
+	p := prog()
+	tr := New(p)
+	fr := frames(p)
+	leaf := isa.MakePC(2, 0)
+	tr.NodeForContext(fr, leaf) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NodeForContext(fr, leaf)
+	}
+}
+
+// BenchmarkPairNode measures synthetic-chain interning (the per-trap
+// cost).
+func BenchmarkPairNode(b *testing.B) {
+	p := prog()
+	tr := New(p)
+	watch := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	trap := tr.NodeForContext(frames(p)[:2], isa.MakePC(1, 0))
+	tr.PairNode(watch, trap) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.PairNode(watch, trap)
+	}
+}
+
+// BenchmarkDeepContext measures interning under deep recursion (the
+// sjeng/xalancbmk shape that inflates CCT costs).
+func BenchmarkDeepContext(b *testing.B) {
+	p := prog()
+	tr := New(p)
+	deep := make([]machine.Frame, 200)
+	for i := range deep {
+		deep[i] = machine.Frame{FuncIdx: 1, CallSite: isa.MakePC(1, 0)}
+	}
+	leaf := isa.MakePC(2, 0)
+	tr.NodeForContext(deep, leaf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NodeForContext(deep, leaf)
+	}
+}

@@ -1,0 +1,286 @@
+// Package cct implements the calling context tree (CCT) that Witch tools
+// attribute their metrics to, in the style of HPCToolkit: every profile
+// event is charged to the full call path active when it happened, and
+// inefficiency pairs ⟨C_watch, C_trap⟩ are represented as synthetic call
+// chains — the killing context's path is appended beneath the dead
+// context's node under a KILLED_BY separator (§6.5 of the paper) — so a
+// viewer can navigate from a source context straight to its top partners.
+package cct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// NodeKind distinguishes the three node flavours in the tree.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindFrame    NodeKind = iota // a procedure frame, keyed by call site
+	KindLeaf                     // the instruction that triggered the event
+	KindKilledBy                 // synthetic separator between a pair's contexts
+)
+
+// Node is one calling-context-tree node. Mu and Eta implement the paper's
+// proportional attribution counters (§4.2): Mu counts PMU samples taken at
+// this context, Eta catches up with Mu whenever a watchpoint armed here
+// traps, and Mu−Eta is the number of samples the trapping watchpoint
+// represents.
+type Node struct {
+	parent   *Node
+	children map[uint64]*Node
+
+	Kind    NodeKind
+	FuncIdx int32
+	Site    isa.PC // call-site PC (frames) or instruction PC (leaves)
+
+	Mu, Eta float64
+
+	// Waste and Use accumulate the tool's inefficiency metric; they are
+	// only populated on pair leaf nodes (the end of a synthetic chain).
+	Waste, Use float64
+}
+
+// Parent returns the parent node (nil at the root).
+func (n *Node) Parent() *Node { return n.parent }
+
+// key computes the child-map key for a prospective child.
+func childKey(kind NodeKind, site isa.PC) uint64 {
+	return uint64(site)<<2 | uint64(kind)
+}
+
+// Tree is a calling context tree with byte accounting so the benchmark
+// harness can report tool memory bloat.
+type Tree struct {
+	prog  *isa.Program
+	root  *Node
+	nodes int
+}
+
+// New returns an empty tree over prog (prog may be nil; it is only used
+// for rendering human-readable paths).
+func New(prog *isa.Program) *Tree {
+	return &Tree{prog: prog, root: &Node{Kind: KindFrame, FuncIdx: -1}}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// NumNodes returns the number of allocated nodes.
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// Bytes estimates the resident size of the tree (node payload plus child
+// map overhead), for memory-bloat accounting.
+func (t *Tree) Bytes() uint64 {
+	const perNode = 96 + 48 // struct + amortized map entry
+	return uint64(t.nodes) * perNode
+}
+
+// child returns (creating if needed) the child of n for the given kind and
+// site.
+func (t *Tree) child(n *Node, kind NodeKind, site isa.PC, fn int32) *Node {
+	k := childKey(kind, site)
+	if n.children == nil {
+		n.children = make(map[uint64]*Node, 2)
+	}
+	if c := n.children[k]; c != nil {
+		return c
+	}
+	c := &Node{parent: n, Kind: kind, FuncIdx: fn, Site: site}
+	n.children[k] = c
+	t.nodes++
+	return c
+}
+
+// ChildFrame interns a procedure-frame child of n keyed by its call site.
+// Incremental CCT maintenance (the CCTLib-style cursor the exhaustive
+// tools keep per thread) uses this instead of re-walking the stack.
+func (t *Tree) ChildFrame(n *Node, site isa.PC, fn int32) *Node {
+	return t.child(n, KindFrame, site, fn)
+}
+
+// ChildLeaf interns the leaf node for an instruction PC beneath n.
+func (t *Tree) ChildLeaf(n *Node, pc isa.PC) *Node {
+	return t.child(n, KindLeaf, pc, int32(pc.Func()))
+}
+
+// NodeForContext interns the calling context given by a thread's live
+// frames and the leaf instruction PC, returning its leaf node.
+func (t *Tree) NodeForContext(frames []machine.Frame, leafPC isa.PC) *Node {
+	n := t.root
+	for i := range frames {
+		f := &frames[i]
+		n = t.child(n, KindFrame, f.CallSite, f.FuncIdx)
+	}
+	return t.child(n, KindLeaf, leafPC, int32(leafPC.Func()))
+}
+
+// PairNode returns the synthetic-chain leaf for the ordered context pair
+// ⟨watch, trap⟩: trap's root-to-leaf path is replayed beneath watch under
+// a KILLED_BY separator.
+func (t *Tree) PairNode(watch, trap *Node) *Node {
+	sep := t.child(watch, KindKilledBy, 0, -1)
+	n := sep
+	for _, a := range pathOf(trap) {
+		n = t.child(n, a.Kind, a.Site, a.FuncIdx)
+	}
+	return n
+}
+
+// pathOf returns the root-to-node ancestry (excluding the root).
+func pathOf(n *Node) []*Node {
+	var rev []*Node
+	for c := n; c != nil && c.parent != nil; c = c.parent {
+		rev = append(rev, c)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Path renders a node's full synthetic call chain, e.g.
+// "main->A->B ==KILLED_BY==> main->C->D".
+func (t *Tree) Path(n *Node) string {
+	var b strings.Builder
+	for i, a := range pathOf(n) {
+		switch a.Kind {
+		case KindKilledBy:
+			b.WriteString(" =>PARTNER=> ")
+		default:
+			if i > 0 && a.parent.Kind != KindKilledBy {
+				b.WriteString("->")
+			}
+			b.WriteString(t.describe(a))
+		}
+	}
+	return b.String()
+}
+
+// describe renders one node.
+func (t *Tree) describe(n *Node) string {
+	if t.prog == nil {
+		return fmt.Sprintf("f%d@%v", n.FuncIdx, n.Site)
+	}
+	switch n.Kind {
+	case KindLeaf:
+		return t.prog.Location(n.Site)
+	default:
+		if n.FuncIdx >= 0 && int(n.FuncIdx) < len(t.prog.Funcs) {
+			return t.prog.Funcs[n.FuncIdx].Name
+		}
+		return fmt.Sprintf("f%d", n.FuncIdx)
+	}
+}
+
+// SrcDst splits a pair leaf's chain into the source (watch) leaf location
+// and destination (trap) leaf location, for compact report rows.
+func (t *Tree) SrcDst(pair *Node) (src, dst string) {
+	path := pathOf(pair)
+	sepIdx := -1
+	for i, a := range path {
+		if a.Kind == KindKilledBy {
+			sepIdx = i
+		}
+	}
+	if sepIdx < 0 {
+		return t.describe(pair), ""
+	}
+	// The watch leaf is the separator's parent; the trap leaf is the
+	// chain's last node.
+	return t.describe(path[sepIdx-1]), t.describe(path[len(path)-1])
+}
+
+// SrcDstNodes splits a pair leaf's chain into the source (watch) leaf node
+// and destination (trap) leaf node.
+func (t *Tree) SrcDstNodes(pair *Node) (src, dst *Node) {
+	path := pathOf(pair)
+	sepIdx := -1
+	for i, a := range path {
+		if a.Kind == KindKilledBy {
+			sepIdx = i
+		}
+	}
+	if sepIdx <= 0 {
+		return pair, nil
+	}
+	return path[sepIdx-1], path[len(path)-1]
+}
+
+// PairStat summarizes one context pair for reports.
+type PairStat struct {
+	Node       *Node
+	Waste, Use float64
+	Src, Dst   string
+	// SrcPC and DstPC are the leaf instruction PCs of the two contexts,
+	// for programmatic classification in experiments.
+	SrcPC, DstPC isa.PC
+}
+
+// Pairs returns every pair leaf carrying metric mass, sorted by
+// descending waste.
+func (t *Tree) Pairs() []PairStat {
+	var out []PairStat
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Waste != 0 || n.Use != 0 {
+			src, dst := t.SrcDst(n)
+			sn, dn := t.SrcDstNodes(n)
+			ps := PairStat{Node: n, Waste: n.Waste, Use: n.Use, Src: src, Dst: dst}
+			if sn != nil {
+				ps.SrcPC = sn.Site
+			}
+			if dn != nil {
+				ps.DstPC = dn.Site
+			}
+			out = append(out, ps)
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Waste != out[j].Waste {
+			return out[i].Waste > out[j].Waste
+		}
+		return t.Path(out[i].Node) < t.Path(out[j].Node)
+	})
+	return out
+}
+
+// Totals sums waste and use across all pair leaves.
+func (t *Tree) Totals() (waste, use float64) {
+	for _, p := range t.Pairs() {
+		waste += p.Waste
+		use += p.Use
+	}
+	return waste, use
+}
+
+// Dominance returns the smallest number of pairs whose waste sums to at
+// least frac (0..1) of total waste, and the fraction they cover. The paper
+// observes fewer than five contexts typically cover >90% of dead writes.
+func (t *Tree) Dominance(frac float64) (pairs int, covered float64) {
+	ps := t.Pairs()
+	var total float64
+	for _, p := range ps {
+		total += p.Waste
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	var acc float64
+	for i, p := range ps {
+		acc += p.Waste
+		if acc >= frac*total {
+			return i + 1, acc / total
+		}
+	}
+	return len(ps), 1
+}

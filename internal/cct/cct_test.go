@@ -1,0 +1,143 @@
+package cct
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// prog builds a tiny program with named functions for path rendering.
+func prog() *isa.Program {
+	b := isa.NewBuilder("t")
+	b.Func("main").Call("a").Halt()
+	b.Func("a").Call("b").Ret()
+	b.Func("b").MovImm(isa.R1, 1).Ret()
+	b.SetEntry("main")
+	return b.MustBuild()
+}
+
+func frames(p *isa.Program) []machine.Frame {
+	return []machine.Frame{
+		{FuncIdx: int32(p.FuncByName("main"))},
+		{FuncIdx: int32(p.FuncByName("a")), CallSite: isa.MakePC(0, 0)},
+		{FuncIdx: int32(p.FuncByName("b")), CallSite: isa.MakePC(1, 0)},
+	}
+}
+
+func TestNodeInterning(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	leaf := isa.MakePC(2, 0)
+	n1 := tr.NodeForContext(frames(p), leaf)
+	n2 := tr.NodeForContext(frames(p), leaf)
+	if n1 != n2 {
+		t.Fatal("same context must intern to the same node")
+	}
+	other := tr.NodeForContext(frames(p)[:2], leaf)
+	if other == n1 {
+		t.Fatal("different contexts must differ")
+	}
+}
+
+func TestPairNodeAndPathRendering(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	watch := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	trap := tr.NodeForContext(frames(p)[:2], isa.MakePC(1, 0))
+	pair := tr.PairNode(watch, trap)
+	pair.Waste += 10
+
+	path := tr.Path(pair)
+	if !strings.Contains(path, "PARTNER") {
+		t.Fatalf("path missing separator: %q", path)
+	}
+	if !strings.Contains(path, "main") || !strings.Contains(path, "b") {
+		t.Fatalf("path missing frames: %q", path)
+	}
+	// Pair interning: same pair → same node.
+	if tr.PairNode(watch, trap) != pair {
+		t.Fatal("pair nodes must intern")
+	}
+}
+
+func TestSrcDstNodes(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	watch := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	trap := tr.NodeForContext(frames(p)[:2], isa.MakePC(1, 0))
+	pair := tr.PairNode(watch, trap)
+	src, dst := tr.SrcDstNodes(pair)
+	if src != watch {
+		t.Fatal("src must be the watch leaf")
+	}
+	if dst == nil || dst.Site != isa.MakePC(1, 0) {
+		t.Fatal("dst must be the trap leaf")
+	}
+}
+
+func TestPairsSortedByWaste(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	w := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	t1 := tr.NodeForContext(frames(p)[:2], isa.MakePC(1, 0))
+	t2 := tr.NodeForContext(frames(p)[:1], isa.MakePC(0, 0))
+	tr.PairNode(w, t1).Waste = 5
+	tr.PairNode(w, t2).Waste = 50
+	ps := tr.Pairs()
+	if len(ps) != 2 || ps[0].Waste != 50 {
+		t.Fatalf("pairs order wrong: %+v", ps)
+	}
+	waste, use := tr.Totals()
+	if waste != 55 || use != 0 {
+		t.Fatalf("totals = %v/%v", waste, use)
+	}
+}
+
+func TestDominance(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	w := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	targets := []isa.PC{isa.MakePC(0, 0), isa.MakePC(1, 0), isa.MakePC(2, 1)}
+	wastes := []float64{90, 8, 2}
+	for i, tgt := range targets {
+		tn := tr.NodeForContext(frames(p)[:1], tgt)
+		tr.PairNode(w, tn).Waste = wastes[i]
+	}
+	pairs, covered := tr.Dominance(0.9)
+	if pairs != 1 || covered < 0.9 {
+		t.Fatalf("dominance = %d pairs covering %.2f", pairs, covered)
+	}
+	if n, _ := tr.Dominance(0.99); n != 3 {
+		t.Fatalf("99%% dominance needs 3 pairs, got %d", n)
+	}
+	empty := New(p)
+	if n, c := empty.Dominance(0.9); n != 0 || c != 0 {
+		t.Fatal("empty tree dominance should be zero")
+	}
+}
+
+func TestBytesGrowsWithNodes(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	before := tr.Bytes()
+	tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	if tr.Bytes() <= before {
+		t.Fatal("bytes should grow with nodes")
+	}
+	if tr.NumNodes() != 4 { // 3 frames + leaf
+		t.Fatalf("nodes = %d, want 4", tr.NumNodes())
+	}
+}
+
+func TestMuEtaCounters(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	n := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	n.Mu += 10
+	n.Eta += 4
+	if n.Mu-n.Eta != 6 {
+		t.Fatal("μ−η arithmetic broken")
+	}
+}

@@ -1,0 +1,66 @@
+package cct
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TopDown renders the tree in the style of hpcviewer's top-down view
+// (§6.5): each calling context from the root down, annotated with the
+// inclusive waste attributed beneath it, children sorted by inclusive
+// waste, and subtrees contributing less than minFrac of the total pruned.
+// Synthetic KILLED_BY separators render as "=> killed by/partner".
+func (t *Tree) TopDown(w io.Writer, minFrac float64) {
+	incl := map[*Node]float64{}
+	var compute func(n *Node) float64
+	compute = func(n *Node) float64 {
+		total := n.Waste
+		for _, c := range n.children {
+			total += compute(c)
+		}
+		incl[n] = total
+		return total
+	}
+	grand := compute(t.root)
+	if grand == 0 {
+		fmt.Fprintln(w, "(no waste attributed)")
+		return
+	}
+
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		kids := make([]*Node, 0, len(n.children))
+		for _, c := range n.children {
+			if incl[c]/grand >= minFrac {
+				kids = append(kids, c)
+			}
+		}
+		sort.Slice(kids, func(i, j int) bool {
+			if incl[kids[i]] != incl[kids[j]] {
+				return incl[kids[i]] > incl[kids[j]]
+			}
+			return kids[i].Site < kids[j].Site
+		})
+		for _, c := range kids {
+			indent := strings.Repeat("  ", depth)
+			share := 100 * incl[c] / grand
+			switch c.Kind {
+			case KindKilledBy:
+				fmt.Fprintf(w, "%s%5.1f%% => partner context\n", indent, share)
+			case KindLeaf:
+				self := ""
+				if c.Waste > 0 {
+					self = fmt.Sprintf("  [waste %.0f, use %.0f]", c.Waste, c.Use)
+				}
+				fmt.Fprintf(w, "%s%5.1f%% %s%s\n", indent, share, t.describe(c), self)
+			default:
+				fmt.Fprintf(w, "%s%5.1f%% %s\n", indent, share, t.describe(c))
+			}
+			walk(c, depth+1)
+		}
+	}
+	fmt.Fprintf(w, "top-down view (100%% = %.0f waste units)\n", grand)
+	walk(t.root, 0)
+}

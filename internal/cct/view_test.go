@@ -1,0 +1,60 @@
+package cct
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestTopDownView(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	watch := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	trap := tr.NodeForContext(frames(p)[:2], isa.MakePC(1, 0))
+	tr.PairNode(watch, trap).Waste = 90
+	trap2 := tr.NodeForContext(frames(p)[:1], isa.MakePC(0, 0))
+	tr.PairNode(watch, trap2).Waste = 10
+
+	var sb strings.Builder
+	tr.TopDown(&sb, 0)
+	out := sb.String()
+	if !strings.Contains(out, "100.0% main") {
+		t.Fatalf("missing root share:\n%s", out)
+	}
+	if !strings.Contains(out, "=> partner context") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(out, "90.0%") || !strings.Contains(out, "10.0%") {
+		t.Fatalf("missing split shares:\n%s", out)
+	}
+	// The 90% subtree must render before the 10% one.
+	if strings.Index(out, "90.0%") > strings.Index(out, "10.0%") {
+		t.Fatalf("children not sorted by inclusive waste:\n%s", out)
+	}
+}
+
+func TestTopDownPruning(t *testing.T) {
+	p := prog()
+	tr := New(p)
+	watch := tr.NodeForContext(frames(p), isa.MakePC(2, 0))
+	trap := tr.NodeForContext(frames(p)[:2], isa.MakePC(1, 0))
+	tr.PairNode(watch, trap).Waste = 99
+	trap2 := tr.NodeForContext(frames(p)[:1], isa.MakePC(0, 1))
+	tr.PairNode(watch, trap2).Waste = 1
+
+	var sb strings.Builder
+	tr.TopDown(&sb, 0.05) // prune below 5%
+	if strings.Contains(sb.String(), "1.0%") {
+		t.Fatalf("pruning failed:\n%s", sb.String())
+	}
+}
+
+func TestTopDownEmptyTree(t *testing.T) {
+	tr := New(prog())
+	var sb strings.Builder
+	tr.TopDown(&sb, 0)
+	if !strings.Contains(sb.String(), "no waste") {
+		t.Fatalf("empty tree output: %q", sb.String())
+	}
+}

@@ -1,0 +1,214 @@
+// Package craft implements the witchcraft client tools of §4 and §6 of the
+// paper on top of the Witch framework:
+//
+//   - DeadCraft detects dead stores (a store overwritten by another store
+//     with no intervening load), mimicking DeadSpy on sampled addresses.
+//   - SilentCraft detects silent stores (a store writing the value already
+//     present), mimicking RedSpy, with approximate equality for
+//     floating-point data.
+//   - LoadCraft detects redundant loads (a load observing the same value
+//     as the previous load from that location).
+//
+// Each tool quantifies its inefficiency with the paper's Equation 1:
+// consecutive same-location accesses contribute their overlapping bytes to
+// "waste" when redundant and to "use" otherwise, scaled by the framework's
+// proportional attribution.
+package craft
+
+import (
+	"math"
+
+	"repro/internal/hwdebug"
+	"repro/internal/isa"
+	"repro/internal/pmu"
+	"repro/internal/witch"
+)
+
+// DefaultFloatPrecision is the relative tolerance used when comparing
+// floating-point values, matching the 1% the paper's evaluation uses.
+const DefaultFloatPrecision = 0.01
+
+// snapshot remembers the memory contents observed at arm time.
+type snapshot struct {
+	addr  uint64
+	width uint8
+	value uint64
+	float bool
+}
+
+// overlapEqual compares the overlapping bytes of two accessed regions,
+// given each region's base address, width and little-endian value bits.
+// It returns the number of overlapping bytes and whether they are all
+// byte-identical.
+func overlapEqual(a1 uint64, w1 uint8, v1 uint64, a2 uint64, w2 uint8, v2 uint64) (uint8, bool) {
+	lo, hi := a1, a1+uint64(w1)
+	if a2 > lo {
+		lo = a2
+	}
+	if h2 := a2 + uint64(w2); h2 < hi {
+		hi = h2
+	}
+	if hi <= lo {
+		return 0, false
+	}
+	for x := lo; x < hi; x++ {
+		b1 := byte(v1 >> (8 * (x - a1)))
+		b2 := byte(v2 >> (8 * (x - a2)))
+		if b1 != b2 {
+			return uint8(hi - lo), false
+		}
+	}
+	return uint8(hi - lo), true
+}
+
+// floatApproxEqual reports whether two float64 bit patterns are equal
+// within the relative precision.
+func floatApproxEqual(bits1, bits2 uint64, precision float64) bool {
+	f1, f2 := isa.F64(bits1), isa.F64(bits2)
+	if f1 == f2 {
+		return true
+	}
+	return math.Abs(f1-f2) <= precision*math.Max(math.Abs(f1), math.Abs(f2))
+}
+
+// valuesMatch decides redundancy between a snapshot and a trap access:
+// full-width floating-point data uses approximate comparison, everything
+// else exact byte comparison over the overlap.
+func valuesMatch(snap snapshot, addr uint64, width uint8, value uint64, float bool, precision float64) (overlap uint8, same bool) {
+	if snap.float && float && snap.width == 8 && width == 8 && snap.addr == addr {
+		if floatApproxEqual(snap.value, value, precision) {
+			return 8, true
+		}
+		return 8, false
+	}
+	return overlapEqual(snap.addr, snap.width, snap.value, addr, width, value)
+}
+
+// DeadCraft is the dead-store detection client (§4, Figure 1). It samples
+// PMU store events and arms an RW_TRAP watchpoint at the sampled address:
+// if the next access is a store the watched store was dead; if it is a
+// load the watched store was useful.
+type DeadCraft struct{}
+
+// NewDeadCraft returns a DeadCraft client.
+func NewDeadCraft() *DeadCraft { return &DeadCraft{} }
+
+// Name implements witch.Client.
+func (*DeadCraft) Name() string { return "DeadCraft" }
+
+// Event implements witch.Client: stores drive the sampling.
+func (*DeadCraft) Event() pmu.Event { return pmu.EventAllStores }
+
+// OnSample arms an RW_TRAP watchpoint on every sampled store.
+func (*DeadCraft) OnSample(s *witch.Sample) witch.ArmRequest {
+	return witch.ArmRequest{Arm: true, Kind: hwdebug.RWTrap}
+}
+
+// OnTrap classifies the consecutive access: store ⇒ the watched store was
+// dead (waste); load ⇒ it was read (use). Either way the register frees.
+func (*DeadCraft) OnTrap(tr *witch.Trap) witch.TrapAction {
+	if tr.Kind == pmu.Store {
+		tr.AttributeWaste(float64(tr.Overlap))
+	} else {
+		tr.AttributeUse(float64(tr.Overlap))
+	}
+	return witch.ActionDisarm
+}
+
+// SilentCraft is the silent-store detection client (§6.1). It samples
+// store events, snapshots the stored value, and arms a W_TRAP watchpoint
+// (loads are irrelevant to store silence and do not trap); on the next
+// overlapping store it compares values.
+type SilentCraft struct {
+	// Precision is the relative tolerance for floating-point equality.
+	Precision float64
+}
+
+// NewSilentCraft returns a SilentCraft with the default 1% FP precision.
+func NewSilentCraft() *SilentCraft { return &SilentCraft{Precision: DefaultFloatPrecision} }
+
+// Name implements witch.Client.
+func (*SilentCraft) Name() string { return "SilentCraft" }
+
+// Event implements witch.Client.
+func (*SilentCraft) Event() pmu.Event { return pmu.EventAllStores }
+
+// OnSample snapshots the just-stored value (the trap fires after the
+// instruction, so the sampled access's value is what memory now holds) and
+// arms a write-only watchpoint.
+func (*SilentCraft) OnSample(s *witch.Sample) witch.ArmRequest {
+	return witch.ArmRequest{
+		Arm:    true,
+		Kind:   hwdebug.WTrap,
+		Cookie: snapshot{addr: s.Addr, width: s.Width, value: s.Value, float: s.Float},
+	}
+}
+
+// OnTrap compares the overlapping bytes of the new store against the
+// snapshot; identical (or FP-approximately identical) bytes are silent.
+func (c *SilentCraft) OnTrap(tr *witch.Trap) witch.TrapAction {
+	snap, ok := tr.Cookie.(snapshot)
+	if !ok {
+		return witch.ActionDisarm
+	}
+	overlap, same := valuesMatch(snap, tr.Addr, tr.Width, tr.Value, tr.Float, c.Precision)
+	if overlap == 0 {
+		return witch.ActionDisarm
+	}
+	if same {
+		tr.AttributeWaste(float64(overlap))
+	} else {
+		tr.AttributeUse(float64(overlap))
+	}
+	return witch.ActionDisarm
+}
+
+// LoadCraft is the load-after-load detection client (§6.2). It samples
+// load events and arms an RW_TRAP watchpoint (x86 has no trap-on-load, so
+// store traps arrive too and are dropped); on the next load it compares
+// the loaded value against the snapshot.
+type LoadCraft struct {
+	// Precision is the relative tolerance for floating-point equality.
+	Precision float64
+}
+
+// NewLoadCraft returns a LoadCraft with the default 1% FP precision.
+func NewLoadCraft() *LoadCraft { return &LoadCraft{Precision: DefaultFloatPrecision} }
+
+// Name implements witch.Client.
+func (*LoadCraft) Name() string { return "LoadCraft" }
+
+// Event implements witch.Client: loads drive the sampling.
+func (*LoadCraft) Event() pmu.Event { return pmu.EventAllLoads }
+
+// OnSample snapshots the loaded value and arms an RW_TRAP watchpoint.
+func (*LoadCraft) OnSample(s *witch.Sample) witch.ArmRequest {
+	return witch.ArmRequest{
+		Arm:    true,
+		Kind:   hwdebug.RWTrap,
+		Cookie: snapshot{addr: s.Addr, width: s.Width, value: s.Value, float: s.Float},
+	}
+}
+
+// OnTrap drops store traps (keeping the watchpoint armed, per §6.2: "if a
+// watchpoint triggers on a store operation, Witch merely drops it") and
+// classifies load traps by value comparison.
+func (c *LoadCraft) OnTrap(tr *witch.Trap) witch.TrapAction {
+	if tr.Kind == pmu.Store {
+		return witch.ActionKeep
+	}
+	snap, ok := tr.Cookie.(snapshot)
+	if !ok {
+		return witch.ActionDisarm
+	}
+	overlap, same := valuesMatch(snap, tr.Addr, tr.Width, tr.Value, tr.Float, c.Precision)
+	if overlap == 0 {
+		return witch.ActionDisarm
+	}
+	if same {
+		tr.AttributeWaste(float64(overlap))
+	} else {
+		tr.AttributeUse(float64(overlap))
+	}
+	return witch.ActionDisarm
+}

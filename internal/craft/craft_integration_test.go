@@ -1,0 +1,184 @@
+package craft_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/craft"
+	"repro/internal/exhaustive"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/witch"
+	"repro/internal/workloads"
+)
+
+// silentProgram stores a constant to one region (silent after the first
+// pass) and a varying value to another, iterated.
+func silentProgram(n, iters int64) *isa.Program {
+	b := isa.NewBuilder("silent")
+	f := b.Func("main")
+	f.LoopN(isa.R9, iters, func(fb *isa.FuncBuilder) {
+		fb.LoopN(isa.R1, n, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R1, 8)
+			fb.AddImm(isa.R5, isa.R5, 0x1000000)
+			fb.MovImm(isa.R6, 99)
+			fb.Store(isa.R5, 0, isa.R6, 8) // silent after first iteration
+		})
+		fb.LoopN(isa.R2, n, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R2, 8)
+			fb.AddImm(isa.R5, isa.R5, 0x2000000)
+			fb.Add(isa.R6, isa.R2, isa.R9)
+			fb.MulImm(isa.R6, isa.R6, 2654435761)
+			fb.Store(isa.R5, 0, isa.R6, 8) // value differs every iteration
+		})
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// redLoadProgram initializes a region then repeatedly loads it (redundant)
+// and also loads a changing region (fresh).
+func redLoadProgram(n, iters int64) *isa.Program {
+	b := isa.NewBuilder("redload")
+	f := b.Func("main")
+	f.LoopN(isa.R1, n, func(fb *isa.FuncBuilder) {
+		fb.MulImm(isa.R5, isa.R1, 8)
+		fb.AddImm(isa.R5, isa.R5, 0x1000000)
+		fb.MovImm(isa.R6, 31337)
+		fb.Store(isa.R5, 0, isa.R6, 8)
+	})
+	f.LoopN(isa.R9, iters, func(fb *isa.FuncBuilder) {
+		fb.LoopN(isa.R1, n, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R1, 8)
+			fb.AddImm(isa.R5, isa.R5, 0x1000000)
+			fb.Load(isa.R6, isa.R5, 0, 8) // redundant after first iteration
+		})
+		fb.LoopN(isa.R2, n, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R2, 8)
+			fb.AddImm(isa.R5, isa.R5, 0x2000000)
+			fb.Add(isa.R6, isa.R2, isa.R9)
+			fb.Store(isa.R5, 0, isa.R6, 8)
+			fb.Load(isa.R7, isa.R5, 0, 8) // fresh: value changed this iter
+		})
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+func profile(t *testing.T, prog *isa.Program, client witch.Client, period uint64) *witch.Result {
+	t.Helper()
+	m := machine.New(prog, machine.Config{})
+	res, err := witch.NewProfiler(m, client, witch.Config{Period: period, Seed: 11}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSilentCraftMatchesRedSpy(t *testing.T) {
+	prog := silentProgram(400, 60)
+	spy, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewRedSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := profile(t, prog, craft.NewSilentCraft(), 97)
+	if math.Abs(spy.Redundancy()-res.Redundancy()) > 0.12 {
+		t.Fatalf("SilentCraft %.3f vs RedSpy %.3f", res.Redundancy(), spy.Redundancy())
+	}
+	// Roughly half the stores are silent (after warm-up).
+	if r := spy.Redundancy(); r < 0.35 || r > 0.6 {
+		t.Fatalf("RedSpy ground truth unexpected: %.3f", r)
+	}
+}
+
+func TestLoadCraftMatchesLoadSpy(t *testing.T) {
+	prog := redLoadProgram(400, 60)
+	spy, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewLoadSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := profile(t, prog, craft.NewLoadCraft(), 97)
+	if math.Abs(spy.Redundancy()-res.Redundancy()) > 0.12 {
+		t.Fatalf("LoadCraft %.3f vs LoadSpy %.3f", res.Redundancy(), spy.Redundancy())
+	}
+	if r := spy.Redundancy(); r < 0.35 || r > 0.65 {
+		t.Fatalf("LoadSpy ground truth unexpected: %.3f", r)
+	}
+}
+
+// TestLbmLikeFloatWorkload reproduces the paper's lbm observation: a
+// floating-point stencil whose values drift below the 1% precision shows
+// ~100% silent stores and silent loads but negligible dead stores.
+func TestLbmLikeFloatWorkload(t *testing.T) {
+	sp, ok := workloads.SuiteSpec("lbm")
+	if !ok {
+		t.Fatal("no lbm spec")
+	}
+	prog := sp.Build(1)
+
+	red, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewRedSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Redundancy() < 0.85 {
+		t.Fatalf("lbm silent stores = %.3f, want ~1", red.Redundancy())
+	}
+	load, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewLoadSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Redundancy() < 0.85 {
+		t.Fatalf("lbm silent loads = %.3f, want ~1", load.Redundancy())
+	}
+	dead, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewDeadSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Redundancy() > 0.15 {
+		t.Fatalf("lbm dead stores = %.3f, want ~0", dead.Redundancy())
+	}
+}
+
+// TestLoadCraftIgnoresStoreTraps verifies §6.2: RW_TRAP store traps are
+// dropped and the watchpoint stays armed until a load arrives.
+func TestLoadCraftIgnoresStoreTraps(t *testing.T) {
+	b := isa.NewBuilder("storeload")
+	f := b.Func("main")
+	f.MovImm(isa.R3, 0x3000)
+	f.LoopN(isa.R9, 2000, func(fb *isa.FuncBuilder) {
+		fb.Load(isa.R6, isa.R3, 0, 8) // load x (sampled)
+		fb.MovImm(isa.R6, 7)
+		fb.Store(isa.R3, 0, isa.R6, 8) // store x: spurious RW trap, dropped
+		fb.Load(isa.R7, isa.R3, 0, 8)  // load x again: same value 7 → waste
+	})
+	f.Halt()
+	res := profile(t, b.MustBuild(), craft.NewLoadCraft(), 13)
+	if res.Waste == 0 {
+		t.Fatal("LoadCraft should classify reloads after stores of the same value")
+	}
+	// Redundancy should be high: the value is always 7 after warm-up.
+	if res.Redundancy() < 0.9 {
+		t.Fatalf("redundancy = %.3f, want ~1", res.Redundancy())
+	}
+}
+
+// TestDeadCraftNoFalsePositives: a program whose every store is loaded
+// before the next store must show zero dead-store waste (§4.3: dead write
+// detection has no false positives).
+func TestDeadCraftNoFalsePositives(t *testing.T) {
+	b := isa.NewBuilder("clean")
+	f := b.Func("main")
+	f.MovImm(isa.R3, 0x4000)
+	f.LoopN(isa.R9, 3000, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R3, 0, isa.R9, 8)
+		fb.Load(isa.R6, isa.R3, 0, 8)
+	})
+	f.Halt()
+	res := profile(t, b.MustBuild(), craft.NewDeadCraft(), 17)
+	if res.Waste != 0 {
+		t.Fatalf("false positives: waste = %v", res.Waste)
+	}
+	if res.Use == 0 {
+		t.Fatal("expected use attribution")
+	}
+}

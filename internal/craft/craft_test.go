@@ -1,0 +1,115 @@
+package craft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestOverlapEqual(t *testing.T) {
+	cases := []struct {
+		name   string
+		a1     uint64
+		w1     uint8
+		v1     uint64
+		a2     uint64
+		w2     uint8
+		v2     uint64
+		wantOv uint8
+		wantEq bool
+	}{
+		{"identical", 100, 8, 0xdeadbeef, 100, 8, 0xdeadbeef, 8, true},
+		{"differ", 100, 8, 1, 100, 8, 2, 8, false},
+		{"disjoint", 100, 4, 1, 200, 4, 1, 0, false},
+		{"partial same", 100, 8, 0xaabbccdd, 102, 2, 0xaabb, 2, true},
+		{"partial differ", 100, 8, 0xaabbccdd, 102, 2, 0x1122, 2, false},
+		{"adjacent no overlap", 100, 4, 5, 104, 4, 5, 0, false},
+		{"one byte", 100, 1, 0x7f, 100, 1, 0x7f, 1, true},
+	}
+	for _, tc := range cases {
+		ov, eq := overlapEqual(tc.a1, tc.w1, tc.v1, tc.a2, tc.w2, tc.v2)
+		if ov != tc.wantOv || eq != tc.wantEq {
+			t.Errorf("%s: got (%d,%v), want (%d,%v)", tc.name, ov, eq, tc.wantOv, tc.wantEq)
+		}
+	}
+}
+
+// TestOverlapEqualSymmetric: equality of the overlap is symmetric in the
+// two accesses.
+func TestOverlapEqualSymmetric(t *testing.T) {
+	f := func(a1off, a2off uint8, v1, v2 uint64, w1s, w2s uint8) bool {
+		widths := []uint8{1, 2, 4, 8}
+		a1 := 1000 + uint64(a1off%16)
+		a2 := 1000 + uint64(a2off%16)
+		w1, w2 := widths[w1s%4], widths[w2s%4]
+		ov1, eq1 := overlapEqual(a1, w1, v1, a2, w2, v2)
+		ov2, eq2 := overlapEqual(a2, w2, v2, a1, w1, v1)
+		return ov1 == ov2 && eq1 == eq2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlapSelfEqual: any access compared with itself is fully equal.
+func TestOverlapSelfEqual(t *testing.T) {
+	f := func(addr uint32, v uint64, ws uint8) bool {
+		w := []uint8{1, 2, 4, 8}[ws%4]
+		ov, eq := overlapEqual(uint64(addr), w, v, uint64(addr), w, v)
+		return ov == w && eq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatApproxEqual(t *testing.T) {
+	p := 0.01
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.0, 1.0, true},
+		{1.0, 1.005, true},
+		{1.0, 1.02, false},
+		{-5.0, -5.004, true},
+		{0.0, 0.0, true},
+		{0.0, 0.1, false},
+		{1e300, 1.0001e300, true},
+	}
+	for _, tc := range cases {
+		got := floatApproxEqual(isa.F64Bits(tc.a), isa.F64Bits(tc.b), p)
+		if got != tc.want {
+			t.Errorf("approx(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestValuesMatchFloatPath(t *testing.T) {
+	snap := snapshot{addr: 64, width: 8, value: isa.F64Bits(100.0), float: true}
+	ov, same := valuesMatch(snap, 64, 8, isa.F64Bits(100.5), true, 0.01)
+	if ov != 8 || !same {
+		t.Fatalf("drift within precision: ov=%d same=%v", ov, same)
+	}
+	ov, same = valuesMatch(snap, 64, 8, isa.F64Bits(150.0), true, 0.01)
+	if ov != 8 || same {
+		t.Fatalf("large drift: ov=%d same=%v", ov, same)
+	}
+	// Mismatched addresses fall back to byte comparison.
+	ov, _ = valuesMatch(snap, 68, 8, isa.F64Bits(100.0), true, 0.01)
+	if ov != 4 {
+		t.Fatalf("partial overlap ov=%d, want 4", ov)
+	}
+}
+
+func TestClientIdentities(t *testing.T) {
+	if NewDeadCraft().Name() != "DeadCraft" ||
+		NewSilentCraft().Name() != "SilentCraft" ||
+		NewLoadCraft().Name() != "LoadCraft" {
+		t.Fatal("names wrong")
+	}
+	if NewSilentCraft().Precision != DefaultFloatPrecision {
+		t.Fatal("default precision not set")
+	}
+}

@@ -1,0 +1,132 @@
+package craft
+
+import (
+	"math/rand"
+
+	"repro/internal/cct"
+	"repro/internal/hwdebug"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+)
+
+// FalseSharingConfig configures the Feather-style false-sharing detector
+// (§6.3: "Sharing addresses accessed by one thread with another thread
+// allows building several tools for multi-threaded applications. Atop
+// Witch, we have developed Feather — a tool to detect false sharing.").
+type FalseSharingConfig struct {
+	// Period is the PMU sampling period (all memory ops).
+	Period uint64
+	// Seed drives the deterministic replacement/chunk PRNG.
+	Seed int64
+	// LineBytes is the coherence granularity (default 64).
+	LineBytes uint64
+}
+
+// FalseSharingResult summarizes a false-sharing profile.
+type FalseSharingResult struct {
+	// FalseShares and TrueShares count cross-thread conflicts scaled by
+	// the sampling period: accesses to the same cache line at disjoint
+	// bytes (false) vs overlapping bytes (true), with at least one side
+	// writing.
+	FalseShares float64
+	TrueShares  float64
+	Samples     uint64
+	Traps       uint64
+	Tree        *cct.Tree
+}
+
+// FalseFraction returns false/(false+true) sharing.
+func (r *FalseSharingResult) FalseFraction() float64 {
+	if r.FalseShares+r.TrueShares == 0 {
+		return 0
+	}
+	return r.FalseShares / (r.FalseShares + r.TrueShares)
+}
+
+// fsOrigin is the cookie attached to a remotely-armed watchpoint.
+type fsOrigin struct {
+	thread int
+	kind   pmu.AccessKind
+	addr   uint64
+	width  uint8
+	ctx    *cct.Node
+}
+
+// RunFalseSharing profiles a multi-threaded machine for false sharing.
+// On each PMU sample in thread T it arms, in every *other* thread, a
+// watchpoint on a chunk of the sampled address's cache line (hardware
+// watchpoints cover at most 8 bytes, so — as in Feather — a random
+// aligned chunk of the line is monitored; the chunk holding the sampled
+// bytes gives true-sharing visibility, others false-sharing visibility).
+// A trap in thread U then witnesses T→U communication on that line:
+// overlapping bytes are true sharing, disjoint bytes are false sharing.
+// Accesses where neither side writes are ignored (read-read sharing is
+// harmless).
+func RunFalseSharing(m *machine.Machine, cfg FalseSharingConfig) (*FalseSharingResult, error) {
+	if cfg.Period == 0 {
+		cfg.Period = 1000
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	res := &FalseSharingResult{Tree: cct.New(m.Prog)}
+
+	m.SetTrapHandler(func(t *machine.Thread, tr hwdebug.Trap) {
+		t.Watch.Disarm(tr.Reg)
+		if tr.KernelView {
+			return
+		}
+		origin, ok := tr.WP.Cookie.(fsOrigin)
+		if !ok || origin.thread == t.ID {
+			return
+		}
+		res.Traps++
+		// Read-read is not a conflict.
+		if origin.kind != pmu.Store && tr.Kind != hwdebug.Store {
+			return
+		}
+		overlap := origin.addr < tr.Addr+uint64(tr.Width) && tr.Addr < origin.addr+uint64(origin.width)
+		trapCtx := res.Tree.NodeForContext(t.Frames(), tr.ContextPC)
+		pair := res.Tree.PairNode(origin.ctx, trapCtx)
+		if overlap {
+			res.TrueShares += float64(cfg.Period)
+			pair.Use += float64(cfg.Period)
+		} else {
+			res.FalseShares += float64(cfg.Period)
+			pair.Waste += float64(cfg.Period)
+		}
+	})
+
+	m.AttachSampler(pmu.EventAllMemOps, cfg.Period, func(t *machine.Thread, s pmu.Sample) {
+		res.Samples++
+		ctx := res.Tree.NodeForContext(t.Frames(), s.PC)
+		line := s.Addr &^ (cfg.LineBytes - 1)
+		origin := fsOrigin{thread: t.ID, kind: s.Kind, addr: s.Addr, width: s.Width, ctx: ctx}
+		for _, u := range m.Threads {
+			if u.ID == t.ID || u.Halted() {
+				continue
+			}
+			// Half the remote arms watch the chunk containing the
+			// sampled bytes (true-sharing view); the rest watch a
+			// random chunk of the line (false-sharing view).
+			var chunk uint64
+			if rng.Intn(2) == 0 {
+				chunk = (s.Addr - line) &^ 7
+			} else {
+				chunk = uint64(rng.Intn(int(cfg.LineBytes/8))) * 8
+			}
+			reg := u.Watch.FreeReg()
+			if reg < 0 {
+				// Simple unbiased replacement among the remote regs.
+				reg = rng.Intn(u.Watch.NumRegs())
+			}
+			u.Watch.Arm(reg, line+chunk, 8, hwdebug.RWTrap, origin, s.Seq)
+		}
+	})
+
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,76 @@
+package craft_test
+
+import (
+	"testing"
+
+	"repro/internal/craft"
+	"repro/internal/machine"
+	"repro/internal/workloads"
+)
+
+func fourThreads(prog func() *machine.Machine) *machine.Machine {
+	m := prog()
+	for i := 0; i < 3; i++ {
+		m.SpawnThread(m.Prog.Entry)
+	}
+	return m
+}
+
+func TestFalseSharingDetectedOnPackedCounters(t *testing.T) {
+	m := fourThreads(func() *machine.Machine {
+		return machine.New(workloads.ParallelCounters(20000, 8), machine.Config{})
+	})
+	res, err := craft.RunFalseSharing(m, craft.FalseSharingConfig{Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseShares == 0 {
+		t.Fatal("packed counters must show false sharing")
+	}
+	if res.FalseFraction() < 0.9 {
+		t.Fatalf("false fraction = %.2f, want ~1 (threads never touch shared bytes)", res.FalseFraction())
+	}
+	if len(res.Tree.Pairs()) == 0 {
+		t.Fatal("expected context pairs")
+	}
+}
+
+func TestPaddingEliminatesFalseSharing(t *testing.T) {
+	m := fourThreads(func() *machine.Machine {
+		return machine.New(workloads.ParallelCounters(20000, 128), machine.Config{})
+	})
+	res, err := craft.RunFalseSharing(m, craft.FalseSharingConfig{Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseShares != 0 {
+		t.Fatalf("padded counters must not false-share, got %v", res.FalseShares)
+	}
+}
+
+func TestTrueSharingClassified(t *testing.T) {
+	m := fourThreads(func() *machine.Machine {
+		return machine.New(workloads.SharedCounter(20000), machine.Config{})
+	})
+	res, err := craft.RunFalseSharing(m, craft.FalseSharingConfig{Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrueShares == 0 {
+		t.Fatal("shared counter must show true sharing")
+	}
+	if res.FalseFraction() > 0.1 {
+		t.Fatalf("false fraction = %.2f, want ~0 (all conflicts overlap)", res.FalseFraction())
+	}
+}
+
+func TestSingleThreadNoSharing(t *testing.T) {
+	m := machine.New(workloads.ParallelCounters(20000, 8), machine.Config{})
+	res, err := craft.RunFalseSharing(m, craft.FalseSharingConfig{Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseShares != 0 || res.TrueShares != 0 {
+		t.Fatal("a single thread cannot share")
+	}
+}

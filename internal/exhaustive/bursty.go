@@ -1,0 +1,61 @@
+package exhaustive
+
+import (
+	"repro/internal/machine"
+)
+
+// Bursty wraps an exhaustive spy with bursty tracing (Hirzel & Chilimbi;
+// the mitigation RedSpy ships with, §2 of the Witch paper): monitoring is
+// enabled for On consecutive accesses, then disabled for Off, repeating.
+// Call/return edges are always tracked (the calling-context cursor must
+// stay correct), so the burst discount applies to shadow-memory work
+// only — which is why the paper reports bursty sampling still costing ~12×
+// while Witch costs <5%.
+type Bursty struct {
+	Spy
+	// On and Off are the duty-cycle window lengths in accesses.
+	On, Off uint64
+
+	pos        uint64
+	observed   uint64
+	suppressed uint64
+}
+
+// NewBursty wraps spy with an On/Off access duty cycle.
+func NewBursty(spy Spy, on, off uint64) *Bursty {
+	if on == 0 {
+		on = 1
+	}
+	return &Bursty{Spy: spy, On: on, Off: off}
+}
+
+// Name implements Spy.
+func (b *Bursty) Name() string { return b.Spy.Name() + "+bursty" }
+
+// OnAccess forwards only during the on-window.
+func (b *Bursty) OnAccess(t *machine.Thread, acc *machine.Access) {
+	inWindow := b.pos%(b.On+b.Off) < b.On
+	b.pos++
+	if inWindow {
+		b.observed++
+		b.Spy.OnAccess(t, acc)
+		return
+	}
+	b.suppressed++
+}
+
+// Coverage returns the fraction of accesses actually observed.
+func (b *Bursty) Coverage() float64 {
+	total := b.observed + b.suppressed
+	if total == 0 {
+		return 0
+	}
+	return float64(b.observed) / float64(total)
+}
+
+// Finish implements Spy, renaming the result.
+func (b *Bursty) Finish() *Result {
+	res := b.Spy.Finish()
+	res.Tool = b.Name()
+	return res
+}

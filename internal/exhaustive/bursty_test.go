@@ -1,0 +1,81 @@
+package exhaustive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// burstyProg emits a long loop with a fixed dead-store ratio.
+func burstyProg() *isa.Program {
+	b := isa.NewBuilder("bursty")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.MovImm(isa.R2, 0x200)
+	f.LoopN(isa.R9, 20000, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R1, 0, isa.R9, 8) // dead (next iteration overwrites)
+		fb.Store(isa.R2, 0, isa.R9, 8) // used
+		fb.Load(isa.R3, isa.R2, 0, 8)
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+func TestBurstyCoverageAndAccuracy(t *testing.T) {
+	prog := burstyProg()
+	full, err := Run(machine.New(prog, machine.Config{}), NewDeadSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy := NewDeadSpy(prog)
+	burst := NewBursty(spy, 1000, 9000)
+	res, err := Run(machine.New(prog, machine.Config{}), burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := burst.Coverage(); math.Abs(c-0.1) > 0.02 {
+		t.Fatalf("coverage = %.3f, want ~0.1", c)
+	}
+	// The redundancy ratio survives bursting on a homogeneous workload.
+	if math.Abs(res.Redundancy()-full.Redundancy()) > 0.1 {
+		t.Fatalf("bursty D %.3f vs full %.3f", res.Redundancy(), full.Redundancy())
+	}
+	// Absolute waste shrinks to ~coverage of the full count.
+	if res.Waste >= full.Waste/2 {
+		t.Fatalf("bursty waste %v should be a fraction of full %v", res.Waste, full.Waste)
+	}
+	if res.Tool != "DeadSpy+bursty" {
+		t.Fatalf("tool = %q", res.Tool)
+	}
+}
+
+func TestBurstyKeepsCallPathCursorCorrect(t *testing.T) {
+	// Calls happen during off-windows too; the cursor must stay correct
+	// so attribution in on-windows points at the right contexts.
+	b := isa.NewBuilder("t")
+	wfn := b.Func("writer")
+	wfn.MovImm(isa.R1, 0x100)
+	wfn.Store(isa.R1, 0, isa.R1, 8)
+	wfn.Store(isa.R1, 0, isa.R1, 8) // dead pair inside writer
+	wfn.Ret()
+	main := b.Func("main")
+	main.LoopN(isa.R9, 500, func(fb *isa.FuncBuilder) {
+		fb.Call("writer")
+	})
+	main.Halt()
+	b.SetEntry("main")
+	prog := b.MustBuild()
+
+	burst := NewBursty(NewDeadSpy(prog), 10, 90)
+	res, err := Run(machine.New(prog, machine.Config{}), burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Tree.Pairs() {
+		if p.Waste > 0 && p.Src[:len("t:writer:")] != "t:writer:" {
+			t.Fatalf("misattributed pair src %q", p.Src)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+// Package exhaustive implements the ground-truth instrumentation tools the
+// paper evaluates Witch against: DeadSpy (dead stores), RedSpy (silent
+// stores; register redundancy disabled, as in the paper's evaluation), and
+// LoadSpy (redundant loads — which the authors wrote themselves because no
+// prior tool existed). Each tool observes *every* retired memory access
+// through the machine's Observer hook, maintains per-byte shadow state,
+// and attributes waste/use bytes to calling-context pairs on a CCT kept
+// incrementally with a per-thread cursor (CCTLib style).
+//
+// These tools are deliberately heavyweight — shadow entry per application
+// byte, CCT work on every access — because their cost relative to the
+// sampling crafts is itself one of the paper's results (Tables 1 and 2).
+package exhaustive
+
+import (
+	"time"
+
+	"repro/internal/cct"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+	"repro/internal/shadow"
+)
+
+// Result is the outcome of an exhaustive profiling run.
+type Result struct {
+	Tool       string
+	Tree       *cct.Tree
+	Waste, Use float64
+	WallTime   time.Duration
+	ToolBytes  uint64
+	Instrs     uint64
+	Loads      uint64
+	Stores     uint64
+}
+
+// Redundancy returns waste/(waste+use) — the same Equation 1 metric the
+// sampling tools report, making Figure 4 a direct comparison.
+func (r *Result) Redundancy() float64 {
+	if r.Waste+r.Use == 0 {
+		return 0
+	}
+	return r.Waste / (r.Waste + r.Use)
+}
+
+// Spy is an exhaustive tool: a machine Observer that can summarize itself.
+type Spy interface {
+	machine.Observer
+	Name() string
+	// Finish computes the result after the machine has run.
+	Finish() *Result
+}
+
+// base carries the CCT, per-thread cursors, and the pair-node cache shared
+// by all three spies.
+type base struct {
+	name    string
+	tree    *cct.Tree
+	cursors map[int]*cct.Node
+	pairs   map[[2]*cct.Node]*cct.Node
+	bytes   func() uint64
+
+	instrs, loads, stores uint64
+}
+
+func newBase(name string, prog *isa.Program) base {
+	return base{
+		name:    name,
+		tree:    cct.New(prog),
+		cursors: make(map[int]*cct.Node),
+		pairs:   make(map[[2]*cct.Node]*cct.Node),
+	}
+}
+
+// Name implements Spy.
+func (b *base) Name() string { return b.name }
+
+// cursor returns the thread's current CCT frame node, replaying the live
+// stack on first sight of the thread.
+func (b *base) cursor(t *machine.Thread) *cct.Node {
+	n, ok := b.cursors[t.ID]
+	if !ok {
+		n = b.tree.Root()
+		for _, f := range t.Frames() {
+			n = b.tree.ChildFrame(n, f.CallSite, f.FuncIdx)
+		}
+		b.cursors[t.ID] = n
+	}
+	return n
+}
+
+// OnCall implements machine.Observer.
+func (b *base) OnCall(t *machine.Thread, callee int32, site isa.PC) {
+	b.cursors[t.ID] = b.tree.ChildFrame(b.cursor(t), site, callee)
+}
+
+// OnRet implements machine.Observer.
+func (b *base) OnRet(t *machine.Thread) {
+	cur := b.cursor(t)
+	if p := cur.Parent(); p != nil {
+		b.cursors[t.ID] = p
+	}
+}
+
+// leaf interns the context leaf for the current access.
+func (b *base) leaf(t *machine.Thread, pc isa.PC) *cct.Node {
+	return b.tree.ChildLeaf(b.cursor(t), pc)
+}
+
+// pair returns (caching) the synthetic-chain node for ⟨src, dst⟩.
+func (b *base) pair(src, dst *cct.Node) *cct.Node {
+	k := [2]*cct.Node{src, dst}
+	if n, ok := b.pairs[k]; ok {
+		return n
+	}
+	n := b.tree.PairNode(src, dst)
+	b.pairs[k] = n
+	return n
+}
+
+// count tallies retirement statistics.
+func (b *base) count(kind pmu.AccessKind) {
+	b.instrs++
+	if kind == pmu.Load {
+		b.loads++
+	} else {
+		b.stores++
+	}
+}
+
+// finish assembles the common result fields.
+func (b *base) finish(wall time.Duration, shadowBytes uint64) *Result {
+	waste, use := b.tree.Totals()
+	return &Result{
+		Tool:      b.name,
+		Tree:      b.tree,
+		Waste:     waste,
+		Use:       use,
+		WallTime:  wall,
+		ToolBytes: b.tree.Bytes() + shadowBytes + uint64(len(b.pairs))*48,
+		Instrs:    b.instrs,
+		Loads:     b.loads,
+		Stores:    b.stores,
+	}
+}
+
+// deadEntry is DeadSpy's per-byte shadow state: the last operation kind on
+// the byte and, for stores, the storing context.
+type deadEntry struct {
+	op  uint8 // 0 untouched, 1 load, 2 store
+	ctx *cct.Node
+}
+
+// DeadSpy detects dead writes exhaustively: a write→write transition on a
+// shadow byte is a dead write of the earlier store (Chabbi &
+// Mellor-Crummey, CGO'12).
+type DeadSpy struct {
+	base
+	shadow *shadow.Table[deadEntry]
+	start  time.Time
+}
+
+// NewDeadSpy returns a DeadSpy over prog.
+func NewDeadSpy(prog *isa.Program) *DeadSpy {
+	return &DeadSpy{base: newBase("DeadSpy", prog), shadow: shadow.NewTable[deadEntry](), start: time.Now()}
+}
+
+// OnAccess implements machine.Observer.
+func (d *DeadSpy) OnAccess(t *machine.Thread, acc *machine.Access) {
+	d.count(acc.Kind)
+	ctx := d.leaf(t, acc.PC)
+	if acc.Kind == pmu.Store {
+		for i := uint8(0); i < acc.Width; i++ {
+			e := d.shadow.At(acc.Addr + uint64(i))
+			if e.op == 2 {
+				// Store after store: the previous store byte was dead.
+				d.pair(e.ctx, ctx).Waste++
+			}
+			e.op = 2
+			e.ctx = ctx
+		}
+		return
+	}
+	for i := uint8(0); i < acc.Width; i++ {
+		e := d.shadow.At(acc.Addr + uint64(i))
+		if e.op == 2 {
+			// Load after store: the store byte was useful.
+			d.pair(e.ctx, ctx).Use++
+		}
+		e.op = 1
+	}
+}
+
+// Finish implements Spy.
+func (d *DeadSpy) Finish() *Result {
+	return d.finish(time.Since(d.start), d.shadow.Bytes())
+}
+
+// valueEntry is the per-byte shadow state for the two value-locality
+// spies: validity, last value byte, and the context that produced it.
+type valueEntry struct {
+	valid bool
+	val   byte
+	ctx   *cct.Node
+}
+
+// RedSpy detects silent stores exhaustively: a store whose bytes equal the
+// bytes already present (with approximate equality for floating-point
+// data, as the paper's evaluation configures).
+type RedSpy struct {
+	base
+	shadow    *shadow.Table[valueEntry]
+	precision float64
+	start     time.Time
+}
+
+// NewRedSpy returns a RedSpy with the paper's 1% FP precision.
+func NewRedSpy(prog *isa.Program) *RedSpy {
+	return &RedSpy{base: newBase("RedSpy", prog), shadow: shadow.NewTable[valueEntry](), precision: 0.01, start: time.Now()}
+}
+
+// OnAccess implements machine.Observer.
+func (r *RedSpy) OnAccess(t *machine.Thread, acc *machine.Access) {
+	r.count(acc.Kind)
+	if acc.Kind != pmu.Store {
+		return
+	}
+	ctx := r.leaf(t, acc.PC)
+	classifyValue(&r.base, r.shadow, acc, ctx, r.precision)
+}
+
+// Finish implements Spy.
+func (r *RedSpy) Finish() *Result {
+	return r.finish(time.Since(r.start), r.shadow.Bytes())
+}
+
+// LoadSpy detects redundant loads exhaustively: a load observing the same
+// value as the previous load of the same bytes (intervening stores are
+// ignored, per §6.2 — only consecutive *loaded values* are compared).
+type LoadSpy struct {
+	base
+	shadow    *shadow.Table[valueEntry]
+	precision float64
+	start     time.Time
+}
+
+// NewLoadSpy returns a LoadSpy with the paper's 1% FP precision.
+func NewLoadSpy(prog *isa.Program) *LoadSpy {
+	return &LoadSpy{base: newBase("LoadSpy", prog), shadow: shadow.NewTable[valueEntry](), precision: 0.01, start: time.Now()}
+}
+
+// OnAccess implements machine.Observer.
+func (l *LoadSpy) OnAccess(t *machine.Thread, acc *machine.Access) {
+	l.count(acc.Kind)
+	if acc.Kind != pmu.Load {
+		return
+	}
+	ctx := l.leaf(t, acc.PC)
+	classifyValue(&l.base, l.shadow, acc, ctx, l.precision)
+}
+
+// classifyValue updates value shadow state for one access and attributes
+// waste (unchanged value) or use (changed) bytes against the previous
+// same-kind access. Classification is all-or-nothing at instruction
+// granularity (§6.4: "if a dynamic instruction writes M bytes, either all
+// M bytes contribute to the inefficiency metric or none"), with
+// approximate comparison for full-width floating-point accesses.
+func classifyValue(b *base, tbl *shadow.Table[valueEntry], acc *machine.Access, ctx *cct.Node, precision float64) {
+	var prev uint64
+	complete := true
+	e0 := tbl.At(acc.Addr)
+	for i := uint8(0); i < acc.Width; i++ {
+		e := tbl.At(acc.Addr + uint64(i))
+		if !e.valid {
+			complete = false
+			break
+		}
+		prev |= uint64(e.val) << (8 * i)
+	}
+	if complete {
+		same := prev == acc.Value
+		if acc.Float && acc.Width == 8 {
+			same = approxEqual(prev, acc.Value, precision)
+		}
+		if same {
+			b.pair(e0.ctx, ctx).Waste += float64(acc.Width)
+		} else {
+			b.pair(e0.ctx, ctx).Use += float64(acc.Width)
+		}
+	}
+	for i := uint8(0); i < acc.Width; i++ {
+		e := tbl.At(acc.Addr + uint64(i))
+		e.valid, e.val, e.ctx = true, byte(acc.Value>>(8*i)), ctx
+	}
+}
+
+// approxEqual compares two float64 bit patterns within a relative
+// precision.
+func approxEqual(bits1, bits2 uint64, precision float64) bool {
+	f1, f2 := isa.F64(bits1), isa.F64(bits2)
+	if f1 == f2 {
+		return true
+	}
+	d := f1 - f2
+	if d < 0 {
+		d = -d
+	}
+	m1, m2 := f1, f2
+	if m1 < 0 {
+		m1 = -m1
+	}
+	if m2 < 0 {
+		m2 = -m2
+	}
+	if m2 > m1 {
+		m1 = m2
+	}
+	return d <= precision*m1
+}
+
+// Finish implements Spy.
+func (l *LoadSpy) Finish() *Result {
+	return l.finish(time.Since(l.start), l.shadow.Bytes())
+}
+
+// Run attaches the spy to the machine, runs it to completion, and returns
+// the result.
+func Run(m *machine.Machine, s Spy) (*Result, error) {
+	m.SetObserver(s)
+	start := time.Now()
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	res := s.Finish()
+	res.WallTime = time.Since(start)
+	return res, nil
+}

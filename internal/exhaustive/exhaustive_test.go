@@ -1,0 +1,165 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+// deadProg: store A twice (dead), store B then load it (used).
+func deadProg() *isa.Program {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.MovImm(isa.R2, 0x200)
+	f.MovImm(isa.R3, 7)
+	f.Store(isa.R1, 0, isa.R3, 8) // dead
+	f.Store(isa.R1, 0, isa.R3, 8) // kill (also trailing)
+	f.Store(isa.R2, 0, isa.R3, 8) // used
+	f.Load(isa.R4, isa.R2, 0, 8)
+	f.Halt()
+	return b.MustBuild()
+}
+
+func run(t *testing.T, prog *isa.Program, spy Spy) *Result {
+	t.Helper()
+	res, err := Run(machine.New(prog, machine.Config{}), spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDeadSpyExactCounts(t *testing.T) {
+	prog := deadProg()
+	res := run(t, prog, NewDeadSpy(prog))
+	if res.Waste != 8 {
+		t.Fatalf("dead bytes = %v, want 8", res.Waste)
+	}
+	if res.Use != 8 {
+		t.Fatalf("used bytes = %v, want 8", res.Use)
+	}
+	if res.Redundancy() != 0.5 {
+		t.Fatalf("D = %v, want 0.5", res.Redundancy())
+	}
+	if res.Loads != 1 || res.Stores != 3 {
+		t.Fatalf("loads/stores = %d/%d", res.Loads, res.Stores)
+	}
+}
+
+func TestRedSpySilentVsNoisy(t *testing.T) {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.MovImm(isa.R3, 7)
+	f.Store(isa.R1, 0, isa.R3, 8) // first store: no previous value
+	f.Store(isa.R1, 0, isa.R3, 8) // silent (same value)
+	f.MovImm(isa.R3, 8)
+	f.Store(isa.R1, 0, isa.R3, 8) // not silent
+	f.Halt()
+	prog := b.MustBuild()
+	res := run(t, prog, NewRedSpy(prog))
+	if res.Waste != 8 || res.Use != 8 {
+		t.Fatalf("waste/use = %v/%v, want 8/8", res.Waste, res.Use)
+	}
+}
+
+func TestRedSpyFloatApprox(t *testing.T) {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.FMovImm(isa.R3, 100.0)
+	f.FStore(isa.R1, 0, isa.R3)
+	f.FMovImm(isa.R3, 100.5) // within 1%: approximately silent
+	f.FStore(isa.R1, 0, isa.R3)
+	f.FMovImm(isa.R3, 150.0) // far: not silent
+	f.FStore(isa.R1, 0, isa.R3)
+	f.Halt()
+	prog := b.MustBuild()
+	res := run(t, prog, NewRedSpy(prog))
+	if res.Waste != 8 || res.Use != 8 {
+		t.Fatalf("waste/use = %v/%v, want 8/8", res.Waste, res.Use)
+	}
+}
+
+func TestLoadSpyIgnoresStores(t *testing.T) {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.MovImm(isa.R3, 7)
+	f.Store(isa.R1, 0, isa.R3, 8)
+	f.Load(isa.R4, isa.R1, 0, 8)  // first load: no previous load
+	f.Store(isa.R1, 0, isa.R3, 8) // intervening store, same value
+	f.Load(isa.R4, isa.R1, 0, 8)  // redundant: loaded value unchanged
+	f.MovImm(isa.R3, 9)
+	f.Store(isa.R1, 0, isa.R3, 8)
+	f.Load(isa.R4, isa.R1, 0, 8) // fresh: value changed
+	f.Halt()
+	prog := b.MustBuild()
+	res := run(t, prog, NewLoadSpy(prog))
+	if res.Waste != 8 || res.Use != 8 {
+		t.Fatalf("waste/use = %v/%v, want 8/8", res.Waste, res.Use)
+	}
+}
+
+func TestPairAttributionAcrossCalls(t *testing.T) {
+	b := isa.NewBuilder("t")
+	w := b.Func("writer")
+	w.MovImm(isa.R1, 0x100)
+	w.MovImm(isa.R3, 1)
+	w.Store(isa.R1, 0, isa.R3, 8)
+	w.Ret()
+	k := b.Func("killer")
+	k.MovImm(isa.R1, 0x100)
+	k.MovImm(isa.R3, 2)
+	k.Store(isa.R1, 0, isa.R3, 8)
+	k.Ret()
+	m := b.Func("main")
+	m.Call("writer")
+	m.Call("killer")
+	m.Halt()
+	b.SetEntry("main")
+	prog := b.MustBuild()
+	res := run(t, prog, NewDeadSpy(prog))
+	pairs := res.Tree.Pairs()
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(pairs))
+	}
+	if pairs[0].Waste != 8 {
+		t.Fatalf("pair waste = %v", pairs[0].Waste)
+	}
+	if want := "t:writer:"; pairs[0].Src[:len(want)] != want {
+		t.Fatalf("src = %q", pairs[0].Src)
+	}
+	if want := "t:killer:"; pairs[0].Dst[:len(want)] != want {
+		t.Fatalf("dst = %q", pairs[0].Dst)
+	}
+}
+
+func TestToolBytesIncludesShadow(t *testing.T) {
+	prog := deadProg()
+	res := run(t, prog, NewDeadSpy(prog))
+	if res.ToolBytes == 0 {
+		t.Fatal("tool bytes should be accounted")
+	}
+}
+
+func TestPartialWidthOverwrite(t *testing.T) {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.MovImm(isa.R3, 0x11223344)
+	f.Store(isa.R1, 0, isa.R3, 8) // 8-byte store
+	f.Store(isa.R1, 0, isa.R3, 2) // 2-byte overwrite: kills 2 of 8 bytes
+	f.Load(isa.R4, isa.R1, 4, 4)  // read bytes 4..8: those 4 were used
+	f.Halt()
+	prog := b.MustBuild()
+	res := run(t, prog, NewDeadSpy(prog))
+	if res.Waste != 2 {
+		t.Fatalf("dead bytes = %v, want 2", res.Waste)
+	}
+	if res.Use != 4 {
+		t.Fatalf("used bytes = %v, want 4", res.Use)
+	}
+}

@@ -1,0 +1,145 @@
+package hwdebug
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestArmDisarmBookkeeping(t *testing.T) {
+	u := NewUnit(0, 4)
+	if u.NumRegs() != 4 || u.Armed() != 0 {
+		t.Fatal("fresh unit state wrong")
+	}
+	u.Arm(1, 100, 8, RWTrap, "cookie", 5)
+	if u.Armed() != 1 || u.FreeReg() != 0 {
+		t.Fatalf("armed=%d free=%d", u.Armed(), u.FreeReg())
+	}
+	wp := u.Reg(1)
+	if !wp.Active || wp.Addr != 100 || wp.Cookie != "cookie" || wp.ArmedAt != 5 {
+		t.Fatalf("reg state: %+v", wp)
+	}
+	u.Disarm(1)
+	if u.Armed() != 0 {
+		t.Fatal("disarm did not release")
+	}
+	// Re-arming an armed register must not double count.
+	u.Arm(0, 1, 1, WTrap, nil, 0)
+	u.Arm(0, 2, 1, WTrap, nil, 0)
+	if u.Armed() != 1 {
+		t.Fatalf("re-arm counted twice: %d", u.Armed())
+	}
+	u.DisarmAll()
+	if u.Armed() != 0 {
+		t.Fatal("DisarmAll failed")
+	}
+}
+
+func TestLengthClamping(t *testing.T) {
+	u := NewUnit(0, 1)
+	u.Arm(0, 100, 0, WTrap, nil, 0)
+	if u.Reg(0).Len != 1 {
+		t.Fatalf("len 0 should clamp to 1, got %d", u.Reg(0).Len)
+	}
+	u.Arm(0, 100, 64, WTrap, nil, 0)
+	if u.Reg(0).Len != 8 {
+		t.Fatalf("len 64 should clamp to 8, got %d", u.Reg(0).Len)
+	}
+}
+
+func TestWTrapIgnoresLoads(t *testing.T) {
+	u := NewUnit(0, 1)
+	var traps []Trap
+	u.SetHandler(func(tr Trap) { traps = append(traps, tr) })
+	u.Arm(0, 100, 8, WTrap, nil, 0)
+	if n := u.Check(Load, 100, 8, 0, false, isa.MakePC(0, 1), false); n != 0 {
+		t.Fatal("W_TRAP must not fire on a load")
+	}
+	if n := u.Check(Store, 100, 8, 42, false, isa.MakePC(0, 2), false); n != 1 {
+		t.Fatal("W_TRAP must fire on a store")
+	}
+	if traps[0].Value != 42 || traps[0].Overlap != 8 {
+		t.Fatalf("trap = %+v", traps[0])
+	}
+}
+
+func TestRWTrapFiresOnBoth(t *testing.T) {
+	u := NewUnit(0, 1)
+	fired := 0
+	u.SetHandler(func(tr Trap) { fired++ })
+	u.Arm(0, 200, 4, RWTrap, nil, 0)
+	u.Check(Load, 200, 4, 0, false, 0, false)
+	u.Check(Store, 200, 4, 0, false, 0, false)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestPartialOverlap(t *testing.T) {
+	u := NewUnit(0, 1)
+	var got Trap
+	u.SetHandler(func(tr Trap) { got = tr })
+	u.Arm(0, 100, 8, RWTrap, nil, 0)
+	// Access [104,112): overlaps [100,108) by 4 bytes.
+	if n := u.Check(Store, 104, 8, 0, false, 0, false); n != 1 {
+		t.Fatal("expected overlap trap")
+	}
+	if got.Overlap != 4 {
+		t.Fatalf("overlap = %d, want 4", got.Overlap)
+	}
+	// Access entirely outside.
+	if n := u.Check(Store, 108, 4, 0, false, 0, false); n != 0 {
+		t.Fatal("no overlap expected")
+	}
+}
+
+func TestKernelViewCountsSpurious(t *testing.T) {
+	u := NewUnit(0, 1)
+	u.SetHandler(func(tr Trap) {
+		if !tr.KernelView {
+			t.Error("expected kernel-view trap")
+		}
+	})
+	u.Arm(0, 100, 8, RWTrap, nil, 0)
+	u.Check(Store, 100, 8, 0, false, 0, true)
+	if u.Spurious != 1 || u.Traps != 0 {
+		t.Fatalf("spurious=%d traps=%d", u.Spurious, u.Traps)
+	}
+}
+
+// TestOverlapProperty: overlap is symmetric, bounded by both lengths, and
+// zero iff the ranges are disjoint.
+func TestOverlapProperty(t *testing.T) {
+	f := func(a1off, a2off uint8, l1s, l2s uint8) bool {
+		a1 := 1000 + uint64(a1off%32)
+		a2 := 1000 + uint64(a2off%32)
+		l1 := l1s%8 + 1
+		l2 := l2s%8 + 1
+		ov := overlap(a1, l1, a2, l2)
+		ov2 := overlap(a2, l2, a1, l1)
+		if ov != ov2 || ov > l1 || ov > l2 {
+			return false
+		}
+		disjoint := a1+uint64(l1) <= a2 || a2+uint64(l2) <= a1
+		return (ov == 0) == disjoint
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if WTrap.String() != "W_TRAP" || RWTrap.String() != "RW_TRAP" {
+		t.Fatal("kind strings")
+	}
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatal("access kind strings")
+	}
+}
+
+func TestDefaultRegisterCount(t *testing.T) {
+	if NewUnit(0, 0).NumRegs() != 4 {
+		t.Fatal("default should be 4 registers, like x86")
+	}
+}

@@ -1,0 +1,301 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program from a fluent, label-based API. Workload
+// generators use it instead of hand-writing instruction slices; the text
+// assembler in internal/asm lowers onto it too.
+type Builder struct {
+	prog    *Program
+	file    string
+	entry   string
+	funcs   map[string]int
+	pending []*FuncBuilder
+	errs    []error
+}
+
+// NewBuilder returns a Builder whose functions are attributed to the given
+// pseudo source file (typically the workload name).
+func NewBuilder(file string) *Builder {
+	return &Builder{
+		prog:  &Program{},
+		file:  file,
+		funcs: map[string]int{},
+	}
+}
+
+// errf records a build error; Build reports the first one.
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("isa builder: "+format, args...))
+}
+
+// Func starts (or errors on a duplicate of) a new function.
+func (b *Builder) Func(name string) *FuncBuilder {
+	if _, dup := b.funcs[name]; dup {
+		b.errf("duplicate function %q", name)
+	}
+	idx := len(b.prog.Funcs)
+	b.funcs[name] = idx
+	f := &Function{Name: name, File: b.file}
+	b.prog.Funcs = append(b.prog.Funcs, f)
+	fb := &FuncBuilder{b: b, f: f, labels: map[string]int{}, line: 1}
+	b.pending = append(b.pending, fb)
+	return fb
+}
+
+// SetEntry selects the entry function by name; defaults to "main" if
+// present, else the first function.
+func (b *Builder) SetEntry(name string) { b.entry = name }
+
+// Build resolves labels and call targets, validates, and returns the
+// program.
+func (b *Builder) Build() (*Program, error) {
+	for _, fb := range b.pending {
+		fb.resolve()
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	entry := b.entry
+	if entry == "" {
+		entry = "main"
+	}
+	if idx, ok := b.funcs[entry]; ok {
+		b.prog.Entry = idx
+	} else if b.entry != "" {
+		return nil, fmt.Errorf("isa builder: entry function %q not defined", b.entry)
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build that panics on error; for workload constructors whose
+// programs are fixed at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// fixup is an unresolved label or call reference.
+type fixup struct {
+	instr int
+	label string // branch label, or "" for a call fixup
+	call  string // callee name for call fixups
+}
+
+// FuncBuilder emits instructions into one function.
+type FuncBuilder struct {
+	b      *Builder
+	f      *Function
+	labels map[string]int
+	fixups []fixup
+	line   int32
+}
+
+// Line sets the source line attributed to subsequently emitted
+// instructions. If never called, lines auto-increment per instruction.
+func (fb *FuncBuilder) Line(n int) *FuncBuilder { fb.line = int32(n); return fb }
+
+// Len returns the number of instructions emitted so far.
+func (fb *FuncBuilder) Len() int { return len(fb.f.Code) }
+
+// Emit appends a raw instruction, stamping the current source line if the
+// instruction has none.
+func (fb *FuncBuilder) Emit(in Instr) *FuncBuilder {
+	if in.Line == 0 {
+		in.Line = fb.line
+		fb.line++
+	}
+	if in.Latency == 0 {
+		in.Latency = 1
+	}
+	fb.f.Code = append(fb.f.Code, in)
+	return fb
+}
+
+// Label defines a branch target at the current position.
+func (fb *FuncBuilder) Label(name string) *FuncBuilder {
+	if _, dup := fb.labels[name]; dup {
+		fb.b.errf("%s: duplicate label %q", fb.f.Name, name)
+	}
+	fb.labels[name] = len(fb.f.Code)
+	return fb
+}
+
+// MovImm emits R[dst] = imm.
+func (fb *FuncBuilder) MovImm(dst Reg, imm int64) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpMovImm, Dst: dst, Imm: imm})
+}
+
+// FMovImm emits R[dst] = bits(f).
+func (fb *FuncBuilder) FMovImm(dst Reg, f float64) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpFMovImm, Dst: dst, Imm: int64(F64Bits(f))})
+}
+
+// Mov emits R[dst] = R[a].
+func (fb *FuncBuilder) Mov(dst, a Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpMov, Dst: dst, A: a})
+}
+
+// Add emits R[dst] = R[a] + R[b].
+func (fb *FuncBuilder) Add(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpAdd, Dst: dst, A: a, B: b})
+}
+
+// AddImm emits R[dst] = R[a] + imm.
+func (fb *FuncBuilder) AddImm(dst, a Reg, imm int64) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpAddImm, Dst: dst, A: a, Imm: imm})
+}
+
+// Sub emits R[dst] = R[a] - R[b].
+func (fb *FuncBuilder) Sub(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpSub, Dst: dst, A: a, B: b})
+}
+
+// Mul emits R[dst] = R[a] * R[b].
+func (fb *FuncBuilder) Mul(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpMul, Dst: dst, A: a, B: b})
+}
+
+// MulImm emits R[dst] = R[a] * imm.
+func (fb *FuncBuilder) MulImm(dst, a Reg, imm int64) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpMulImm, Dst: dst, A: a, Imm: imm})
+}
+
+// Mod emits R[dst] = R[a] % R[b].
+func (fb *FuncBuilder) Mod(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpMod, Dst: dst, A: a, B: b})
+}
+
+// Xor emits R[dst] = R[a] ^ R[b].
+func (fb *FuncBuilder) Xor(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpXor, Dst: dst, A: a, B: b})
+}
+
+// FAdd emits floating-point addition.
+func (fb *FuncBuilder) FAdd(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpFAdd, Dst: dst, A: a, B: b})
+}
+
+// FMul emits floating-point multiplication.
+func (fb *FuncBuilder) FMul(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpFMul, Dst: dst, A: a, B: b})
+}
+
+// FDiv emits floating-point division.
+func (fb *FuncBuilder) FDiv(dst, a, b Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpFDiv, Dst: dst, A: a, B: b})
+}
+
+// Load emits R[dst] = mem[R[base]+off] of the given width.
+func (fb *FuncBuilder) Load(dst, base Reg, off int64, width uint8) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpLoad, Dst: dst, A: base, Imm: off, Width: width})
+}
+
+// Store emits mem[R[base]+off] = R[src] of the given width.
+func (fb *FuncBuilder) Store(base Reg, off int64, src Reg, width uint8) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpStore, A: base, Imm: off, B: src, Width: width})
+}
+
+// FLoad is Load with the floating-point datum flag set (width 8).
+func (fb *FuncBuilder) FLoad(dst, base Reg, off int64) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpLoad, Dst: dst, A: base, Imm: off, Width: 8, Float: true})
+}
+
+// FStore is Store with the floating-point datum flag set (width 8).
+func (fb *FuncBuilder) FStore(base Reg, off int64, src Reg) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpStore, A: base, Imm: off, B: src, Width: 8, Float: true})
+}
+
+// SlowStore emits a store in the long-latency class, used to reproduce the
+// PEBS shadow-sampling effect (§4.3 of the paper).
+func (fb *FuncBuilder) SlowStore(base Reg, off int64, src Reg, width uint8) *FuncBuilder {
+	return fb.Emit(Instr{Op: OpStore, A: base, Imm: off, B: src, Width: width, Latency: 4})
+}
+
+// branch emits a control transfer to a label (resolved at Build).
+func (fb *FuncBuilder) branch(op Op, a, b Reg, label string) *FuncBuilder {
+	fb.fixups = append(fb.fixups, fixup{instr: len(fb.f.Code), label: label})
+	return fb.Emit(Instr{Op: op, A: a, B: b})
+}
+
+// Jmp emits an unconditional jump to a label.
+func (fb *FuncBuilder) Jmp(label string) *FuncBuilder { return fb.branch(OpJmp, 0, 0, label) }
+
+// Beq branches to label if R[a] == R[b].
+func (fb *FuncBuilder) Beq(a, b Reg, label string) *FuncBuilder { return fb.branch(OpBeq, a, b, label) }
+
+// Bne branches to label if R[a] != R[b].
+func (fb *FuncBuilder) Bne(a, b Reg, label string) *FuncBuilder { return fb.branch(OpBne, a, b, label) }
+
+// Blt branches to label if R[a] < R[b] (signed).
+func (fb *FuncBuilder) Blt(a, b Reg, label string) *FuncBuilder { return fb.branch(OpBlt, a, b, label) }
+
+// Ble branches to label if R[a] <= R[b] (signed).
+func (fb *FuncBuilder) Ble(a, b Reg, label string) *FuncBuilder { return fb.branch(OpBle, a, b, label) }
+
+// Bgt branches to label if R[a] > R[b] (signed).
+func (fb *FuncBuilder) Bgt(a, b Reg, label string) *FuncBuilder { return fb.branch(OpBgt, a, b, label) }
+
+// Bge branches to label if R[a] >= R[b] (signed).
+func (fb *FuncBuilder) Bge(a, b Reg, label string) *FuncBuilder { return fb.branch(OpBge, a, b, label) }
+
+// Call emits a call to the named function (resolved at Build, so forward
+// references are fine).
+func (fb *FuncBuilder) Call(name string) *FuncBuilder {
+	fb.fixups = append(fb.fixups, fixup{instr: len(fb.f.Code), call: name})
+	return fb.Emit(Instr{Op: OpCall})
+}
+
+// Ret emits a return.
+func (fb *FuncBuilder) Ret() *FuncBuilder { return fb.Emit(Instr{Op: OpRet}) }
+
+// Halt emits a thread stop.
+func (fb *FuncBuilder) Halt() *FuncBuilder { return fb.Emit(Instr{Op: OpHalt}) }
+
+// LoopN emits a counted loop executing body n times with ctr as the
+// induction register counting 0..n-1. The body callback may use ctr but
+// must not clobber it.
+func (fb *FuncBuilder) LoopN(ctr Reg, n int64, body func(fb *FuncBuilder)) *FuncBuilder {
+	top := fmt.Sprintf(".L%d_top", len(fb.f.Code))
+	end := fmt.Sprintf(".L%d_end", len(fb.f.Code))
+	limit := Reg(30) // scratch register reserved for loop bounds
+	fb.MovImm(ctr, 0)
+	fb.MovImm(limit, n)
+	fb.Label(top)
+	fb.Bge(ctr, limit, end)
+	body(fb)
+	fb.AddImm(ctr, ctr, 1)
+	// Re-materialize the limit in case the body used the scratch reg.
+	fb.MovImm(limit, n)
+	fb.Jmp(top)
+	fb.Label(end)
+	return fb
+}
+
+// resolve patches label branches and call targets.
+func (fb *FuncBuilder) resolve() {
+	for _, fx := range fb.fixups {
+		in := &fb.f.Code[fx.instr]
+		if fx.call != "" {
+			idx, ok := fb.b.funcs[fx.call]
+			if !ok {
+				fb.b.errf("%s: call to undefined function %q", fb.f.Name, fx.call)
+				continue
+			}
+			in.Fn = int32(idx)
+			continue
+		}
+		tgt, ok := fb.labels[fx.label]
+		if !ok {
+			fb.b.errf("%s: undefined label %q", fb.f.Name, fx.label)
+			continue
+		}
+		in.Imm = int64(tgt)
+	}
+}

@@ -1,0 +1,277 @@
+// Package isa defines the instruction set, program representation, and
+// program builder for the simulated CPU that substitutes for native x86
+// binaries in this reproduction of Witch (ASPLOS 2018).
+//
+// The ISA is a small load/store register machine: 32 general-purpose 64-bit
+// registers, byte-addressable memory with 1/2/4/8-byte accesses, integer and
+// floating-point ALU operations, conditional branches, and call/ret. It is
+// deliberately minimal — Witch only needs a stream of retired loads and
+// stores carrying a precise PC, effective address, width, and value, plus a
+// walkable call stack — but it is complete enough to express every workload
+// in the paper's evaluation (repeated initialization, silent stores,
+// redundant linear searches, deep recursion, floating-point stencils).
+package isa
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcode space. ALU operations read registers A and B and write Dst.
+// Memory operations compute the effective address as R[A]+Imm.
+const (
+	OpNop Op = iota
+
+	// Data movement.
+	OpMovImm // R[Dst] = Imm
+	OpMov    // R[Dst] = R[A]
+
+	// Integer ALU.
+	OpAdd    // R[Dst] = R[A] + R[B]
+	OpAddImm // R[Dst] = R[A] + Imm
+	OpSub    // R[Dst] = R[A] - R[B]
+	OpMul    // R[Dst] = R[A] * R[B]
+	OpMulImm // R[Dst] = R[A] * Imm
+	OpDiv    // R[Dst] = R[A] / R[B] (0 if R[B]==0)
+	OpAnd    // R[Dst] = R[A] & R[B]
+	OpOr     // R[Dst] = R[A] | R[B]
+	OpXor    // R[Dst] = R[A] ^ R[B]
+	OpShl    // R[Dst] = R[A] << (Imm & 63)
+	OpShr    // R[Dst] = R[A] >> (Imm & 63)
+	OpMod    // R[Dst] = R[A] % R[B] (0 if R[B]==0)
+
+	// Floating point (registers hold float64 bit patterns).
+	OpFAdd // R[Dst] = f64(R[A]) + f64(R[B])
+	OpFSub // R[Dst] = f64(R[A]) - f64(R[B])
+	OpFMul // R[Dst] = f64(R[A]) * f64(R[B])
+	OpFDiv // R[Dst] = f64(R[A]) / f64(R[B])
+	OpFMovImm
+
+	// Memory. Width selects 1, 2, 4 or 8 bytes; loads zero-extend.
+	// The Float flag marks the datum as floating point, which a
+	// disassembling client (e.g. SilentCraft) uses to choose approximate
+	// value comparison, exactly as the paper's tools disassemble the
+	// trapping instruction to infer the datum type.
+	OpLoad  // R[Dst] = zext(mem[R[A]+Imm .. +Width])
+	OpStore // mem[R[A]+Imm .. +Width] = low Width bytes of R[B]
+
+	// Control flow. Branch targets are absolute instruction indices
+	// within the current function (resolved from labels by the Builder).
+	OpJmp // goto Imm
+	OpBeq // if R[A] == R[B] goto Imm
+	OpBne // if R[A] != R[B] goto Imm
+	OpBlt // if R[A] <  R[B] goto Imm (signed)
+	OpBle // if R[A] <= R[B] goto Imm (signed)
+	OpBgt // if R[A] >  R[B] goto Imm (signed)
+	OpBge // if R[A] >= R[B] goto Imm (signed)
+
+	OpCall // call Funcs[Fn]
+	OpRet  // return to caller
+	OpHalt // stop the thread
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMovImm: "movi", OpMov: "mov",
+	OpAdd: "add", OpAddImm: "addi", OpSub: "sub", OpMul: "mul",
+	OpMulImm: "muli", OpDiv: "div", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpMod: "mod",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFMovImm: "fmovi",
+	OpLoad:    "load", OpStore: "store",
+	OpJmp: "jmp", OpBeq: "beq", OpBne: "bne", OpBlt: "blt",
+	OpBle: "ble", OpBgt: "bgt", OpBge: "bge",
+	OpCall: "call", OpRet: "ret", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsBranch reports whether the opcode is a taken-able control transfer
+// (used by the simulated Last Branch Record facility).
+func (o Op) IsBranch() bool {
+	switch o {
+	case OpJmp, OpBeq, OpBne, OpBlt, OpBle, OpBgt, OpBge, OpCall, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the opcode accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// Reg names a general-purpose register. R31 is the stack pointer by
+// convention (the machine initializes it to the top of the thread's stack
+// region), mirroring how native ABIs give profilers a stack to corrupt —
+// which is what Figure 3 of the paper is about.
+type Reg uint8
+
+// Register file size and conventional names.
+const (
+	NumRegs     = 32
+	SP      Reg = 31 // stack pointer
+	R0      Reg = 0
+	R1      Reg = 1
+	R2      Reg = 2
+	R3      Reg = 3
+	R4      Reg = 4
+	R5      Reg = 5
+	R6      Reg = 6
+	R7      Reg = 7
+	R8      Reg = 8
+	R9      Reg = 9
+	R10     Reg = 10
+	R11     Reg = 11
+	R12     Reg = 12
+)
+
+// Instr is a single decoded instruction. The layout favours interpreter
+// speed over encoding density; this is a simulator, not an emulator.
+type Instr struct {
+	Op      Op
+	Dst     Reg
+	A, B    Reg
+	Imm     int64
+	Width   uint8 // memory access width in bytes (1, 2, 4, 8)
+	Float   bool  // memory datum is floating point
+	Latency uint8 // relative latency class; >1 marks "long latency" ops that can shadow neighbours in PEBS-style sampling
+	Fn      int32 // call target (index into Program.Funcs)
+	Line    int32 // source line for attribution
+}
+
+// Function is a named, contiguous sequence of instructions.
+type Function struct {
+	Name string
+	Code []Instr
+	// File is the pseudo source file functions are attributed to in
+	// reports (typically the workload name).
+	File string
+}
+
+// Program is a complete executable image.
+type Program struct {
+	Funcs []*Function
+	Entry int // index of the entry function
+}
+
+// PC is a global program counter: function index in the high 32 bits and
+// instruction index in the low 32 bits. A PC of this form survives across
+// functions, which the calling-context tree and the LBR rely on.
+type PC uint64
+
+// MakePC builds a global PC from a function and instruction index.
+func MakePC(fn, idx int) PC { return PC(uint64(uint32(fn))<<32 | uint64(uint32(idx))) }
+
+// Func returns the function index encoded in the PC.
+func (p PC) Func() int { return int(uint64(p) >> 32) }
+
+// Index returns the instruction index encoded in the PC.
+func (p PC) Index() int { return int(uint32(uint64(p))) }
+
+// Add returns the PC advanced by n instructions within the same function.
+func (p PC) Add(n int) PC { return MakePC(p.Func(), p.Index()+n) }
+
+// String formats the PC as func#idx.
+func (p PC) String() string { return fmt.Sprintf("f%d+%d", p.Func(), p.Index()) }
+
+// FuncByName returns the index of the named function, or -1.
+func (p *Program) FuncByName(name string) int {
+	for i, f := range p.Funcs {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// InstrAt returns the instruction at a global PC, or nil if out of range.
+func (p *Program) InstrAt(pc PC) *Instr {
+	fi, ii := pc.Func(), pc.Index()
+	if fi < 0 || fi >= len(p.Funcs) {
+		return nil
+	}
+	f := p.Funcs[fi]
+	if ii < 0 || ii >= len(f.Code) {
+		return nil
+	}
+	return &f.Code[ii]
+}
+
+// Location renders a PC as "file:func:line" for human-readable reports.
+func (p *Program) Location(pc PC) string {
+	in := p.InstrAt(pc)
+	fi := pc.Func()
+	if in == nil || fi >= len(p.Funcs) {
+		return pc.String()
+	}
+	f := p.Funcs[fi]
+	return fmt.Sprintf("%s:%s:%d", f.File, f.Name, in.Line)
+}
+
+// NumInstrs returns the total static instruction count of the program.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}
+
+// Validate checks structural invariants: a valid entry point, in-range
+// branch targets and call targets, sane access widths, and that every
+// function terminates (ends in ret, halt or an unconditional jump).
+func (p *Program) Validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("isa: program has no functions")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("isa: entry %d out of range", p.Entry)
+	}
+	for _, f := range p.Funcs {
+		if len(f.Code) == 0 {
+			return fmt.Errorf("isa: function %q is empty", f.Name)
+		}
+		for ii := range f.Code {
+			in := &f.Code[ii]
+			if in.Op >= opCount {
+				return fmt.Errorf("isa: %s+%d: bad opcode %d", f.Name, ii, in.Op)
+			}
+			switch in.Op {
+			case OpLoad, OpStore:
+				switch in.Width {
+				case 1, 2, 4, 8:
+				default:
+					return fmt.Errorf("isa: %s+%d: bad width %d", f.Name, ii, in.Width)
+				}
+			case OpJmp, OpBeq, OpBne, OpBlt, OpBle, OpBgt, OpBge:
+				if in.Imm < 0 || in.Imm >= int64(len(f.Code)) {
+					return fmt.Errorf("isa: %s+%d: branch target %d out of range", f.Name, ii, in.Imm)
+				}
+			case OpCall:
+				if in.Fn < 0 || int(in.Fn) >= len(p.Funcs) {
+					return fmt.Errorf("isa: %s+%d: call target %d out of range", f.Name, ii, in.Fn)
+				}
+			}
+		}
+		last := f.Code[len(f.Code)-1].Op
+		if last != OpRet && last != OpHalt && last != OpJmp {
+			return fmt.Errorf("isa: function %q does not terminate (last op %s)", f.Name, last)
+		}
+	}
+	return nil
+}
+
+// F64 reinterprets a register value as float64.
+func F64(bits uint64) float64 { return math.Float64frombits(bits) }
+
+// F64Bits reinterprets a float64 as a register value.
+func F64Bits(f float64) uint64 { return math.Float64bits(f) }

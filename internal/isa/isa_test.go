@@ -1,0 +1,196 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPCRoundTrip(t *testing.T) {
+	f := func(fn uint16, idx uint16) bool {
+		pc := MakePC(int(fn), int(idx))
+		return pc.Func() == int(fn) && pc.Index() == int(idx)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCAdd(t *testing.T) {
+	pc := MakePC(7, 3)
+	if got := pc.Add(5); got.Func() != 7 || got.Index() != 8 {
+		t.Fatalf("Add: got %v", got)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := OpNop; op < opCount; op++ {
+		if s := op.String(); s == "" {
+			t.Fatalf("op %d has empty name", op)
+		}
+	}
+	if Op(200).String() == "" {
+		t.Fatal("unknown op should format")
+	}
+}
+
+func TestIsBranchIsMem(t *testing.T) {
+	if !OpJmp.IsBranch() || !OpCall.IsBranch() || !OpRet.IsBranch() {
+		t.Fatal("control ops must be branches")
+	}
+	if OpAdd.IsBranch() || OpLoad.IsBranch() {
+		t.Fatal("non-control ops must not be branches")
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpAdd.IsMem() {
+		t.Fatal("IsMem misclassifies")
+	}
+}
+
+func TestBuilderResolvesLabelsAndCalls(t *testing.T) {
+	b := NewBuilder("test")
+	callee := b.Func("callee")
+	callee.MovImm(R1, 42)
+	callee.Ret()
+	main := b.Func("main")
+	main.MovImm(R1, 0)
+	main.Jmp("end")
+	main.MovImm(R1, 99) // skipped
+	main.Label("end")
+	main.Call("callee")
+	main.Halt()
+	b.SetEntry("main")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.FuncByName("main") {
+		t.Fatalf("entry = %d", p.Entry)
+	}
+	mainFn := p.Funcs[p.FuncByName("main")]
+	if mainFn.Code[1].Imm != 3 {
+		t.Fatalf("jmp target = %d, want 3", mainFn.Code[1].Imm)
+	}
+	if int(mainFn.Code[3].Fn) != p.FuncByName("callee") {
+		t.Fatalf("call target = %d", mainFn.Code[3].Fn)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+	}{
+		{"undefined label", func(b *Builder) {
+			f := b.Func("main")
+			f.Jmp("nowhere")
+			f.Halt()
+		}},
+		{"undefined call", func(b *Builder) {
+			f := b.Func("main")
+			f.Call("ghost")
+			f.Halt()
+		}},
+		{"duplicate function", func(b *Builder) {
+			b.Func("main").Halt()
+			b.Func("main").Halt()
+		}},
+		{"duplicate label", func(b *Builder) {
+			f := b.Func("main")
+			f.Label("x")
+			f.Label("x")
+			f.Halt()
+		}},
+		{"missing entry", func(b *Builder) {
+			b.Func("notmain").Halt()
+			b.SetEntry("main")
+		}},
+	}
+	for _, tc := range cases {
+		b := NewBuilder("test")
+		tc.build(b)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	mk := func(mut func(p *Program)) *Program {
+		p := &Program{Funcs: []*Function{{Name: "main", Code: []Instr{{Op: OpHalt}}}}}
+		mut(p)
+		return p
+	}
+	cases := []struct {
+		name string
+		p    *Program
+	}{
+		{"empty", &Program{}},
+		{"bad entry", mk(func(p *Program) { p.Entry = 5 })},
+		{"empty func", mk(func(p *Program) { p.Funcs[0].Code = nil })},
+		{"bad width", mk(func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpLoad, Width: 3}, {Op: OpHalt}}
+		})},
+		{"branch out of range", mk(func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpJmp, Imm: 9}, {Op: OpHalt}}
+		})},
+		{"call out of range", mk(func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpCall, Fn: 3}, {Op: OpHalt}}
+		})},
+		{"no terminator", mk(func(p *Program) {
+			p.Funcs[0].Code = []Instr{{Op: OpNop}}
+		})},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestLoopNEmitsCountedLoop(t *testing.T) {
+	b := NewBuilder("test")
+	f := b.Func("main")
+	f.LoopN(R1, 10, func(fb *FuncBuilder) {
+		fb.AddImm(R2, R2, 1)
+	})
+	f.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocationRendering(t *testing.T) {
+	b := NewBuilder("myfile")
+	f := b.Func("main")
+	f.Line(42)
+	f.MovImm(R1, 1)
+	f.Halt()
+	p := b.MustBuild()
+	loc := p.Location(MakePC(0, 0))
+	if loc != "myfile:main:42" {
+		t.Fatalf("Location = %q", loc)
+	}
+	if p.Location(MakePC(9, 9)) == "" {
+		t.Fatal("out-of-range PC should still render")
+	}
+}
+
+func TestF64RoundTrip(t *testing.T) {
+	f := func(x float64) bool { return F64(F64Bits(x)) == x || x != x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	b := NewBuilder("t")
+	b.Func("main").MovImm(R1, 1).Halt()
+	b.Func("f").Ret()
+	p := b.MustBuild()
+	if got := p.NumInstrs(); got != 3 {
+		t.Fatalf("NumInstrs = %d, want 3", got)
+	}
+}

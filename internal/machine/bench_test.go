@@ -1,0 +1,69 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pmu"
+)
+
+// benchProg: a tight load-add-store loop, the interpreter's hot path.
+func benchProg(iters int64) *isa.Program {
+	b := isa.NewBuilder("bench")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x1000)
+	f.LoopN(isa.R9, iters, func(fb *isa.FuncBuilder) {
+		fb.Load(isa.R2, isa.R1, 0, 8)
+		fb.AddImm(isa.R2, isa.R2, 1)
+		fb.Store(isa.R1, 0, isa.R2, 8)
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// BenchmarkInterpreter measures raw execution speed (ns per retired
+// instruction) with no monitoring attached.
+func BenchmarkInterpreter(b *testing.B) {
+	prog := benchProg(10000)
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(prog, Config{})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Threads[0].Instrs
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+}
+
+// BenchmarkInterpreterWithSampler adds an armed PMU at a realistic period:
+// the marginal cost of having the sampling hardware on.
+func BenchmarkInterpreterWithSampler(b *testing.B) {
+	prog := benchProg(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(prog, Config{})
+		m.AttachSampler(pmu.EventAllStores, 4999, func(*Thread, pmu.Sample) {})
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWatchpointScan measures the per-access cost of checking armed
+// debug registers (4 armed, no hits).
+func BenchmarkWatchpointScan(b *testing.B) {
+	prog := benchProg(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(prog, Config{})
+		for r := 0; r < 4; r++ {
+			m.Threads[0].Watch.Arm(r, uint64(0x9000+r*64), 8, 1, nil, 0)
+		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

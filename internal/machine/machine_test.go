@@ -1,0 +1,358 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/hwdebug"
+	"repro/internal/isa"
+	"repro/internal/pmu"
+)
+
+// buildAndRun assembles, runs, and returns the machine.
+func buildAndRun(t *testing.T, build func(b *isa.Builder), cfg Config) *Machine {
+	t.Helper()
+	b := isa.NewBuilder("test")
+	build(b)
+	m := New(b.MustBuild(), cfg)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestALUAndControlFlow(t *testing.T) {
+	m := buildAndRun(t, func(b *isa.Builder) {
+		f := b.Func("main")
+		// sum = 0; for i in 0..9: sum += i   → 45
+		f.MovImm(isa.R2, 0)
+		f.LoopN(isa.R1, 10, func(fb *isa.FuncBuilder) {
+			fb.Add(isa.R2, isa.R2, isa.R1)
+		})
+		f.MovImm(isa.R3, 0x100)
+		f.Store(isa.R3, 0, isa.R2, 8)
+		f.Halt()
+	}, Config{})
+	if got := m.Mem.LoadN(0x100, 8); got != 45 {
+		t.Fatalf("sum = %d, want 45", got)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := buildAndRun(t, func(b *isa.Builder) {
+		f := b.Func("main")
+		f.FMovImm(isa.R1, 1.5)
+		f.FMovImm(isa.R2, 2.5)
+		f.FAdd(isa.R3, isa.R1, isa.R2)
+		f.FMul(isa.R4, isa.R3, isa.R2) // 10.0
+		f.MovImm(isa.R5, 0x200)
+		f.FStore(isa.R5, 0, isa.R4)
+		f.Halt()
+	}, Config{})
+	if got := isa.F64(m.Mem.LoadN(0x200, 8)); got != 10.0 {
+		t.Fatalf("fp result = %v, want 10", got)
+	}
+}
+
+func TestCallRetAndStackDepth(t *testing.T) {
+	var maxDepth int
+	b := isa.NewBuilder("test")
+	inner := b.Func("inner")
+	inner.MovImm(isa.R3, 0x300)
+	inner.Store(isa.R3, 0, isa.R3, 8)
+	inner.Ret()
+	outer := b.Func("outer")
+	outer.Call("inner")
+	outer.Ret()
+	main := b.Func("main")
+	main.Call("outer")
+	main.Halt()
+	b.SetEntry("main")
+	m := New(b.MustBuild(), Config{})
+	m.AttachSampler(pmu.EventAllStores, 1, func(t *Thread, s pmu.Sample) {
+		if d := t.Depth(); d > maxDepth {
+			maxDepth = d
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxDepth != 3 { // main -> outer -> inner
+		t.Fatalf("max depth = %d, want 3", maxDepth)
+	}
+}
+
+func TestReturnFromEntryHalts(t *testing.T) {
+	m := buildAndRun(t, func(b *isa.Builder) {
+		f := b.Func("main")
+		f.MovImm(isa.R1, 1)
+		f.Ret()
+	}, Config{})
+	if !m.Threads[0].Halted() {
+		t.Fatal("thread should halt on entry ret")
+	}
+}
+
+// obs records observer callbacks.
+type obs struct {
+	accesses []Access
+	calls    int
+	rets     int
+}
+
+func (o *obs) OnAccess(t *Thread, a *Access)       { o.accesses = append(o.accesses, *a) }
+func (o *obs) OnCall(t *Thread, c int32, s isa.PC) { o.calls++ }
+func (o *obs) OnRet(t *Thread)                     { o.rets++ }
+
+func TestObserverSeesEveryAccess(t *testing.T) {
+	b := isa.NewBuilder("test")
+	callee := b.Func("callee")
+	callee.MovImm(isa.R1, 0x400)
+	callee.MovImm(isa.R2, 7)
+	callee.Store(isa.R1, 0, isa.R2, 4)
+	callee.Load(isa.R3, isa.R1, 0, 4)
+	callee.Ret()
+	main := b.Func("main")
+	main.Call("callee")
+	main.Call("callee")
+	main.Halt()
+	b.SetEntry("main")
+	m := New(b.MustBuild(), Config{})
+	o := &obs{}
+	m.SetObserver(o)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(o.accesses) != 4 {
+		t.Fatalf("accesses = %d, want 4", len(o.accesses))
+	}
+	if o.calls != 2 || o.rets != 2 {
+		t.Fatalf("calls/rets = %d/%d", o.calls, o.rets)
+	}
+	if o.accesses[0].Kind != pmu.Store || o.accesses[0].Value != 7 {
+		t.Fatalf("first access = %+v", o.accesses[0])
+	}
+	if o.accesses[1].Kind != pmu.Load || o.accesses[1].Value != 7 {
+		t.Fatalf("second access = %+v", o.accesses[1])
+	}
+}
+
+func TestPMUSamplingPeriod(t *testing.T) {
+	b := isa.NewBuilder("test")
+	f := b.Func("main")
+	f.MovImm(isa.R3, 0x500)
+	f.LoopN(isa.R1, 100, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R3, 0, isa.R1, 8)
+	})
+	f.Halt()
+	m := New(b.MustBuild(), Config{})
+	var samples int
+	m.AttachSampler(pmu.EventAllStores, 10, func(th *Thread, s pmu.Sample) {
+		samples++
+		if s.Kind != pmu.Store {
+			t.Errorf("sampled kind = %v", s.Kind)
+		}
+		if s.Addr != 0x500 {
+			t.Errorf("sampled addr = %#x", s.Addr)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if samples != 10 {
+		t.Fatalf("samples = %d, want 10", samples)
+	}
+}
+
+func TestWatchpointTrapAfterStoreSeesNewValue(t *testing.T) {
+	b := isa.NewBuilder("test")
+	f := b.Func("main")
+	f.MovImm(isa.R3, 0x600)
+	f.MovImm(isa.R2, 11)
+	f.Store(isa.R3, 0, isa.R2, 8) // first store: sampled manually
+	f.MovImm(isa.R2, 22)
+	f.Store(isa.R3, 0, isa.R2, 8) // second store: traps
+	f.Halt()
+	m := New(b.MustBuild(), Config{})
+	th := m.Threads[0]
+	var traps []hwdebug.Trap
+	m.SetTrapHandler(func(t *Thread, tr hwdebug.Trap) { traps = append(traps, tr) })
+	th.Watch.Arm(0, 0x600, 8, hwdebug.RWTrap, nil, 0)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(traps) != 2 {
+		t.Fatalf("traps = %d, want 2", len(traps))
+	}
+	// Trap-after-execute: the first trap (store of 11) must expose 11.
+	if traps[0].Value != 11 || traps[1].Value != 22 {
+		t.Fatalf("trap values = %d, %d", traps[0].Value, traps[1].Value)
+	}
+	// ContextPC is one instruction past the store.
+	if traps[0].ContextPC.Index() != 3 {
+		t.Fatalf("contextPC = %v", traps[0].ContextPC)
+	}
+}
+
+func TestWatchpointArmedInsideSampleDoesNotSeeSameAccess(t *testing.T) {
+	b := isa.NewBuilder("test")
+	f := b.Func("main")
+	f.MovImm(isa.R3, 0x700)
+	f.LoopN(isa.R1, 10, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R3, 0, isa.R1, 8)
+	})
+	f.Halt()
+	m := New(b.MustBuild(), Config{})
+	var traps int
+	m.SetTrapHandler(func(t *Thread, tr hwdebug.Trap) {
+		traps++
+		t.Watch.Disarm(tr.Reg)
+	})
+	m.AttachSampler(pmu.EventAllStores, 3, func(t *Thread, s pmu.Sample) {
+		if t.Watch.FreeReg() >= 0 {
+			t.Watch.Arm(t.Watch.FreeReg(), s.Addr, s.Width, hwdebug.RWTrap, nil, s.Seq)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 stores, sample every 3rd: samples at store 3, 6, 9; watchpoint
+	// armed at sample must trap at the NEXT store, not the sampled one.
+	if traps != 3 {
+		t.Fatalf("traps = %d, want 3", traps)
+	}
+}
+
+func TestSignalFrameSpuriousTrapsWithoutAltStack(t *testing.T) {
+	run := func(alt bool) uint64 {
+		b := isa.NewBuilder("test")
+		f := b.Func("main")
+		// Store to an address just below SP (a "stack local"), then keep
+		// storing to a global so PMU samples arrive and write signal
+		// frames over the stack local.
+		f.AddImm(isa.R3, isa.SP, -64)
+		f.MovImm(isa.R2, 5)
+		f.Store(isa.R3, 0, isa.R2, 8)
+		f.MovImm(isa.R4, 0x800)
+		f.LoopN(isa.R1, 50, func(fb *isa.FuncBuilder) {
+			fb.Store(isa.R4, 0, isa.R1, 8)
+		})
+		f.Halt()
+		m := New(b.MustBuild(), Config{})
+		m.SetAltStack(alt)
+		th := m.Threads[0]
+		m.SetTrapHandler(func(t *Thread, tr hwdebug.Trap) {})
+		m.AttachSampler(pmu.EventAllStores, 5, func(t *Thread, s pmu.Sample) {})
+		// Watch the stack local.
+		th.Watch.Arm(0, th.SP()-64, 8, hwdebug.RWTrap, nil, 0)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return th.Watch.Spurious
+	}
+	if got := run(false); got == 0 {
+		t.Fatal("expected spurious traps without alt stack")
+	}
+	if got := run(true); got != 0 {
+		t.Fatalf("alt stack should eliminate spurious traps, got %d", got)
+	}
+}
+
+func TestLBRRecordsTakenBranches(t *testing.T) {
+	b := isa.NewBuilder("test")
+	callee := b.Func("callee")
+	callee.Ret()
+	main := b.Func("main")
+	main.Call("callee")
+	main.Halt()
+	b.SetEntry("main")
+	m := New(b.MustBuild(), Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lbr := m.Threads[0].LBR()
+	if len(lbr) != 2 { // call + ret
+		t.Fatalf("LBR entries = %d, want 2", len(lbr))
+	}
+	if lbr[0].To.Func() != m.Prog.FuncByName("callee") {
+		t.Fatalf("call branch to = %v", lbr[0].To)
+	}
+}
+
+func TestMultiThreadIsolatedWatchpoints(t *testing.T) {
+	b := isa.NewBuilder("test")
+	f := b.Func("main")
+	f.MovImm(isa.R3, 0x900)
+	f.LoopN(isa.R1, 20, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R3, 0, isa.R1, 8)
+	})
+	f.Halt()
+	m := New(b.MustBuild(), Config{})
+	t2 := m.SpawnThread(m.Prog.Entry)
+	trapThreads := map[int]int{}
+	m.SetTrapHandler(func(th *Thread, tr hwdebug.Trap) { trapThreads[th.ID]++ })
+	// Watch 0x900 only in thread 0; both threads store there.
+	m.Threads[0].Watch.Arm(0, 0x900, 8, hwdebug.RWTrap, nil, 0)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if trapThreads[0] == 0 {
+		t.Fatal("thread 0 should trap")
+	}
+	if trapThreads[t2.ID] != 0 {
+		t.Fatal("thread 1 must not trap on thread 0's watchpoint")
+	}
+}
+
+func TestMaxStepsGuard(t *testing.T) {
+	b := isa.NewBuilder("test")
+	f := b.Func("main")
+	f.Label("spin")
+	f.Jmp("spin")
+	m := New(b.MustBuild(), Config{MaxSteps: 10000})
+	if err := m.Run(); err == nil {
+		t.Fatal("expected max-steps error")
+	}
+}
+
+func TestShadowSamplingBiasesToLongLatency(t *testing.T) {
+	build := func(shadow bool) map[int]int {
+		b := isa.NewBuilder("test")
+		f := b.Func("main")
+		f.MovImm(isa.R3, 0xa00)
+		f.MovImm(isa.R4, 0xb00)
+		f.LoopN(isa.R1, 300, func(fb *isa.FuncBuilder) {
+			fb.SlowStore(isa.R3, 0, isa.R1, 8) // long latency at 0xa00
+			fb.Store(isa.R4, 0, isa.R1, 8)     // short, in its shadow
+		})
+		f.Halt()
+		m := New(b.MustBuild(), Config{ShadowSampling: shadow})
+		byAddr := map[int]int{}
+		m.AttachSampler(pmu.EventAllStores, 7, func(t *Thread, s pmu.Sample) {
+			byAddr[int(s.Addr)]++
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return byAddr
+	}
+	plain := build(false)
+	biased := build(true)
+	if plain[0xb00] == 0 {
+		t.Fatal("unbiased sampling should see the short store")
+	}
+	if biased[0xb00] != 0 {
+		t.Fatalf("shadowed short store should be hidden, got %d samples", biased[0xb00])
+	}
+}
+
+func TestCallStackOverflowGuard(t *testing.T) {
+	b := isa.NewBuilder("test")
+	f := b.Func("main")
+	f.Call("main") // unbounded recursion
+	f.Halt()
+	m := New(b.MustBuild(), Config{MaxCallDepth: 100})
+	err := m.Run()
+	if err == nil {
+		t.Fatal("expected stack-overflow error")
+	}
+}

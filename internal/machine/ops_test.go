@@ -1,0 +1,157 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pmu"
+)
+
+// TestOpcodeSemantics is a table-driven golden test of every ALU opcode:
+// each case sets r1 and r2, executes one instruction into r3, and checks
+// the result.
+func TestOpcodeSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		in   isa.Instr
+		r1   uint64
+		r2   uint64
+		want uint64
+	}{
+		{"add", isa.Instr{Op: isa.OpAdd, Dst: 3, A: 1, B: 2}, 7, 5, 12},
+		{"add wraps", isa.Instr{Op: isa.OpAdd, Dst: 3, A: 1, B: 2}, ^uint64(0), 1, 0},
+		{"sub", isa.Instr{Op: isa.OpSub, Dst: 3, A: 1, B: 2}, 7, 5, 2},
+		{"sub underflow", isa.Instr{Op: isa.OpSub, Dst: 3, A: 1, B: 2}, 5, 7, ^uint64(0) - 1},
+		{"mul", isa.Instr{Op: isa.OpMul, Dst: 3, A: 1, B: 2}, 7, 5, 35},
+		{"mulimm", isa.Instr{Op: isa.OpMulImm, Dst: 3, A: 1, Imm: 3}, 7, 0, 21},
+		{"div", isa.Instr{Op: isa.OpDiv, Dst: 3, A: 1, B: 2}, 17, 5, 3},
+		{"div by zero", isa.Instr{Op: isa.OpDiv, Dst: 3, A: 1, B: 2}, 17, 0, 0},
+		{"mod", isa.Instr{Op: isa.OpMod, Dst: 3, A: 1, B: 2}, 17, 5, 2},
+		{"mod by zero", isa.Instr{Op: isa.OpMod, Dst: 3, A: 1, B: 2}, 17, 0, 0},
+		{"and", isa.Instr{Op: isa.OpAnd, Dst: 3, A: 1, B: 2}, 0b1100, 0b1010, 0b1000},
+		{"or", isa.Instr{Op: isa.OpOr, Dst: 3, A: 1, B: 2}, 0b1100, 0b1010, 0b1110},
+		{"xor", isa.Instr{Op: isa.OpXor, Dst: 3, A: 1, B: 2}, 0b1100, 0b1010, 0b0110},
+		{"shl", isa.Instr{Op: isa.OpShl, Dst: 3, A: 1, Imm: 4}, 3, 0, 48},
+		{"shl masks count", isa.Instr{Op: isa.OpShl, Dst: 3, A: 1, Imm: 64}, 3, 0, 3},
+		{"shr", isa.Instr{Op: isa.OpShr, Dst: 3, A: 1, Imm: 2}, 48, 0, 12},
+		{"mov", isa.Instr{Op: isa.OpMov, Dst: 3, A: 1}, 42, 0, 42},
+		{"movimm", isa.Instr{Op: isa.OpMovImm, Dst: 3, Imm: -1}, 0, 0, ^uint64(0)},
+		{"addimm negative", isa.Instr{Op: isa.OpAddImm, Dst: 3, A: 1, Imm: -3}, 10, 0, 7},
+		{"fadd", isa.Instr{Op: isa.OpFAdd, Dst: 3, A: 1, B: 2},
+			isa.F64Bits(1.5), isa.F64Bits(2.25), isa.F64Bits(3.75)},
+		{"fsub", isa.Instr{Op: isa.OpFSub, Dst: 3, A: 1, B: 2},
+			isa.F64Bits(1.5), isa.F64Bits(2.25), isa.F64Bits(-0.75)},
+		{"fmul", isa.Instr{Op: isa.OpFMul, Dst: 3, A: 1, B: 2},
+			isa.F64Bits(1.5), isa.F64Bits(2.0), isa.F64Bits(3.0)},
+		{"fdiv", isa.Instr{Op: isa.OpFDiv, Dst: 3, A: 1, B: 2},
+			isa.F64Bits(3.0), isa.F64Bits(2.0), isa.F64Bits(1.5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog := &isa.Program{Funcs: []*isa.Function{{
+				Name: "main",
+				Code: []isa.Instr{tc.in, {Op: isa.OpHalt}},
+			}}}
+			m := New(prog, Config{})
+			th := m.Threads[0]
+			th.Regs[1], th.Regs[2] = tc.r1, tc.r2
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := th.Regs[3]; got != tc.want {
+				t.Fatalf("got %#x, want %#x", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBranchSemantics drives every conditional branch both ways.
+func TestBranchSemantics(t *testing.T) {
+	cases := []struct {
+		op    isa.Op
+		a, b  int64
+		taken bool
+	}{
+		{isa.OpBeq, 5, 5, true}, {isa.OpBeq, 5, 6, false},
+		{isa.OpBne, 5, 6, true}, {isa.OpBne, 5, 5, false},
+		{isa.OpBlt, -1, 0, true}, {isa.OpBlt, 0, -1, false},
+		{isa.OpBle, 5, 5, true}, {isa.OpBle, 6, 5, false},
+		{isa.OpBgt, 1, 0, true}, {isa.OpBgt, 0, 0, false},
+		{isa.OpBge, 0, 0, true}, {isa.OpBge, -2, -1, false},
+	}
+	for _, tc := range cases {
+		// Code: branch to 3 if taken; r3=1 (skipped when taken); halt.
+		prog := &isa.Program{Funcs: []*isa.Function{{
+			Name: "main",
+			Code: []isa.Instr{
+				{Op: tc.op, A: 1, B: 2, Imm: 3},
+				{Op: isa.OpMovImm, Dst: 3, Imm: 1},
+				{Op: isa.OpNop},
+				{Op: isa.OpHalt},
+			},
+		}}}
+		m := New(prog, Config{})
+		th := m.Threads[0]
+		th.Regs[1], th.Regs[2] = uint64(tc.a), uint64(tc.b)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		skipped := th.Regs[3] == 0
+		if skipped != tc.taken {
+			t.Errorf("%v(%d,%d): taken=%v want %v", tc.op, tc.a, tc.b, skipped, tc.taken)
+		}
+		// LBR must record taken branches only.
+		if _, ok := th.LastBranch(); ok != tc.taken {
+			t.Errorf("%v(%d,%d): LBR recorded=%v want %v", tc.op, tc.a, tc.b, ok, tc.taken)
+		}
+	}
+}
+
+// TestStoreWidthMasking: narrow stores write only their width.
+func TestStoreWidthMasking(t *testing.T) {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.MovImm(isa.R2, -1) // all ones
+	f.Store(isa.R1, 0, isa.R2, 8)
+	f.MovImm(isa.R3, 0)
+	f.Store(isa.R1, 2, isa.R3, 2) // zero bytes 2..4
+	f.Load(isa.R4, isa.R1, 0, 8)
+	f.Halt()
+	m := New(b.MustBuild(), Config{})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Threads[0].Regs[isa.R4]; got != 0xFFFF_FFFF_0000_FFFF {
+		t.Fatalf("masked store result = %#x", got)
+	}
+}
+
+// TestIBSMachineIntegration: IBS mode counts every instruction; overflows
+// on non-stores are dropped, and the observed sample count matches the
+// instruction stream.
+func TestIBSMachineIntegration(t *testing.T) {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.LoopN(isa.R9, 1000, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R1, 0, isa.R9, 8)
+	})
+	f.Halt()
+	m := New(b.MustBuild(), Config{})
+	th := m.Threads[0]
+	samples := 0
+	m.AttachSampler(pmu.EventAllStores, 97, func(t *Thread, s pmu.Sample) { samples++ })
+	th.PMU.Mode = pmu.ModeIBS
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := samples + int(th.PMU.Dropped)
+	wantOverflows := int(th.Instrs / 97)
+	if total < wantOverflows-1 || total > wantOverflows+1 {
+		t.Fatalf("overflows = %d, want ~%d", total, wantOverflows)
+	}
+	if samples == 0 || th.PMU.Dropped == 0 {
+		t.Fatalf("expected both delivered (%d) and dropped (%d)", samples, th.PMU.Dropped)
+	}
+}

@@ -1,0 +1,95 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreWidths(t *testing.T) {
+	m := New()
+	for _, w := range []uint8{1, 2, 4, 8} {
+		addr := uint64(0x1000 + uint64(w)*32)
+		val := uint64(0x1122334455667788)
+		m.StoreN(addr, val, w)
+		want := val
+		if w < 8 {
+			want &= (1 << (8 * uint64(w))) - 1
+		}
+		if got := m.LoadN(addr, w); got != want {
+			t.Errorf("width %d: got %#x want %#x", w, got, want)
+		}
+	}
+}
+
+func TestZeroInitialized(t *testing.T) {
+	m := New()
+	if got := m.LoadN(0xdeadbeef, 8); got != 0 {
+		t.Fatalf("fresh memory = %#x, want 0", got)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // 8-byte access crossing the page boundary
+	m.StoreN(addr, 0x8877665544332211, 8)
+	if got := m.LoadN(addr, 8); got != 0x8877665544332211 {
+		t.Fatalf("straddle load = %#x", got)
+	}
+	// Byte view must agree (little endian).
+	if b := m.LoadByte(addr); b != 0x11 {
+		t.Fatalf("first byte = %#x", b)
+	}
+	if b := m.LoadByte(addr + 7); b != 0x88 {
+		t.Fatalf("last byte = %#x", b)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("pages = %d, want 2", m.PageCount())
+	}
+}
+
+func TestFootprintAccounting(t *testing.T) {
+	m := New()
+	m.StoreByte(0, 1)
+	m.StoreByte(10*PageSize, 1)
+	if got := m.Footprint(); got != 2*PageSize {
+		t.Fatalf("footprint = %d", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m := New()
+	data := []byte{1, 2, 3, 4, 5}
+	m.WriteBytes(PageSize-2, data) // straddles
+	if got := m.ReadBytes(PageSize-2, 5); string(got) != string(data) {
+		t.Fatalf("roundtrip = %v", got)
+	}
+}
+
+// TestAgainstReferenceModel cross-checks paged memory against a plain map
+// under random operations (property-based).
+func TestAgainstReferenceModel(t *testing.T) {
+	m := New()
+	ref := map[uint64]byte{}
+	widths := []uint8{1, 2, 4, 8}
+
+	f := func(addrSeed uint32, val uint64, wIdx uint8, isStore bool) bool {
+		addr := uint64(addrSeed) % (4 * PageSize)
+		w := widths[wIdx%4]
+		if isStore {
+			m.StoreN(addr, val, w)
+			for i := uint8(0); i < w; i++ {
+				ref[addr+uint64(i)] = byte(val >> (8 * i))
+			}
+			return true
+		}
+		got := m.LoadN(addr, w)
+		var want uint64
+		for i := uint8(0); i < w; i++ {
+			want |= uint64(ref[addr+uint64(i)]) << (8 * i)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

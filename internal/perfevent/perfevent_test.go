@@ -1,0 +1,167 @@
+package perfevent
+
+import (
+	"testing"
+
+	"repro/internal/hwdebug"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+)
+
+// loopProg returns a program with one function containing a long straight
+// run of stores after a loop back-edge, for precise-PC tests.
+func loopProg() *isa.Program {
+	b := isa.NewBuilder("t")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x100)
+	f.LoopN(isa.R2, 50, func(fb *isa.FuncBuilder) {
+		for i := 0; i < 10; i++ {
+			fb.Store(isa.R1, int64(i*8), isa.R2, 8)
+		}
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+func TestWatchpointLifecycle(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{FastModify: true, UseLBR: true})
+	th := m.Threads[0]
+
+	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, "c1", 1)
+	if th.Watch.Armed() != 1 {
+		t.Fatal("watchpoint not armed")
+	}
+	fd2 := fd.Modify(0x108, 8, hwdebug.WTrap, "c2", 2)
+	if fd2 != fd {
+		t.Fatal("fast modify must reuse the fd")
+	}
+	if wp := th.Watch.Reg(0); wp.Addr != 0x108 || wp.Kind != hwdebug.WTrap {
+		t.Fatalf("modify did not reprogram: %+v", wp)
+	}
+	opens, closes, modifies, _ := s.Stats()
+	if opens != 1 || closes != 0 || modifies != 1 {
+		t.Fatalf("opens/closes/modifies = %d/%d/%d", opens, closes, modifies)
+	}
+	fd.Close()
+	if th.Watch.Armed() != 0 {
+		t.Fatal("close must disarm")
+	}
+	fd.Close() // idempotent
+	if _, closes, _, _ := s.Stats(); closes != 1 {
+		t.Fatalf("closes = %d", closes)
+	}
+}
+
+func TestSlowModifyReopens(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{FastModify: false})
+	th := m.Threads[0]
+	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	fd2 := fd.Modify(0x108, 8, hwdebug.RWTrap, nil, 0)
+	if fd2 == fd {
+		t.Fatal("slow modify must return a new fd")
+	}
+	opens, closes, modifies, _ := s.Stats()
+	if opens != 2 || closes != 1 || modifies != 0 {
+		t.Fatalf("opens/closes/modifies = %d/%d/%d", opens, closes, modifies)
+	}
+}
+
+func TestRingBytesAccounting(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{FastModify: true, RingBytes: 4096})
+	th := m.Threads[0]
+	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	if s.RingBytes() != 4096 {
+		t.Fatalf("ring bytes = %d", s.RingBytes())
+	}
+	fd.Close()
+	if s.RingBytes() != 0 {
+		t.Fatalf("ring bytes after close = %d", s.RingBytes())
+	}
+}
+
+func TestPrecisePCRecovery(t *testing.T) {
+	// Run the program, capture a watchpoint trap, and verify the
+	// recovered precise PC is the instruction before the contextPC and
+	// is a store.
+	prog := loopProg()
+	for _, useLBR := range []bool{true, false} {
+		m := machine.New(prog, machine.Config{})
+		s := NewSession(m, Options{FastModify: true, UseLBR: useLBR})
+		th := m.Threads[0]
+		var recovered []isa.PC
+		s.SetTrapDispatch(func(th *machine.Thread, tr hwdebug.Trap) {
+			pc, err := s.PrecisePC(th, tr.ContextPC)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recovered = append(recovered, pc)
+			th.Watch.Disarm(tr.Reg)
+		})
+		s.CreateWatchpoint(th, 0, 0x100+3*8, 8, hwdebug.RWTrap, nil, 0)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(recovered) != 1 {
+			t.Fatalf("traps = %d", len(recovered))
+		}
+		in := prog.InstrAt(recovered[0])
+		if in == nil || in.Op != isa.OpStore {
+			t.Fatalf("useLBR=%v: precise PC %v is not a store", useLBR, recovered[0])
+		}
+		if in.Imm != 3*8 {
+			t.Fatalf("useLBR=%v: wrong store recovered (offset %d)", useLBR, in.Imm)
+		}
+	}
+}
+
+func TestLBRPathDecodesFewerInstructions(t *testing.T) {
+	prog := loopProg()
+	work := map[bool]uint64{}
+	for _, useLBR := range []bool{true, false} {
+		m := machine.New(prog, machine.Config{})
+		s := NewSession(m, Options{FastModify: true, UseLBR: useLBR})
+		th := m.Threads[0]
+		// Leave the watchpoint armed: later traps occur after the loop
+		// back-edge, where the LBR fast path starts from the branch
+		// target instead of the function entry.
+		s.SetTrapDispatch(func(th *machine.Thread, tr hwdebug.Trap) {
+			if _, err := s.PrecisePC(th, tr.ContextPC); err != nil {
+				t.Fatal(err)
+			}
+		})
+		s.CreateWatchpoint(th, 0, 0x100+9*8, 8, hwdebug.RWTrap, nil, 0)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, disasm := s.Stats()
+		work[useLBR] = disasm
+	}
+	if work[true] >= work[false] {
+		t.Fatalf("LBR should decode less: lbr=%d full=%d", work[true], work[false])
+	}
+}
+
+func TestPrecisePCAtFunctionStartErrors(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{})
+	if _, err := s.PrecisePC(m.Threads[0], isa.MakePC(0, 0)); err == nil {
+		t.Fatal("expected error for contextPC at function start")
+	}
+}
+
+func TestOpenSamplingWiresPMU(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{})
+	n := 0
+	s.OpenSampling(pmu.EventAllStores, 100, func(th *machine.Thread, sm pmu.Sample) { n++ })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 { // 500 stores / 100
+		t.Fatalf("samples = %d, want 5", n)
+	}
+}

@@ -1,0 +1,112 @@
+package perfevent
+
+import (
+	"encoding/binary"
+
+	"repro/internal/hwdebug"
+	"repro/internal/isa"
+)
+
+// Record is a decoded entry from an event's mmap ring buffer, modelled on
+// PERF_RECORD_SAMPLE: the kernel appends one for every watchpoint trap so
+// user space can consume trap details (precise PC candidates, address,
+// access kind) without extra syscalls — this is the "ring buffer
+// associated with the event" that §5 says carries the kernel-recovered
+// precise PC to Witch's exception handler.
+type Record struct {
+	Seq       uint64
+	TID       uint32
+	Kind      uint8 // 0 load, 1 store
+	Width     uint8
+	ContextPC isa.PC
+	Addr      uint64
+	Value     uint64
+}
+
+// recordBytes is the fixed on-ring encoding size.
+const recordBytes = 8 + 4 + 1 + 1 + 2 /*pad*/ + 8 + 8 + 8
+
+// ring is a fixed-size overwriting circular buffer, like a perf mmap ring
+// running in overwrite mode: when full, the oldest record is lost.
+type ring struct {
+	buf   []byte
+	head  uint64 // total bytes ever written
+	count int    // records currently readable
+}
+
+func newRing(bytes int) *ring {
+	n := bytes / recordBytes
+	if n < 1 {
+		n = 1
+	}
+	return &ring{buf: make([]byte, n*recordBytes)}
+}
+
+// capacity returns how many records fit.
+func (r *ring) capacity() int { return len(r.buf) / recordBytes }
+
+// write appends one record, overwriting the oldest when full.
+func (r *ring) write(rec Record) {
+	off := int(r.head) % len(r.buf)
+	b := r.buf[off : off+recordBytes]
+	binary.LittleEndian.PutUint64(b[0:], rec.Seq)
+	binary.LittleEndian.PutUint32(b[8:], rec.TID)
+	b[12] = rec.Kind
+	b[13] = rec.Width
+	binary.LittleEndian.PutUint64(b[16:], uint64(rec.ContextPC))
+	binary.LittleEndian.PutUint64(b[24:], rec.Addr)
+	binary.LittleEndian.PutUint64(b[32:], rec.Value)
+	r.head += recordBytes
+	if r.count < r.capacity() {
+		r.count++
+	}
+}
+
+// drain returns and consumes all readable records, oldest first.
+func (r *ring) drain() []Record {
+	out := make([]Record, 0, r.count)
+	start := r.head - uint64(r.count*recordBytes)
+	for i := 0; i < r.count; i++ {
+		off := int(start+uint64(i*recordBytes)) % len(r.buf)
+		b := r.buf[off : off+recordBytes]
+		out = append(out, Record{
+			Seq:       binary.LittleEndian.Uint64(b[0:]),
+			TID:       binary.LittleEndian.Uint32(b[8:]),
+			Kind:      b[12],
+			Width:     b[13],
+			ContextPC: isa.PC(binary.LittleEndian.Uint64(b[16:])),
+			Addr:      binary.LittleEndian.Uint64(b[24:]),
+			Value:     binary.LittleEndian.Uint64(b[32:]),
+		})
+	}
+	r.count = 0
+	return out
+}
+
+// RecordTrap appends a trap record to the fd's ring buffer (the machine's
+// trap dispatch calls this before invoking the user handler when ring
+// recording is enabled).
+func (fd *WatchFD) RecordTrap(tr hwdebug.Trap, seq uint64) {
+	if fd.recs == nil {
+		fd.recs = newRing(len(fd.ring))
+	}
+	fd.recs.write(Record{
+		Seq:       seq,
+		TID:       uint32(tr.ThreadID),
+		Kind:      uint8(tr.Kind),
+		Width:     tr.Width,
+		ContextPC: tr.ContextPC,
+		Addr:      tr.Addr,
+		Value:     tr.Value,
+	})
+}
+
+// ReadRecords drains the fd's ring buffer, oldest record first. Records
+// lost to overwrite (ring overflow) are gone, exactly as with a real perf
+// mmap ring in overwrite mode.
+func (fd *WatchFD) ReadRecords() []Record {
+	if fd.recs == nil {
+		return nil
+	}
+	return fd.recs.drain()
+}

@@ -1,0 +1,75 @@
+package perfevent
+
+import (
+	"testing"
+
+	"repro/internal/hwdebug"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestRingWriteDrain(t *testing.T) {
+	r := newRing(recordBytes * 4)
+	if r.capacity() != 4 {
+		t.Fatalf("capacity = %d", r.capacity())
+	}
+	for i := uint64(1); i <= 3; i++ {
+		r.write(Record{Seq: i, Addr: 100 * i, Kind: 1, Width: 8, TID: 7, ContextPC: isa.MakePC(1, int(i)), Value: i})
+	}
+	recs := r.drain()
+	if len(recs) != 3 {
+		t.Fatalf("drained %d", len(recs))
+	}
+	for i, rec := range recs {
+		want := uint64(i + 1)
+		if rec.Seq != want || rec.Addr != 100*want || rec.Value != want {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+		if rec.TID != 7 || rec.Kind != 1 || rec.Width != 8 {
+			t.Fatalf("record %d fields = %+v", i, rec)
+		}
+		if rec.ContextPC != isa.MakePC(1, int(want)) {
+			t.Fatalf("record %d pc = %v", i, rec.ContextPC)
+		}
+	}
+	// Drain consumes.
+	if len(r.drain()) != 0 {
+		t.Fatal("drain should consume")
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := newRing(recordBytes * 2)
+	for i := uint64(1); i <= 5; i++ {
+		r.write(Record{Seq: i})
+	}
+	recs := r.drain()
+	if len(recs) != 2 || recs[0].Seq != 4 || recs[1].Seq != 5 {
+		t.Fatalf("overwrite semantics wrong: %+v", recs)
+	}
+}
+
+func TestWatchFDRecordsTraps(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{FastModify: true})
+	th := m.Threads[0]
+	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	seq := uint64(0)
+	s.SetTrapDispatch(func(th *machine.Thread, tr hwdebug.Trap) {
+		seq++
+		fd.RecordTrap(tr, seq)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs := fd.ReadRecords()
+	if len(recs) == 0 {
+		t.Fatal("no trap records")
+	}
+	if recs[len(recs)-1].Seq != seq {
+		t.Fatalf("last record seq = %d, want %d", recs[len(recs)-1].Seq, seq)
+	}
+	if recs[0].Addr != 0x100 {
+		t.Fatalf("record addr = %#x", recs[0].Addr)
+	}
+}

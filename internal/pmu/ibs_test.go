@@ -1,0 +1,67 @@
+package pmu
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestIBSDropsNonMatchingOverflows(t *testing.T) {
+	u := NewUnit(0)
+	u.Mode = ModeIBS
+	delivered := 0
+	u.Configure(EventAllStores, 3, func(Sample) { delivered++ })
+	u.Enable()
+	// Pattern: two non-mem instructions then a store, repeating. With
+	// period 3 every overflow tags the store (positions 3, 6, 9, ...).
+	for i := 0; i < 9; i++ {
+		if i%3 == 2 {
+			u.CountMemOp(Store, isa.MakePC(0, i), 0x100, 8, 0, false, 1)
+		} else {
+			u.CountNonMem()
+		}
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", delivered)
+	}
+	if u.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", u.Dropped)
+	}
+}
+
+func TestIBSCountsLoadsAgainstStorePeriod(t *testing.T) {
+	u := NewUnit(0)
+	u.Mode = ModeIBS
+	delivered := 0
+	u.Configure(EventAllStores, 2, func(Sample) { delivered++ })
+	u.Enable()
+	// Alternating load/store: overflows land alternately on loads
+	// (dropped: no usable sample for a store event) and stores.
+	for i := 0; i < 8; i++ {
+		kind := Load
+		if i%2 == 1 {
+			kind = Store
+		}
+		u.CountMemOp(kind, isa.MakePC(0, i), 0x100, 8, 0, false, 1)
+	}
+	if delivered+int(u.Dropped) != 4 {
+		t.Fatalf("total overflows = %d, want 4", delivered+int(u.Dropped))
+	}
+	if delivered == 0 {
+		t.Fatal("some overflows should land on stores")
+	}
+}
+
+func TestPEBSIgnoresNonMatching(t *testing.T) {
+	u := NewUnit(0)
+	delivered := 0
+	u.Configure(EventAllStores, 2, func(Sample) { delivered++ })
+	u.Enable()
+	// PEBS mode: loads do not advance a store counter at all.
+	for i := 0; i < 8; i++ {
+		u.CountMemOp(Load, 0, 0, 8, 0, false, 1)
+	}
+	if delivered != 0 || u.Dropped != 0 {
+		t.Fatalf("PEBS should ignore loads entirely: delivered=%d dropped=%d", delivered, u.Dropped)
+	}
+}

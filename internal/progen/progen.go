@@ -1,0 +1,179 @@
+// Package progen generates random, valid, terminating programs for
+// property-based and differential testing: the machine must execute any
+// generated program deterministically, the assembler must round-trip it,
+// and the profiling tools must never crash, mis-account, or diverge
+// between runs on it. This is the fuzzing half of the test suite — the
+// paper's tools run on arbitrary optimized binaries, so the framework has
+// to be robust to arbitrary access patterns, not just the curated
+// workloads.
+package progen
+
+import (
+	"math/rand"
+
+	"repro/internal/isa"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	// Funcs is the number of functions besides main.
+	Funcs int
+	// BlocksPerFunc bounds straight-line blocks per function.
+	BlocksPerFunc int
+	// LoopIters bounds generated loop trip counts.
+	LoopIters int64
+	// DataBytes is the size of the shared data region programs access.
+	DataBytes int64
+}
+
+// defaults fills zero fields.
+func (c *Config) defaults() {
+	if c.Funcs == 0 {
+		c.Funcs = 4
+	}
+	if c.BlocksPerFunc == 0 {
+		c.BlocksPerFunc = 4
+	}
+	if c.LoopIters == 0 {
+		c.LoopIters = 60
+	}
+	if c.DataBytes == 0 {
+		c.DataBytes = 1 << 14
+	}
+}
+
+const dataBase = 0x4000_0000
+
+// widths the generator picks from.
+var widths = []uint8{1, 2, 4, 8}
+
+// Generate returns a random valid program. Programs always terminate:
+// loops are counted (LoopN), calls form a DAG (functions only call
+// higher-numbered functions), and every function ends in ret/halt.
+func Generate(rng *rand.Rand, cfg Config) *isa.Program {
+	cfg.defaults()
+	b := isa.NewBuilder("progen")
+
+	// Function call DAG: main (index 0 in our naming) may call f1..fN,
+	// fi may call fj for j > i.
+	names := make([]string, cfg.Funcs+1)
+	names[0] = "main"
+	for i := 1; i <= cfg.Funcs; i++ {
+		names[i] = "f" + string(rune('0'+i))
+	}
+	// Declare in reverse so callees exist before callers? The builder
+	// resolves forward references, so declaration order is free; keep
+	// main first for readability.
+	for i := 0; i <= cfg.Funcs; i++ {
+		fb := b.Func(names[i])
+		blocks := 1 + rng.Intn(cfg.BlocksPerFunc)
+		for blk := 0; blk < blocks; blk++ {
+			emitBlock(rng, cfg, fb, i, names)
+		}
+		if i == 0 {
+			fb.Halt()
+		} else {
+			fb.Ret()
+		}
+	}
+	b.SetEntry("main")
+	return b.MustBuild()
+}
+
+// emitBlock emits one random block: either straight-line ALU/memory ops,
+// a counted loop over memory, or a call to a later function.
+func emitBlock(rng *rand.Rand, cfg Config, fb *isa.FuncBuilder, fnIdx int, names []string) {
+	switch rng.Intn(5) {
+	case 0: // straight-line ops
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			emitOp(rng, cfg, fb)
+		}
+	case 1: // counted memory loop
+		iters := 1 + rng.Int63n(cfg.LoopIters)
+		stride := int64(widths[rng.Intn(len(widths))])
+		base := dataBase + rng.Int63n(cfg.DataBytes/2)
+		w := widths[rng.Intn(len(widths))]
+		store := rng.Intn(2) == 0
+		ctr := isa.Reg(2 + rng.Intn(3)) // r2..r4
+		fb.LoopN(ctr, iters, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, ctr, stride)
+			fb.AddImm(isa.R5, isa.R5, base)
+			if store {
+				fb.Store(isa.R5, 0, ctr, w)
+			} else {
+				fb.Load(isa.R6, isa.R5, 0, w)
+			}
+		})
+	case 2: // call a later function (keeps the call graph acyclic)
+		if fnIdx < len(names)-1 {
+			callee := fnIdx + 1 + rng.Intn(len(names)-fnIdx-1)
+			fb.Call(names[callee])
+		} else {
+			emitOp(rng, cfg, fb)
+		}
+	case 3: // forward branch over a few ops
+		n := 1 + rng.Intn(4)
+		label := "skip" + itoa(fb.Len())
+		fb.MovImm(isa.R7, rng.Int63n(4))
+		fb.MovImm(isa.R8, rng.Int63n(4))
+		fb.Beq(isa.R7, isa.R8, label)
+		for i := 0; i < n; i++ {
+			emitOp(rng, cfg, fb)
+		}
+		fb.Label(label)
+	default: // float block
+		fb.FMovImm(isa.R9, rng.Float64()*100)
+		fb.FMovImm(isa.R10, rng.Float64()*100+0.5)
+		fb.FAdd(isa.R11, isa.R9, isa.R10)
+		addr := dataBase + (rng.Int63n(cfg.DataBytes/8))*8
+		fb.MovImm(isa.R5, addr)
+		fb.FStore(isa.R5, 0, isa.R11)
+		fb.FLoad(isa.R12, isa.R5, 0)
+	}
+}
+
+// emitOp emits one random non-control instruction.
+func emitOp(rng *rand.Rand, cfg Config, fb *isa.FuncBuilder) {
+	dst := isa.Reg(6 + rng.Intn(8)) // r6..r13
+	a := isa.Reg(6 + rng.Intn(8))
+	bb := isa.Reg(6 + rng.Intn(8))
+	switch rng.Intn(8) {
+	case 0:
+		fb.MovImm(dst, rng.Int63n(1<<30))
+	case 1:
+		fb.Add(dst, a, bb)
+	case 2:
+		fb.MulImm(dst, a, 1+rng.Int63n(7))
+	case 3:
+		fb.Xor(dst, a, bb)
+	case 4:
+		fb.Emit(isa.Instr{Op: isa.OpShr, Dst: dst, A: a, Imm: rng.Int63n(16)})
+	case 5, 6: // memory op at a random (possibly unaligned) address
+		addr := dataBase + rng.Int63n(cfg.DataBytes-8)
+		w := widths[rng.Intn(len(widths))]
+		fb.MovImm(isa.R5, addr)
+		if rng.Intn(2) == 0 {
+			fb.Store(isa.R5, 0, a, w)
+		} else {
+			fb.Load(dst, isa.R5, 0, w)
+		}
+	default:
+		fb.Mod(dst, a, bb)
+	}
+}
+
+// itoa is a minimal integer formatter.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

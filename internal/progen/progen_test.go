@@ -1,0 +1,164 @@
+// Differential and property tests over randomly generated programs.
+package progen_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/craft"
+	"repro/internal/exhaustive"
+	"repro/internal/machine"
+	"repro/internal/progen"
+	"repro/internal/witch"
+)
+
+// gen builds a random program for a seed.
+func gen(seed int64) *machine.Machine {
+	rng := rand.New(rand.NewSource(seed))
+	prog := progen.Generate(rng, progen.Config{})
+	return machine.New(prog, machine.Config{MaxSteps: 20_000_000})
+}
+
+// TestGeneratedProgramsValidateAndTerminate: every generated program is
+// structurally valid and halts within the step budget.
+func TestGeneratedProgramsValidateAndTerminate(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		m := gen(seed)
+		if err := m.Prog.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestMachineDeterminism: the same program produces identical architectural
+// state across runs.
+func TestMachineDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m1, m2 := gen(seed), gen(seed)
+		if err := m1.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		t1, t2 := m1.Threads[0], m2.Threads[0]
+		if t1.Regs != t2.Regs {
+			t.Fatalf("seed %d: diverging register state", seed)
+		}
+		if t1.Instrs != t2.Instrs || t1.Loads != t2.Loads || t1.Stores != t2.Stores {
+			t.Fatalf("seed %d: diverging retirement counts", seed)
+		}
+	}
+}
+
+// TestDisassembleReassembleEquivalence: disassembling a generated program
+// and reassembling the text yields a program with identical execution.
+func TestDisassembleReassembleEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		m1 := gen(seed)
+		text := asm.Disassemble(m1.Prog)
+		prog2, err := asm.Assemble("roundtrip.wa", text)
+		if err != nil {
+			t.Fatalf("seed %d: reassemble: %v\n%s", seed, err, text)
+		}
+		m2 := machine.New(prog2, machine.Config{MaxSteps: 20_000_000})
+		if err := m1.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if m1.Threads[0].Instrs != m2.Threads[0].Instrs {
+			t.Fatalf("seed %d: instruction counts differ: %d vs %d",
+				seed, m1.Threads[0].Instrs, m2.Threads[0].Instrs)
+		}
+		if m1.Threads[0].Regs != m2.Threads[0].Regs {
+			t.Fatalf("seed %d: register state differs after round trip", seed)
+		}
+	}
+}
+
+// TestSpiesAreDeterministic: exhaustive tools produce identical metrics on
+// repeated runs of the same random program.
+func TestSpiesAreDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		run := func() (float64, float64) {
+			m := gen(seed)
+			res, err := exhaustive.Run(m, exhaustive.NewDeadSpy(m.Prog))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Waste, res.Use
+		}
+		w1, u1 := run()
+		w2, u2 := run()
+		if w1 != w2 || u1 != u2 {
+			t.Fatalf("seed %d: DeadSpy nondeterministic: (%v,%v) vs (%v,%v)", seed, w1, u1, w2, u2)
+		}
+	}
+}
+
+// TestCraftsNeverExceedInvariants: on arbitrary programs the sampling
+// tools must (a) not crash, (b) keep Equation-1 metrics in [0,1], (c) be
+// reproducible for a fixed seed, and (d) report waste only if traps
+// happened.
+func TestCraftsNeverExceedInvariants(t *testing.T) {
+	clients := []witch.Client{craft.NewDeadCraft(), craft.NewSilentCraft(), craft.NewLoadCraft()}
+	for seed := int64(0); seed < 12; seed++ {
+		for _, cl := range clients {
+			run := func() *witch.Result {
+				m := gen(seed)
+				res, err := witch.NewProfiler(m, cl, witch.Config{Period: 41, Seed: seed}).Run()
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, cl.Name(), err)
+				}
+				return res
+			}
+			r1 := run()
+			if d := r1.Redundancy(); d < 0 || d > 1 {
+				t.Fatalf("seed %d %s: redundancy %v out of range", seed, cl.Name(), d)
+			}
+			if r1.Waste > 0 && r1.Stats.Traps == 0 {
+				t.Fatalf("seed %d %s: waste without traps", seed, cl.Name())
+			}
+			r2 := run()
+			if r1.Waste != r2.Waste || r1.Use != r2.Use {
+				t.Fatalf("seed %d %s: nondeterministic", seed, cl.Name())
+			}
+		}
+	}
+}
+
+// TestDeadCraftNeverFalselyAccuses is the §4.3 no-false-positives claim on
+// random programs: every dead store DeadCraft reports must also be
+// reported dead by exhaustive DeadSpy (pairwise agreement on the source
+// location set).
+func TestDeadCraftNeverFalselyAccuses(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m := gen(seed)
+		spy, err := exhaustive.Run(m, exhaustive.NewDeadSpy(m.Prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spyDead := map[string]bool{}
+		for _, p := range spy.Tree.Pairs() {
+			if p.Waste > 0 {
+				spyDead[p.Src] = true
+			}
+		}
+		m2 := gen(seed)
+		res, err := witch.NewProfiler(m2, craft.NewDeadCraft(), witch.Config{Period: 23, Seed: seed}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Tree.Pairs() {
+			if p.Waste > 0 && !spyDead[p.Src] {
+				t.Fatalf("seed %d: DeadCraft accuses %s which DeadSpy never saw dead", seed, p.Src)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package report renders the aligned text tables and simple text figures
+// the benchmark harness prints when regenerating the paper's tables and
+// figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; short rows are padded.
+func (t *Table) Row(cells ...string) {
+	for len(cells) < len(t.headers) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// Fprint writes the table.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.headers)
+	total := len(t.headers)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// F formats a float with the given precision.
+func F(x float64, prec int) string { return fmt.Sprintf("%.*f", prec, x) }
+
+// Pct formats a fraction as a percentage.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// X formats a ratio as "1.23x".
+func X(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// Dur formats a duration compactly.
+func Dur(d time.Duration) string { return d.Round(time.Millisecond).String() }
+
+// Bar renders a fixed-width text bar for a value in [0, max].
+func Bar(v, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// Section prints a header between experiments.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n\n", title)
+}

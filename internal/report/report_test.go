@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	var sb strings.Builder
+	tbl := NewTable("title", "name", "value")
+	tbl.Row("a", "1")
+	tbl.Row("longer-name", "2")
+	tbl.Row("short") // padded
+	tbl.Fprint(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header: %q", lines[1])
+	}
+	// All data rows align the second column at the same offset.
+	idx := strings.Index(lines[3], "1")
+	if strings.Index(lines[4], "2") != idx {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Fatal(F(3.14159, 2))
+	}
+	if Pct(0.375) != "37.5%" {
+		t.Fatal(Pct(0.375))
+	}
+	if X(1.5) != "1.50x" {
+		t.Fatal(X(1.5))
+	}
+	if Dur(1500*time.Microsecond) != "2ms" {
+		t.Fatal(Dur(1500 * time.Microsecond))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if b := Bar(5, 10, 10); b != "#####....." {
+		t.Fatalf("bar = %q", b)
+	}
+	if b := Bar(20, 10, 4); b != "####" {
+		t.Fatalf("clamped bar = %q", b)
+	}
+	if b := Bar(-1, 10, 4); b != "...." {
+		t.Fatalf("negative bar = %q", b)
+	}
+	if b := Bar(1, 0, 4); b != "####" {
+		t.Fatalf("zero-max bar = %q", b)
+	}
+}
+
+func TestSection(t *testing.T) {
+	var sb strings.Builder
+	Section(&sb, "Experiment")
+	if !strings.Contains(sb.String(), "== Experiment ==") {
+		t.Fatal(sb.String())
+	}
+}

@@ -1,0 +1,31 @@
+package shadow
+
+import "testing"
+
+type entry struct {
+	op  uint8
+	ctx *int
+}
+
+// BenchmarkShadowAccess measures the per-byte shadow lookup on a warm
+// page — the inner loop of every exhaustive tool.
+func BenchmarkShadowAccess(b *testing.B) {
+	tbl := NewTable[entry]()
+	tbl.At(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := tbl.At(0x1000 + uint64(i)%PageSize)
+		e.op = 2
+	}
+}
+
+// BenchmarkShadowColdPages measures first-touch page materialization.
+func BenchmarkShadowColdPages(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl := NewTable[entry]()
+		for p := uint64(0); p < 16; p++ {
+			tbl.At(p * PageSize)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Package shadow provides the paged shadow-memory tables the exhaustive
+// baseline tools (DeadSpy, RedSpy, LoadSpy) keep alongside application
+// memory: one shadow entry per application byte, materialized per page on
+// first touch. The per-byte pointer-bearing entries are exactly why the
+// paper reports multi-× memory bloat for exhaustive instrumentation —
+// and the Bytes accounting here is what Table 1/2 report for the spies.
+package shadow
+
+import "unsafe"
+
+// PageBits is log2 of the shadow page size in application bytes.
+const PageBits = 12
+
+// PageSize is the number of application bytes covered by one shadow page.
+const PageSize = 1 << PageBits
+
+// Table maps every application byte to a shadow entry of type T.
+type Table[T any] struct {
+	pages map[uint64]*[PageSize]T
+}
+
+// NewTable returns an empty shadow table.
+func NewTable[T any]() *Table[T] {
+	return &Table[T]{pages: make(map[uint64]*[PageSize]T)}
+}
+
+// At returns the shadow entry for an application address, materializing
+// its page if needed.
+func (t *Table[T]) At(addr uint64) *T {
+	key := addr >> PageBits
+	p := t.pages[key]
+	if p == nil {
+		p = new([PageSize]T)
+		t.pages[key] = p
+	}
+	return &p[addr&(PageSize-1)]
+}
+
+// Pages returns the number of materialized shadow pages.
+func (t *Table[T]) Pages() int { return len(t.pages) }
+
+// Bytes returns the resident size of the shadow table.
+func (t *Table[T]) Bytes() uint64 {
+	var zero T
+	return uint64(len(t.pages)) * PageSize * uint64(unsafe.Sizeof(zero))
+}

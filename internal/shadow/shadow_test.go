@@ -1,0 +1,46 @@
+package shadow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtMaterializesAndPersists(t *testing.T) {
+	tbl := NewTable[int]()
+	*tbl.At(100) = 42
+	if *tbl.At(100) != 42 {
+		t.Fatal("entry did not persist")
+	}
+	if tbl.Pages() != 1 {
+		t.Fatalf("pages = %d", tbl.Pages())
+	}
+	*tbl.At(100 + 10*PageSize) = 7
+	if tbl.Pages() != 2 {
+		t.Fatalf("pages = %d", tbl.Pages())
+	}
+}
+
+func TestBytesScalesWithEntrySize(t *testing.T) {
+	small := NewTable[byte]()
+	big := NewTable[[16]byte]()
+	small.At(0)
+	big.At(0)
+	if big.Bytes() != 16*small.Bytes() {
+		t.Fatalf("bytes: big=%d small=%d", big.Bytes(), small.Bytes())
+	}
+}
+
+func TestDistinctAddressesDistinctEntries(t *testing.T) {
+	tbl := NewTable[uint64]()
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		*tbl.At(uint64(a)) = uint64(a)
+		*tbl.At(uint64(b)) = uint64(b)
+		return *tbl.At(uint64(a)) == uint64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

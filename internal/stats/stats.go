@@ -1,0 +1,160 @@
+// Package stats provides the small statistics toolkit the evaluation
+// harness uses: central tendencies for Table 2, run-to-run stability
+// (standard deviations, §7), rank-order comparison of top-N redundancy
+// pairs between sampled and exhaustive tools (edit distance and set
+// difference, §7), and the harmonic-series expectation behind the
+// adversary-sample analysis of §4.1.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean (0 for empty input; panics on
+// non-positive values, which never occur for ratios ≥ 1ish — guard with
+// max(x, tiny) at call sites if needed).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extremes (0,0 for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// EditDistance returns the Levenshtein distance between two sequences of
+// identifiers, used to compare the rank ordering of top-N redundancy
+// pairs between a sampled tool and its exhaustive counterpart.
+func EditDistance(a, b []string) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// SetDifference returns |A\B| + |B\A| for two identifier sets.
+func SetDifference(a, b []string) int {
+	as := map[string]bool{}
+	for _, x := range a {
+		as[x] = true
+	}
+	bs := map[string]bool{}
+	for _, x := range b {
+		bs[x] = true
+	}
+	d := 0
+	for x := range as {
+		if !bs[x] {
+			d++
+		}
+	}
+	for x := range bs {
+		if !as[x] {
+			d++
+		}
+	}
+	return d
+}
+
+// Harmonic returns the n-th harmonic number H(n).
+func Harmonic(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// AdversaryExpectedLifetime returns the expected number of additional
+// samples before an adversary ("never again accessed") address sampled at
+// position h since the last reservoir reset is replaced. §4.1 states this
+// is ≈ 1.7·H: the survival probability after reaching sample k is h/k, so
+// the expected lifetime is Σ_{k>h} h/k(... ) — the paper's closed-form
+// approximation e·H − H ≈ 1.718·H is returned here.
+func AdversaryExpectedLifetime(h int) float64 {
+	return (math.E - 1) * float64(h)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCentralTendencies(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Mean(xs), 2.5) {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if !almost(Median(xs), 2.5) {
+		t.Fatalf("median = %v", Median(xs))
+	}
+	if !almost(Median([]float64{1, 2, 9}), 2) {
+		t.Fatal("odd median")
+	}
+	if !almost(Geomean([]float64{1, 4}), 2) {
+		t.Fatalf("geomean = %v", Geomean([]float64{1, 4}))
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Geomean(nil) != 0 {
+		t.Fatal("empty inputs should be 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 2, 2}), 0) {
+		t.Fatal("constant stddev")
+	}
+	if s := StdDev([]float64{1, 3}); !almost(s, 1) {
+		t.Fatalf("stddev = %v", s)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, 1, 4, 1, 5})
+	if lo != 1 || hi != 5 {
+		t.Fatalf("minmax = %v, %v", lo, hi)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{[]string{"x", "y"}, []string{"x", "y"}, 0},
+		{[]string{"x", "y"}, []string{"y", "x"}, 2},
+		{[]string{"a", "b", "c"}, []string{"a", "c"}, 1},
+		{nil, []string{"a"}, 1},
+		{nil, nil, 0},
+	}
+	for _, tc := range cases {
+		if got := EditDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("EditDistance(%v,%v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// Edit distance is a metric: symmetric, zero iff equal-ish (for our use,
+// identity), and bounded by max length.
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b []string) bool {
+		d1, d2 := EditDistance(a, b), EditDistance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		maxLen := len(a)
+		if len(b) > maxLen {
+			maxLen = len(b)
+		}
+		return d1 <= maxLen && EditDistance(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDifference(t *testing.T) {
+	if d := SetDifference([]string{"a", "b"}, []string{"b", "c"}); d != 2 {
+		t.Fatalf("setdiff = %d", d)
+	}
+	if d := SetDifference(nil, nil); d != 0 {
+		t.Fatal("empty setdiff")
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if !almost(Harmonic(1), 1) || !almost(Harmonic(2), 1.5) {
+		t.Fatal("harmonic")
+	}
+	// H(n) ≈ ln n + γ
+	if math.Abs(Harmonic(100000)-(math.Log(100000)+0.5772156649)) > 1e-4 {
+		t.Fatal("harmonic asymptotic")
+	}
+}
+
+func TestAdversaryLifetime(t *testing.T) {
+	// The paper's 1.7·H figure.
+	if r := AdversaryExpectedLifetime(100) / 100; r < 1.69 || r > 1.75 {
+		t.Fatalf("adversary lifetime ratio = %v", r)
+	}
+}

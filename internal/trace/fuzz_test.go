@@ -1,0 +1,50 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/exhaustive"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// FuzzReplay feeds arbitrary bytes to the trace reader: it must reject or
+// replay cleanly, never panic, and never mis-drive the observer into a
+// crash.
+func FuzzReplay(f *testing.F) {
+	// Seed with a real trace prefix and assorted corruptions.
+	sp, _ := workloads.SuiteSpec("bzip2")
+	sp.Iters = 1
+	prog := sp.Build(1)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	m := newMachine(prog)
+	m.SetObserver(w)
+	if err := m.Run(); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	real := buf.Bytes()
+	f.Add(real[:len(real)/2])
+	f.Add(real)
+	f.Add([]byte("WITCHTR1"))
+	f.Add([]byte("WITCHTR1\x09\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spy := exhaustive.NewDeadSpy(prog)
+		_, _ = trace.Replay(bytes.NewReader(data), spy)
+	})
+}
+
+// newMachine builds a machine for fuzz seeding.
+func newMachine(prog *isa.Program) *machine.Machine {
+	return machine.New(prog, machine.Config{})
+}

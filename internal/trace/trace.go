@@ -1,0 +1,219 @@
+// Package trace records a program's retired-access stream to a compact
+// binary format and replays it into any machine.Observer. This separates
+// collection from analysis the way production profilers do (hpcrun writes
+// measurements, hpcviewer consumes them): an exhaustive tool can be run
+// offline over a trace captured once, and regression tests can pin an
+// analysis to a stored stream.
+//
+// Format: the 8-byte magic "WITCHTR1", then fixed 28-byte little-endian
+// records:
+//
+//	offset  size  field
+//	0       1     kind (0 load, 1 store, 2 call, 3 ret)
+//	1       1     thread id
+//	2       1     access width (loads/stores)
+//	3       1     flags (bit 0: float datum)
+//	4       8     pc (call site for calls)
+//	12      8     addr (callee function index for calls)
+//	20      8     value
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+)
+
+// Event kinds.
+const (
+	KindLoad  = 0
+	KindStore = 1
+	KindCall  = 2
+	KindRet   = 3
+)
+
+var magic = [8]byte{'W', 'I', 'T', 'C', 'H', 'T', 'R', '1'}
+
+const recordBytes = 28
+
+// Event is one decoded trace record.
+type Event struct {
+	Kind  uint8
+	TID   uint8
+	Width uint8
+	Float bool
+	PC    isa.PC
+	Addr  uint64 // callee function index for KindCall
+	Value uint64
+}
+
+// Writer records machine events to a stream. It implements
+// machine.Observer, so attaching it to a machine records the run:
+//
+//	w, _ := trace.NewWriter(f)
+//	m.SetObserver(w)
+//	m.Run()
+//	w.Flush()
+type Writer struct {
+	bw     *bufio.Writer
+	events uint64
+	err    error
+}
+
+// NewWriter starts a trace stream on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw}, nil
+}
+
+// Events returns the number of records written.
+func (tw *Writer) Events() uint64 { return tw.events }
+
+// Flush drains buffered records and reports any deferred write error.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.bw.Flush()
+}
+
+// write encodes one record.
+func (tw *Writer) write(kind, tid, width, flags uint8, pc isa.PC, addr, value uint64) {
+	if tw.err != nil {
+		return
+	}
+	var rec [recordBytes]byte
+	rec[0], rec[1], rec[2], rec[3] = kind, tid, width, flags
+	binary.LittleEndian.PutUint64(rec[4:], uint64(pc))
+	binary.LittleEndian.PutUint64(rec[12:], addr)
+	binary.LittleEndian.PutUint64(rec[20:], value)
+	if _, err := tw.bw.Write(rec[:]); err != nil {
+		tw.err = err
+		return
+	}
+	tw.events++
+}
+
+// OnAccess implements machine.Observer.
+func (tw *Writer) OnAccess(t *machine.Thread, acc *machine.Access) {
+	var flags uint8
+	if acc.Float {
+		flags = 1
+	}
+	tw.write(uint8(acc.Kind), uint8(t.ID), acc.Width, flags, acc.PC, acc.Addr, acc.Value)
+}
+
+// OnCall implements machine.Observer.
+func (tw *Writer) OnCall(t *machine.Thread, callee int32, site isa.PC) {
+	tw.write(KindCall, uint8(t.ID), 0, 0, site, uint64(callee), 0)
+}
+
+// OnRet implements machine.Observer.
+func (tw *Writer) OnRet(t *machine.Thread) {
+	tw.write(KindRet, uint8(t.ID), 0, 0, 0, 0, 0)
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader validates the magic and returns a record reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if got != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	return &Reader{br: br}, nil
+}
+
+// Next returns the next event, or io.EOF at end of stream.
+func (tr *Reader) Next() (Event, error) {
+	var rec [recordBytes]byte
+	if _, err := io.ReadFull(tr.br, rec[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	return Event{
+		Kind:  rec[0],
+		TID:   rec[1],
+		Width: rec[2],
+		Float: rec[3]&1 != 0,
+		PC:    isa.PC(binary.LittleEndian.Uint64(rec[4:])),
+		Addr:  binary.LittleEndian.Uint64(rec[12:]),
+		Value: binary.LittleEndian.Uint64(rec[20:]),
+	}, nil
+}
+
+// Replay feeds a recorded stream into an observer (typically an
+// exhaustive Spy), reconstructing per-thread identities. It returns the
+// number of events replayed.
+func Replay(r io.Reader, obs machine.Observer) (uint64, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	// Observers only consult the thread's identity and (on first sight)
+	// its live frames; replay threads start at the stream beginning with
+	// empty stacks.
+	threads := map[uint8]*machine.Thread{}
+	thread := func(id uint8) *machine.Thread {
+		t := threads[id]
+		if t == nil {
+			t = &machine.Thread{ID: int(id)}
+			threads[id] = t
+		}
+		return t
+	}
+	var n uint64
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		t := thread(ev.TID)
+		switch ev.Kind {
+		case KindLoad, KindStore:
+			acc := machine.Access{
+				Kind:  pmu.AccessKind(ev.Kind),
+				PC:    ev.PC,
+				Addr:  ev.Addr,
+				Width: ev.Width,
+				Value: ev.Value,
+				Float: ev.Float,
+			}
+			obs.OnAccess(t, &acc)
+		case KindCall:
+			obs.OnCall(t, int32(ev.Addr), ev.PC)
+			// Mirror the machine's stack so cursor replay-from-frames
+			// (for late-attached observers) stays meaningful.
+			t.Stack = append(t.Stack, machine.Frame{FuncIdx: int32(ev.Addr), CallSite: ev.PC})
+		case KindRet:
+			obs.OnRet(t)
+			if len(t.Stack) > 0 {
+				t.Stack = t.Stack[:len(t.Stack)-1]
+			}
+		default:
+			return n, fmt.Errorf("trace: unknown record kind %d", ev.Kind)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package trace_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/exhaustive"
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func record(t *testing.T) (*bytes.Buffer, *machine.Machine) {
+	t.Helper()
+	sp, _ := workloads.SuiteSpec("gcc")
+	sp.Iters = 3
+	prog := sp.Build(1)
+	m := machine.New(prog, machine.Config{})
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetObserver(w)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Events() == 0 {
+		t.Fatal("no events recorded")
+	}
+	return &buf, m
+}
+
+func TestRecordReplayMatchesLiveAnalysis(t *testing.T) {
+	buf, m := record(t)
+
+	// Live analysis.
+	prog := m.Prog
+	live, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewDeadSpy(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline analysis over the trace.
+	spy := exhaustive.NewDeadSpy(prog)
+	n, err := trace.Replay(bytes.NewReader(buf.Bytes()), spy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing replayed")
+	}
+	offline := spy.Finish()
+
+	if offline.Waste != live.Waste || offline.Use != live.Use {
+		t.Fatalf("offline (%v,%v) != live (%v,%v)", offline.Waste, offline.Use, live.Waste, live.Use)
+	}
+	// Context attribution must survive the trip too.
+	lp, op := live.Tree.Pairs(), offline.Tree.Pairs()
+	if len(lp) != len(op) {
+		t.Fatalf("pair counts differ: %d vs %d", len(lp), len(op))
+	}
+	for i := range lp {
+		if lp[i].Src != op[i].Src || lp[i].Dst != op[i].Dst || lp[i].Waste != op[i].Waste {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, lp[i], op[i])
+		}
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	if _, err := trace.NewReader(bytes.NewBufferString("NOTATRACE")); err == nil {
+		t.Fatal("expected magic error")
+	}
+	if _, err := trace.NewReader(bytes.NewBufferString("x")); err == nil {
+		t.Fatal("expected short-header error")
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	buf, _ := record(t)
+	cut := buf.Bytes()[:buf.Len()-5] // mid-record
+	sp, _ := workloads.SuiteSpec("gcc")
+	sp.Iters = 3
+	spy := exhaustive.NewDeadSpy(sp.Build(1))
+	if _, err := trace.Replay(bytes.NewReader(cut), spy); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestEventStreamShape(t *testing.T) {
+	buf, m := record(t)
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores, calls, rets uint64
+	for {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case trace.KindLoad:
+			loads++
+		case trace.KindStore:
+			stores++
+		case trace.KindCall:
+			calls++
+		case trace.KindRet:
+			rets++
+		}
+	}
+	th := m.Threads[0]
+	if loads != th.Loads || stores != th.Stores {
+		t.Fatalf("trace loads/stores %d/%d vs machine %d/%d", loads, stores, th.Loads, th.Stores)
+	}
+	if calls == 0 || rets == 0 {
+		t.Fatal("no call/ret events")
+	}
+}

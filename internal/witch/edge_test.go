@@ -1,0 +1,101 @@
+package witch_test
+
+import (
+	"testing"
+
+	"repro/internal/craft"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/witch"
+)
+
+// TestNoMemoryTraffic: a program with no loads or stores produces an
+// empty, well-formed profile.
+func TestNoMemoryTraffic(t *testing.T) {
+	b := isa.NewBuilder("alu")
+	f := b.Func("main")
+	f.LoopN(isa.R1, 1000, func(fb *isa.FuncBuilder) {
+		fb.AddImm(isa.R2, isa.R2, 3)
+	})
+	f.Halt()
+	m := machine.New(b.MustBuild(), machine.Config{})
+	res, err := witch.NewProfiler(m, craft.NewDeadCraft(), witch.Config{Period: 10, Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples != 0 || res.Waste != 0 || res.Use != 0 {
+		t.Fatalf("expected empty profile: %+v", res.Stats)
+	}
+	if res.Redundancy() != 0 {
+		t.Fatal("redundancy of nothing must be 0")
+	}
+}
+
+// TestWatchpointsNeverTrap: streaming writes (no address revisited) arm
+// watchpoints that never fire; the run must finish with zero attribution
+// and a growing blind spot.
+func TestWatchpointsNeverTrap(t *testing.T) {
+	b := isa.NewBuilder("stream")
+	f := b.Func("main")
+	f.LoopN(isa.R1, 5000, func(fb *isa.FuncBuilder) {
+		fb.MulImm(isa.R5, isa.R1, 8)
+		fb.AddImm(isa.R5, isa.R5, 0x100000)
+		fb.Store(isa.R5, 0, isa.R1, 8)
+	})
+	f.Halt()
+	m := machine.New(b.MustBuild(), machine.Config{})
+	res, err := witch.NewProfiler(m, craft.NewDeadCraft(), witch.Config{Period: 13, Seed: 1}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Traps != 0 {
+		t.Fatalf("streaming writes should never trap, got %d", res.Stats.Traps)
+	}
+	if res.Waste != 0 || res.Use != 0 {
+		t.Fatal("no attribution expected")
+	}
+	if res.Stats.MaxBlindSpot == 0 {
+		t.Fatal("with all registers pinned on dead addresses, blind spots must appear")
+	}
+}
+
+// TestPartialOverlapAttribution: an 8-byte watched store killed by a
+// 2-byte overlapping store attributes exactly the overlap.
+func TestPartialOverlapAttribution(t *testing.T) {
+	b := isa.NewBuilder("partial")
+	f := b.Func("main")
+	f.MovImm(isa.R1, 0x1000)
+	f.LoopN(isa.R9, 1000, func(fb *isa.FuncBuilder) {
+		fb.Store(isa.R1, 0, isa.R9, 8) // watched 8-byte store
+		fb.Store(isa.R1, 4, isa.R9, 2) // kills bytes 4..6 only
+	})
+	f.Halt()
+	m := machine.New(b.MustBuild(), machine.Config{})
+	res, err := witch.NewProfiler(m, craft.NewDeadCraft(), witch.Config{Period: 7, Seed: 1, DisableProportional: true}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Waste == 0 {
+		t.Fatal("expected partial-overlap waste")
+	}
+	// With proportional off, each trap contributes overlap × period, so
+	// waste must be a multiple of 2 × period (the overlap is 2 bytes).
+	period := float64(7)
+	per := 2 * period
+	if rem := res.Waste / per; rem != float64(int(rem)) {
+		t.Fatalf("waste %v is not a multiple of overlap×period %v", res.Waste, per)
+	}
+}
+
+// TestNearestPrime covers the period-rounding helper.
+func TestNearestPrime(t *testing.T) {
+	cases := map[uint64]uint64{
+		0: 2, 1: 2, 2: 2, 3: 3, 4: 3, 6: 5, 8: 7, 9: 7, 10: 11,
+		100: 101, 5000: 4999, 10000: 10007, 100000: 100003,
+	}
+	for in, want := range cases {
+		if got := witch.NearestPrime(in); got != want {
+			t.Errorf("NearestPrime(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package workloads
+
+import "repro/internal/isa"
+
+// Program bases for listing/case-study workloads.
+const (
+	baseArray = 0x2000_0000
+	baseP     = 0x2100_0000 // the aliased *p/*q cell of Listing 3
+	baseA     = 0x2200_0000
+	baseB     = 0x2300_0000
+	baseX     = 0x2400_0000
+	baseTable = 0x2500_0000
+	baseWork  = 0x2600_0000
+	baseList  = 0x2700_0000
+	baseGlob  = 0x2800_0000
+)
+
+// Listing2 reproduces the paper's Listing 2: an i-loop zeroing
+// array[0..n) followed by a j-loop overwriting every element — every store
+// in the i-loop is dead, but the kill is separated from the store by ~n
+// intervening samples, which defeats naive watchpoint replacement (§4.1).
+func Listing2(n int64) *isa.Program {
+	b := isa.NewBuilder("listing2")
+	f := b.Func("main")
+	f.LoopN(isa.R1, n, func(fb *isa.FuncBuilder) {
+		fb.MulImm(isa.R5, isa.R1, 8)
+		fb.AddImm(isa.R5, isa.R5, baseArray)
+		fb.MovImm(isa.R6, 0)
+		fb.Store(isa.R5, 0, isa.R6, 8) // array[i] = 0 (all dead)
+	})
+	f.LoopN(isa.R2, n, func(fb *isa.FuncBuilder) {
+		fb.MulImm(isa.R5, isa.R2, 8)
+		fb.AddImm(isa.R5, isa.R5, baseArray)
+		fb.Store(isa.R5, 0, isa.R2, 8) // array[j] = j (the kill)
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// Listing3 reproduces the paper's Listing 3: sparse long-distance dead
+// stores (the i- and j-loops over array) mixed with a dense aliased
+// dead-store pair (*p = 0; *q = 0 in the k-loop), the scenario that
+// motivates proportional attribution (§4.2).
+func Listing3(n, outer int64) *isa.Program {
+	b := isa.NewBuilder("listing3")
+	f := b.Func("main")
+	// Source lines follow the paper's Listing 3: line 3 is the i-loop
+	// store, lines 7/8 the aliased *p/*q stores, line 11 the j-loop store.
+	f.LoopN(isa.R9, outer, func(fb *isa.FuncBuilder) {
+		fb.LoopN(isa.R1, n, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R1, 8)
+			fb.AddImm(isa.R5, isa.R5, baseArray)
+			fb.MovImm(isa.R6, 0)
+			fb.Line(3).Store(isa.R5, 0, isa.R6, 8) // array[i] = 0
+		})
+		fb.LoopN(isa.R2, n, func(fb *isa.FuncBuilder) {
+			fb.MovImm(isa.R5, baseP)
+			fb.MovImm(isa.R6, 0)
+			fb.Line(7).Store(isa.R5, 0, isa.R6, 8) // *p = 0 (dead)
+			fb.Line(8).Store(isa.R5, 0, isa.R6, 8) // *q = 0 (kills; p and q alias)
+		})
+		fb.LoopN(isa.R3, n, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R3, 8)
+			fb.AddImm(isa.R5, isa.R5, baseArray)
+			fb.MovImm(isa.R6, 0)
+			fb.Line(11).Store(isa.R5, 0, isa.R6, 8) // array[j] = 0 (kills the i-loop)
+		})
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// Figure2 reproduces the Figure 2 scenario: regions a, b and the single
+// cell x incur dead writes in a 3:2:1 byte ratio (50%:33%:17%), with the
+// x pair adjacent in code (dense) while a and b are killed a full loop
+// later (sparse). Correct proportional attribution recovers the ratio;
+// replace-oldest or coin-flip replacement does not.
+func Figure2(n, outer int64) *isa.Program {
+	b := isa.NewBuilder("figure2")
+	storeRegion := func(fb *isa.FuncBuilder, ctr isa.Reg, count int64, base int64, val isa.Reg, line int) {
+		fb.LoopN(ctr, count, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, ctr, 8)
+			fb.AddImm(isa.R5, isa.R5, base)
+			fb.Line(line).Store(isa.R5, 0, val, 8)
+		})
+	}
+	f := b.Func("main")
+	f.LoopN(isa.R9, outer, func(fb *isa.FuncBuilder) {
+		fb.MovImm(isa.R6, 0)
+		storeRegion(fb, isa.R1, 3*n, baseA, isa.R6, LineA1) // a[i] = 0   (dead)
+		fb.MovImm(isa.R6, 1)
+		storeRegion(fb, isa.R1, 3*n, baseA, isa.R6, LineA2) // a[i] = 1   (kill + dead)
+		fb.MovImm(isa.R6, 0)
+		storeRegion(fb, isa.R2, 2*n, baseB, isa.R6, LineB1) // b[i] = 0
+		fb.MovImm(isa.R6, 1)
+		storeRegion(fb, isa.R2, 2*n, baseB, isa.R6, LineB2) // b[i] = 1
+		fb.LoopN(isa.R3, n, func(fb *isa.FuncBuilder) {
+			fb.MovImm(isa.R5, baseX)
+			fb.MovImm(isa.R6, 0)
+			fb.Line(LineX1).Store(isa.R5, 0, isa.R6, 8) // x = 0 (dense dead pair)
+			fb.MovImm(isa.R6, 1)
+			fb.Line(LineX2).Store(isa.R5, 0, isa.R6, 8) // x = 1
+		})
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// Source lines of the Figure 2 stores (mirroring the paper's listing
+// where the dense pair is lines 16/17).
+const (
+	LineA1 = 2
+	LineA2 = 5
+	LineB1 = 9
+	LineB2 = 12
+	LineX1 = 16
+	LineX2 = 17
+)
+
+// Figure2Region classifies a Figure 2 store by its source line into
+// region "a", "b" or "x".
+func Figure2Region(srcLine int) string {
+	switch srcLine {
+	case LineA1, LineA2:
+		return "a"
+	case LineB1, LineB2:
+		return "b"
+	case LineX1, LineX2:
+		return "x"
+	}
+	return "?"
+}
+
+// StackSignals builds the Figure 3 scenario: a callee writes (dead) stores
+// into its own stack frame and returns; the caller then produces PMU
+// samples at a shallower stack depth, so without an alternate signal stack
+// the kernel's signal frame overwrites the callee's dead frame and
+// spuriously triggers the watchpoints armed there.
+func StackSignals(outer int64) *isa.Program {
+	b := isa.NewBuilder("stacksignals")
+
+	deep := b.Func("deep")
+	deep.AddImm(isa.SP, isa.SP, -256) // allocate frame
+	deep.LoopN(isa.R1, 16, func(fb *isa.FuncBuilder) {
+		fb.MulImm(isa.R5, isa.R1, 8)
+		fb.Add(isa.R5, isa.R5, isa.SP)
+		fb.Store(isa.R5, 0, isa.R1, 8) // local[i] = i — never read: dead
+	})
+	deep.AddImm(isa.SP, isa.SP, 256) // release frame
+	deep.Ret()
+
+	shallow := b.Func("shallow_work")
+	shallow.LoopN(isa.R2, 64, func(fb *isa.FuncBuilder) {
+		fb.MulImm(isa.R5, isa.R2, 8)
+		fb.AddImm(isa.R5, isa.R5, baseGlob)
+		fb.Store(isa.R5, 0, isa.R2, 8) // heap stores keep samples coming
+	})
+	shallow.Ret()
+
+	main := b.Func("main")
+	main.LoopN(isa.R9, outer, func(fb *isa.FuncBuilder) {
+		fb.Call("deep")
+		fb.Call("shallow_work")
+	})
+	main.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,65 @@
+package workloads
+
+import "repro/internal/isa"
+
+// ParallelCounters is the classic false-sharing workload: every thread
+// read-modify-writes its own counter, with the counters strideBytes
+// apart. A stride of 8 packs all counters into one 64-byte cache line
+// (false sharing); a stride of 128 pads them onto separate lines (the
+// standard fix). Threads find their ID in R1 (machine convention).
+func ParallelCounters(iters, strideBytes int64) *isa.Program {
+	b := isa.NewBuilder("parcounters")
+	f := b.Func("main")
+	f.MulImm(isa.R3, isa.R1, strideBytes)
+	f.AddImm(isa.R3, isa.R3, baseGlob)
+	f.LoopN(isa.R9, iters, func(fb *isa.FuncBuilder) {
+		fb.Load(isa.R4, isa.R3, 0, 8)
+		fb.AddImm(isa.R4, isa.R4, 1)
+		fb.Store(isa.R3, 0, isa.R4, 8)
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// ParallelDead is the multi-threaded intra-thread-inefficiency workload
+// (SPEC OMP2012-style): every thread repeatedly zero-fills and then
+// overwrites a private region — 100% dead stores per thread, no sharing.
+// Witch's per-thread debug registers and PMUs (§6.3) must report the same
+// redundancy regardless of thread count.
+func ParallelDead(elems, iters int64) *isa.Program {
+	b := isa.NewBuilder("pardead")
+	f := b.Func("main")
+	// Private region: base + tid * (elems*8 + one page of padding).
+	f.MulImm(isa.R3, isa.R1, elems*8+4096)
+	f.AddImm(isa.R3, isa.R3, baseGlob)
+	f.LoopN(isa.R9, iters, func(fb *isa.FuncBuilder) {
+		fb.LoopN(isa.R2, elems, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R2, 8)
+			fb.Add(isa.R5, isa.R5, isa.R3)
+			fb.MovImm(isa.R6, 0)
+			fb.Store(isa.R5, 0, isa.R6, 8) // dead: overwritten below
+		})
+		fb.LoopN(isa.R2, elems, func(fb *isa.FuncBuilder) {
+			fb.MulImm(isa.R5, isa.R2, 8)
+			fb.Add(isa.R5, isa.R5, isa.R3)
+			fb.Store(isa.R5, 0, isa.R9, 8) // kill (also dead next iter)
+		})
+	})
+	f.Halt()
+	return b.MustBuild()
+}
+
+// SharedCounter is the true-sharing contrast: every thread hammers the
+// same memory word.
+func SharedCounter(iters int64) *isa.Program {
+	b := isa.NewBuilder("sharedcounter")
+	f := b.Func("main")
+	f.MovImm(isa.R3, baseGlob)
+	f.LoopN(isa.R9, iters, func(fb *isa.FuncBuilder) {
+		fb.Load(isa.R4, isa.R3, 0, 8)
+		fb.AddImm(isa.R4, isa.R4, 1)
+		fb.Store(isa.R3, 0, isa.R4, 8)
+	})
+	f.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,421 @@
+// Package workloads builds the simulated programs the evaluation runs on:
+// a 29-benchmark suite standing in for SPEC CPU2006 (each benchmark's
+// dead-store / silent-store / redundant-load trait mix, call depth,
+// recursion, floating-point character, latency mix, and inefficiency
+// scatter are design parameters chosen to echo the paper's Figure 4 and
+// Table 1 behaviour), plus faithful re-creations of the paper's Listings
+// 1–6 and the case-study programs of §8 in buggy and fixed forms.
+package workloads
+
+import (
+	"repro/internal/isa"
+)
+
+// Region base addresses for generated benchmarks. They are far apart so
+// phases never alias.
+const (
+	baseDead   = 0x1000_0000
+	baseDead2  = 0x1080_0000
+	baseDead3  = 0x10c0_0000
+	baseDead4  = 0x10e0_0000
+	baseSilent = 0x1100_0000
+	baseNoisy  = 0x1200_0000
+	baseRed    = 0x1300_0000
+	baseStream = 0x1400_0000
+)
+
+// Spec parameterizes one generated benchmark. All element counts are per
+// outer iteration; elements are 8 bytes.
+type Spec struct {
+	Name string
+
+	// DeadPct, SilentPct and RedPct are the approximate target
+	// percentages for the three Equation-1 metrics; the generator sizes
+	// its phases from them (ground truth still comes from the spies).
+	DeadPct   float64
+	SilentPct float64
+	RedPct    float64
+
+	// StoresPerIter is the store budget split across phases.
+	StoresPerIter int
+	// Iters is the outer iteration count at scale 1.
+	Iters int
+
+	// FP makes the silent and redundant phases use floating-point data
+	// whose values drift below the 1% comparison precision (lbm-like).
+	FP bool
+	// Scatter spreads the inefficiencies across this many distinct
+	// straight-line code sites (GemsFDTD/perlbench-like).
+	Scatter int
+	// Depth interposes a chain of this many calls between main and the
+	// phase code.
+	Depth int
+	// RecDepth executes the phases at the bottom of a recursion of this
+	// depth (gobmk/sjeng/xalancbmk-like; large CCTs).
+	RecDepth int
+	// Slow marks half the dead-phase stores long-latency so the PEBS
+	// shadow effect can bias samples (hmmer/calculix-like).
+	Slow bool
+	// Interleave4 splits the dead phase across four regions written and
+	// killed in an interleaved pattern with a long kill distance, the
+	// shape on which extra debug registers help (h264ref in Figure 5).
+	Interleave4 bool
+	// StreamElems writes this many never-again-touched elements per
+	// iteration (mcf-like; produces long blind-spot windows).
+	StreamElems int
+}
+
+// registers reserved by the generator; see the package design notes.
+const (
+	rOuter = isa.Reg(20) // outer iteration counter, also the "varying" value
+	rCtr   = isa.Reg(2)  // phase loop counter
+	rAddr  = isa.Reg(5)  // effective address scratch
+	rVal   = isa.Reg(10) // value scratch
+	rVal2  = isa.Reg(11)
+	rRec   = isa.Reg(7) // recursion depth counter
+	rTmp   = isa.Reg(12)
+)
+
+// elemAddr emits rAddr = base + rCtr*8.
+func elemAddr(fb *isa.FuncBuilder, base int64) {
+	fb.MulImm(rAddr, rCtr, 8)
+	fb.AddImm(rAddr, rAddr, base)
+}
+
+// Build generates the benchmark program. scale multiplies the outer
+// iteration count (use <1x via integer division in callers by adjusting
+// Iters instead).
+func (sp Spec) Build(scale int) *isa.Program {
+	if scale <= 0 {
+		scale = 1
+	}
+	b := isa.NewBuilder(sp.Name)
+
+	st := float64(sp.StoresPerIter)
+	if st == 0 {
+		st = 1200
+	}
+	// Solve phase sizes from the target percentages (see DESIGN.md):
+	// stores = 2*dead + silent + noisy, loads = silent + noisy + red.
+	deadElems := int(sp.DeadPct / 100 * st / 2)
+	silentElems := int(sp.SilentPct / 100 * st)
+	noisyElems := int(st) - 2*deadElems - silentElems
+	if noisyElems < 8 {
+		noisyElems = 8
+	}
+	sn := float64(silentElems + noisyElems)
+	redElems := 0
+	if l := sp.RedPct / 100; l < 1 {
+		if r := (l*sn - float64(silentElems)) / (1 - l); r > 0 {
+			redElems = int(r)
+		}
+	}
+
+	// Phase functions. With Interleave4, the dead-region writes and
+	// their kills sit at opposite ends of the iteration with every other
+	// phase in between — the long kill distance on which extra debug
+	// registers pay off (h264ref in Figure 5).
+	if sp.Interleave4 {
+		wf := b.Func("dead_write_phase")
+		sp.emitInterleavedStores(wf, int64(deadElems), 0)
+		wf.Ret()
+		kf := b.Func("dead_kill_phase")
+		sp.emitInterleavedStores(kf, int64(deadElems), 1<<20)
+		kf.Ret()
+	}
+	deadFn := b.Func("dead_phase")
+	if !sp.Interleave4 {
+		sp.emitDead(deadFn, int64(deadElems))
+	}
+	deadFn.Ret()
+
+	silFn := b.Func("silent_phase")
+	sp.emitSilent(silFn, int64(silentElems))
+	silFn.Ret()
+
+	noiFn := b.Func("noisy_phase")
+	sp.emitNoisy(noiFn, int64(noisyElems))
+	noiFn.Ret()
+
+	redFn := b.Func("red_phase")
+	sp.emitRed(redFn, int64(redElems))
+	redFn.Ret()
+
+	if sp.StreamElems > 0 {
+		strFn := b.Func("stream_phase")
+		strFn.LoopN(rCtr, int64(sp.StreamElems), func(fb *isa.FuncBuilder) {
+			// Streamed writes: addr advances with the outer iteration
+			// so no element is ever revisited.
+			fb.MulImm(rAddr, rOuter, int64(sp.StreamElems)*8)
+			fb.MulImm(rTmp, rCtr, 8)
+			fb.Add(rAddr, rAddr, rTmp)
+			fb.AddImm(rAddr, rAddr, baseStream)
+			fb.Store(rAddr, 0, rOuter, 8)
+		})
+		strFn.Ret()
+	}
+
+	// Scatter sites: straight-line dead+silent micro-inefficiencies at
+	// distinct code locations.
+	for i := 0; i < sp.Scatter; i++ {
+		f := b.Func(scatterName(i))
+		addr := int64(baseDead3 + i*64)
+		f.MovImm(rTmp, 0) // zero base register
+		f.MovImm(rVal, int64(i))
+		f.Store(rTmp, addr, rVal, 8) // dead (overwritten next line)
+		f.MovImm(rVal2, int64(i)+1)
+		f.Store(rTmp, addr, rVal2, 8)  // kills the store above
+		f.Store(rTmp, addr+8, rVal, 8) // silent across outer iterations
+		f.Load(rVal2, rTmp, addr+8, 8)
+		f.Ret()
+	}
+
+	// work() runs one iteration's phases.
+	work := b.Func("work")
+	if sp.Interleave4 {
+		work.Call("dead_write_phase")
+	} else {
+		work.Call("dead_phase")
+	}
+	work.Call("silent_phase")
+	work.Call("noisy_phase")
+	work.Call("red_phase")
+	if sp.StreamElems > 0 {
+		work.Call("stream_phase")
+	}
+	for i := 0; i < sp.Scatter; i++ {
+		work.Call(scatterName(i))
+	}
+	if sp.Interleave4 {
+		work.Call("dead_kill_phase")
+	}
+	work.Ret()
+
+	// Optional call-depth chain main -> level1 -> ... -> work.
+	callTarget := "work"
+	for d := sp.Depth; d > 0; d-- {
+		f := b.Func(levelName(d))
+		f.Call(callTarget)
+		f.Ret()
+		callTarget = levelName(d)
+	}
+
+	// Optional recursion wrapper: rec(n) { if n==0 work() else rec(n-1) }.
+	if sp.RecDepth > 0 {
+		rec := b.Func("rec")
+		rec.MovImm(rTmp, 0)
+		rec.Bgt(rRec, rTmp, "deeper")
+		rec.Call(callTarget)
+		rec.Ret()
+		rec.Label("deeper")
+		rec.AddImm(rRec, rRec, -1)
+		rec.Call("rec")
+		rec.Ret()
+		callTarget = "rec"
+	}
+
+	main := b.Func("main")
+	// Initialize the red-load region once so its loads see stable data.
+	main.LoopN(rCtr, int64(redElems), func(fb *isa.FuncBuilder) {
+		elemAddr(fb, baseRed)
+		if sp.FP {
+			fb.FMovImm(rVal, 1234.5)
+			fb.FStore(rAddr, 0, rVal)
+		} else {
+			fb.MovImm(rVal, 7777)
+			fb.Store(rAddr, 0, rVal, 8)
+		}
+	})
+	if sp.FP {
+		// Seed the FP silent region with nonzero values so the
+		// per-iteration ×1.0001 drift is real: exact comparison then
+		// sees changing values while the 1% tolerance sees silence
+		// (zero-valued cells would be trivially silent at any
+		// precision).
+		main.LoopN(rCtr, int64(silentElems), func(fb *isa.FuncBuilder) {
+			elemAddr(fb, baseSilent)
+			fb.FMovImm(rVal, 250.0)
+			fb.FStore(rAddr, 0, rVal)
+		})
+	}
+	iters := int64(sp.Iters * scale)
+	if iters == 0 {
+		iters = 1
+	}
+	tgt := callTarget
+	main.LoopN(rOuter, iters, func(fb *isa.FuncBuilder) {
+		if sp.RecDepth > 0 {
+			fb.MovImm(rRec, int64(sp.RecDepth))
+		}
+		fb.Call(tgt)
+	})
+	main.Halt()
+
+	b.SetEntry("main")
+	return b.MustBuild()
+}
+
+func scatterName(i int) string { return "scatter_" + string(rune('a'+i%26)) + itoa(i) }
+func levelName(d int) string   { return "level" + itoa(d) }
+
+// itoa is a tiny integer formatter (avoids fmt in hot generator paths).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// emitDead writes n elements twice without any intervening load: every
+// store to the region is dead (Listing-2 style). With Interleave4 the
+// writes and the kills are spread over four regions with a long distance
+// between a write and its kill.
+func (sp Spec) emitDead(fb *isa.FuncBuilder, n int64) {
+	if n <= 0 {
+		return
+	}
+	fb.LoopN(rCtr, n, func(fb *isa.FuncBuilder) {
+		elemAddr(fb, baseDead)
+		if sp.Slow {
+			fb.SlowStore(rAddr, 0, rOuter, 8)
+		} else {
+			fb.Store(rAddr, 0, rOuter, 8)
+		}
+	})
+	fb.LoopN(rCtr, n, func(fb *isa.FuncBuilder) {
+		elemAddr(fb, baseDead)
+		fb.Store(rAddr, 0, rCtr, 8)
+	})
+}
+
+// emitInterleavedStores writes n elements across four regions in an
+// interleaved pattern; the stored value is rOuter+bias, so the write and
+// kill passes differ from each other within an iteration and both vary
+// across iterations (neither pass is silent).
+func (sp Spec) emitInterleavedStores(fb *isa.FuncBuilder, n, bias int64) {
+	quarter := n / 4
+	if quarter == 0 {
+		quarter = 1
+	}
+	bases := []int64{baseDead, baseDead2, baseDead3 + 1<<20, baseDead4}
+	fb.LoopN(rCtr, quarter, func(fb *isa.FuncBuilder) {
+		fb.AddImm(rVal, rOuter, bias)
+		for _, base := range bases {
+			elemAddr(fb, base)
+			fb.Store(rAddr, 0, rVal, 8)
+		}
+	})
+}
+
+// emitSilent loads then rewrites each element with an unchanging (or, for
+// FP, sub-precision drifting) value: silent stores and redundant loads,
+// but no dead stores because a load intervenes.
+func (sp Spec) emitSilent(fb *isa.FuncBuilder, n int64) {
+	if n <= 0 {
+		return
+	}
+	fb.LoopN(rCtr, n, func(fb *isa.FuncBuilder) {
+		elemAddr(fb, baseSilent)
+		if sp.FP {
+			fb.FLoad(rVal, rAddr, 0)
+			// value *= 1.0001: drifts far below the 1% precision.
+			fb.FMovImm(rVal2, 1.0001)
+			fb.FMul(rVal, rVal, rVal2)
+			fb.FStore(rAddr, 0, rVal)
+		} else {
+			fb.Load(rVal, rAddr, 0, 8)
+			fb.MovImm(rVal, 4242)
+			fb.Store(rAddr, 0, rVal, 8)
+		}
+	})
+}
+
+// emitNoisy loads then rewrites each element with an iteration-varying
+// value: useful stores, fresh loads.
+func (sp Spec) emitNoisy(fb *isa.FuncBuilder, n int64) {
+	if n <= 0 {
+		return
+	}
+	fb.LoopN(rCtr, n, func(fb *isa.FuncBuilder) {
+		elemAddr(fb, baseNoisy)
+		fb.Load(rVal, rAddr, 0, 8)
+		fb.Add(rVal, rCtr, rOuter)
+		fb.AddImm(rVal, rVal, 1) // ensure the value changes every iter
+		fb.Mul(rVal, rVal, rVal)
+		fb.Add(rVal, rVal, rOuter)
+		fb.Store(rAddr, 0, rVal, 8)
+	})
+}
+
+// emitRed loads a never-written region: pure redundant loads.
+func (sp Spec) emitRed(fb *isa.FuncBuilder, n int64) {
+	if n <= 0 {
+		return
+	}
+	fb.LoopN(rCtr, n, func(fb *isa.FuncBuilder) {
+		elemAddr(fb, baseRed)
+		if sp.FP {
+			fb.FLoad(rVal, rAddr, 0)
+		} else {
+			fb.Load(rVal, rAddr, 0, 8)
+		}
+	})
+}
+
+// Suite returns the 29-benchmark evaluation suite. Names follow SPEC
+// CPU2006; the trait mixes are design parameters (see DESIGN.md §2) chosen
+// so the evaluation exhibits the paper's qualitative structure: lbm is
+// ~100% silent FP traffic, hmmer/calculix carry long-latency stores,
+// gobmk/sjeng/xalancbmk recurse deeply, GemsFDTD/perlbench/zeusmp scatter
+// many small inefficiencies, h264ref interleaves four dead regions, and
+// mcf streams (long blind spots).
+func Suite() []Spec {
+	return []Spec{
+		{Name: "astar", DeadPct: 18, SilentPct: 22, RedPct: 35, Iters: 260, Depth: 3},
+		{Name: "bwaves", DeadPct: 8, SilentPct: 30, RedPct: 45, Iters: 260, FP: true, Depth: 2},
+		{Name: "bzip2", DeadPct: 32, SilentPct: 18, RedPct: 30, Iters: 260, Depth: 2},
+		{Name: "cactusADM", DeadPct: 12, SilentPct: 35, RedPct: 40, Iters: 240, FP: true, Depth: 4},
+		{Name: "calculix", DeadPct: 25, SilentPct: 30, RedPct: 30, Iters: 240, Slow: true, Depth: 3},
+		{Name: "dealII", DeadPct: 20, SilentPct: 25, RedPct: 40, Iters: 240, Depth: 5},
+		{Name: "gamess", DeadPct: 22, SilentPct: 28, RedPct: 35, Iters: 240, Depth: 4},
+		{Name: "gcc", DeadPct: 60, SilentPct: 15, RedPct: 35, Iters: 260, Depth: 3},
+		{Name: "GemsFDTD", DeadPct: 20, SilentPct: 30, RedPct: 35, Iters: 200, Scatter: 40, Depth: 2},
+		{Name: "gobmk", DeadPct: 25, SilentPct: 25, RedPct: 35, Iters: 180, RecDepth: 120},
+		{Name: "gromacs", DeadPct: 15, SilentPct: 25, RedPct: 30, Iters: 240, FP: true, Depth: 3},
+		{Name: "h264ref", DeadPct: 36, SilentPct: 20, RedPct: 45, Iters: 240, Interleave4: true, Depth: 2},
+		{Name: "hmmer", DeadPct: 30, SilentPct: 35, RedPct: 30, Iters: 240, Slow: true, Depth: 2},
+		{Name: "lbm", DeadPct: 1, SilentPct: 95, RedPct: 97, Iters: 260, FP: true, Depth: 1},
+		{Name: "leslie3d", DeadPct: 10, SilentPct: 30, RedPct: 40, Iters: 240, FP: true, Depth: 2},
+		{Name: "libquantum", DeadPct: 14, SilentPct: 20, RedPct: 50, Iters: 260, Depth: 1},
+		{Name: "mcf", DeadPct: 16, SilentPct: 20, RedPct: 45, Iters: 220, StreamElems: 400, Depth: 2},
+		{Name: "milc", DeadPct: 12, SilentPct: 30, RedPct: 40, Iters: 240, FP: true, Depth: 3},
+		{Name: "namd", DeadPct: 8, SilentPct: 25, RedPct: 35, Iters: 240, FP: true, Depth: 4},
+		{Name: "omnetpp", DeadPct: 26, SilentPct: 22, RedPct: 40, Iters: 220, Depth: 6},
+		{Name: "perlbench", DeadPct: 35, SilentPct: 30, RedPct: 45, Iters: 200, Scatter: 40, Depth: 3},
+		{Name: "povray", DeadPct: 10, SilentPct: 15, RedPct: 25, Iters: 420, StoresPerIter: 600, Depth: 5},
+		{Name: "sjeng", DeadPct: 20, SilentPct: 25, RedPct: 30, Iters: 170, RecDepth: 160},
+		{Name: "soplex", DeadPct: 22, SilentPct: 25, RedPct: 40, Iters: 240, Depth: 3},
+		{Name: "sphinx3", DeadPct: 15, SilentPct: 28, RedPct: 40, Iters: 240, FP: true, Depth: 2},
+		{Name: "tonto", DeadPct: 18, SilentPct: 30, RedPct: 35, Iters: 240, FP: true, Depth: 4},
+		{Name: "wrf", DeadPct: 12, SilentPct: 32, RedPct: 40, Iters: 240, FP: true, Depth: 3},
+		{Name: "xalancbmk", DeadPct: 30, SilentPct: 30, RedPct: 55, Iters: 170, RecDepth: 140},
+		{Name: "zeusmp", DeadPct: 15, SilentPct: 25, RedPct: 30, Iters: 220, Scatter: 28, FP: true, Depth: 2},
+	}
+}
+
+// SuiteSpec returns the named suite benchmark.
+func SuiteSpec(name string) (Spec, bool) {
+	for _, sp := range Suite() {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return Spec{}, false
+}

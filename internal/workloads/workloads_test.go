@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/exhaustive"
+	"repro/internal/isa"
+	"repro/internal/machine"
+)
+
+func TestSuiteProgramsBuildAndRun(t *testing.T) {
+	for _, sp := range Suite() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			// Build at a tiny scale by shrinking iterations.
+			small := sp
+			small.Iters = 3
+			prog := small.Build(1)
+			if err := prog.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m := machine.New(prog, machine.Config{MaxSteps: 50_000_000})
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			th := m.Threads[0]
+			if th.Stores == 0 || th.Loads == 0 {
+				t.Fatalf("no memory traffic: loads=%d stores=%d", th.Loads, th.Stores)
+			}
+		})
+	}
+}
+
+func TestSuiteHas29Benchmarks(t *testing.T) {
+	if n := len(Suite()); n != 29 {
+		t.Fatalf("suite size = %d, want 29 (SPEC CPU2006)", n)
+	}
+	seen := map[string]bool{}
+	for _, sp := range Suite() {
+		if seen[sp.Name] {
+			t.Fatalf("duplicate benchmark %q", sp.Name)
+		}
+		seen[sp.Name] = true
+	}
+}
+
+func TestSuiteSpecLookup(t *testing.T) {
+	if _, ok := SuiteSpec("gcc"); !ok {
+		t.Fatal("gcc missing")
+	}
+	if _, ok := SuiteSpec("nope"); ok {
+		t.Fatal("unexpected benchmark")
+	}
+}
+
+// TestTraitsShapeGroundTruth spot-checks that the trait mixes produce the
+// intended qualitative structure in the exhaustive ground truth.
+func TestTraitsShapeGroundTruth(t *testing.T) {
+	dead := func(name string) float64 {
+		sp, ok := SuiteSpec(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		sp.Iters = 20
+		prog := sp.Build(1)
+		res, err := exhaustive.Run(machine.New(prog, machine.Config{}), exhaustive.NewDeadSpy(prog))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Redundancy()
+	}
+	if g, l := dead("gcc"), dead("lbm"); g < 0.45 || l > 0.1 || g <= l {
+		t.Fatalf("dead ordering wrong: gcc=%.3f lbm=%.3f", g, l)
+	}
+}
+
+func TestRecursiveBenchmarksBuildDeepStacks(t *testing.T) {
+	sp, _ := SuiteSpec("sjeng")
+	sp.Iters = 2
+	prog := sp.Build(1)
+	m := machine.New(prog, machine.Config{})
+	maxDepth := 0
+	m.SetObserver(depthObserver{&maxDepth})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxDepth < sp.RecDepth {
+		t.Fatalf("max call depth = %d, want >= %d", maxDepth, sp.RecDepth)
+	}
+}
+
+type depthObserver struct{ max *int }
+
+func (d depthObserver) OnAccess(t *machine.Thread, a *machine.Access) {}
+func (d depthObserver) OnRet(t *machine.Thread)                       {}
+func (d depthObserver) OnCall(t *machine.Thread, c int32, s isa.PC) {
+	if depth := t.Depth(); depth > *d.max {
+		*d.max = depth
+	}
+}
+
+func TestListingsBuild(t *testing.T) {
+	for name, p := range map[string]interface{ Validate() error }{
+		"listing2":     Listing2(1000),
+		"listing3":     Listing3(100, 2),
+		"figure2":      Figure2(50, 2),
+		"stacksignals": StackSignals(10),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCaseStudiesFixedIsFaster(t *testing.T) {
+	for _, cs := range CaseStudies() {
+		cs := cs
+		t.Run(cs.Name, func(t *testing.T) {
+			buggy := machine.New(cs.Buggy(1), machine.Config{MaxSteps: 200_000_000})
+			if err := buggy.Run(); err != nil {
+				t.Fatal(err)
+			}
+			fixed := machine.New(cs.Fixed(1), machine.Config{MaxSteps: 200_000_000})
+			if err := fixed.Run(); err != nil {
+				t.Fatal(err)
+			}
+			bi, fi := buggy.Steps(), fixed.Steps()
+			if fi >= bi {
+				t.Fatalf("fixed (%d instrs) not faster than buggy (%d)", fi, bi)
+			}
+			speedup := float64(bi) / float64(fi)
+			// The shape requirement: meaningful speedup, not orders of
+			// magnitude off the paper's number.
+			if speedup < 1.02 {
+				t.Fatalf("speedup %.3f too small (paper: %.2f)", speedup, cs.PaperSpeedup)
+			}
+			if cs.PaperSpeedup < 2 && speedup > 4*cs.PaperSpeedup {
+				t.Fatalf("speedup %.2f wildly exceeds paper's %.2f", speedup, cs.PaperSpeedup)
+			}
+		})
+	}
+}
+
+func TestCaseStudyLookup(t *testing.T) {
+	if _, ok := CaseStudyByName("binutils-dwarf2"); !ok {
+		t.Fatal("missing binutils case")
+	}
+	if _, ok := CaseStudyByName("nope"); ok {
+		t.Fatal("unexpected case")
+	}
+	if len(CaseStudies()) < 12 {
+		t.Fatalf("only %d case studies", len(CaseStudies()))
+	}
+}
+
+func TestFigure2RegionClassifier(t *testing.T) {
+	for line, want := range map[int]string{
+		LineA1: "a", LineA2: "a", LineB1: "b", LineB2: "b", LineX1: "x", LineX2: "x", 99: "?",
+	} {
+		if got := Figure2Region(line); got != want {
+			t.Errorf("line %d → %q, want %q", line, got, want)
+		}
+	}
+}

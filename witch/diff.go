@@ -1,0 +1,134 @@
+package witch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Diff compares two profiles of the same tool — typically a baseline
+// saved at the last commit and a fresh run — supporting the deployment
+// story the paper opens with: inefficiency detection cheap enough to
+// "run with each code check-in to isolate inefficiencies at the
+// earliest".
+type Diff struct {
+	Tool string
+	// RedundancyDelta is after minus before, in fraction points.
+	RedundancyDelta float64
+	// New are pairs present only in the after profile, Gone only in the
+	// before profile, Changed in both with different waste; each sorted
+	// by descending absolute waste delta.
+	New     []Pair
+	Gone    []Pair
+	Changed []PairDelta
+}
+
+// PairDelta is one pair whose waste changed between profiles.
+type PairDelta struct {
+	Src, Dst      string
+	Before, After float64
+}
+
+// Delta returns after − before waste.
+func (pd PairDelta) Delta() float64 { return pd.After - pd.Before }
+
+// DiffProfiles compares before and after. Pairs are keyed by their
+// source and destination leaf locations; wasteless pairs are ignored.
+func DiffProfiles(before, after *Profile) (*Diff, error) {
+	if before.Tool != after.Tool {
+		return nil, fmt.Errorf("witch: diffing different tools (%s vs %s)", before.Tool, after.Tool)
+	}
+	key := func(p Pair) string { return p.Src + " -> " + p.Dst }
+	b := map[string]Pair{}
+	for _, p := range before.TopPairs(0) {
+		if p.Waste > 0 {
+			b[key(p)] = p
+		}
+	}
+	d := &Diff{
+		Tool:            before.Tool,
+		RedundancyDelta: after.Redundancy - before.Redundancy,
+	}
+	seen := map[string]bool{}
+	for _, p := range after.TopPairs(0) {
+		if p.Waste == 0 {
+			continue
+		}
+		k := key(p)
+		seen[k] = true
+		old, ok := b[k]
+		if !ok {
+			d.New = append(d.New, p)
+			continue
+		}
+		if old.Waste != p.Waste {
+			d.Changed = append(d.Changed, PairDelta{Src: p.Src, Dst: p.Dst, Before: old.Waste, After: p.Waste})
+		}
+	}
+	for k, p := range b {
+		if !seen[k] {
+			d.Gone = append(d.Gone, p)
+		}
+	}
+	sort.Slice(d.New, func(i, j int) bool { return d.New[i].Waste > d.New[j].Waste })
+	sort.Slice(d.Gone, func(i, j int) bool { return d.Gone[i].Waste > d.Gone[j].Waste })
+	sort.Slice(d.Changed, func(i, j int) bool {
+		return abs(d.Changed[i].Delta()) > abs(d.Changed[j].Delta())
+	})
+	return d, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Regressed reports whether the after profile is meaningfully worse: its
+// redundancy grew by more than tolerance fraction points, or a new pair
+// appeared carrying at least minPairWaste.
+func (d *Diff) Regressed(tolerance, minPairWaste float64) bool {
+	if d.RedundancyDelta > tolerance {
+		return true
+	}
+	for _, p := range d.New {
+		if p.Waste >= minPairWaste {
+			return true
+		}
+	}
+	return false
+}
+
+// Write renders the diff as a short human-readable report.
+func (d *Diff) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s: redundancy %+.2f pp\n", d.Tool, 100*d.RedundancyDelta)
+	section := func(title string, pairs []Pair) {
+		if len(pairs) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s (%d):\n", title, len(pairs))
+		for i, p := range pairs {
+			if i == 10 {
+				fmt.Fprintf(w, "  ... and %d more\n", len(pairs)-10)
+				break
+			}
+			fmt.Fprintf(w, "  %12.0f  %s -> %s\n", p.Waste, p.Src, p.Dst)
+		}
+	}
+	section("new inefficiency pairs", d.New)
+	section("eliminated pairs", d.Gone)
+	if len(d.Changed) > 0 {
+		fmt.Fprintf(w, "changed pairs (%d):\n", len(d.Changed))
+		for i, pd := range d.Changed {
+			if i == 10 {
+				fmt.Fprintf(w, "  ... and %d more\n", len(d.Changed)-10)
+				break
+			}
+			fmt.Fprintf(w, "  %+12.0f  %s -> %s\n", pd.Delta(), pd.Src, pd.Dst)
+		}
+	}
+	if len(d.New)+len(d.Gone)+len(d.Changed) == 0 {
+		fmt.Fprintln(w, "no pair-level changes")
+	}
+}

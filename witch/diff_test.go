@@ -1,0 +1,98 @@
+package witch_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/witch"
+)
+
+// profileOf runs DeadCraft on a case-study program.
+func profileOf(t *testing.T, name string, fixed bool) *witch.Profile {
+	t.Helper()
+	prog, err := witch.Case(name, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 499, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestDiffFixedVsBuggy(t *testing.T) {
+	buggy := profileOf(t, "nwchem-dfill", false)
+	fixed := profileOf(t, "nwchem-dfill", true)
+
+	// Fixing the bug: redundancy drops, the dead pair disappears.
+	d, err := witch.DiffProfiles(buggy, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RedundancyDelta >= 0 {
+		t.Fatalf("fix should reduce redundancy, delta = %+.3f", d.RedundancyDelta)
+	}
+	if len(d.Gone) == 0 {
+		t.Fatal("the dead pair should be eliminated")
+	}
+	if d.Regressed(0.02, 1) {
+		t.Fatal("a fix is not a regression")
+	}
+
+	// The reverse direction (introducing the bug) must flag a regression.
+	rd, err := witch.DiffProfiles(fixed, buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rd.Regressed(0.02, 1) {
+		t.Fatal("introducing the bug must be flagged")
+	}
+	if len(rd.New) == 0 {
+		t.Fatal("the dead pair should appear as new")
+	}
+}
+
+func TestDiffIdenticalProfiles(t *testing.T) {
+	a := profileOf(t, "gcc-cselib", false)
+	b := profileOf(t, "gcc-cselib", false)
+	d, err := witch.DiffProfiles(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.RedundancyDelta != 0 || len(d.New)+len(d.Gone)+len(d.Changed) != 0 {
+		t.Fatalf("identical runs must diff empty: %+v", d)
+	}
+	var sb strings.Builder
+	d.Write(&sb)
+	if !strings.Contains(sb.String(), "no pair-level changes") {
+		t.Fatalf("report: %s", sb.String())
+	}
+}
+
+func TestDiffRejectsMixedTools(t *testing.T) {
+	prog, _ := witch.Workload("gcc")
+	dead, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 499, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, _ := witch.Workload("gcc")
+	silent, err := witch.Run(prog2, witch.Options{Tool: witch.SilentStores, Period: 499, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := witch.DiffProfiles(dead, silent); err == nil {
+		t.Fatal("expected tool-mismatch error")
+	}
+}
+
+func TestDiffWriteRendersSections(t *testing.T) {
+	buggy := profileOf(t, "nwchem-dfill", false)
+	fixed := profileOf(t, "nwchem-dfill", true)
+	d, _ := witch.DiffProfiles(fixed, buggy)
+	var sb strings.Builder
+	d.Write(&sb)
+	if !strings.Contains(sb.String(), "new inefficiency pairs") {
+		t.Fatalf("report: %s", sb.String())
+	}
+}

@@ -1,0 +1,51 @@
+package witch_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/witch"
+)
+
+// The canonical session: compile a program with a dead store, profile it,
+// and read the report.
+func ExampleRun() {
+	prog, err := witch.Compile("example.wa", `
+func main
+  movi r1, 4096
+  movi r9, 0
+  movi r10, 10000
+loop:
+  store [r1+0], r9, 8   ; dead: overwritten by the next iteration
+  addi r9, r9, 1
+  blt r9, r10, loop
+  halt
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 101, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dead stores: %.0f%%\n", 100*prof.Redundancy)
+	fmt.Printf("top pair: %s -> %s\n", prof.TopPairs(1)[0].Src, prof.TopPairs(1)[0].Dst)
+	// Output:
+	// dead stores: 100%
+	// top pair: example.wa:main:7 -> example.wa:main:7
+}
+
+// Ground truth comes from the exhaustive shadow-memory tools.
+func ExampleRunExhaustive() {
+	prog, err := witch.Workload("listing2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	spy, err := witch.RunExhaustive(prog, witch.DeadStores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.0f%% dead\n", spy.Tool, 100*spy.Redundancy)
+	// Output:
+	// DeadSpy: 100% dead
+}

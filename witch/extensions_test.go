@@ -1,0 +1,168 @@
+package witch_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/witch"
+)
+
+func TestIBSSamplingOption(t *testing.T) {
+	prog, _ := witch.Workload("gcc")
+	pebs, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 499, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, _ := witch.Workload("gcc")
+	ibs, err := witch.Run(prog2, witch.Options{Tool: witch.DeadStores, Period: 499, Seed: 1, IBSSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sampling flavours agree with each other on the metric.
+	if math.Abs(pebs.Redundancy-ibs.Redundancy) > 0.1 {
+		t.Fatalf("PEBS %.3f vs IBS %.3f", pebs.Redundancy, ibs.Redundancy)
+	}
+	if ibs.Stats.Samples == 0 {
+		t.Fatal("IBS produced no samples")
+	}
+}
+
+func TestRunBursty(t *testing.T) {
+	prog, _ := witch.Workload("gcc")
+	full, err := witch.RunExhaustive(prog, witch.DeadStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, _ := witch.Workload("gcc")
+	burst, err := witch.RunBursty(prog2, witch.DeadStores, 1000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !burst.Exhaustive {
+		t.Fatal("bursty runs are exhaustive-family")
+	}
+	if !strings.Contains(burst.Tool, "bursty") {
+		t.Fatalf("tool = %q", burst.Tool)
+	}
+	if math.Abs(burst.Redundancy-full.Redundancy) > 0.1 {
+		t.Fatalf("bursty %.3f vs full %.3f", burst.Redundancy, full.Redundancy)
+	}
+	if burst.Waste >= full.Waste/2 {
+		t.Fatalf("bursty should observe a fraction of the waste: %v vs %v", burst.Waste, full.Waste)
+	}
+	if _, err := witch.RunBursty(prog2, "bogus", 1, 1); err == nil {
+		t.Fatal("expected error for unknown tool")
+	}
+}
+
+func TestFalseSharingFacade(t *testing.T) {
+	packed, _ := witch.Workload("parcounters")
+	sp, err := witch.RunFalseSharing(packed, 4, witch.Options{Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.FalseShares == 0 || sp.FalseFraction() < 0.9 {
+		t.Fatalf("packed counters: false=%v frac=%.2f", sp.FalseShares, sp.FalseFraction())
+	}
+	if len(sp.TopPairs(1)) != 1 {
+		t.Fatal("no conflict pairs")
+	}
+	padded, _ := witch.Workload("parcounters-padded")
+	sp2, err := witch.RunFalseSharing(padded, 4, witch.Options{Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp2.FalseShares != 0 {
+		t.Fatalf("padded counters should not false-share: %v", sp2.FalseShares)
+	}
+}
+
+func TestThreadsOptionInvariantMetric(t *testing.T) {
+	// pardead does per-thread-private dead stores: the metric must not
+	// depend on the thread count, while work scales with it (§6.3).
+	var prev *witch.Profile
+	for _, threads := range []int{1, 4} {
+		prog, _ := witch.Workload("pardead")
+		prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 211, Seed: 1, Threads: threads})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prof.Redundancy < 0.95 {
+			t.Fatalf("%d threads: redundancy %.3f, want ~1", threads, prof.Redundancy)
+		}
+		if prev != nil {
+			if prof.Stores < 3*prev.Stores {
+				t.Fatalf("stores should scale with threads: %d vs %d", prof.Stores, prev.Stores)
+			}
+			if math.Abs(prof.Redundancy-prev.Redundancy) > 0.03 {
+				t.Fatalf("metric not thread-invariant: %.3f vs %.3f", prof.Redundancy, prev.Redundancy)
+			}
+		}
+		prev = prof
+	}
+}
+
+func TestWriteTopDown(t *testing.T) {
+	prog, _ := witch.Workload("listing3")
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	prof.WriteTopDown(&sb, 0.01)
+	out := sb.String()
+	if !strings.Contains(out, "top-down view") || !strings.Contains(out, "main") {
+		t.Fatalf("top-down output:\n%s", out)
+	}
+	if !strings.Contains(out, "partner context") {
+		t.Fatalf("missing partner separator:\n%s", out)
+	}
+}
+
+func TestRecordAndReplayFacade(t *testing.T) {
+	prog, _ := witch.Workload("bzip2")
+	var buf bytes.Buffer
+	st, err := witch.RecordTrace(prog, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stores == 0 || buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	offline, err := witch.ReplayExhaustive(&buf, prog, witch.DeadStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := witch.RunExhaustive(prog, witch.DeadStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offline.Waste != live.Waste || offline.Use != live.Use {
+		t.Fatalf("offline (%v,%v) != live (%v,%v)", offline.Waste, offline.Use, live.Waste, live.Use)
+	}
+	if _, err := witch.ReplayExhaustive(bytes.NewBufferString("junk"), prog, witch.DeadStores); err == nil {
+		t.Fatal("expected bad-trace error")
+	}
+}
+
+func TestWorkloadScaled(t *testing.T) {
+	small, err := witch.WorkloadScaled("bzip2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := witch.WorkloadScaled("bzip2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := small.RunNative()
+	s3, _ := big.RunNative()
+	if s3.Stores < 2*s1.Stores {
+		t.Fatalf("scaled workload should do ~3x the work: %d vs %d", s3.Stores, s1.Stores)
+	}
+	// Non-suite names fall back to the fixed build.
+	if _, err := witch.WorkloadScaled("listing2", 5); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package witch
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// profileJSON is the on-disk schema for a saved profile, the analogue of
+// hpcrun's measurement files that hpcviewer consumes postmortem (§6.5):
+// collection and inspection are separate steps, so a profile taken on one
+// machine can be ranked and navigated elsewhere.
+type profileJSON struct {
+	FormatVersion int     `json:"format_version"`
+	Program       string  `json:"program"`
+	Tool          string  `json:"tool"`
+	Exhaustive    bool    `json:"exhaustive"`
+	Redundancy    float64 `json:"redundancy"`
+	Waste         float64 `json:"waste"`
+	Use           float64 `json:"use"`
+	WallNanos     int64   `json:"wall_ns"`
+	ToolBytes     uint64  `json:"tool_bytes"`
+	Instrs        uint64  `json:"instrs"`
+	Loads         uint64  `json:"loads"`
+	Stores        uint64  `json:"stores"`
+	Stats         Stats   `json:"stats"`
+	Pairs         []Pair  `json:"pairs"`
+}
+
+// currentFormatVersion is bumped on incompatible schema changes.
+const currentFormatVersion = 1
+
+// WriteJSON serializes the profile (metadata plus the full ranked pair
+// list) for postmortem inspection.
+func (pr *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(profileJSON{
+		FormatVersion: currentFormatVersion,
+		Program:       pr.Program,
+		Tool:          pr.Tool,
+		Exhaustive:    pr.Exhaustive,
+		Redundancy:    pr.Redundancy,
+		Waste:         pr.Waste,
+		Use:           pr.Use,
+		WallNanos:     pr.WallTime.Nanoseconds(),
+		ToolBytes:     pr.ToolBytes,
+		Instrs:        pr.Instrs,
+		Loads:         pr.Loads,
+		Stores:        pr.Stores,
+		Stats:         pr.Stats,
+		Pairs:         pr.pairs,
+	})
+}
+
+// ReadProfileJSON loads a profile saved with WriteJSON. The calling
+// context tree itself is not serialized — the ranked pair list with full
+// synthetic chains is the postmortem artifact — so tree-dependent methods
+// (WriteTopDown, Dominance) are unavailable on loaded profiles; TopPairs
+// and all scalar metrics work.
+func ReadProfileJSON(r io.Reader) (*Profile, error) {
+	var pj profileJSON
+	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Program:    pj.Program,
+		Tool:       pj.Tool,
+		Exhaustive: pj.Exhaustive,
+		Redundancy: pj.Redundancy,
+		Waste:      pj.Waste,
+		Use:        pj.Use,
+		WallTime:   time.Duration(pj.WallNanos),
+		ToolBytes:  pj.ToolBytes,
+		Instrs:     pj.Instrs,
+		Loads:      pj.Loads,
+		Stores:     pj.Stores,
+		Stats:      pj.Stats,
+		pairs:      pj.Pairs,
+	}, nil
+}
+
+// FlatProfile aggregates waste by source leaf location alone, discarding
+// calling context — the "flat profiling" contrast the paper's background
+// section draws (§3): flat views are ambiguous when the same leaf (e.g. a
+// memset) is reached from many contexts, which is exactly why Witch
+// attributes to full call paths.
+func (pr *Profile) FlatProfile() map[string]float64 {
+	flat := make(map[string]float64)
+	for _, p := range pr.pairs {
+		flat[p.Src] += p.Waste
+	}
+	return flat
+}

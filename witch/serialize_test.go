@@ -1,0 +1,67 @@
+package witch_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/witch"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	prog, _ := witch.Workload("listing3")
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := witch.ReadProfileJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Program != prof.Program || loaded.Tool != prof.Tool {
+		t.Fatal("identity fields lost")
+	}
+	if loaded.Redundancy != prof.Redundancy || loaded.Waste != prof.Waste {
+		t.Fatal("metrics lost")
+	}
+	if loaded.Stats != prof.Stats {
+		t.Fatal("stats lost")
+	}
+	a, b := prof.TopPairs(0), loaded.TopPairs(0)
+	if len(a) != len(b) {
+		t.Fatalf("pairs lost: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReadProfileJSONRejectsGarbage(t *testing.T) {
+	if _, err := witch.ReadProfileJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFlatProfile(t *testing.T) {
+	prog, _ := witch.Workload("listing3")
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := prof.FlatProfile()
+	if len(flat) == 0 {
+		t.Fatal("empty flat profile")
+	}
+	var sum float64
+	for _, v := range flat {
+		sum += v
+	}
+	if sum != prof.Waste {
+		t.Fatalf("flat sum %v != waste %v", sum, prof.Waste)
+	}
+}

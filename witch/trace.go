@@ -1,0 +1,89 @@
+package witch
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/exhaustive"
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// RecordTrace executes the program natively while recording its retired
+// access stream (loads, stores, calls, returns) to w in the repository's
+// binary trace format. The trace can be analyzed offline with
+// ReplayExhaustive — collection and analysis separated, the way
+// production profilers split measurement from viewing.
+func RecordTrace(p *Program, w io.Writer) (*ExecStats, error) {
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(p.prog, machine.Config{})
+	m.SetObserver(tw)
+	start := time.Now()
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	if err := tw.Flush(); err != nil {
+		return nil, err
+	}
+	st := &ExecStats{WallTime: time.Since(start), FootprintBytes: m.Footprint()}
+	for _, t := range m.Threads {
+		st.Instrs += t.Instrs
+		st.Loads += t.Loads
+		st.Stores += t.Stores
+	}
+	return st, nil
+}
+
+// ReplayExhaustive runs the exhaustive counterpart of a tool (DeadSpy,
+// RedSpy or LoadSpy) over a recorded trace instead of a live execution.
+// The program the trace was recorded from must be supplied so contexts
+// resolve to source locations.
+func ReplayExhaustive(r io.Reader, p *Program, tool Tool) (*Profile, error) {
+	var spy exhaustive.Spy
+	switch tool {
+	case DeadStores:
+		spy = exhaustive.NewDeadSpy(p.prog)
+	case SilentStores:
+		spy = exhaustive.NewRedSpy(p.prog)
+	case RedundantLoads:
+		spy = exhaustive.NewLoadSpy(p.prog)
+	default:
+		return nil, fmt.Errorf("witch: unknown tool %q", tool)
+	}
+	start := time.Now()
+	if _, err := trace.Replay(r, spy); err != nil {
+		return nil, err
+	}
+	res := spy.Finish()
+	out := &Profile{
+		Program:    p.name + " (trace)",
+		Tool:       res.Tool,
+		Redundancy: res.Redundancy(),
+		Waste:      res.Waste,
+		Use:        res.Use,
+		WallTime:   time.Since(start),
+		ToolBytes:  res.ToolBytes,
+		Exhaustive: true,
+		Instrs:     res.Instrs,
+		Loads:      res.Loads,
+		Stores:     res.Stores,
+		tree:       res.Tree,
+		prog:       p.prog,
+	}
+	out.pairs = convertPairs(p.prog, res.Tree)
+	return out, nil
+}
+
+// WorkloadScaled is Workload with the suite benchmark's outer iteration
+// count multiplied by scale (≥1); listings and parallel workloads ignore
+// the scale.
+func WorkloadScaled(name string, scale int) (*Program, error) {
+	if sp, ok := workloadSpec(name); ok {
+		return &Program{prog: sp.Build(scale), name: name}, nil
+	}
+	return Workload(name)
+}

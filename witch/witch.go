@@ -1,0 +1,536 @@
+// Package witch is the public API of this reproduction of "Watching for
+// Software Inefficiencies with Witch" (ASPLOS 2018). It profiles programs
+// running on the repository's simulated CPU with the paper's three
+// witchcraft tools — dead-store, silent-store, and redundant-load
+// detection driven by PMU sampling plus hardware-debug-register
+// watchpoints — and with the exhaustive shadow-memory baselines (DeadSpy,
+// RedSpy, LoadSpy) used as ground truth.
+//
+// Programs come from three sources: Compile assembles the package's
+// assembly dialect (see internal/asm for the syntax), Workload loads one
+// of the built-in evaluation programs (the 29-benchmark SPEC CPU2006
+// stand-in suite plus the paper's listings), and Case loads a Table 3
+// case study in buggy or fixed form.
+//
+// A minimal session:
+//
+//	prog, _ := witch.Workload("gcc")
+//	prof, _ := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 5000})
+//	fmt.Printf("dead stores: %.1f%%\n", 100*prof.Redundancy)
+//	for _, p := range prof.TopPairs(5) {
+//	    fmt.Printf("%8.0f  %s -> %s\n", p.Waste, p.Src, p.Dst)
+//	}
+package witch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/cct"
+	"repro/internal/craft"
+	"repro/internal/exhaustive"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	iwitch "repro/internal/witch"
+	"repro/internal/workloads"
+)
+
+// Tool selects which inefficiency a profiling run detects.
+type Tool string
+
+// The three witchcraft tools of the paper (§4, §6).
+const (
+	// DeadStores detects stores overwritten without an intervening load
+	// (DeadCraft; ground truth DeadSpy).
+	DeadStores Tool = "dead"
+	// SilentStores detects stores that write the value already present
+	// (SilentCraft; ground truth RedSpy).
+	SilentStores Tool = "silent"
+	// RedundantLoads detects loads observing an unchanged value
+	// (LoadCraft; ground truth LoadSpy).
+	RedundantLoads Tool = "load"
+)
+
+// Policy selects the watchpoint replacement strategy (§4.1).
+type Policy = iwitch.Policy
+
+// Replacement policies; Reservoir is the paper's contribution, the other
+// two are the strawmen it is evaluated against (Figure 2).
+const (
+	Reservoir     = iwitch.PolicyReservoir
+	ReplaceOldest = iwitch.PolicyReplaceOldest
+	CoinFlip      = iwitch.PolicyCoinFlip
+)
+
+// Program is an executable image for the simulated machine.
+type Program struct {
+	prog *isa.Program
+	name string
+}
+
+// Compile assembles source text (see the package documentation of
+// internal/asm for the dialect) into a Program; file names it in reports.
+func Compile(file, source string) (*Program, error) {
+	p, err := asm.Assemble(file, source)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p, name: file}, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(file, source string) *Program {
+	p, err := Compile(file, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Workload returns a built-in evaluation program: one of the 29 suite
+// benchmarks (e.g. "gcc", "lbm", "mcf") or a paper listing ("listing2",
+// "listing3", "figure2", "stacksignals").
+func Workload(name string) (*Program, error) {
+	switch name {
+	case "listing2":
+		return &Program{prog: workloads.Listing2(20000), name: name}, nil
+	case "listing3":
+		return &Program{prog: workloads.Listing3(4000, 10), name: name}, nil
+	case "figure2":
+		return &Program{prog: workloads.Figure2(150, 40), name: name}, nil
+	case "stacksignals":
+		return &Program{prog: workloads.StackSignals(400), name: name}, nil
+	case "parcounters":
+		return &Program{prog: workloads.ParallelCounters(20000, 8), name: name}, nil
+	case "parcounters-padded":
+		return &Program{prog: workloads.ParallelCounters(20000, 128), name: name}, nil
+	case "sharedcounter":
+		return &Program{prog: workloads.SharedCounter(20000), name: name}, nil
+	case "pardead":
+		return &Program{prog: workloads.ParallelDead(400, 100), name: name}, nil
+	}
+	if sp, ok := workloads.SuiteSpec(name); ok {
+		return &Program{prog: sp.Build(1), name: name}, nil
+	}
+	return nil, fmt.Errorf("witch: unknown workload %q (see WorkloadNames)", name)
+}
+
+// workloadSpec resolves a suite benchmark's spec (scaled builds).
+func workloadSpec(name string) (workloads.Spec, bool) {
+	return workloads.SuiteSpec(name)
+}
+
+// WorkloadNames lists every built-in workload.
+func WorkloadNames() []string {
+	names := []string{
+		"listing2", "listing3", "figure2", "stacksignals",
+		"parcounters", "parcounters-padded", "sharedcounter", "pardead",
+	}
+	for _, sp := range workloads.Suite() {
+		names = append(names, sp.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Case returns a Table 3 case-study program in its buggy or fixed form
+// (e.g. Case("binutils-dwarf2", false)).
+func Case(name string, fixed bool) (*Program, error) {
+	cs, ok := workloads.CaseStudyByName(name)
+	if !ok {
+		return nil, fmt.Errorf("witch: unknown case study %q", name)
+	}
+	if fixed {
+		return &Program{prog: cs.Fixed(1), name: name + "-fixed"}, nil
+	}
+	return &Program{prog: cs.Buggy(1), name: name}, nil
+}
+
+// CaseNames lists the Table 3 case studies.
+func CaseNames() []string {
+	var names []string
+	for _, cs := range workloads.CaseStudies() {
+		names = append(names, cs.Name)
+	}
+	return names
+}
+
+// Name returns the program's report name.
+func (p *Program) Name() string { return p.name }
+
+// Disassemble renders the program in assembler syntax.
+func (p *Program) Disassemble() string { return asm.Disassemble(p.prog) }
+
+// ExecStats summarizes a native (unmonitored) run, the baseline that
+// Table 1/2 overheads are computed against.
+type ExecStats struct {
+	WallTime time.Duration
+	Instrs   uint64
+	Loads    uint64
+	Stores   uint64
+	// FootprintBytes is the program's resident memory (touched pages
+	// plus machine state).
+	FootprintBytes uint64
+}
+
+// RunNative executes the program without any monitoring.
+func (p *Program) RunNative() (*ExecStats, error) {
+	m := machine.New(p.prog, machine.Config{})
+	start := time.Now()
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	st := &ExecStats{WallTime: time.Since(start), FootprintBytes: m.Footprint()}
+	for _, t := range m.Threads {
+		st.Instrs += t.Instrs
+		st.Loads += t.Loads
+		st.Stores += t.Stores
+	}
+	return st, nil
+}
+
+// Options configures a profiling run. The zero value of every field is
+// the paper's default: 4 debug registers, reservoir replacement,
+// proportional attribution, IOC_MODIFY fast replacement, LBR precise-PC
+// recovery, alternate signal stack, 1% floating-point precision, and a
+// period of 5000 stores / 10000 loads (the scaled analogue of the paper's
+// 5M/10M defaults).
+type Options struct {
+	// Tool selects the detector; required.
+	Tool Tool
+	// Period is the PMU sampling period in events.
+	Period uint64
+	// DebugRegisters is the number of hardware debug registers (1..4 in
+	// Figure 5; default 4).
+	DebugRegisters int
+	// Seed drives the deterministic replacement PRNG.
+	Seed int64
+	// Policy is the watchpoint replacement policy.
+	Policy Policy
+	// FloatPrecision is the relative tolerance for floating-point value
+	// comparison (default 0.01, the paper's 1%).
+	FloatPrecision float64
+	// ShadowSampling enables the PEBS shadow-effect bias (§4.3).
+	ShadowSampling bool
+	// IBSSampling switches the PMU to AMD-style instruction-based
+	// sampling: the period counts all retired instructions and an
+	// overflow tagging a non-matching instruction yields no sample (§3).
+	IBSSampling bool
+	// Threads runs the program on this many threads (all starting at the
+	// entry function with their ID in r1). Debug registers and PMUs are
+	// virtualized per thread and the crafts track intra-thread
+	// inefficiency only, as in §6.3. Default 1.
+	Threads int
+
+	// Ablation switches (each disables one of the paper's mechanisms).
+	DisableProportional bool
+	DisableFastModify   bool
+	DisableLBR          bool
+	DisableAltStack     bool
+}
+
+// Pair is one ⟨C_watch, C_trap⟩ inefficiency pair in a report.
+type Pair struct {
+	// Src and Dst are the leaf locations ("file:func:line") of the
+	// watched and trapping contexts.
+	Src, Dst string
+	// Chain is the full synthetic call chain (§6.5).
+	Chain      string
+	Waste, Use float64
+	// SrcLine and DstLine are the source lines, for programmatic
+	// classification.
+	SrcLine, DstLine int
+}
+
+// Stats carries framework counters (samples, traps, blind spots, kernel
+// resource usage).
+type Stats = iwitch.Stats
+
+// Profile is the outcome of a profiling run.
+type Profile struct {
+	Program string
+	Tool    string
+	// Redundancy is the paper's Equation 1 metric in [0,1]: the wasted
+	// fraction of monitored traffic (D, R or L depending on the tool).
+	Redundancy float64
+	Waste, Use float64
+	Stats      Stats
+	// WallTime and ToolBytes feed overhead accounting; Exhaustive marks
+	// ground-truth (spy) runs.
+	WallTime   time.Duration
+	ToolBytes  uint64
+	Exhaustive bool
+	Instrs     uint64
+	Loads      uint64
+	Stores     uint64
+
+	pairs []Pair
+	tree  *cct.Tree
+	prog  *isa.Program
+}
+
+// TopPairs returns the n highest-waste pairs (all pairs if n <= 0).
+func (pr *Profile) TopPairs(n int) []Pair {
+	if n <= 0 || n > len(pr.pairs) {
+		n = len(pr.pairs)
+	}
+	return pr.pairs[:n]
+}
+
+// WriteTopDown renders the profile's calling context tree in the style of
+// hpcviewer's top-down view (§6.5): inclusive waste percentages from the
+// root down, with subtrees below minFrac of the total pruned.
+func (pr *Profile) WriteTopDown(w io.Writer, minFrac float64) {
+	pr.tree.TopDown(w, minFrac)
+}
+
+// Dominance returns how many pairs cover frac of total waste and the
+// fraction covered (§4.3: typically <5 pairs cover 90% of dead writes).
+func (pr *Profile) Dominance(frac float64) (pairs int, covered float64) {
+	return pr.tree.Dominance(frac)
+}
+
+// BlindSpotFrac returns the largest run of unmonitored samples as a
+// fraction of all samples (0 for exhaustive runs).
+func (pr *Profile) BlindSpotFrac() float64 {
+	if pr.Stats.Samples == 0 {
+		return 0
+	}
+	return float64(pr.Stats.MaxBlindSpot) / float64(pr.Stats.Samples)
+}
+
+// defaultPeriod returns the paper-scaled default period for a tool.
+func defaultPeriod(tool Tool) uint64 {
+	if tool == RedundantLoads {
+		return 10000 // loads are more common (§7)
+	}
+	return 5000
+}
+
+// client builds the internal craft for a tool.
+func client(tool Tool, precision float64) (iwitch.Client, error) {
+	switch tool {
+	case DeadStores:
+		return craft.NewDeadCraft(), nil
+	case SilentStores:
+		return &craft.SilentCraft{Precision: precision}, nil
+	case RedundantLoads:
+		return &craft.LoadCraft{Precision: precision}, nil
+	}
+	return nil, fmt.Errorf("witch: unknown tool %q", tool)
+}
+
+// Run profiles the program with the sampling-based witchcraft tool
+// selected in opts.
+func Run(p *Program, opts Options) (*Profile, error) {
+	if opts.Period == 0 {
+		opts.Period = defaultPeriod(opts.Tool)
+	}
+	if opts.FloatPrecision == 0 {
+		opts.FloatPrecision = craft.DefaultFloatPrecision
+	}
+	cl, err := client(opts.Tool, opts.FloatPrecision)
+	if err != nil {
+		return nil, err
+	}
+	m := machine.New(p.prog, machine.Config{
+		NumDebugRegs:   opts.DebugRegisters,
+		ShadowSampling: opts.ShadowSampling,
+	})
+	for i := 1; i < opts.Threads; i++ {
+		m.SpawnThread(p.prog.Entry)
+	}
+	prof := iwitch.NewProfiler(m, cl, iwitch.Config{
+		Period:              opts.Period,
+		Policy:              opts.Policy,
+		Seed:                opts.Seed,
+		DisableProportional: opts.DisableProportional,
+		DisableFastModify:   opts.DisableFastModify,
+		DisableLBR:          opts.DisableLBR,
+		DisableAltStack:     opts.DisableAltStack,
+		IBS:                 opts.IBSSampling,
+	})
+	res, err := prof.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Profile{
+		Program:    p.name,
+		Tool:       res.Tool,
+		Redundancy: res.Redundancy(),
+		Waste:      res.Waste,
+		Use:        res.Use,
+		Stats:      res.Stats,
+		WallTime:   res.WallTime,
+		ToolBytes:  res.ToolBytes,
+		Instrs:     res.Instrs,
+		Loads:      res.Loads,
+		Stores:     res.Stores,
+		tree:       res.Tree,
+		prog:       p.prog,
+	}
+	out.pairs = convertPairs(p.prog, res.Tree)
+	return out, nil
+}
+
+// RunExhaustive profiles the program with the exhaustive ground-truth
+// counterpart of the tool (DeadSpy, RedSpy or LoadSpy).
+func RunExhaustive(p *Program, tool Tool) (*Profile, error) {
+	var spy exhaustive.Spy
+	switch tool {
+	case DeadStores:
+		spy = exhaustive.NewDeadSpy(p.prog)
+	case SilentStores:
+		spy = exhaustive.NewRedSpy(p.prog)
+	case RedundantLoads:
+		spy = exhaustive.NewLoadSpy(p.prog)
+	default:
+		return nil, fmt.Errorf("witch: unknown tool %q", tool)
+	}
+	m := machine.New(p.prog, machine.Config{})
+	res, err := exhaustive.Run(m, spy)
+	if err != nil {
+		return nil, err
+	}
+	out := &Profile{
+		Program:    p.name,
+		Tool:       res.Tool,
+		Redundancy: res.Redundancy(),
+		Waste:      res.Waste,
+		Use:        res.Use,
+		WallTime:   res.WallTime,
+		ToolBytes:  res.ToolBytes,
+		Exhaustive: true,
+		Instrs:     res.Instrs,
+		Loads:      res.Loads,
+		Stores:     res.Stores,
+		tree:       res.Tree,
+		prog:       p.prog,
+	}
+	out.pairs = convertPairs(p.prog, res.Tree)
+	return out, nil
+}
+
+// RunBursty profiles the program with the exhaustive tool under bursty
+// tracing (Hirzel & Chilimbi), monitoring on consecutive accesses out of
+// every on+off — the overhead mitigation the related work (§2) uses,
+// against which Witch's sampling is an order of magnitude cheaper still.
+func RunBursty(p *Program, tool Tool, on, off uint64) (*Profile, error) {
+	var spy exhaustive.Spy
+	switch tool {
+	case DeadStores:
+		spy = exhaustive.NewDeadSpy(p.prog)
+	case SilentStores:
+		spy = exhaustive.NewRedSpy(p.prog)
+	case RedundantLoads:
+		spy = exhaustive.NewLoadSpy(p.prog)
+	default:
+		return nil, fmt.Errorf("witch: unknown tool %q", tool)
+	}
+	b := exhaustive.NewBursty(spy, on, off)
+	m := machine.New(p.prog, machine.Config{})
+	res, err := exhaustive.Run(m, b)
+	if err != nil {
+		return nil, err
+	}
+	out := &Profile{
+		Program:    p.name,
+		Tool:       res.Tool,
+		Redundancy: res.Redundancy(),
+		Waste:      res.Waste,
+		Use:        res.Use,
+		WallTime:   res.WallTime,
+		ToolBytes:  res.ToolBytes,
+		Exhaustive: true,
+		Instrs:     res.Instrs,
+		Loads:      res.Loads,
+		Stores:     res.Stores,
+		tree:       res.Tree,
+		prog:       p.prog,
+	}
+	out.pairs = convertPairs(p.prog, res.Tree)
+	return out, nil
+}
+
+// SharingProfile is the outcome of a false-sharing run (the §6.3
+// multi-threading extension; Feather-style).
+type SharingProfile struct {
+	Program string
+	// FalseShares and TrueShares are scaled conflict counts: cross-thread
+	// accesses to the same cache line at disjoint (false) vs overlapping
+	// (true) bytes, at least one side writing.
+	FalseShares float64
+	TrueShares  float64
+	Samples     uint64
+	Traps       uint64
+	pairs       []Pair
+}
+
+// FalseFraction returns false/(false+true) sharing.
+func (sp *SharingProfile) FalseFraction() float64 {
+	if sp.FalseShares+sp.TrueShares == 0 {
+		return 0
+	}
+	return sp.FalseShares / (sp.FalseShares + sp.TrueShares)
+}
+
+// TopPairs returns the highest-waste (most false-sharing) context pairs.
+func (sp *SharingProfile) TopPairs(n int) []Pair {
+	if n <= 0 || n > len(sp.pairs) {
+		n = len(sp.pairs)
+	}
+	return sp.pairs[:n]
+}
+
+// RunFalseSharing executes the program on the given number of threads
+// (all starting at the entry function, with the thread ID in r1) under
+// the false-sharing detector: each PMU sample shares its cache line with
+// every other thread's debug registers, so a cross-thread access to the
+// line traps and is classified as true or false sharing (§6.3).
+func RunFalseSharing(p *Program, threads int, opts Options) (*SharingProfile, error) {
+	if threads < 1 {
+		threads = 1
+	}
+	m := machine.New(p.prog, machine.Config{})
+	for i := 1; i < threads; i++ {
+		m.SpawnThread(p.prog.Entry)
+	}
+	res, err := craft.RunFalseSharing(m, craft.FalseSharingConfig{
+		Period: opts.Period,
+		Seed:   opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SharingProfile{
+		Program:     p.name,
+		FalseShares: res.FalseShares,
+		TrueShares:  res.TrueShares,
+		Samples:     res.Samples,
+		Traps:       res.Traps,
+		pairs:       convertPairs(p.prog, res.Tree),
+	}, nil
+}
+
+// convertPairs flattens the CCT's pair leaves into report rows.
+func convertPairs(prog *isa.Program, tree *cct.Tree) []Pair {
+	var out []Pair
+	for _, ps := range tree.Pairs() {
+		pair := Pair{
+			Src: ps.Src, Dst: ps.Dst,
+			Chain: tree.Path(ps.Node),
+			Waste: ps.Waste, Use: ps.Use,
+		}
+		if in := prog.InstrAt(ps.SrcPC); in != nil {
+			pair.SrcLine = int(in.Line)
+		}
+		if in := prog.InstrAt(ps.DstPC); in != nil {
+			pair.DstLine = int(in.Line)
+		}
+		out = append(out, pair)
+	}
+	return out
+}

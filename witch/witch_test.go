@@ -1,0 +1,200 @@
+package witch_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/witch"
+)
+
+func TestCompileAndRun(t *testing.T) {
+	prog, err := witch.Compile("demo.wa", `
+func main
+  movi r1, 4096
+  movi r2, 7
+  store [r1+0], r2, 8
+  store [r1+0], r2, 8
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := prog.RunNative()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stores != 2 || st.Loads != 0 {
+		t.Fatalf("stores/loads = %d/%d", st.Stores, st.Loads)
+	}
+	if st.FootprintBytes == 0 {
+		t.Fatal("no footprint")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	if _, err := witch.Compile("bad.wa", "garbage"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWorkloadCatalog(t *testing.T) {
+	names := witch.WorkloadNames()
+	if len(names) != 37 { // 29 suite + 4 listings + 4 parallel
+		t.Fatalf("workloads = %d, want 37", len(names))
+	}
+	for _, n := range names {
+		if _, err := witch.Workload(n); err != nil {
+			t.Fatalf("workload %s: %v", n, err)
+		}
+	}
+	if _, err := witch.Workload("missing"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestCaseCatalog(t *testing.T) {
+	for _, n := range witch.CaseNames() {
+		if _, err := witch.Case(n, false); err != nil {
+			t.Fatalf("case %s: %v", n, err)
+		}
+		if _, err := witch.Case(n, true); err != nil {
+			t.Fatalf("case %s fixed: %v", n, err)
+		}
+	}
+	if _, err := witch.Case("missing", false); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunAllToolsOnSilentStoreProgram(t *testing.T) {
+	// x is stored twice with the same value, loaded in between: silent
+	// store yes, dead store no, redundant load (single load) no pair.
+	prog := witch.MustCompile("silent.wa", `
+func main
+  movi r1, 4096
+  movi r2, 7
+  movi r9, 0
+  movi r10, 3000
+loop:
+  store [r1+0], r2, 8
+  load r3, [r1+0], 8
+  addi r9, r9, 1
+  blt r9, r10, loop
+  halt
+`)
+	dead, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 13, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.Redundancy != 0 {
+		t.Fatalf("dead redundancy = %v, want 0 (every store is read)", dead.Redundancy)
+	}
+	silent, err := witch.Run(prog, witch.Options{Tool: witch.SilentStores, Period: 13, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if silent.Redundancy < 0.95 {
+		t.Fatalf("silent redundancy = %v, want ~1", silent.Redundancy)
+	}
+	load, err := witch.Run(prog, witch.Options{Tool: witch.RedundantLoads, Period: 13, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Redundancy < 0.95 {
+		t.Fatalf("load redundancy = %v, want ~1 (value never changes)", load.Redundancy)
+	}
+}
+
+func TestRunVsExhaustiveAgreement(t *testing.T) {
+	prog, err := witch.Workload("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spy, err := witch.RunExhaustive(prog, witch.DeadStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog2, _ := witch.Workload("bzip2")
+	prof, err := witch.Run(prog2, witch.Options{Tool: witch.DeadStores, Period: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := spy.Redundancy - prof.Redundancy; d > 0.1 || d < -0.1 {
+		t.Fatalf("disagreement: spy %.3f vs craft %.3f", spy.Redundancy, prof.Redundancy)
+	}
+	if !spy.Exhaustive || prof.Exhaustive {
+		t.Fatal("Exhaustive flags wrong")
+	}
+}
+
+func TestUnknownTool(t *testing.T) {
+	prog, _ := witch.Workload("listing2")
+	if _, err := witch.Run(prog, witch.Options{Tool: "bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := witch.RunExhaustive(prog, "bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPairReportFields(t *testing.T) {
+	prog, _ := witch.Workload("listing3")
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := prof.TopPairs(2)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	p := pairs[0]
+	if !strings.Contains(p.Src, "listing3:main:") || !strings.Contains(p.Dst, "listing3:main:") {
+		t.Fatalf("locations: %q -> %q", p.Src, p.Dst)
+	}
+	if p.SrcLine == 0 || p.DstLine == 0 {
+		t.Fatal("lines not populated")
+	}
+	if !strings.Contains(p.Chain, "PARTNER") {
+		t.Fatalf("chain = %q", p.Chain)
+	}
+	if pairs[0].Waste < pairs[1].Waste {
+		t.Fatal("pairs not sorted by waste")
+	}
+}
+
+func TestDisassembleWorkload(t *testing.T) {
+	prog, _ := witch.Workload("listing2")
+	dis := prog.Disassemble()
+	if !strings.Contains(dis, "func main") || !strings.Contains(dis, "store") {
+		t.Fatalf("disassembly: %s", dis[:100])
+	}
+}
+
+func TestDefaultPeriods(t *testing.T) {
+	prog, _ := witch.Workload("listing2")
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// listing2 has 40000 stores; default store period 5000 (prime
+	// rounded) gives ~8 samples.
+	if prof.Stats.Samples < 4 || prof.Stats.Samples > 12 {
+		t.Fatalf("samples = %d, want ~8", prof.Stats.Samples)
+	}
+}
+
+func TestDominanceAPI(t *testing.T) {
+	prog, _ := witch.Workload("gcc")
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, covered := prof.Dominance(0.9)
+	if n == 0 || covered < 0.9 {
+		t.Fatalf("dominance = %d pairs covering %.2f", n, covered)
+	}
+	// The paper: fewer than five contexts typically cover >90%.
+	if n > 10 {
+		t.Fatalf("dominance too diffuse: %d pairs", n)
+	}
+}
