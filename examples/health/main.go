@@ -1,0 +1,43 @@
+// Command health demonstrates fault injection and the Profile.Health
+// block: the same workload profiled on a clean substrate and on one
+// where every fault class fires at 10%, with the degradation the
+// profiler absorbed printed alongside the (barely moved) metric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/witch"
+)
+
+func main() {
+	prog, err := witch.Workload("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clean, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 499, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty, err := witch.Run(prog, witch.Options{
+		Tool: witch.DeadStores, Period: 499, Seed: 1,
+		Faults: witch.FaultPlan{
+			Seed:     42,
+			ArmEBUSY: 0.1, ModifyFail: 0.1, RingOverflow: 0.1,
+			SignalDrop: 0.1, LBROutage: 0.1,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clean:  dead stores %5.1f%%  degraded=%v\n", 100*clean.Redundancy, clean.Health.Degraded)
+	fmt.Printf("faulty: dead stores %5.1f%%  degraded=%v\n", 100*faulty.Redundancy, faulty.Health.Degraded)
+	h := faulty.Health
+	fmt.Printf("absorbed: %d lost signals, %d lost ring records, %d arm retries (%d abandoned),\n",
+		h.SignalsLost, h.RingLost, h.ArmRetries, h.ArmFailures)
+	fmt.Printf("          %d modify fallbacks, %d LBR outages, %d/%d registers effective\n",
+		h.ModifyFallbacks, h.LBROutages, h.EffectiveRegs, h.ConfiguredRegs)
+}

@@ -1,0 +1,101 @@
+package fault
+
+import "testing"
+
+func TestZeroPlanIsInert(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan must be disabled")
+	}
+	if in := NewInjector(Plan{}); in != nil {
+		t.Fatal("disabled plan must yield a nil injector")
+	}
+	// A nil injector must be safe and inject nothing.
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if in.Should(ArmEBUSY) || in.Should(SignalDrop) {
+			t.Fatal("nil injector injected")
+		}
+	}
+	if in.TotalInjected() != 0 || in.Injected(ArmEBUSY) != 0 || in.Opportunities(ArmEBUSY) != 0 {
+		t.Fatal("nil injector counted something")
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	mk := func() []bool {
+		in := NewInjector(Uniform(0.3, 42))
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, in.Should(ArmEBUSY))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("opportunity %d differs across identical plans", i)
+		}
+	}
+}
+
+func TestClassIndependence(t *testing.T) {
+	// The ArmEBUSY stream must not shift when another class's rate
+	// changes (independent per-class PRNGs).
+	seq := func(plan Plan) []bool {
+		in := NewInjector(plan)
+		var out []bool
+		for i := 0; i < 300; i++ {
+			// Interleave opportunities of another class.
+			in.Should(SignalDrop)
+			out = append(out, in.Should(ArmEBUSY))
+		}
+		return out
+	}
+	base := Plan{Seed: 7, ArmEBUSY: 0.25}
+	other := Plan{Seed: 7, ArmEBUSY: 0.25, SignalDrop: 0.9}
+	a, b := seq(base), seq(other)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arm stream shifted at %d when signal-drop rate changed", i)
+		}
+	}
+}
+
+func TestRateIsRespected(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, SignalDrop: 0.2})
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in.Should(SignalDrop)
+	}
+	got := float64(in.Injected(SignalDrop)) / n
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("injection frequency %.3f, want ~0.2", got)
+	}
+	if in.Opportunities(SignalDrop) != n {
+		t.Fatalf("opportunities = %d", in.Opportunities(SignalDrop))
+	}
+}
+
+func TestBurstWindows(t *testing.T) {
+	// Base rate zero, bursts certain: exactly the first BurstLen of
+	// every BurstEvery opportunities inject.
+	in := NewInjector(Plan{Seed: 3, BurstEvery: 100, BurstLen: 10, BurstRate: 1})
+	for i := 0; i < 1000; i++ {
+		want := uint64(i)%100 < 10
+		if got := in.Should(ModifyFail); got != want {
+			t.Fatalf("opportunity %d: injected=%v want %v", i, got, want)
+		}
+	}
+	if in.Injected(ModifyFail) != 100 {
+		t.Fatalf("injected = %d, want 100", in.Injected(ModifyFail))
+	}
+}
+
+func TestRateOneAlwaysInjects(t *testing.T) {
+	in := NewInjector(Plan{Seed: 9, LBROutage: 1})
+	for i := 0; i < 50; i++ {
+		if !in.Should(LBROutage) {
+			t.Fatalf("rate 1 must always inject (opportunity %d)", i)
+		}
+	}
+}

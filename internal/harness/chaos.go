@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/fault"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/witch"
+)
+
+// chaosRates returns the fault-rate sweep.
+func chaosRates(o Options) []float64 {
+	if o.Quick {
+		return []float64{0, 0.02, 0.05, 0.10}
+	}
+	return []float64{0, 0.01, 0.02, 0.05, 0.10, 0.25}
+}
+
+// chaosBound is the absolute floor for the degradation bound: with a
+// near-zero fault-free error, 2× of it would demand more than the
+// sampling noise floor delivers.
+const chaosBound = 0.02
+
+// Chaos runs the fault-injection robustness experiment: every fault
+// class injected at the same rate, swept from zero up, with the
+// DeadCraft redundancy metric compared against the exhaustive DeadSpy
+// ground truth at each point. Graceful degradation means the error grows
+// smoothly with the fault rate rather than falling off a cliff; the
+// experiment enforces that the mean error at a 10% fault rate stays
+// within 2× the fault-free error (plus a 2pp sampling-noise floor), that
+// the zero-rate row is healthy, and that the injected rows report their
+// degradation honestly in Profile.Health.
+func Chaos(w io.Writer, o Options) error {
+	report.Section(w, "Chaos: accuracy under injected substrate faults (DeadCraft vs DeadSpy)")
+	names := o.suiteNames()
+	if len(names) > 6 {
+		names = names[:6]
+	}
+	gts := map[string]float64{}
+	for _, name := range names {
+		gt, err := witch.RunExhaustive(mustWorkload(name), witch.DeadStores)
+		if err != nil {
+			return err
+		}
+		gts[name] = gt.Redundancy
+	}
+
+	type row struct {
+		rate    float64
+		meanErr float64
+		maxErr  float64
+		health  witch.Health // summed counters, min registers
+	}
+	runSweep := func(plan witch.FaultPlan) (row, error) {
+		var r row
+		r.health.EffectiveRegs = 4
+		var errs []float64
+		for _, name := range names {
+			prof, err := witch.Run(mustWorkload(name), witch.Options{
+				Tool: witch.DeadStores, Period: 499, Seed: o.Seed, Faults: plan,
+			})
+			if err != nil {
+				return row{}, err
+			}
+			errs = append(errs, math.Abs(prof.Redundancy-gts[name]))
+			h := prof.Health
+			r.health.SignalsLost += h.SignalsLost
+			r.health.RingLost += h.RingLost
+			r.health.ArmFailures += h.ArmFailures
+			r.health.ArmRetries += h.ArmRetries
+			r.health.ModifyFallbacks += h.ModifyFallbacks
+			r.health.LBROutages += h.LBROutages
+			r.health.Degraded = r.health.Degraded || h.Degraded
+			if h.EffectiveRegs < r.health.EffectiveRegs {
+				r.health.EffectiveRegs = h.EffectiveRegs
+			}
+		}
+		r.meanErr = stats.Mean(errs)
+		_, r.maxErr = stats.MinMax(errs)
+		return r, nil
+	}
+
+	tbl := report.NewTable("", "fault rate", "mean |err|", "max |err|",
+		"sig lost", "arm retry/fail", "modify fb", "ring lost", "lbr out", "min regs")
+	var rows []row
+	for _, rate := range chaosRates(o) {
+		r, err := runSweep(fault.Uniform(rate, o.Seed+13))
+		if err != nil {
+			return err
+		}
+		r.rate = rate
+		rows = append(rows, r)
+		tbl.Row(report.Pct(rate),
+			report.F(100*r.meanErr, 2)+"pp", report.F(100*r.maxErr, 2)+"pp",
+			fmt.Sprint(r.health.SignalsLost),
+			fmt.Sprintf("%d/%d", r.health.ArmRetries, r.health.ArmFailures),
+			fmt.Sprint(r.health.ModifyFallbacks), fmt.Sprint(r.health.RingLost),
+			fmt.Sprint(r.health.LBROutages), fmt.Sprint(r.health.EffectiveRegs))
+	}
+	// Correlated failure: a modest base rate with periodic burst windows
+	// (a debugger attaching for a stretch, a load spike coalescing
+	// signals).
+	burst := fault.Uniform(0.02, o.Seed+13)
+	burst.BurstEvery, burst.BurstLen, burst.BurstRate = 200, 50, 0.5
+	br, err := runSweep(burst)
+	if err != nil {
+		return err
+	}
+	tbl.Row("2% + bursts",
+		report.F(100*br.meanErr, 2)+"pp", report.F(100*br.maxErr, 2)+"pp",
+		fmt.Sprint(br.health.SignalsLost),
+		fmt.Sprintf("%d/%d", br.health.ArmRetries, br.health.ArmFailures),
+		fmt.Sprint(br.health.ModifyFallbacks), fmt.Sprint(br.health.RingLost),
+		fmt.Sprint(br.health.LBROutages), fmt.Sprint(br.health.EffectiveRegs))
+	tbl.Fprint(w)
+
+	// Assertions: the sweep is a pass/fail robustness gate, not just a
+	// table.
+	base := rows[0]
+	if base.health.Degraded || base.health.SignalsLost+base.health.RingLost+
+		base.health.ArmRetries+base.health.ArmFailures+
+		base.health.ModifyFallbacks+base.health.LBROutages != 0 {
+		return fmt.Errorf("chaos: zero-rate sweep reported degradation: %+v", base.health)
+	}
+	bound := 2 * base.meanErr
+	if bound < chaosBound {
+		bound = chaosBound
+	}
+	for _, r := range rows[1:] {
+		if r.rate <= 0.10 && r.meanErr > bound {
+			return fmt.Errorf("chaos: mean error %.2fpp at %.0f%% fault rate exceeds bound %.2fpp (fault-free %.2fpp)",
+				100*r.meanErr, 100*r.rate, 100*bound, 100*base.meanErr)
+		}
+		if !r.health.Degraded {
+			return fmt.Errorf("chaos: %.0f%% fault rate did not surface in Health", 100*r.rate)
+		}
+	}
+	last := rows[len(rows)-1]
+	fmt.Fprintf(w, "\ndegradation is bounded: mean error %.2fpp fault-free -> %.2fpp at %s faults (bound 2x + %.0fpp floor)\n",
+		100*base.meanErr, 100*last.meanErr, report.Pct(last.rate), 100*chaosBound)
+	return nil
+}

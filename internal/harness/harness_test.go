@@ -211,10 +211,25 @@ func TestAblationsStructure(t *testing.T) {
 	}
 }
 
+// TestChaosBoundedDegradation runs the fault-injection sweep; Chaos
+// itself errors if the zero-rate row is unhealthy, an injected row fails
+// to surface in Health, or the error at ≤10% faults exceeds the bound,
+// so a clean return is the assertion. The output check guards the
+// summary line the bound is reported on.
+func TestChaosBoundedDegradation(t *testing.T) {
+	out := runExp(t, Chaos)
+	if !strings.Contains(out, "degradation is bounded") {
+		t.Fatalf("chaos summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2% + bursts") {
+		t.Fatalf("burst-window row missing:\n%s", out)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	for _, name := range []string{"fig2", "fig4", "fig5", "table1", "table2", "table3",
-		"blindspot", "dominance", "adversary", "stability", "rank", "ablations", "all"} {
+		"blindspot", "dominance", "adversary", "stability", "rank", "ablations", "chaos", "all"} {
 		if reg[name] == nil {
 			t.Fatalf("missing experiment %q", name)
 		}

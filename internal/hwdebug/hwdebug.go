@@ -93,6 +93,11 @@ type Unit struct {
 	armed   int // count of active registers, for a fast skip
 	handler Handler
 
+	// reserved marks registers held by an external agent (a debugger or
+	// another profiling tool, the classic perf_event_open EBUSY cause);
+	// arming a reserved register fails until it is released.
+	reserved []bool
+
 	threadID int
 	// Traps counts delivered exceptions (excluding kernel-view spurious
 	// ones), used by overhead accounting and tests.
@@ -106,8 +111,20 @@ func NewUnit(threadID, n int) *Unit {
 	if n <= 0 {
 		n = 4
 	}
-	return &Unit{regs: make([]Watchpoint, n), threadID: threadID}
+	return &Unit{regs: make([]Watchpoint, n), reserved: make([]bool, n), threadID: threadID}
 }
+
+// Reserve marks register i as held by an external agent: subsequent Arm
+// calls on it fail (EBUSY) until Release. Reserving does not disturb a
+// currently-armed watchpoint, matching how a late-attaching tool contends
+// only for free registers.
+func (u *Unit) Reserve(i int) { u.reserved[i] = true }
+
+// Release returns register i to the pool.
+func (u *Unit) Release(i int) { u.reserved[i] = false }
+
+// Reserved reports whether register i is held externally.
+func (u *Unit) Reserved(i int) bool { return u.reserved[i] }
 
 // SetHandler installs the exception handler.
 func (u *Unit) SetHandler(h Handler) { u.handler = h }
@@ -132,7 +149,13 @@ func (u *Unit) FreeReg() int {
 }
 
 // Arm programs register i. Length is clamped to 1..8 as on real hardware.
+// Arming a reserved register is a no-op (the perfevent layer reports the
+// EBUSY to its caller before ever arming; this guard keeps a direct Arm
+// from clobbering an externally-held register).
 func (u *Unit) Arm(i int, addr uint64, length uint8, kind Kind, cookie any, armedAt uint64) {
+	if u.reserved[i] {
+		return
+	}
 	if length == 0 {
 		length = 1
 	}

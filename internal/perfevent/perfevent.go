@@ -15,13 +15,19 @@
 package perfevent
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/hwdebug"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	"repro/internal/pmu"
 )
+
+// ErrBusy is the EBUSY of perf_event_open: the requested debug register
+// is held by another agent (or the kernel transiently refuses it).
+var ErrBusy = errors.New("perfevent: EBUSY: debug register busy")
 
 // Options configures a Session.
 type Options struct {
@@ -33,6 +39,23 @@ type Options struct {
 	UseLBR bool
 	// RingBytes is the size of the per-event mmap ring buffer.
 	RingBytes int
+	// Faults injects substrate failures (nil = never fail, the
+	// pre-fault-injection behaviour, bit for bit).
+	Faults *fault.Injector
+}
+
+// SessionStats are the session's kernel-resource and degradation
+// counters (ablation reports and Profile.Health both read them).
+type SessionStats struct {
+	Opens        uint64 // watchpoint + sampling fd opens
+	Closes       uint64
+	Modifies     uint64 // successful IOC_MODIFY_ATTRIBUTES calls
+	DisasmInstrs uint64 // instructions decoded for precise-PC recovery
+
+	RingLost        uint64 // trap records lost to ring overflow (natural + injected)
+	ArmRejects      uint64 // watchpoint creations refused with EBUSY
+	ModifyFallbacks uint64 // Modify calls forced onto close+reopen by injection
+	LBROutages      uint64 // precise-PC recoveries with the LBR unavailable
 }
 
 // Session wires a machine's simulated hardware to profiler callbacks.
@@ -50,6 +73,9 @@ type Session struct {
 	DisasmInstrs uint64
 
 	ringBytes uint64 // total live ring-buffer bytes (memory accounting)
+
+	// Degradation counters (see SessionStats).
+	ringLost, armRejects, modifyFallbacks, lbrOutages uint64
 }
 
 // NewSession opens a perf session on the machine.
@@ -60,9 +86,19 @@ func NewSession(m *machine.Machine, opts Options) *Session {
 	return &Session{m: m, prog: m.Prog, opts: opts}
 }
 
-// Stats reports kernel-resource counters for ablation reports.
-func (s *Session) Stats() (opens, closes, modifies, disasm uint64) {
-	return s.totalOpens, s.totalCloses, s.totalModifies, s.DisasmInstrs
+// Stats reports kernel-resource and degradation counters.
+func (s *Session) Stats() SessionStats {
+	return SessionStats{
+		Opens:        s.totalOpens,
+		Closes:       s.totalCloses,
+		Modifies:     s.totalModifies,
+		DisasmInstrs: s.DisasmInstrs,
+
+		RingLost:        s.ringLost,
+		ArmRejects:      s.armRejects,
+		ModifyFallbacks: s.modifyFallbacks,
+		LBROutages:      s.lbrOutages,
+	}
 }
 
 // RingBytes returns live ring-buffer memory attributable to the session.
@@ -95,8 +131,14 @@ type WatchFD struct {
 
 // CreateWatchpoint opens a HW_BREAKPOINT event bound to debug register reg
 // of thread t and arms it. sample_period is 1: the trap signal is
-// delivered synchronously on the access.
-func (s *Session) CreateWatchpoint(t *machine.Thread, reg int, addr uint64, length uint8, kind hwdebug.Kind, cookie any, armedAt uint64) *WatchFD {
+// delivered synchronously on the access. It fails with ErrBusy when the
+// register is held by an external agent or the fault injector refuses the
+// open, exactly as perf_event_open fails with EBUSY in production.
+func (s *Session) CreateWatchpoint(t *machine.Thread, reg int, addr uint64, length uint8, kind hwdebug.Kind, cookie any, armedAt uint64) (*WatchFD, error) {
+	if t.Watch.Reserved(reg) || s.opts.Faults.Should(fault.ArmEBUSY) {
+		s.armRejects++
+		return nil, ErrBusy
+	}
 	fd := &WatchFD{s: s, thread: t, reg: reg, open: true, ring: make([]byte, s.opts.RingBytes)}
 	// Touch the ring so the allocation is not optimized away and models
 	// the kernel zeroing pages for the mmap.
@@ -107,21 +149,27 @@ func (s *Session) CreateWatchpoint(t *machine.Thread, reg int, addr uint64, leng
 	s.openFDs++
 	s.ringBytes += uint64(len(fd.ring))
 	t.Watch.Arm(reg, addr, length, kind, cookie, armedAt)
-	return fd
+	return fd, nil
 }
 
 // Modify reprograms the watchpoint. With FastModify (the paper's
 // PERF_EVENT_IOC_MODIFY_ATTRIBUTES kernel patch) the existing fd and ring
-// are reused; otherwise the kernel resources are torn down and recreated,
-// which is what Witch had to do before the patch.
-func (fd *WatchFD) Modify(addr uint64, length uint8, kind hwdebug.Kind, cookie any, armedAt uint64) *WatchFD {
+// are reused; otherwise — or when the fault injector withholds the ioctl,
+// as on a pre-patch kernel — the kernel resources are torn down and
+// recreated, which is what Witch had to do before the patch. On the
+// close+reopen path the reopen itself can fail with ErrBusy; the old fd
+// is already closed then, so the caller holds no watchpoint either way.
+func (fd *WatchFD) Modify(addr uint64, length uint8, kind hwdebug.Kind, cookie any, armedAt uint64) (*WatchFD, error) {
 	if !fd.open {
 		panic("perfevent: Modify on closed fd")
 	}
 	if fd.s.opts.FastModify {
-		fd.s.totalModifies++
-		fd.thread.Watch.Arm(fd.reg, addr, length, kind, cookie, armedAt)
-		return fd
+		if !fd.s.opts.Faults.Should(fault.ModifyFail) {
+			fd.s.totalModifies++
+			fd.thread.Watch.Arm(fd.reg, addr, length, kind, cookie, armedAt)
+			return fd, nil
+		}
+		fd.s.modifyFallbacks++
 	}
 	t, reg, s := fd.thread, fd.reg, fd.s
 	fd.Close()
@@ -129,8 +177,13 @@ func (fd *WatchFD) Modify(addr uint64, length uint8, kind hwdebug.Kind, cookie a
 }
 
 // Disarm deactivates the debug register but keeps the fd open for reuse
-// (the event is disabled, not closed).
+// (the event is disabled, not closed). Disarm on a closed fd is a no-op:
+// after a close+reopen replacement the same register belongs to the
+// successor fd, and a stale handle must not tear that watchpoint down.
 func (fd *WatchFD) Disarm() {
+	if !fd.open {
+		return
+	}
 	fd.thread.Watch.Disarm(fd.reg)
 }
 
@@ -160,7 +213,15 @@ func (s *Session) PrecisePC(t *machine.Thread, contextPC isa.PC) (isa.PC, error)
 		return 0, fmt.Errorf("perfevent: contextPC %v is at a function start", contextPC)
 	}
 	start := 0
-	if s.opts.UseLBR {
+	useLBR := s.opts.UseLBR
+	if useLBR && s.opts.Faults.Should(fault.LBROutage) {
+		// Transient LBR unavailability (capture disabled, freeze raced,
+		// or the record was overwritten): fall back to linear
+		// disassembly from the function entry for this recovery only.
+		s.lbrOutages++
+		useLBR = false
+	}
+	if useLBR {
 		if br, ok := t.LastBranch(); ok && br.To.Func() == fn && br.To.Index() < target {
 			start = br.To.Index()
 		}

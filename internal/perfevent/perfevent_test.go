@@ -24,33 +24,46 @@ func loopProg() *isa.Program {
 	return b.MustBuild()
 }
 
+// mustWatch creates a watchpoint that is expected to succeed.
+func mustWatch(t *testing.T, s *Session, th *machine.Thread, reg int, addr uint64, length uint8, kind hwdebug.Kind, cookie any, armedAt uint64) *WatchFD {
+	t.Helper()
+	fd, err := s.CreateWatchpoint(th, reg, addr, length, kind, cookie, armedAt)
+	if err != nil {
+		t.Fatalf("CreateWatchpoint: %v", err)
+	}
+	return fd
+}
+
 func TestWatchpointLifecycle(t *testing.T) {
 	m := machine.New(loopProg(), machine.Config{})
 	s := NewSession(m, Options{FastModify: true, UseLBR: true})
 	th := m.Threads[0]
 
-	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, "c1", 1)
+	fd := mustWatch(t, s, th, 0, 0x100, 8, hwdebug.RWTrap, "c1", 1)
 	if th.Watch.Armed() != 1 {
 		t.Fatal("watchpoint not armed")
 	}
-	fd2 := fd.Modify(0x108, 8, hwdebug.WTrap, "c2", 2)
+	fd2, err := fd.Modify(0x108, 8, hwdebug.WTrap, "c2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fd2 != fd {
 		t.Fatal("fast modify must reuse the fd")
 	}
 	if wp := th.Watch.Reg(0); wp.Addr != 0x108 || wp.Kind != hwdebug.WTrap {
 		t.Fatalf("modify did not reprogram: %+v", wp)
 	}
-	opens, closes, modifies, _ := s.Stats()
-	if opens != 1 || closes != 0 || modifies != 1 {
-		t.Fatalf("opens/closes/modifies = %d/%d/%d", opens, closes, modifies)
+	st := s.Stats()
+	if st.Opens != 1 || st.Closes != 0 || st.Modifies != 1 {
+		t.Fatalf("opens/closes/modifies = %d/%d/%d", st.Opens, st.Closes, st.Modifies)
 	}
 	fd.Close()
 	if th.Watch.Armed() != 0 {
 		t.Fatal("close must disarm")
 	}
 	fd.Close() // idempotent
-	if _, closes, _, _ := s.Stats(); closes != 1 {
-		t.Fatalf("closes = %d", closes)
+	if st := s.Stats(); st.Closes != 1 {
+		t.Fatalf("closes = %d", st.Closes)
 	}
 }
 
@@ -58,14 +71,55 @@ func TestSlowModifyReopens(t *testing.T) {
 	m := machine.New(loopProg(), machine.Config{})
 	s := NewSession(m, Options{FastModify: false})
 	th := m.Threads[0]
-	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
-	fd2 := fd.Modify(0x108, 8, hwdebug.RWTrap, nil, 0)
+	fd := mustWatch(t, s, th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	fd2, err := fd.Modify(0x108, 8, hwdebug.RWTrap, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if fd2 == fd {
 		t.Fatal("slow modify must return a new fd")
 	}
-	opens, closes, modifies, _ := s.Stats()
-	if opens != 2 || closes != 1 || modifies != 0 {
-		t.Fatalf("opens/closes/modifies = %d/%d/%d", opens, closes, modifies)
+	st := s.Stats()
+	if st.Opens != 2 || st.Closes != 1 || st.Modifies != 0 {
+		t.Fatalf("opens/closes/modifies = %d/%d/%d", st.Opens, st.Closes, st.Modifies)
+	}
+}
+
+// TestStaleFDIsInert is the idempotence regression test: after a slow
+// Modify replaced the fd, the stale handle's Disarm and Close must not
+// touch the successor's watchpoint or the session accounting.
+func TestStaleFDIsInert(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	s := NewSession(m, Options{FastModify: false})
+	th := m.Threads[0]
+	stale := mustWatch(t, s, th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	live, err := stale.Modify(0x108, 8, hwdebug.RWTrap, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	ringBefore := s.RingBytes()
+
+	stale.Disarm() // must not disarm the successor's register
+	if th.Watch.Armed() != 1 {
+		t.Fatal("stale Disarm tore down the successor watchpoint")
+	}
+	stale.Close() // must not double-count closes or free the live ring
+	stale.Close()
+	if got := s.Stats(); got != before {
+		t.Fatalf("stale Close changed accounting: %+v -> %+v", before, got)
+	}
+	if s.RingBytes() != ringBefore {
+		t.Fatalf("stale Close freed live ring bytes: %d -> %d", ringBefore, s.RingBytes())
+	}
+
+	live.Close()
+	live.Close() // double close of the live fd is also idempotent
+	if got := s.Stats(); got.Closes != before.Closes+1 || got.Opens != before.Opens {
+		t.Fatalf("close accounting corrupt: %+v", got)
+	}
+	if th.Watch.Armed() != 0 {
+		t.Fatal("live close must disarm")
 	}
 }
 
@@ -73,7 +127,7 @@ func TestRingBytesAccounting(t *testing.T) {
 	m := machine.New(loopProg(), machine.Config{})
 	s := NewSession(m, Options{FastModify: true, RingBytes: 4096})
 	th := m.Threads[0]
-	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	fd := mustWatch(t, s, th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
 	if s.RingBytes() != 4096 {
 		t.Fatalf("ring bytes = %d", s.RingBytes())
 	}
@@ -101,7 +155,7 @@ func TestPrecisePCRecovery(t *testing.T) {
 			recovered = append(recovered, pc)
 			th.Watch.Disarm(tr.Reg)
 		})
-		s.CreateWatchpoint(th, 0, 0x100+3*8, 8, hwdebug.RWTrap, nil, 0)
+		mustWatch(t, s, th, 0, 0x100+3*8, 8, hwdebug.RWTrap, nil, 0)
 		if err := m.Run(); err != nil {
 			t.Fatal(err)
 		}
@@ -133,12 +187,11 @@ func TestLBRPathDecodesFewerInstructions(t *testing.T) {
 				t.Fatal(err)
 			}
 		})
-		s.CreateWatchpoint(th, 0, 0x100+9*8, 8, hwdebug.RWTrap, nil, 0)
+		mustWatch(t, s, th, 0, 0x100+9*8, 8, hwdebug.RWTrap, nil, 0)
 		if err := m.Run(); err != nil {
 			t.Fatal(err)
 		}
-		_, _, _, disasm := s.Stats()
-		work[useLBR] = disasm
+		work[useLBR] = s.Stats().DisasmInstrs
 	}
 	if work[true] >= work[false] {
 		t.Fatalf("LBR should decode less: lbr=%d full=%d", work[true], work[false])

@@ -3,6 +3,7 @@ package perfevent
 import (
 	"encoding/binary"
 
+	"repro/internal/fault"
 	"repro/internal/hwdebug"
 	"repro/internal/isa"
 )
@@ -32,6 +33,7 @@ type ring struct {
 	buf   []byte
 	head  uint64 // total bytes ever written
 	count int    // records currently readable
+	lost  uint64 // records overwritten before ever being drained
 }
 
 func newRing(bytes int) *ring {
@@ -45,8 +47,19 @@ func newRing(bytes int) *ring {
 // capacity returns how many records fit.
 func (r *ring) capacity() int { return len(r.buf) / recordBytes }
 
-// write appends one record, overwriting the oldest when full.
-func (r *ring) write(rec Record) {
+// Lost returns how many records have been overwritten unread (ring
+// overflow). Real perf rings running in overwrite mode lose the oldest
+// records the same way; the kernel's non-overwrite mode reports the loss
+// as PERF_RECORD_LOST, which this counter stands in for.
+func (r *ring) Lost() uint64 { return r.lost }
+
+// write appends one record, overwriting the oldest when full, and
+// reports whether an unread record was lost to make room.
+func (r *ring) write(rec Record) (overflowed bool) {
+	if r.count == r.capacity() {
+		r.lost++
+		overflowed = true
+	}
 	off := int(r.head) % len(r.buf)
 	b := r.buf[off : off+recordBytes]
 	binary.LittleEndian.PutUint64(b[0:], rec.Seq)
@@ -60,6 +73,7 @@ func (r *ring) write(rec Record) {
 	if r.count < r.capacity() {
 		r.count++
 	}
+	return overflowed
 }
 
 // drain returns and consumes all readable records, oldest first.
@@ -85,12 +99,19 @@ func (r *ring) drain() []Record {
 
 // RecordTrap appends a trap record to the fd's ring buffer (the machine's
 // trap dispatch calls this before invoking the user handler when ring
-// recording is enabled).
+// recording is enabled). Overflow — natural, when user space drains too
+// slowly for the trap rate, or injected — loses records; every loss is
+// counted in the session's RingLost.
 func (fd *WatchFD) RecordTrap(tr hwdebug.Trap, seq uint64) {
+	if fd.s.opts.Faults.Should(fault.RingOverflow) {
+		// The kernel wrapped before this record landed: it is gone.
+		fd.s.ringLost++
+		return
+	}
 	if fd.recs == nil {
 		fd.recs = newRing(len(fd.ring))
 	}
-	fd.recs.write(Record{
+	if fd.recs.write(Record{
 		Seq:       seq,
 		TID:       uint32(tr.ThreadID),
 		Kind:      uint8(tr.Kind),
@@ -98,7 +119,17 @@ func (fd *WatchFD) RecordTrap(tr hwdebug.Trap, seq uint64) {
 		ContextPC: tr.ContextPC,
 		Addr:      tr.Addr,
 		Value:     tr.Value,
-	})
+	}) {
+		fd.s.ringLost++
+	}
+}
+
+// Lost returns how many records this fd's ring has overwritten unread.
+func (fd *WatchFD) Lost() uint64 {
+	if fd.recs == nil {
+		return 0
+	}
+	return fd.recs.Lost()
 }
 
 // ReadRecords drains the fd's ring buffer, oldest record first. Records

@@ -49,11 +49,66 @@ func TestRingOverwritesOldest(t *testing.T) {
 	}
 }
 
+// TestRingCountsLostRecords overflows the ring and checks every
+// overwritten record is counted, not silently dropped.
+func TestRingCountsLostRecords(t *testing.T) {
+	r := newRing(recordBytes * 2)
+	for i := uint64(1); i <= 5; i++ {
+		lost := r.write(Record{Seq: i})
+		if want := i > 2; lost != want {
+			t.Fatalf("write %d: overflowed=%v, want %v", i, lost, want)
+		}
+	}
+	if r.Lost() != 3 {
+		t.Fatalf("lost = %d, want 3", r.Lost())
+	}
+	// Draining frees space: the next writes do not lose records, and the
+	// historical loss count is preserved.
+	r.drain()
+	r.write(Record{Seq: 6})
+	if r.Lost() != 3 {
+		t.Fatalf("lost after drain = %d, want 3", r.Lost())
+	}
+}
+
+// TestSessionSurfacesRingLost overflows a watchpoint fd's ring during a
+// run and checks the loss shows up in Session.Stats().
+func TestSessionSurfacesRingLost(t *testing.T) {
+	m := machine.New(loopProg(), machine.Config{})
+	// One-record ring: every trap after the first overwrites.
+	s := NewSession(m, Options{FastModify: true, RingBytes: recordBytes})
+	th := m.Threads[0]
+	fd, err := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traps := uint64(0)
+	s.SetTrapDispatch(func(th *machine.Thread, tr hwdebug.Trap) {
+		traps++
+		fd.RecordTrap(tr, traps)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if traps < 2 {
+		t.Fatalf("need >= 2 traps to overflow, got %d", traps)
+	}
+	if got := s.Stats().RingLost; got != traps-1 {
+		t.Fatalf("RingLost = %d, want %d", got, traps-1)
+	}
+	if fd.Lost() != traps-1 {
+		t.Fatalf("fd.Lost() = %d, want %d", fd.Lost(), traps-1)
+	}
+}
+
 func TestWatchFDRecordsTraps(t *testing.T) {
 	m := machine.New(loopProg(), machine.Config{})
 	s := NewSession(m, Options{FastModify: true})
 	th := m.Threads[0]
-	fd := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	fd, err := s.CreateWatchpoint(th, 0, 0x100, 8, hwdebug.RWTrap, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seq := uint64(0)
 	s.SetTrapDispatch(func(th *machine.Thread, tr hwdebug.Trap) {
 		seq++

@@ -108,6 +108,15 @@ type Unit struct {
 	// instruction.
 	Dropped uint64
 
+	// DropSignal, when non-nil, is consulted on every counter overflow;
+	// returning true loses the overflow signal (dropped or coalesced
+	// delivery under load): the period's events are consumed but no
+	// sample reaches the handler. LostSignals counts the losses so
+	// profilers can rescale attribution (witch folds this into the μ/η
+	// proportional scale) and report honest sample-loss health.
+	DropSignal  func() bool
+	LostSignals uint64
+
 	// Shadow enables the PEBS shadow-sampling bias.
 	Shadow bool
 	// shadowLeft counts remaining retirement slots hidden behind the
@@ -224,6 +233,12 @@ func (u *Unit) CountMemOp(kind AccessKind, pc isa.PC, addr uint64, width uint8, 
 		return false
 	}
 	u.counter = 0
+	if u.DropSignal != nil && u.DropSignal() {
+		// The overflow happened — the period's events are gone — but the
+		// signal never reached user space.
+		u.LostSignals++
+		return true
+	}
 	u.seq++
 	cur.Seq = u.seq
 	if u.handler != nil {

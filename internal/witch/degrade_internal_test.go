@@ -1,0 +1,129 @@
+package witch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hwdebug"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/pmu"
+	"repro/internal/workloads"
+)
+
+// stubClient arms a watchpoint on every sample. It exists because this
+// in-package test cannot import internal/craft (craft imports witch).
+type stubClient struct{}
+
+func (stubClient) Name() string                { return "stub" }
+func (stubClient) Event() pmu.Event            { return pmu.EventAllStores }
+func (stubClient) OnSample(*Sample) ArmRequest { return ArmRequest{Arm: true, Kind: hwdebug.WTrap} }
+func (stubClient) OnTrap(*Trap) TrapAction     { return ActionDisarm }
+
+// feed drives one synthetic PMU sample through the profiler's sample
+// handler, as if the overflow signal had just been delivered.
+func feed(p *Profiler, t *machine.Thread, addr uint64) {
+	p.handleSample(t, pmu.Sample{
+		Kind: pmu.Store, PC: isa.MakePC(0, 0), Addr: addr, Width: 8,
+	})
+}
+
+// TestReservoirInvariantAfterShrink property-checks §4.1 under
+// degradation: after a register is written off at runtime (persistent
+// EBUSY — here an externally reserved debug register), every subsequent
+// sample must survive in the reservoir with probability N′/k over the N′
+// registers that remain. The write-off resets k, so the invariant holds
+// exactly for the shrunken set; without the reset, survival would be
+// biased by samples counted against the larger register file.
+func TestReservoirInvariantAfterShrink(t *testing.T) {
+	m := machine.New(workloads.Listing2(100), machine.Config{NumDebugRegs: 4})
+	p := NewProfiler(m, stubClient{}, Config{Period: 100, Seed: 11})
+	th := m.Threads[0]
+
+	// An external agent (another debugger, the kernel) holds register 3:
+	// every arm on it returns EBUSY.
+	th.Watch.Reserve(3)
+
+	// Warm up until the profiler writes the register off: first failure
+	// backs off 2 samples, the second 4, the third kills it.
+	st := p.state(th)
+	for i := 0; st.effective > 3; i++ {
+		if i > 100 {
+			t.Fatal("register never written off")
+		}
+		feed(p, th, 0x9000+uint64(i)*8)
+	}
+	if !st.regs[3].dead {
+		t.Fatal("reserved register should be dead")
+	}
+	if st.k != 0 {
+		t.Fatalf("write-off must reset the reservoir count, k = %d", st.k)
+	}
+	if p.health.ArmFailures == 0 || p.health.ArmRetries == 0 {
+		t.Fatalf("health must record the failed arms: %+v", p.health)
+	}
+
+	// Property: feed K distinct-address samples per trial and count which
+	// survive armed. Each should survive with probability N′/K.
+	const nPrime = 3
+	const K = 12
+	const trials = 4000
+	counts := make([]int, K)
+	for trial := 0; trial < trials; trial++ {
+		for i := range st.regs {
+			rec := &st.regs[i]
+			if rec.fd != nil {
+				rec.fd.Close()
+				rec.fd = nil
+			}
+			rec.active = false
+		}
+		st.k = 0
+		base := 0x10000 + uint64(trial)*0x100
+		for s := 0; s < K; s++ {
+			feed(p, th, base+uint64(s)*8)
+		}
+		for i := range st.regs {
+			rec := &st.regs[i]
+			if !rec.active {
+				continue
+			}
+			counts[int(rec.addr-base)/8]++
+		}
+	}
+	want := float64(trials) * nPrime / K
+	sigma := math.Sqrt(float64(trials) * (nPrime / float64(K)) * (1 - nPrime/float64(K)))
+	for s, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sigma {
+			t.Fatalf("sample %d survived %d/%d times, want ~%.0f (±%.0f)", s, c, trials, want, 5*sigma)
+		}
+	}
+}
+
+// TestFullyDegradedRunsUnmonitored checks the profiler keeps running
+// (and says so) when every debug register is externally held.
+func TestFullyDegradedRunsUnmonitored(t *testing.T) {
+	m := machine.New(workloads.Listing2(2000), machine.Config{NumDebugRegs: 2})
+	p := NewProfiler(m, stubClient{}, Config{Period: 97, Seed: 3})
+	for _, th := range m.Threads {
+		th.Watch.Reserve(0)
+		th.Watch.Reserve(1)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples == 0 {
+		t.Fatal("sampling must continue without registers")
+	}
+	if res.Stats.Monitored != 0 || res.Stats.Traps != 0 {
+		t.Fatalf("nothing should be monitored: %+v", res.Stats)
+	}
+	h := res.Health
+	if h.EffectiveRegs != 0 || !h.RegistersShrunk || !h.Degraded || h.ArmFailures == 0 {
+		t.Fatalf("health must report full degradation: %+v", h)
+	}
+	if h.ConfiguredRegs != 2 {
+		t.Fatalf("configured regs = %d, want 2", h.ConfiguredRegs)
+	}
+}

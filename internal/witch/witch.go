@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/cct"
+	"repro/internal/fault"
 	"repro/internal/hwdebug"
 	"repro/internal/isa"
 	"repro/internal/machine"
@@ -86,7 +87,25 @@ type Config struct {
 	// non-matching instructions are dropped (§3 notes Witch ports to
 	// IBS directly).
 	IBS bool
+
+	// Faults injects substrate failures (EBUSY arms, Modify fallbacks,
+	// ring overflow, dropped sample signals, LBR outages). The zero
+	// plan is provably inert: no injector is built and every fault
+	// branch in the substrate is skipped.
+	Faults fault.Plan
 }
+
+// Arm-failure degradation parameters: a sample retries a failed arm a
+// bounded number of times (real Witch retries perf_event_open a couple of
+// times before giving the sample up), a failing register backs off for
+// exponentially more samples between attempts, and after enough
+// consecutive failures the register is considered externally held (a
+// debugger or another tool owns it) and is removed from the rotation.
+const (
+	maxArmAttempts  = 3
+	deadRegStreak   = 3
+	maxBackoffShift = 6 // backoff caps at 2^6 samples
+)
 
 // Sample is the framework's view of one PMU sample, offered to the client.
 type Sample struct {
@@ -163,7 +182,13 @@ type Trap struct {
 }
 
 // Scale returns the events-per-byte attribution factor for this trap,
-// computing the proportional catch-up (η ← μ) on first call.
+// computing the proportional catch-up (η ← μ) on first call. When PMU
+// overflow signals have been lost (dropped or coalesced delivery), each
+// delivered sample stands for proportionally more events, so the scale
+// is inflated by (delivered+lost)/delivered — folding the drop
+// accounting into the §4.2 μ/η machinery keeps total attribution
+// unbiased under sample loss. With zero losses the factor is exactly 1
+// and is never applied.
 func (tr *Trap) Scale() float64 {
 	if tr.scaled {
 		return tr.scaleBytes
@@ -177,6 +202,11 @@ func (tr *Trap) Scale() float64 {
 		tr.WatchCtx.Eta += represented
 	}
 	tr.scaleBytes = represented * float64(tr.p.cfg.Period)
+	if lost := tr.p.lostSignals(); lost > 0 {
+		if delivered := tr.p.stats.Samples; delivered > 0 {
+			tr.scaleBytes *= float64(delivered+lost) / float64(delivered)
+		}
+	}
 	return tr.scaleBytes
 }
 
@@ -221,6 +251,13 @@ type armRecord struct {
 	kind     hwdebug.Kind
 	cookie   any
 	watchCtx *cct.Node
+
+	// Degradation state: consecutive arm failures on this register, the
+	// sample count before which it is in backoff, and whether it has
+	// been written off as externally held.
+	failStreak int
+	retryAt    uint64
+	dead       bool
 }
 
 // threadState is per-thread profiler state.
@@ -231,6 +268,9 @@ type threadState struct {
 	k uint64
 	// rr is the replace-oldest rotor.
 	rr int
+	// effective counts registers not yet written off as dead; the
+	// reservoir invariant is maintained over this shrunken N.
+	effective int
 	// blind-spot tracking: current and max runs of unmonitored samples.
 	curBlind, maxBlind uint64
 	samples            uint64
@@ -249,13 +289,63 @@ type Stats struct {
 	DisasmInstrs  uint64 // instructions decoded for precise-PC recovery
 }
 
+// Health reports how honestly the profile can be trusted: every counter
+// is zero and every flag false on a fault-free run, and a degraded run
+// says exactly which substrate failures it absorbed and how. The
+// framework degrades rather than dies — retrying failed arms with
+// deterministic backoff, shrinking the effective debug-register set
+// (with the §4.1 reservoir reset so the N/k invariant holds for the
+// registers that remain), and rescaling attribution for lost sample
+// signals — and Health is the record of those adaptations.
+type Health struct {
+	// SignalsLost counts PMU overflow signals that never reached the
+	// profiler (dropped/coalesced delivery). Attribution is rescaled by
+	// (delivered+lost)/delivered so the metric stays unbiased.
+	SignalsLost uint64
+	// RingLost counts trap records lost to ring-buffer overflow before
+	// they ever landed (the kernel wrapped first). Overwrite-mode loss of
+	// already-consumed trap history is not counted here — it costs the
+	// profile nothing — but remains visible in the session's RingLost
+	// stat.
+	RingLost uint64
+	// ArmFailures counts samples abandoned after exhausting arm retries;
+	// ArmRetries counts the extra attempts that preceded success or
+	// abandonment.
+	ArmFailures uint64
+	ArmRetries  uint64
+	// ModifyFallbacks counts Modify calls forced onto the close+reopen
+	// slow path; LBROutages counts precise-PC recoveries that had to
+	// disassemble from the function entry.
+	ModifyFallbacks uint64
+	LBROutages      uint64
+
+	// ConfiguredRegs is the per-thread debug-register count the run was
+	// configured with; EffectiveRegs is the smallest count any thread
+	// ended with after writing off busy registers.
+	ConfiguredRegs int
+	EffectiveRegs  int
+
+	// Degraded-mode flags.
+	RegistersShrunk bool // some thread lost registers at runtime
+	SampleLoss      bool // signal drops forced attribution rescaling
+	Degraded        bool // any of the above, or any counter nonzero
+}
+
+// degraded reports whether any degradation was observed.
+func (h *Health) degraded() bool {
+	return h.RegistersShrunk || h.SampleLoss ||
+		h.SignalsLost > 0 || h.RingLost > 0 || h.ArmFailures > 0 ||
+		h.ArmRetries > 0 || h.ModifyFallbacks > 0 || h.LBROutages > 0
+}
+
 // Result is what a profiling run produces.
 type Result struct {
-	Tool  string
-	Tree  *cct.Tree
-	Waste float64
-	Use   float64
-	Stats Stats
+	Tool   string
+	Tree   *cct.Tree
+	Waste  float64
+	Use    float64
+	Stats  Stats
+	Health Health
 
 	// WallTime is the monitored execution's wall-clock time; ToolBytes
 	// is the profiler-attributable resident memory (CCT + rings + arm
@@ -295,6 +385,8 @@ type Profiler struct {
 	rng    *rand.Rand
 	states map[int]*threadState
 	stats  Stats
+	faults *fault.Injector
+	health Health
 }
 
 // NearestPrime returns the prime closest to n (ties go down). The paper's
@@ -342,10 +434,12 @@ func NewProfiler(m *machine.Machine, client Client, cfg Config) *Profiler {
 		tree:   cct.New(m.Prog),
 		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
 		states: make(map[int]*threadState),
+		faults: fault.NewInjector(cfg.Faults), // nil for the zero plan
 	}
 	p.sess = perfevent.NewSession(m, perfevent.Options{
 		FastModify: !cfg.DisableFastModify,
 		UseLBR:     !cfg.DisableLBR,
+		Faults:     p.faults,
 	})
 	m.SetAltStack(!cfg.DisableAltStack)
 	p.sess.OpenSampling(client.Event(), cfg.Period, p.handleSample)
@@ -356,6 +450,9 @@ func NewProfiler(m *machine.Machine, client Client, cfg Config) *Profiler {
 		t.PMU.Skew(p.rng.Uint64())
 		if cfg.IBS {
 			t.PMU.Mode = pmu.ModeIBS
+		}
+		if p.faults != nil {
+			t.PMU.DropSignal = func() bool { return p.faults.Should(fault.SignalDrop) }
 		}
 	}
 	return p
@@ -368,7 +465,8 @@ func (p *Profiler) Tree() *cct.Tree { return p.tree }
 func (p *Profiler) state(t *machine.Thread) *threadState {
 	st := p.states[t.ID]
 	if st == nil {
-		st = &threadState{t: t, regs: make([]armRecord, t.Watch.NumRegs())}
+		n := t.Watch.NumRegs()
+		st = &threadState{t: t, regs: make([]armRecord, n), effective: n}
 		p.states[t.ID] = st
 	}
 	return st
@@ -408,25 +506,71 @@ func (p *Profiler) handleSample(t *machine.Thread, s pmu.Sample) {
 	}
 }
 
-// tryArm applies the replacement policy and programs a debug register.
+// freeReg returns the first register that is inactive and currently
+// armable (not dead, not in backoff), or -1. With no degradation this is
+// exactly hwdebug's first-inactive scan.
+func (st *threadState) freeReg() int {
+	for i := range st.regs {
+		rec := &st.regs[i]
+		if !rec.active && !rec.dead && rec.retryAt <= st.samples {
+			return i
+		}
+	}
+	return -1
+}
+
+// victims returns the registers eligible for policy replacement: the
+// currently-armed ones. Dead and backed-off registers hold no watchpoint
+// and are not victims. With no degradation this is every register
+// (freeReg already returned -1), preserving the fault-free behaviour bit
+// for bit.
+func (st *threadState) victims() []int {
+	out := make([]int, 0, len(st.regs))
+	for i := range st.regs {
+		if st.regs[i].active {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// tryArm applies the replacement policy and programs a debug register,
+// degrading gracefully when the substrate refuses: a bounded number of
+// retries per sample, exponential per-register backoff across samples,
+// and after deadRegStreak consecutive failures the register is written
+// off and the reservoir restarts over the registers that remain.
 func (p *Profiler) tryArm(t *machine.Thread, st *threadState, ctx *cct.Node, s *pmu.Sample, req ArmRequest) bool {
-	n := len(st.regs)
-	reg := t.Watch.FreeReg()
+	n := st.effective
+	if n == 0 {
+		// Fully degraded: every register is externally held. The run
+		// continues unmonitored and Health says so.
+		return false
+	}
+	reg := st.freeReg()
 	if reg < 0 {
+		victims := st.victims()
+		if len(victims) == 0 {
+			// No free register and nothing armed to replace (all
+			// candidates are backing off); skip this sample.
+			return false
+		}
 		switch p.cfg.Policy {
 		case PolicyReplaceOldest:
+			for !st.regs[st.rr].active {
+				st.rr = (st.rr + 1) % len(st.regs)
+			}
 			reg = st.rr
-			st.rr = (st.rr + 1) % n
+			st.rr = (st.rr + 1) % len(st.regs)
 		case PolicyCoinFlip:
 			if p.rng.Intn(2) == 0 {
 				return false
 			}
-			reg = p.rng.Intn(n)
-		default: // reservoir: survive with probability N/k
+			reg = victims[p.rng.Intn(len(victims))]
+		default: // reservoir: survive with probability N/k over live regs
 			if st.k > uint64(n) && p.rng.Float64() >= float64(n)/float64(st.k) {
 				return false
 			}
-			reg = p.rng.Intn(n)
+			reg = victims[p.rng.Intn(len(victims))]
 		}
 	}
 	addr, length := req.Addr, req.Len
@@ -437,16 +581,63 @@ func (p *Profiler) tryArm(t *machine.Thread, st *threadState, ctx *cct.Node, s *
 		length = s.Width
 	}
 	rec := &st.regs[reg]
-	if rec.fd == nil {
-		rec.fd = p.sess.CreateWatchpoint(t, reg, addr, length, req.Kind, req.Cookie, s.Seq)
-	} else {
-		rec.fd = rec.fd.Modify(addr, length, req.Kind, req.Cookie, s.Seq)
+	var err error
+	for attempt := 0; attempt < maxArmAttempts; attempt++ {
+		if attempt > 0 {
+			p.health.ArmRetries++
+		}
+		if rec.fd != nil {
+			// Modify's injected failure path closes the old fd before
+			// reopening, so on error rec.fd correctly becomes nil.
+			rec.fd, err = rec.fd.Modify(addr, length, req.Kind, req.Cookie, s.Seq)
+		} else {
+			rec.fd, err = p.sess.CreateWatchpoint(t, reg, addr, length, req.Kind, req.Cookie, s.Seq)
+		}
+		if err == nil {
+			rec.failStreak = 0
+			rec.active = true
+			rec.addr, rec.length, rec.kind = addr, length, req.Kind
+			rec.cookie = req.Cookie
+			rec.watchCtx = ctx
+			return true
+		}
 	}
-	rec.active = true
-	rec.addr, rec.length, rec.kind = addr, length, req.Kind
-	rec.cookie = req.Cookie
-	rec.watchCtx = ctx
-	return true
+	// Retries exhausted (EBUSY persisted): the sample goes unmonitored
+	// and the register backs off — deterministically, doubling per
+	// consecutive failure — before it is tried again. A register that
+	// keeps failing is externally held; write it off.
+	p.health.ArmFailures++
+	rec.active = false
+	rec.failStreak++
+	if rec.failStreak >= deadRegStreak {
+		p.disableReg(st, reg)
+	} else {
+		shift := rec.failStreak
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		rec.retryAt = st.samples + (uint64(1) << shift)
+	}
+	return false
+}
+
+// disableReg removes a register from the rotation after persistent arm
+// failures. The reservoir count k resets so §4.1's N/k survival invariant
+// holds exactly for the N′ registers that remain.
+func (p *Profiler) disableReg(st *threadState, i int) {
+	rec := &st.regs[i]
+	if rec.dead {
+		return
+	}
+	if rec.fd != nil {
+		rec.fd.Close()
+		rec.fd = nil
+	}
+	rec.active = false
+	rec.dead = true
+	st.effective--
+	st.k = 0
+	p.health.RegistersShrunk = true
 }
 
 // handleTrap implements the §4 trap flow and §4.2 proportional scaling.
@@ -510,6 +701,41 @@ func (p *Profiler) handleTrap(t *machine.Thread, tr hwdebug.Trap) {
 	}
 }
 
+// lostSignals sums PMU overflow signals that never reached the profiler.
+func (p *Profiler) lostSignals() uint64 {
+	var n uint64
+	for _, t := range p.m.Threads {
+		n += t.PMU.LostSignals
+	}
+	return n
+}
+
+// assembleHealth finalizes the run's Health block from the profiler's
+// own counters, the session's, and the per-thread register states.
+func (p *Profiler) assembleHealth() Health {
+	h := p.health
+	sst := p.sess.Stats()
+	h.SignalsLost = p.lostSignals()
+	// Natural overwrite-mode loss (undrained trap history, still visible
+	// in Session.Stats().RingLost) is by design and costs the profile
+	// nothing: every trap was consumed synchronously before its record
+	// could be overwritten. Only a record that never landed degrades the
+	// run.
+	h.RingLost = p.faults.Injected(fault.RingOverflow)
+	h.ModifyFallbacks = sst.ModifyFallbacks
+	h.LBROutages = sst.LBROutages
+	h.ConfiguredRegs = p.m.Config().NumDebugRegs
+	h.EffectiveRegs = h.ConfiguredRegs
+	for _, st := range p.states {
+		if st.effective < h.EffectiveRegs {
+			h.EffectiveRegs = st.effective
+		}
+	}
+	h.SampleLoss = h.SignalsLost > 0
+	h.Degraded = h.degraded()
+	return h
+}
+
 // Run executes the machine to completion under monitoring and returns the
 // profile.
 func (p *Profiler) Run() (*Result, error) {
@@ -519,8 +745,9 @@ func (p *Profiler) Run() (*Result, error) {
 	}
 	wall := time.Since(start)
 
-	opens, closes, modifies, disasm := p.sess.Stats()
-	p.stats.Opens, p.stats.Closes, p.stats.Modifies, p.stats.DisasmInstrs = opens, closes, modifies, disasm
+	sst := p.sess.Stats()
+	p.stats.Opens, p.stats.Closes, p.stats.Modifies, p.stats.DisasmInstrs =
+		sst.Opens, sst.Closes, sst.Modifies, sst.DisasmInstrs
 
 	waste, use := p.tree.Totals()
 	// Profiler-resident memory: the CCT, kernel ring buffers, and the
@@ -535,6 +762,7 @@ func (p *Profiler) Run() (*Result, error) {
 		Waste:     waste,
 		Use:       use,
 		Stats:     p.stats,
+		Health:    p.assembleHealth(),
 		WallTime:  wall,
 		ToolBytes: p.tree.Bytes() + p.sess.RingBytes() + armBytes,
 	}

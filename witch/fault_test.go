@@ -1,0 +1,131 @@
+package witch_test
+
+import (
+	"testing"
+
+	"repro/witch"
+)
+
+// TestHealthCleanRun: without injected faults every Health counter is
+// zero, no degraded-mode flag is set, and the effective register count
+// equals the configured one.
+func TestHealthCleanRun(t *testing.T) {
+	prog, err := witch.Workload("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := prof.Health
+	if h.SignalsLost != 0 || h.RingLost != 0 || h.ArmFailures != 0 || h.ArmRetries != 0 ||
+		h.ModifyFallbacks != 0 || h.LBROutages != 0 {
+		t.Fatalf("clean run has nonzero health counters: %+v", h)
+	}
+	if h.Degraded || h.RegistersShrunk || h.SampleLoss {
+		t.Fatalf("clean run flagged degraded: %+v", h)
+	}
+	if h.ConfiguredRegs != 4 || h.EffectiveRegs != 4 {
+		t.Fatalf("registers = %d/%d, want 4/4", h.EffectiveRegs, h.ConfiguredRegs)
+	}
+}
+
+// TestZeroFaultPlanIsInert: passing an explicit zero plan must change
+// nothing at all — the injection layer is provably inert when disabled.
+func TestZeroFaultPlanIsInert(t *testing.T) {
+	prog, err := witch.Workload("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 211, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A zero plan with a nonzero seed still injects nothing.
+	zero, err := witch.Run(prog, witch.Options{
+		Tool: witch.DeadStores, Period: 211, Seed: 5,
+		Faults: witch.FaultPlan{Seed: 999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Redundancy != zero.Redundancy || base.Waste != zero.Waste || base.Use != zero.Use {
+		t.Fatalf("zero plan changed the metric: %v/%v vs %v/%v",
+			base.Waste, base.Use, zero.Waste, zero.Use)
+	}
+	if base.Stats != zero.Stats {
+		t.Fatalf("zero plan changed stats:\n%+v\n%+v", base.Stats, zero.Stats)
+	}
+	if base.Health != zero.Health {
+		t.Fatalf("zero plan changed health:\n%+v\n%+v", base.Health, zero.Health)
+	}
+}
+
+// TestFaultInjectionSurfacesInHealth: each fault class must show up in
+// its Health counter, the run must complete, and the metric must stay a
+// valid fraction.
+func TestFaultInjectionSurfacesInHealth(t *testing.T) {
+	prog, err := witch.Workload("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{
+		Tool: witch.DeadStores, Period: 97, Seed: 1,
+		Faults: witch.FaultPlan{
+			Seed:         7,
+			ArmEBUSY:     0.3,
+			ModifyFail:   0.3,
+			RingOverflow: 0.3,
+			SignalDrop:   0.1,
+			LBROutage:    0.3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := prof.Health
+	if !h.Degraded {
+		t.Fatalf("injection must flag degradation: %+v", h)
+	}
+	if h.ArmRetries == 0 {
+		t.Fatal("30% EBUSY must force arm retries")
+	}
+	if h.ModifyFallbacks == 0 {
+		t.Fatal("30% modify failure must force slow-path fallbacks")
+	}
+	if h.RingLost == 0 {
+		t.Fatal("30% ring overflow must lose records")
+	}
+	if h.SignalsLost == 0 || !h.SampleLoss {
+		t.Fatalf("10%% signal drop must lose signals: %+v", h)
+	}
+	if h.LBROutages == 0 {
+		t.Fatal("30% LBR outage must force linear disassembly")
+	}
+	if prof.Redundancy < 0 || prof.Redundancy > 1 {
+		t.Fatalf("redundancy out of range: %v", prof.Redundancy)
+	}
+	if prof.Stats.Samples == 0 || prof.Stats.Traps == 0 {
+		t.Fatalf("profiling must continue under faults: %+v", prof.Stats)
+	}
+
+	// Determinism: the same fault seed reproduces the same degraded run.
+	again, err := witch.Run(prog, witch.Options{
+		Tool: witch.DeadStores, Period: 97, Seed: 1,
+		Faults: witch.FaultPlan{
+			Seed:         7,
+			ArmEBUSY:     0.3,
+			ModifyFail:   0.3,
+			RingOverflow: 0.3,
+			SignalDrop:   0.1,
+			LBROutage:    0.3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Health != h || again.Waste != prof.Waste || again.Use != prof.Use {
+		t.Fatalf("fault injection not deterministic:\n%+v\n%+v", h, again.Health)
+	}
+}

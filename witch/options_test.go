@@ -1,0 +1,64 @@
+package witch_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/witch"
+)
+
+// TestOptionsValidation checks Run rejects nonsensical options with
+// descriptive errors instead of silently masking caller bugs.
+func TestOptionsValidation(t *testing.T) {
+	prog, err := witch.Workload("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		opts    witch.Options
+		wantErr string // substring; "" means the run must succeed
+	}{
+		{"valid defaults", witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1}, ""},
+		{"missing tool", witch.Options{}, "Tool is required"},
+		{"unknown tool", witch.Options{Tool: "bogus"}, "unknown tool"},
+		{"negative threads", witch.Options{Tool: witch.DeadStores, Threads: -2}, "Threads"},
+		{"zero threads defaults to one", witch.Options{Tool: witch.DeadStores, Period: 97, Threads: 0, Seed: 1}, ""},
+		{"absurd period", witch.Options{Tool: witch.DeadStores, Period: 1 << 50}, "Period"},
+		{"negative registers", witch.Options{Tool: witch.DeadStores, DebugRegisters: -1}, "DebugRegisters"},
+		{"too many registers", witch.Options{Tool: witch.DeadStores, DebugRegisters: 65}, "DebugRegisters"},
+		{"negative precision", witch.Options{Tool: witch.DeadStores, FloatPrecision: -0.5}, "FloatPrecision"},
+		{"precision at one", witch.Options{Tool: witch.DeadStores, FloatPrecision: 1}, "FloatPrecision"},
+		{"fault rate above one", witch.Options{Tool: witch.DeadStores, Faults: witch.FaultPlan{ArmEBUSY: 1.5}}, "ArmEBUSY"},
+		{"negative fault rate", witch.Options{Tool: witch.DeadStores, Faults: witch.FaultPlan{SignalDrop: -0.1}}, "SignalDrop"},
+		{"burst rate above one", witch.Options{Tool: witch.DeadStores, Faults: witch.FaultPlan{BurstRate: 2}}, "BurstRate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := witch.Run(prog, tc.opts)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// RunFalseSharing validates its explicit thread count.
+	if _, err := witch.RunFalseSharing(prog, 0, witch.Options{Period: 97}); err == nil {
+		t.Fatal("RunFalseSharing(threads=0) should error")
+	}
+	if _, err := witch.RunFalseSharing(prog, -1, witch.Options{Period: 97}); err == nil {
+		t.Fatal("RunFalseSharing(threads=-1) should error")
+	}
+	if _, err := witch.RunFalseSharing(prog, 1, witch.Options{Period: 97, Faults: witch.FaultPlan{BurstRate: -1}}); err == nil {
+		t.Fatal("RunFalseSharing should validate the fault plan")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/cct"
 	"repro/internal/craft"
 	"repro/internal/exhaustive"
+	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/machine"
 	iwitch "repro/internal/witch"
@@ -230,6 +231,63 @@ type Options struct {
 	DisableFastModify   bool
 	DisableLBR          bool
 	DisableAltStack     bool
+
+	// Faults injects substrate failures (EBUSY watchpoint arms, fast-Modify
+	// fallbacks, ring overflow, dropped sample signals, LBR outages) for
+	// robustness testing. The zero plan injects nothing and is provably
+	// inert: profiles are byte-identical with and without the field.
+	Faults FaultPlan
+}
+
+// FaultPlan configures deterministic, seeded fault injection; see
+// internal/fault for rates and burst windows.
+type FaultPlan = fault.Plan
+
+// maxPeriod caps Options.Period. The paper's real defaults are 5M/10M
+// events; anything beyond this would mean zero samples on every workload
+// in the suite, which is a caller bug, not a configuration.
+const maxPeriod = 1 << 40
+
+// validate rejects option combinations that would silently produce a
+// meaningless profile.
+func (o Options) validate(needTool bool) error {
+	if needTool {
+		switch o.Tool {
+		case DeadStores, SilentStores, RedundantLoads:
+		case "":
+			return fmt.Errorf("witch: Options.Tool is required (dead, silent or load)")
+		default:
+			return fmt.Errorf("witch: unknown tool %q (want dead, silent or load)", o.Tool)
+		}
+	}
+	if o.Period > maxPeriod {
+		return fmt.Errorf("witch: Period %d is beyond any sensible sampling rate (max %d)", o.Period, uint64(maxPeriod))
+	}
+	if o.Threads < 0 {
+		return fmt.Errorf("witch: Threads must be >= 0 (0 means the default of 1), got %d", o.Threads)
+	}
+	if o.DebugRegisters < 0 || o.DebugRegisters > 64 {
+		return fmt.Errorf("witch: DebugRegisters must be in [0,64] (0 means the default of 4), got %d", o.DebugRegisters)
+	}
+	if o.FloatPrecision < 0 || o.FloatPrecision >= 1 {
+		return fmt.Errorf("witch: FloatPrecision must be in [0,1) (0 means the default of 0.01), got %g", o.FloatPrecision)
+	}
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ArmEBUSY", o.Faults.ArmEBUSY},
+		{"ModifyFail", o.Faults.ModifyFail},
+		{"RingOverflow", o.Faults.RingOverflow},
+		{"SignalDrop", o.Faults.SignalDrop},
+		{"LBROutage", o.Faults.LBROutage},
+		{"BurstRate", o.Faults.BurstRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("witch: Faults.%s is a probability, must be in [0,1], got %g", r.name, r.v)
+		}
+	}
+	return nil
 }
 
 // Pair is one ⟨C_watch, C_trap⟩ inefficiency pair in a report.
@@ -249,6 +307,13 @@ type Pair struct {
 // resource usage).
 type Stats = iwitch.Stats
 
+// Health reports what went wrong during a run and how the profiler
+// adapted: lost sample signals and ring records, watchpoint arm failures
+// and retries, fast-Modify fallbacks, LBR outages, and any runtime
+// shrinking of the effective debug-register count. It is all-zeros (and
+// Degraded is false) for a fault-free run.
+type Health = iwitch.Health
+
 // Profile is the outcome of a profiling run.
 type Profile struct {
 	Program string
@@ -258,6 +323,10 @@ type Profile struct {
 	Redundancy float64
 	Waste, Use float64
 	Stats      Stats
+	// Health records substrate failures and the profiler's degraded-mode
+	// adaptations; all-zeros for a clean run. Exhaustive runs have no
+	// sampling substrate, so their Health is always zero.
+	Health Health
 	// WallTime and ToolBytes feed overhead accounting; Exhaustive marks
 	// ground-truth (spy) runs.
 	WallTime   time.Duration
@@ -326,6 +395,9 @@ func client(tool Tool, precision float64) (iwitch.Client, error) {
 // Run profiles the program with the sampling-based witchcraft tool
 // selected in opts.
 func Run(p *Program, opts Options) (*Profile, error) {
+	if err := opts.validate(true); err != nil {
+		return nil, err
+	}
 	if opts.Period == 0 {
 		opts.Period = defaultPeriod(opts.Tool)
 	}
@@ -352,6 +424,7 @@ func Run(p *Program, opts Options) (*Profile, error) {
 		DisableLBR:          opts.DisableLBR,
 		DisableAltStack:     opts.DisableAltStack,
 		IBS:                 opts.IBSSampling,
+		Faults:              opts.Faults,
 	})
 	res, err := prof.Run()
 	if err != nil {
@@ -364,6 +437,7 @@ func Run(p *Program, opts Options) (*Profile, error) {
 		Waste:      res.Waste,
 		Use:        res.Use,
 		Stats:      res.Stats,
+		Health:     res.Health,
 		WallTime:   res.WallTime,
 		ToolBytes:  res.ToolBytes,
 		Instrs:     res.Instrs,
@@ -492,7 +566,10 @@ func (sp *SharingProfile) TopPairs(n int) []Pair {
 // line traps and is classified as true or false sharing (§6.3).
 func RunFalseSharing(p *Program, threads int, opts Options) (*SharingProfile, error) {
 	if threads < 1 {
-		threads = 1
+		return nil, fmt.Errorf("witch: false-sharing detection needs at least 1 thread, got %d", threads)
+	}
+	if err := opts.validate(false); err != nil {
+		return nil, err
 	}
 	m := machine.New(p.prog, machine.Config{})
 	for i := 1; i < threads; i++ {
