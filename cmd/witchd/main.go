@@ -1,0 +1,59 @@
+// Command witchd is a continuous-profiling aggregation daemon: many
+// profiled processes push their witch profiles to it, and it serves one
+// merged, time-windowed, queryable view of the fleet's inefficiencies.
+// It is the paper's collect/inspect split (§6.5) turned into a service —
+// hpcrun measurement files become POST /v1/ingest, hpcviewer becomes
+// GET /v1/top and GET /v1/profile — in the spirit of detectors that run
+// continuously in production rather than once per experiment.
+//
+// Usage:
+//
+//	witchd -addr 127.0.0.1:9147 -window 1m -buckets 60
+//
+//	# From a profiled process (or use witch.Pusher in-process):
+//	witch -tool dead -workload gcc -json prof.json
+//	curl --data-binary @prof.json http://127.0.0.1:9147/v1/ingest
+//
+//	# Inspect the merged fleet view:
+//	curl 'http://127.0.0.1:9147/v1/top?tool=DeadCraft&window=-1h&n=10'
+//	witchdiff 'http://127.0.0.1:9147/v1/profile?tool=DeadCraft&window=-2h' \
+//	          'http://127.0.0.1:9147/v1/profile?tool=DeadCraft&window=-1h'
+//
+// The tool parameter matches the profile's own tool string (DeadCraft,
+// SilentCraft, LoadCraft, or a spy name for exhaustive runs).
+//
+// Profiles are merged keyed by ⟨tool, program, context-pair signature⟩;
+// retention is a ring of fixed time windows with expired buckets folded
+// into a rollup, so memory stays bounded under indefinite ingest. See
+// docs/INTERNALS.md, "Aggregation service (witchd)".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9147", "listen address")
+	window := flag.Duration("window", time.Minute, "retention bucket width")
+	buckets := flag.Int("buckets", 60, "live retention buckets (older data rolls up)")
+	maxBody := flag.Int64("max-body", 32<<20, "largest accepted ingest body in bytes")
+	flag.Parse()
+	if *window <= 0 || *buckets <= 0 || *maxBody <= 0 {
+		fmt.Fprintln(os.Stderr, "witchd: -window, -buckets and -max-body must be positive")
+		os.Exit(2)
+	}
+
+	st := store.New(store.Config{Window: *window, Buckets: *buckets})
+	srv := newServer(st, *maxBody)
+	log.Printf("witchd: listening on %s (retention %v x %d buckets)", *addr, *window, *buckets)
+	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
+		log.Fatalf("witchd: %v", err)
+	}
+}

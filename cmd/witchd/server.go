@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/store"
+	"repro/witch"
+)
+
+// server wires the retention store to the HTTP API. All state lives in
+// the store; the server adds only ingest accounting.
+type server struct {
+	st      *store.Store
+	maxBody int64
+
+	batches  atomic.Uint64 // ingest requests accepted
+	rejected atomic.Uint64 // ingest requests rejected
+}
+
+func newServer(st *store.Store, maxBody int64) *server {
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	return &server{st: st, maxBody: maxBody}
+}
+
+// handler routes the API:
+//
+//	POST /v1/ingest   WriteJSON payloads, single or batched
+//	GET  /v1/top      ranked merged pairs (tool, window, program, n)
+//	GET  /v1/profile  full merged profile in the WriteJSON schema
+//	GET  /healthz     fleet-wide aggregated Health + retention stats
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/top", s.handleTop)
+	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError sends a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// decodeBatch parses an ingest body: either one WriteJSON document, a
+// stream of concatenated documents, or a JSON array of documents. Every
+// profile passes ReadProfileJSON's hardening; the batch is all-or-
+// nothing so a truncated upload never half-lands.
+func decodeBatch(r io.Reader) ([]*witch.Profile, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	data = bytes.TrimSpace(data)
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	var raws []json.RawMessage
+	if data[0] == '[' {
+		if err := json.Unmarshal(data, &raws); err != nil {
+			return nil, fmt.Errorf("batch array: %w", err)
+		}
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var raw json.RawMessage
+			if err := dec.Decode(&raw); err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				return nil, fmt.Errorf("stream entry %d: %w", len(raws), err)
+			}
+			raws = append(raws, raw)
+		}
+	}
+	if len(raws) == 0 {
+		return nil, fmt.Errorf("empty batch")
+	}
+	profs := make([]*witch.Profile, len(raws))
+	for i, raw := range raws {
+		p, err := witch.ReadProfileJSON(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("batch entry %d: %w", i, err)
+		}
+		profs[i] = p
+	}
+	return profs, nil
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	profs, err := decodeBatch(body)
+	if err != nil {
+		s.rejected.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "ingest: %v", err)
+		return
+	}
+	// Per-tool routing happens inside the aggregate: every profile
+	// carries its tool, and merge keys are tool-scoped, so a batch may
+	// mix tools freely without cross-contamination.
+	byTool := map[string]int{}
+	for _, p := range profs {
+		s.st.Ingest(p)
+		byTool[p.Tool]++
+	}
+	s.batches.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"accepted": len(profs),
+		"by_tool":  byTool,
+	})
+}
+
+// queryWindow parses the window parameter: a Go duration, with an
+// optional leading '-' tolerated ("-1h" and "1h" both mean the trailing
+// hour); absent or "0" means everything, including evicted rollup.
+func queryWindow(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("window")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad window %q: %v", raw, err)
+	}
+	if d < 0 {
+		d = -d
+	}
+	return d, nil
+}
+
+// view resolves the tool/window/program parameters to a merged view.
+func (s *server) view(w http.ResponseWriter, r *http.Request) (*agg.Aggregator, string, string, bool) {
+	tool := r.URL.Query().Get("tool")
+	if tool == "" {
+		httpError(w, http.StatusBadRequest, "tool parameter is required (a profile tool string, e.g. DeadCraft)")
+		return nil, "", "", false
+	}
+	window, err := queryWindow(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return nil, "", "", false
+	}
+	return s.st.Query(window), tool, r.URL.Query().Get("program"), true
+}
+
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	view, tool, program, ok := s.view(w, r)
+	if !ok {
+		return
+	}
+	n := 20
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q", raw)
+			return
+		}
+		n = v
+	}
+	prof := view.Snapshot(tool, program)
+	if prof == nil {
+		httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", tool, program)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"tool":       tool,
+		"program":    prof.Program,
+		"programs":   view.Programs(tool),
+		"redundancy": prof.Redundancy,
+		"waste":      prof.Waste,
+		"use":        prof.Use,
+		"pairs":      prof.TopPairs(n),
+	})
+}
+
+func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	view, tool, program, ok := s.view(w, r)
+	if !ok {
+		return
+	}
+	prof := view.Snapshot(tool, program)
+	if prof == nil {
+		httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", tool, program)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	prof.WriteJSON(w)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	health, profiles := s.st.Health()
+	status := "ok"
+	if health.Degraded {
+		status = "degraded"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":           status,
+		"profiles":         profiles,
+		"batches":          s.batches.Load(),
+		"rejected_batches": s.rejected.Load(),
+		"tools":            s.st.Query(0).Tools(),
+		"health":           health,
+		"store":            s.st.Stats(),
+	})
+}

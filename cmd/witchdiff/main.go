@@ -3,19 +3,24 @@
 // every commit, diff against the baseline, fail the build when a new
 // inefficiency pair appears.
 //
-// Usage:
+// Sources may be files or http(s) URLs served by a running witchd, so
+// two retention windows of the live fleet view diff directly:
 //
 //	witch -tool dead -workload gcc -json baseline.json
 //	...change code...
 //	witch -tool dead -workload gcc -json current.json
 //	witchdiff baseline.json current.json          # prints the delta
 //	witchdiff -fail-on-regression baseline.json current.json
+//	witchdiff 'http://host:9147/v1/profile?tool=DeadCraft&window=-1h' current.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/witch"
 )
@@ -26,12 +31,27 @@ func fatal(err error) {
 }
 
 func load(path string) *witch.Profile {
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
+	var r io.ReadCloser
+	if strings.HasPrefix(path, "http://") || strings.HasPrefix(path, "https://") {
+		resp, err := http.Get(path)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			fatal(fmt.Errorf("%s: HTTP %s: %s", path, resp.Status, strings.TrimSpace(string(body))))
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		r = f
 	}
-	defer f.Close()
-	p, err := witch.ReadProfileJSON(f)
+	defer r.Close()
+	p, err := witch.ReadProfileJSON(r)
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", path, err))
 	}

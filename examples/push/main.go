@@ -1,0 +1,64 @@
+// Push: profile workloads and stream the profiles to a running witchd
+// daemon with witch.Pusher — the continuous-profiling deployment the
+// daemon exists for. Start the daemon first:
+//
+//	go run ./cmd/witchd &
+//	go run ./examples/push                  # defaults to 127.0.0.1:9147
+//	go run ./examples/push -daemon http://other-host:9147 -runs 8
+//
+// The pusher never blocks the profiled workload: if the daemon is down,
+// profiles are dropped and counted, and this example still exits
+// promptly — run it without a daemon to watch the drops.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/witch"
+)
+
+func main() {
+	daemon := flag.String("daemon", "http://127.0.0.1:9147", "witchd base URL")
+	runs := flag.Int("runs", 4, "profiling runs to push")
+	workload := flag.String("workload", "listing2", "workload to profile")
+	flag.Parse()
+
+	prog, err := witch.Workload(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pusher, err := witch.NewPusher(witch.PusherOptions{
+		URL:     *daemon,
+		Timeout: time.Second,
+		Backoff: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i := 0; i < *runs; i++ {
+		prof, err := witch.Run(prog, witch.Options{
+			Tool:   witch.DeadStores,
+			Period: 97,
+			Seed:   int64(i + 1), // distinct seeds: distinct runs of one fleet
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pusher.Push(prof) {
+			fmt.Printf("run %d: pushed (redundancy %.1f%%)\n", i+1, 100*prof.Redundancy)
+		} else {
+			fmt.Printf("run %d: queue full, dropped\n", i+1)
+		}
+	}
+	pusher.Close() // flush the queue before reading final stats
+	st := pusher.Stats()
+	fmt.Printf("pushed %d/%d profiles (%d dropped, %d retries)\n",
+		st.Sent, st.Enqueued+st.Dropped, st.Dropped, st.Retries)
+	if st.Sent > 0 {
+		fmt.Printf("query the merged view:\n  curl '%s/v1/top?tool=DeadCraft&n=5'\n", *daemon)
+	}
+}

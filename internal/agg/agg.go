@@ -1,0 +1,422 @@
+// Package agg merges witch profiles from many runs, processes, and
+// machines into one queryable view — the fleet-level aggregation layer
+// behind the witchd daemon. The paper separates collection from
+// inspection (hpcrun measurement files consumed postmortem by hpcviewer,
+// §6.5); agg extends that split from one file per run to a continuous
+// stream of runs.
+//
+// Merging preserves the §4.2 proportional-attribution semantics: every
+// pair's waste and use are plain sums over the contributing profiles, so
+// merging k identical profiles scales waste and use by k while the
+// redundancy fraction waste/(waste+use) — Equation 1 — stays fixed.
+// Merge is commutative and associative (it is a sum), which is what lets
+// the store fold expired retention buckets into a rollup without
+// changing any ranking.
+//
+// The aggregator is lock-striped: pair accumulators are sharded by a
+// hash of their ⟨tool, program, context-pair signature⟩ key so
+// concurrent ingest from many pushers contends only per shard, and the
+// per-(tool, program) scalar totals live under a separate small lock.
+package agg
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/witch"
+)
+
+// numShards is the lock-stripe width for pair accumulators. 64 shards
+// keep 8–16 concurrent pushers mostly contention-free while the
+// per-shard maps stay small enough to snapshot cheaply.
+const numShards = 64
+
+// pairKey identifies one merged pair stream: the tool that found it, the
+// program it was found in, and the full context-pair signature (leaf
+// locations plus the synthetic chain, i.e. the complete ⟨C_watch,
+// C_trap⟩ calling contexts of §4.2 — two pairs with the same leaves but
+// different chains stay distinct, exactly as they do in one profile).
+type pairKey struct {
+	tool    string
+	program string
+	src     string
+	dst     string
+	chain   string
+}
+
+// pairAcc accumulates one pair stream's metrics.
+type pairAcc struct {
+	waste, use       float64
+	srcLine, dstLine int
+}
+
+// shard is one lock stripe of the pair map.
+type shard struct {
+	mu    sync.Mutex
+	pairs map[pairKey]*pairAcc
+}
+
+// metaKey groups profile-level scalars.
+type metaKey struct {
+	tool    string
+	program string
+}
+
+// meta is the per-(tool, program) scalar accumulator.
+type meta struct {
+	profiles   uint64
+	waste, use float64
+	wallNanos  int64
+	toolBytes  uint64
+	instrs     uint64
+	loads      uint64
+	stores     uint64
+	exhaustive bool
+	stats      witch.Stats
+	health     witch.Health
+}
+
+// Aggregator merges profiles. The zero value is not usable; call New.
+type Aggregator struct {
+	shards [numShards]shard
+
+	metaMu sync.Mutex
+	metas  map[metaKey]*meta
+}
+
+// New returns an empty aggregator.
+func New() *Aggregator {
+	a := &Aggregator{metas: make(map[metaKey]*meta)}
+	for i := range a.shards {
+		a.shards[i].pairs = make(map[pairKey]*pairAcc)
+	}
+	return a
+}
+
+// shardFor hashes a pair key onto its lock stripe.
+func shardFor(k pairKey) int {
+	h := fnv.New32a()
+	h.Write([]byte(k.tool))
+	h.Write([]byte{0})
+	h.Write([]byte(k.program))
+	h.Write([]byte{0})
+	h.Write([]byte(k.src))
+	h.Write([]byte{0})
+	h.Write([]byte(k.dst))
+	h.Write([]byte{0})
+	h.Write([]byte(k.chain))
+	return int(h.Sum32() % numShards)
+}
+
+// Merge folds one profile into the aggregate. Safe for concurrent use.
+func (a *Aggregator) Merge(p *witch.Profile) {
+	a.mergeMeta(metaKey{p.Tool, p.Program}, &meta{
+		profiles:   1,
+		waste:      p.Waste,
+		use:        p.Use,
+		wallNanos:  p.WallTime.Nanoseconds(),
+		toolBytes:  p.ToolBytes,
+		instrs:     p.Instrs,
+		loads:      p.Loads,
+		stores:     p.Stores,
+		exhaustive: p.Exhaustive,
+		stats:      p.Stats,
+		health:     p.Health,
+	})
+	for _, pr := range p.TopPairs(0) {
+		k := pairKey{p.Tool, p.Program, pr.Src, pr.Dst, pr.Chain}
+		sh := &a.shards[shardFor(k)]
+		sh.mu.Lock()
+		acc := sh.pairs[k]
+		if acc == nil {
+			acc = &pairAcc{srcLine: pr.SrcLine, dstLine: pr.DstLine}
+			sh.pairs[k] = acc
+		}
+		acc.waste += pr.Waste
+		acc.use += pr.Use
+		sh.mu.Unlock()
+	}
+}
+
+// MergeFrom folds another aggregator into this one — the operation the
+// store uses to roll expired retention buckets into the long-tail
+// rollup, and the reason merge associativity across shard boundaries is
+// a tested property. Concurrent Merge calls on either side are safe
+// (everything is read and written under the shard locks), but a merge
+// landing in other mid-copy may miss this pass — callers wanting an
+// exact cut must quiesce other first, as the store's eviction does. Two
+// aggregators must not MergeFrom each other concurrently (lock order).
+func (a *Aggregator) MergeFrom(other *Aggregator) {
+	other.metaMu.Lock()
+	for k, m := range other.metas {
+		cp := *m
+		a.mergeMeta(k, &cp)
+	}
+	other.metaMu.Unlock()
+	for i := range other.shards {
+		osh := &other.shards[i]
+		osh.mu.Lock()
+		for k, acc := range osh.pairs {
+			sh := &a.shards[shardFor(k)]
+			sh.mu.Lock()
+			dst := sh.pairs[k]
+			if dst == nil {
+				dst = &pairAcc{srcLine: acc.srcLine, dstLine: acc.dstLine}
+				sh.pairs[k] = dst
+			}
+			dst.waste += acc.waste
+			dst.use += acc.use
+			sh.mu.Unlock()
+		}
+		osh.mu.Unlock()
+	}
+}
+
+// mergeMeta folds one scalar bundle into the (tool, program) totals.
+func (a *Aggregator) mergeMeta(k metaKey, m *meta) {
+	a.metaMu.Lock()
+	defer a.metaMu.Unlock()
+	dst := a.metas[k]
+	if dst == nil {
+		a.metas[k] = m
+		return
+	}
+	dst.profiles += m.profiles
+	dst.waste += m.waste
+	dst.use += m.use
+	dst.wallNanos += m.wallNanos
+	dst.toolBytes += m.toolBytes
+	dst.instrs += m.instrs
+	dst.loads += m.loads
+	dst.stores += m.stores
+	dst.exhaustive = dst.exhaustive || m.exhaustive
+	dst.stats = mergeStats(dst.stats, m.stats)
+	dst.health = MergeHealth(dst.health, m.health)
+}
+
+// mergeStats sums framework counters; MaxBlindSpot is a maximum, not a
+// sum — the fleet-level figure is the worst blind spot any run saw.
+func mergeStats(x, y witch.Stats) witch.Stats {
+	x.Samples += y.Samples
+	x.Monitored += y.Monitored
+	x.Traps += y.Traps
+	x.SpuriousTraps += y.SpuriousTraps
+	if y.MaxBlindSpot > x.MaxBlindSpot {
+		x.MaxBlindSpot = y.MaxBlindSpot
+	}
+	x.Opens += y.Opens
+	x.Closes += y.Closes
+	x.Modifies += y.Modifies
+	x.DisasmInstrs += y.DisasmInstrs
+	return x
+}
+
+// MergeHealth combines degradation records: counters sum, flags OR,
+// ConfiguredRegs is the largest configuration seen and EffectiveRegs the
+// smallest any contributing run ended with (zero means "no sampling
+// substrate", e.g. an exhaustive run, and never wins the minimum). The
+// /healthz endpoint serves this so degraded clients are visible
+// fleet-wide.
+func MergeHealth(x, y witch.Health) witch.Health {
+	x.SignalsLost += y.SignalsLost
+	x.RingLost += y.RingLost
+	x.ArmFailures += y.ArmFailures
+	x.ArmRetries += y.ArmRetries
+	x.ModifyFallbacks += y.ModifyFallbacks
+	x.LBROutages += y.LBROutages
+	if y.ConfiguredRegs > x.ConfiguredRegs {
+		x.ConfiguredRegs = y.ConfiguredRegs
+	}
+	if y.EffectiveRegs > 0 && (x.EffectiveRegs == 0 || y.EffectiveRegs < x.EffectiveRegs) {
+		x.EffectiveRegs = y.EffectiveRegs
+	}
+	x.RegistersShrunk = x.RegistersShrunk || y.RegistersShrunk
+	x.SampleLoss = x.SampleLoss || y.SampleLoss
+	x.Degraded = x.Degraded || y.Degraded
+	return x
+}
+
+// Snapshot re-materializes the merged profile for one tool, optionally
+// filtered to one program (program == "" merges across programs). Pairs
+// are ranked exactly as a single profile ranks them — waste descending,
+// chain ascending on ties — so a single-source snapshot round-trips
+// bit-compatibly through WriteJSON/witchdiff. Returns nil if nothing
+// matching has been merged.
+func (a *Aggregator) Snapshot(tool, program string) *witch.Profile {
+	mk, n := a.combinedMeta(tool, program)
+	if n == 0 {
+		return nil
+	}
+	progName := program
+	if program == "" {
+		progs := a.Programs(tool)
+		if len(progs) == 1 {
+			progName = progs[0]
+		} else {
+			progName = fmt.Sprintf("merged(%d programs)", len(progs))
+		}
+	}
+	pairs := a.pairsFor(tool, program)
+	red := 0.0
+	if mk.waste+mk.use > 0 {
+		red = mk.waste / (mk.waste + mk.use)
+	}
+	return witch.NewProfile(witch.Profile{
+		Program:    progName,
+		Tool:       tool,
+		Exhaustive: mk.exhaustive,
+		Redundancy: red,
+		Waste:      mk.waste,
+		Use:        mk.use,
+		WallTime:   time.Duration(mk.wallNanos),
+		ToolBytes:  mk.toolBytes,
+		Instrs:     mk.instrs,
+		Loads:      mk.loads,
+		Stores:     mk.stores,
+		Stats:      mk.stats,
+		Health:     mk.health,
+	}, pairs)
+}
+
+// combinedMeta folds the matching (tool, program) scalar groups and
+// returns the number of contributing profiles.
+func (a *Aggregator) combinedMeta(tool, program string) (meta, uint64) {
+	var out meta
+	a.metaMu.Lock()
+	defer a.metaMu.Unlock()
+	for k, m := range a.metas {
+		if k.tool != tool || (program != "" && k.program != program) {
+			continue
+		}
+		out.profiles += m.profiles
+		out.waste += m.waste
+		out.use += m.use
+		out.wallNanos += m.wallNanos
+		out.toolBytes += m.toolBytes
+		out.instrs += m.instrs
+		out.loads += m.loads
+		out.stores += m.stores
+		out.exhaustive = out.exhaustive || m.exhaustive
+		out.stats = mergeStats(out.stats, m.stats)
+		out.health = MergeHealth(out.health, m.health)
+	}
+	return out, out.profiles
+}
+
+// pairsFor collects and ranks the merged pairs matching a tool and
+// optional program filter.
+func (a *Aggregator) pairsFor(tool, program string) []witch.Pair {
+	type ranked struct {
+		witch.Pair
+		chain string
+	}
+	var out []ranked
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for k, acc := range sh.pairs {
+			if k.tool != tool || (program != "" && k.program != program) {
+				continue
+			}
+			out = append(out, ranked{witch.Pair{
+				Src: k.src, Dst: k.dst, Chain: k.chain,
+				Waste: acc.waste, Use: acc.use,
+				SrcLine: acc.srcLine, DstLine: acc.dstLine,
+			}, k.chain})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Waste != out[j].Waste {
+			return out[i].Waste > out[j].Waste
+		}
+		if out[i].chain != out[j].chain {
+			return out[i].chain < out[j].chain
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	pairs := make([]witch.Pair, len(out))
+	for i, r := range out {
+		pairs[i] = r.Pair
+	}
+	return pairs
+}
+
+// Tools lists the tools with merged data, sorted.
+func (a *Aggregator) Tools() []string {
+	a.metaMu.Lock()
+	set := make(map[string]bool, len(a.metas))
+	for k := range a.metas {
+		set[k.tool] = true
+	}
+	a.metaMu.Unlock()
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Programs lists the programs with merged data for a tool, sorted.
+func (a *Aggregator) Programs(tool string) []string {
+	a.metaMu.Lock()
+	set := make(map[string]bool)
+	for k := range a.metas {
+		if k.tool == tool {
+			set[k.program] = true
+		}
+	}
+	a.metaMu.Unlock()
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profiles returns how many profiles have been merged in, across all
+// tools and programs.
+func (a *Aggregator) Profiles() uint64 {
+	a.metaMu.Lock()
+	defer a.metaMu.Unlock()
+	var n uint64
+	for _, m := range a.metas {
+		n += m.profiles
+	}
+	return n
+}
+
+// PairCount returns the number of distinct merged pair streams held —
+// the live-memory figure retention eviction is meant to bound.
+func (a *Aggregator) PairCount() int {
+	var n int
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		n += len(sh.pairs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Health returns the fleet-wide combined degradation record and the
+// number of profiles it covers.
+func (a *Aggregator) Health() (witch.Health, uint64) {
+	a.metaMu.Lock()
+	defer a.metaMu.Unlock()
+	var h witch.Health
+	var n uint64
+	for _, m := range a.metas {
+		h = MergeHealth(h, m.health)
+		n += m.profiles
+	}
+	return h, n
+}

@@ -1,0 +1,188 @@
+// Package store gives the witchd aggregation daemon bounded memory
+// under indefinite ingest: profiles land in a ring of fixed time-width
+// buckets (each an internal/agg aggregator), and when a ring slot is
+// reused its expired bucket is folded into a single long-tail rollup
+// aggregator. Because merge is associative (a sum — see internal/agg),
+// folding a bucket into the rollup is exactly the merge that would have
+// happened had its profiles been ingested there directly: retention
+// changes *where* data lives, never *what* a query over it reports.
+//
+// Queries select the live buckets overlapping a trailing window (plus
+// the rollup for unbounded queries) and merge them into a fresh
+// aggregator, so a query never blocks ingest for longer than the
+// per-shard locks it shares.
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agg"
+	"repro/witch"
+)
+
+// Config sizes the retention ring.
+type Config struct {
+	// Window is one bucket's time width (default 1 minute).
+	Window time.Duration
+	// Buckets is the live ring size; data older than Window×Buckets is
+	// folded into the rollup (default 60).
+	Buckets int
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// bucket is one retention window's aggregate.
+type bucket struct {
+	start time.Time
+	agg   *agg.Aggregator
+	// rw lets eviction wait out in-flight merges: ingest holds the read
+	// side while merging, the evictor takes the write side before
+	// folding the bucket into the rollup, so no late merge is lost.
+	rw sync.RWMutex
+}
+
+// Store is the time-bucketed retention layer. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu     sync.Mutex
+	ring   []*bucket
+	rollup *agg.Aggregator
+
+	ingested       atomic.Uint64
+	evictedBuckets atomic.Uint64
+}
+
+// New builds a store, applying defaults for zero config fields.
+func New(cfg Config) *Store {
+	if cfg.Window <= 0 {
+		cfg.Window = time.Minute
+	}
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 60
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Store{
+		cfg:    cfg,
+		ring:   make([]*bucket, cfg.Buckets),
+		rollup: agg.New(),
+	}
+}
+
+// Ingest merges one profile into the current time bucket, evicting any
+// expired bucket whose ring slot it reuses.
+func (s *Store) Ingest(p *witch.Profile) {
+	now := s.cfg.Now()
+	start := now.Truncate(s.cfg.Window)
+	slot := int((start.UnixNano() / int64(s.cfg.Window)) % int64(s.cfg.Buckets))
+	if slot < 0 {
+		slot += s.cfg.Buckets
+	}
+
+	s.mu.Lock()
+	b := s.ring[slot]
+	var expired *bucket
+	if b == nil || !b.start.Equal(start) {
+		expired = b
+		b = &bucket{start: start, agg: agg.New()}
+		s.ring[slot] = b
+	}
+	// Take the read side before releasing the ring lock so eviction of
+	// *this* bucket (a full ring wrap later) cannot fold it while this
+	// merge is still landing.
+	b.rw.RLock()
+	s.mu.Unlock()
+
+	if expired != nil {
+		s.fold(expired)
+	}
+	b.agg.Merge(p)
+	b.rw.RUnlock()
+	s.ingested.Add(1)
+}
+
+// fold waits out in-flight merges on an expired bucket and rolls it up.
+func (s *Store) fold(b *bucket) {
+	b.rw.Lock()
+	s.rollup.MergeFrom(b.agg)
+	b.rw.Unlock()
+	s.evictedBuckets.Add(1)
+}
+
+// Query merges every bucket overlapping the trailing window into a
+// fresh aggregator and returns it. window <= 0 means everything ever
+// ingested, including the rollup of evicted buckets.
+func (s *Store) Query(window time.Duration) *agg.Aggregator {
+	now := s.cfg.Now()
+	out := agg.New()
+
+	s.mu.Lock()
+	live := make([]*bucket, 0, len(s.ring))
+	for _, b := range s.ring {
+		if b == nil {
+			continue
+		}
+		if window > 0 && !b.start.Add(s.cfg.Window).After(now.Add(-window)) {
+			continue
+		}
+		live = append(live, b)
+	}
+	rollup := s.rollup
+	s.mu.Unlock()
+
+	if window <= 0 {
+		out.MergeFrom(rollup)
+	}
+	for _, b := range live {
+		out.MergeFrom(b.agg)
+	}
+	return out
+}
+
+// Stats reports the retention state: live buckets, buckets folded into
+// the rollup, profiles ingested, and distinct pair streams held live
+// (the figure eviction keeps bounded) plus in the rollup.
+type Stats struct {
+	Window         time.Duration `json:"window_ns"`
+	LiveBuckets    int           `json:"live_buckets"`
+	RingSize       int           `json:"ring_size"`
+	EvictedBuckets uint64        `json:"evicted_buckets"`
+	Ingested       uint64        `json:"ingested_profiles"`
+	LivePairs      int           `json:"live_pairs"`
+	RollupPairs    int           `json:"rollup_pairs"`
+}
+
+// Stats snapshots the retention counters.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Window:         s.cfg.Window,
+		RingSize:       s.cfg.Buckets,
+		EvictedBuckets: s.evictedBuckets.Load(),
+		Ingested:       s.ingested.Load(),
+	}
+	s.mu.Lock()
+	live := make([]*bucket, 0, len(s.ring))
+	for _, b := range s.ring {
+		if b != nil {
+			live = append(live, b)
+		}
+	}
+	rollup := s.rollup
+	s.mu.Unlock()
+	st.LiveBuckets = len(live)
+	for _, b := range live {
+		st.LivePairs += b.agg.PairCount()
+	}
+	st.RollupPairs = rollup.PairCount()
+	return st
+}
+
+// Health combines the degradation records of everything held — live
+// buckets and rollup — and reports how many profiles contributed.
+func (s *Store) Health() (witch.Health, uint64) {
+	return s.Query(0).Health()
+}

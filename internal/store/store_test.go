@@ -1,0 +1,177 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/witch"
+)
+
+// fakeClock is an injectable, race-safe clock.
+type fakeClock struct {
+	ns atomic.Int64
+}
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+
+func (c *fakeClock) now() time.Time                    { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) time.Time { return time.Unix(0, c.ns.Add(int64(d))) }
+
+func synth(program string, waste float64) *witch.Profile {
+	return witch.NewProfile(witch.Profile{
+		Program:    program,
+		Tool:       "dead",
+		Redundancy: waste / (waste + 8),
+		Waste:      waste,
+		Use:        8,
+	}, []witch.Pair{{
+		Src: program + ":f:1", Dst: program + ":g:2",
+		Chain: "main -> f -> g", Waste: waste, Use: 8,
+	}})
+}
+
+// TestRetentionEvictsAndRollsUp drives ingest across many windows and
+// checks that (a) live memory stays bounded at the ring size while
+// evicted buckets fold into the rollup, and (b) an unbounded query
+// still sees every profile ever ingested — retention moves data, it
+// never loses it.
+func TestRetentionEvictsAndRollsUp(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+
+	const windows = 12
+	for i := 0; i < windows; i++ {
+		// A distinct program per window keeps pair streams distinct, so
+		// live pair count tracks live buckets.
+		s.Ingest(synth(fmt.Sprintf("prog-%02d", i), 16))
+		clk.advance(time.Minute)
+	}
+
+	st := s.Stats()
+	if st.LiveBuckets > 4 {
+		t.Fatalf("live buckets %d exceed ring size 4", st.LiveBuckets)
+	}
+	if st.EvictedBuckets != windows-4 {
+		t.Fatalf("evicted %d buckets, want %d", st.EvictedBuckets, windows-4)
+	}
+	if st.LivePairs > 4 {
+		t.Fatalf("live pairs %d not bounded by ring", st.LivePairs)
+	}
+	if st.RollupPairs != windows-4 {
+		t.Fatalf("rollup holds %d pairs, want %d", st.RollupPairs, windows-4)
+	}
+	if st.Ingested != windows {
+		t.Fatalf("ingested %d, want %d", st.Ingested, windows)
+	}
+
+	all := s.Query(0)
+	if got := all.Profiles(); got != windows {
+		t.Fatalf("unbounded query sees %d profiles, want %d", got, windows)
+	}
+	snap := all.Snapshot("dead", "")
+	if snap.Waste != 16*windows {
+		t.Fatalf("rollup lost waste: %g, want %d", snap.Waste, 16*windows)
+	}
+}
+
+// TestQueryWindowSelectsBuckets: a trailing window only sees the
+// buckets overlapping it.
+func TestQueryWindowSelectsBuckets(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 10, Now: clk.now})
+
+	s.Ingest(synth("old", 1))
+	clk.advance(5 * time.Minute)
+	s.Ingest(synth("new", 2))
+
+	recent := s.Query(2*time.Minute).Snapshot("dead", "")
+	if recent == nil || recent.Waste != 2 {
+		t.Fatalf("trailing window should see only the new profile, got %+v", recent)
+	}
+	both := s.Query(10*time.Minute).Snapshot("dead", "")
+	if both.Waste != 3 {
+		t.Fatalf("wide window should see both, got waste %g", both.Waste)
+	}
+	if s.Query(2*time.Minute).Snapshot("load", "") != nil {
+		t.Fatal("unknown tool should be nil")
+	}
+}
+
+// TestSameWindowMergesInPlace: profiles landing in one window share a
+// bucket and merge there.
+func TestSameWindowMergesInPlace(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+	for i := 0; i < 10; i++ {
+		s.Ingest(synth("p", 4))
+	}
+	st := s.Stats()
+	if st.LiveBuckets != 1 || st.EvictedBuckets != 0 {
+		t.Fatalf("stats = %+v, want one live bucket, no eviction", st)
+	}
+	if got := s.Query(0).Snapshot("dead", "").Waste; got != 40 {
+		t.Fatalf("in-bucket merge waste %g, want 40", got)
+	}
+}
+
+// TestConcurrentIngestQueryEvict is the store's half of the race
+// satellite: 8 ingesters race a moving clock (forcing evictions), while
+// queries and stats readers run throughout. Afterwards every ingested
+// profile must be accounted for across live buckets + rollup.
+func TestConcurrentIngestQueryEvict(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 3, Now: clk.now})
+
+	const (
+		ingesters = 8
+		perG      = 60
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				s.Ingest(synth(fmt.Sprintf("prog-%d", g), 2))
+				if i%10 == 9 {
+					clk.advance(20 * time.Second)
+				}
+			}
+		}(g)
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if snap := s.Query(2*time.Minute).Snapshot("dead", ""); snap != nil {
+					_ = snap.TopPairs(3)
+				}
+				_ = s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = ingesters * perG
+	if got := s.Query(0).Profiles(); got != total {
+		t.Fatalf("lost profiles across eviction: %d, want %d", got, total)
+	}
+	if got := s.Query(0).Snapshot("dead", "").Waste; got != 2*total {
+		t.Fatalf("lost waste across eviction: %g, want %d", got, 2*total)
+	}
+	st := s.Stats()
+	if st.EvictedBuckets == 0 {
+		t.Fatal("expected evictions under the moving clock")
+	}
+	if st.LiveBuckets > 3 {
+		t.Fatalf("live buckets %d exceed ring size", st.LiveBuckets)
+	}
+}

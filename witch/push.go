@@ -1,0 +1,220 @@
+package witch
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PusherOptions configures a Pusher. The zero value of every field is a
+// usable default except URL, which is required.
+type PusherOptions struct {
+	// URL is the witchd daemon's base URL (e.g. "http://host:9147");
+	// profiles are POSTed to URL + "/v1/ingest".
+	URL string
+	// Queue bounds the number of profiles waiting to be sent
+	// (default 16). When the queue is full, Push drops and counts.
+	Queue int
+	// Retries is how many extra delivery attempts a profile gets after
+	// its first failure before being dropped (default 3).
+	Retries int
+	// Backoff is the delay before the first retry, doubling each
+	// attempt — the same bounded-retry idiom the profiler uses for
+	// failed watchpoint arms (default 50ms).
+	Backoff time.Duration
+	// Timeout bounds each HTTP request (default 2s). Ignored when
+	// Client is set.
+	Timeout time.Duration
+	// Client overrides the HTTP client, e.g. for tests.
+	Client *http.Client
+}
+
+// PusherStats counts a pusher's lifetime outcomes.
+type PusherStats struct {
+	// Enqueued profiles were accepted by Push; Sent were delivered.
+	Enqueued, Sent uint64
+	// Dropped counts profiles lost to a full queue, a closed pusher, or
+	// exhausted retries — the backpressure escape valve: the profiled
+	// workload sheds profiles rather than ever blocking on the daemon.
+	Dropped uint64
+	// Retries counts extra delivery attempts; Errors counts failed
+	// attempts (each drop after retries contributes Retries+1 errors).
+	Retries, Errors uint64
+}
+
+// Pusher streams profiles to a witchd daemon from the profiled process.
+// It is the continuous-deployment half of the paper's collect/inspect
+// split: Run keeps producing profiles, the pusher ships them, and the
+// daemon merges them fleet-wide.
+//
+// Delivery must never hurt the workload being profiled, so Push is
+// non-blocking: a bounded queue feeds one background sender, and when
+// the daemon is slow, unreachable, or dead, profiles are dropped and
+// counted (see PusherStats.Dropped) — the same degrade-don't-die policy
+// the profiler applies to its own substrate failures.
+type Pusher struct {
+	opts  PusherOptions
+	url   string
+	queue chan *Profile
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closed   atomic.Bool
+	enqueued atomic.Uint64
+	sent     atomic.Uint64
+	dropped  atomic.Uint64
+	retries  atomic.Uint64
+	errors   atomic.Uint64
+}
+
+// NewPusher starts a pusher's background sender.
+func NewPusher(opts PusherOptions) (*Pusher, error) {
+	if opts.URL == "" {
+		return nil, fmt.Errorf("witch: PusherOptions.URL is required")
+	}
+	if !strings.HasPrefix(opts.URL, "http://") && !strings.HasPrefix(opts.URL, "https://") {
+		return nil, fmt.Errorf("witch: PusherOptions.URL must be http(s), got %q", opts.URL)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 16
+	}
+	if opts.Retries < 0 {
+		return nil, fmt.Errorf("witch: PusherOptions.Retries must be >= 0, got %d", opts.Retries)
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.Timeout}
+	}
+	p := &Pusher{
+		opts:  opts,
+		url:   strings.TrimRight(opts.URL, "/") + "/v1/ingest",
+		queue: make(chan *Profile, opts.Queue),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.sender()
+	return p, nil
+}
+
+// Push enqueues a profile for delivery and returns immediately. It
+// reports false — and counts a drop — when the queue is full or the
+// pusher is closed; it never blocks and never fails the caller.
+func (p *Pusher) Push(prof *Profile) bool {
+	if p.closed.Load() {
+		p.dropped.Add(1)
+		return false
+	}
+	select {
+	case p.queue <- prof:
+		p.enqueued.Add(1)
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// Close stops accepting profiles, attempts delivery of everything
+// queued, and waits for the sender to exit.
+func (p *Pusher) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	close(p.quit)
+	p.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the lifetime counters.
+func (p *Pusher) Stats() PusherStats {
+	return PusherStats{
+		Enqueued: p.enqueued.Load(),
+		Sent:     p.sent.Load(),
+		Dropped:  p.dropped.Load(),
+		Retries:  p.retries.Load(),
+		Errors:   p.errors.Load(),
+	}
+}
+
+// sender is the background delivery loop.
+func (p *Pusher) sender() {
+	defer p.wg.Done()
+	for {
+		select {
+		case prof := <-p.queue:
+			p.deliver(prof)
+		case <-p.quit:
+			// Drain whatever Push enqueued before Close, then exit.
+			for {
+				select {
+				case prof := <-p.queue:
+					p.deliver(prof)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver sends one profile with bounded retries and exponential
+// backoff, counting a drop when every attempt fails.
+func (p *Pusher) deliver(prof *Profile) {
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		p.errors.Add(1)
+		p.dropped.Add(1)
+		return
+	}
+	backoff := p.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		if p.post(body.Bytes()) {
+			p.sent.Add(1)
+			return
+		}
+		p.errors.Add(1)
+		if attempt >= p.opts.Retries {
+			p.dropped.Add(1)
+			return
+		}
+		p.retries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-p.quit:
+			// Closing: one immediate final attempt instead of sleeping
+			// out the remaining backoff schedule.
+			if p.post(body.Bytes()) {
+				p.sent.Add(1)
+			} else {
+				p.errors.Add(1)
+				p.dropped.Add(1)
+			}
+			return
+		}
+		backoff *= 2
+	}
+}
+
+// post performs one ingest attempt.
+func (p *Pusher) post(body []byte) bool {
+	resp, err := p.opts.Client.Post(p.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}

@@ -1,0 +1,220 @@
+package witch_test
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/witch"
+)
+
+func pushProfile(t *testing.T, seed int64) *witch.Profile {
+	t.Helper()
+	prog, err := witch.Workload("listing3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// deadAddr reserves and releases a port so nothing is listening on it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestPusherDelivers: profiles pushed to a live daemon arrive intact.
+func TestPusherDelivers(t *testing.T) {
+	var mu sync.Mutex
+	var got []*witch.Profile
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/ingest" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		p, err := witch.ReadProfileJSON(r.Body)
+		if err != nil {
+			t.Errorf("bad body: %v", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	p, err := witch.NewPusher(witch.PusherOptions{URL: srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := pushProfile(t, 1)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if !p.Push(prof) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Sent != n || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want %d sent, 0 dropped", st, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("daemon saw %d profiles, want %d", len(got), n)
+	}
+	if got[0].Redundancy != prof.Redundancy || len(got[0].TopPairs(0)) != len(prof.TopPairs(0)) {
+		t.Fatal("profile mutated in flight")
+	}
+}
+
+// TestPusherDeadDaemonNeverBlocks is the satellite's core promise:
+// with nothing listening, Push returns immediately (queue + drop), the
+// profiled goroutine is never blocked on the network, and Close still
+// returns. Every profile is accounted for as sent or dropped.
+func TestPusherDeadDaemonNeverBlocks(t *testing.T) {
+	p, err := witch.NewPusher(witch.PusherOptions{
+		URL:     "http://" + deadAddr(t),
+		Queue:   4,
+		Retries: 1,
+		Backoff: time.Millisecond,
+		Timeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := pushProfile(t, 1)
+
+	const pushes = 64
+	start := time.Now()
+	for i := 0; i < pushes; i++ {
+		p.Push(prof) // dropped or queued, never blocked
+	}
+	elapsed := time.Since(start)
+	// 64 pushes against a dead daemon must take caller-side queue time
+	// only — far under one request timeout, let alone 64.
+	if elapsed > 50*time.Millisecond {
+		t.Fatalf("pushes blocked the caller for %v", elapsed)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Sent != 0 {
+		t.Fatalf("sent %d to a dead daemon", st.Sent)
+	}
+	if st.Enqueued+st.Dropped < pushes {
+		t.Fatalf("profiles unaccounted for: %+v", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("expected drops against a dead daemon")
+	}
+	if p.Push(prof) {
+		t.Fatal("push after Close should report a drop")
+	}
+}
+
+// TestPusherRetriesThenRecovers: a daemon that fails its first attempts
+// sees the profile again via backoff retries.
+func TestPusherRetriesThenRecovers(t *testing.T) {
+	var attempts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if attempts.Add(1) <= 2 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	p, err := witch.NewPusher(witch.PusherOptions{
+		URL:     srv.URL,
+		Retries: 4,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Push(pushProfile(t, 1)) {
+		t.Fatal("push rejected")
+	}
+	// Close cuts the backoff schedule short by design, so wait for the
+	// delivery to finish before closing.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Sent == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.Close()
+	st := p.Stats()
+	if st.Sent != 1 || st.Retries < 2 || st.Errors < 2 {
+		t.Fatalf("stats = %+v, want 1 sent after >=2 retries", st)
+	}
+}
+
+// TestPusherOptionValidation rejects unusable configurations.
+func TestPusherOptionValidation(t *testing.T) {
+	for _, opts := range []witch.PusherOptions{
+		{},
+		{URL: "ftp://x"},
+		{URL: "http://x", Retries: -1},
+	} {
+		if _, err := witch.NewPusher(opts); err == nil {
+			t.Fatalf("NewPusher(%+v) accepted", opts)
+		}
+	}
+}
+
+// TestPusherConcurrentPush: many goroutines pushing through one pusher
+// race only on the queue; under -race this covers the client side of
+// the concurrency satellite.
+func TestPusherConcurrentPush(t *testing.T) {
+	var received atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		received.Add(1)
+	}))
+	defer srv.Close()
+
+	p, err := witch.NewPusher(witch.PusherOptions{URL: srv.URL, Queue: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := pushProfile(t, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				p.Push(prof)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	st := p.Stats()
+	if st.Sent+st.Dropped != 80 {
+		t.Fatalf("profiles unaccounted for: %+v", st)
+	}
+	if got := received.Load(); got != int64(st.Sent) {
+		t.Fatalf("daemon saw %d, pusher claims %d sent", got, st.Sent)
+	}
+}

@@ -2,7 +2,9 @@ package witch
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -24,7 +26,11 @@ type profileJSON struct {
 	Loads         uint64  `json:"loads"`
 	Stores        uint64  `json:"stores"`
 	Stats         Stats   `json:"stats"`
-	Pairs         []Pair  `json:"pairs"`
+	// Health rides along so fleet-level aggregation (witchd /healthz)
+	// can see degraded clients; absent in pre-witchd files, which loads
+	// as the all-zeros clean record. Additive, so no version bump.
+	Health Health `json:"health"`
+	Pairs  []Pair `json:"pairs"`
 }
 
 // currentFormatVersion is bumped on incompatible schema changes.
@@ -49,8 +55,56 @@ func (pr *Profile) WriteJSON(w io.Writer) error {
 		Loads:         pr.Loads,
 		Stores:        pr.Stores,
 		Stats:         pr.Stats,
+		Health:        pr.Health,
 		Pairs:         pr.pairs,
 	})
+}
+
+// finiteNonNeg reports whether v is a usable metric value: finite and
+// not negative.
+func finiteNonNeg(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// validate rejects profiles that decoded syntactically but cannot have
+// come from WriteJSON: wrong schema version, negative or non-finite
+// metrics, or structurally broken pair entries. The ingest path of
+// witchd feeds this hostile and truncated bodies, so every rejection
+// names the offending field instead of silently loading partial data.
+func (pj *profileJSON) validate() error {
+	if pj.FormatVersion != currentFormatVersion {
+		return fmt.Errorf("witch: unsupported profile format_version %d (this build reads version %d)",
+			pj.FormatVersion, currentFormatVersion)
+	}
+	if pj.Tool == "" {
+		return fmt.Errorf("witch: profile has no tool")
+	}
+	if !finiteNonNeg(pj.Waste) || !finiteNonNeg(pj.Use) {
+		return fmt.Errorf("witch: profile waste/use must be finite and non-negative, got waste=%g use=%g",
+			pj.Waste, pj.Use)
+	}
+	if !finiteNonNeg(pj.Redundancy) || pj.Redundancy > 1 {
+		return fmt.Errorf("witch: profile redundancy must be in [0,1], got %g", pj.Redundancy)
+	}
+	if pj.WallNanos < 0 {
+		return fmt.Errorf("witch: profile wall_ns is negative (%d)", pj.WallNanos)
+	}
+	if pj.Health.ConfiguredRegs < 0 || pj.Health.EffectiveRegs < 0 {
+		return fmt.Errorf("witch: profile health has negative register counts (%d/%d)",
+			pj.Health.ConfiguredRegs, pj.Health.EffectiveRegs)
+	}
+	for i, p := range pj.Pairs {
+		switch {
+		case p.Src == "" || p.Dst == "":
+			return fmt.Errorf("witch: pair %d is missing its src or dst location", i)
+		case !finiteNonNeg(p.Waste) || !finiteNonNeg(p.Use):
+			return fmt.Errorf("witch: pair %d (%s -> %s) has non-finite or negative waste/use (waste=%g use=%g)",
+				i, p.Src, p.Dst, p.Waste, p.Use)
+		case p.SrcLine < 0 || p.DstLine < 0:
+			return fmt.Errorf("witch: pair %d (%s -> %s) has a negative source line", i, p.Src, p.Dst)
+		}
+	}
+	return nil
 }
 
 // ReadProfileJSON loads a profile saved with WriteJSON. The calling
@@ -58,9 +112,17 @@ func (pr *Profile) WriteJSON(w io.Writer) error {
 // synthetic chains is the postmortem artifact — so tree-dependent methods
 // (WriteTopDown, Dominance) are unavailable on loaded profiles; TopPairs
 // and all scalar metrics work.
+//
+// Unknown format versions, negative or non-finite metrics, and malformed
+// pair entries are rejected with descriptive errors: the witchd ingest
+// endpoint feeds this whatever arrives on the wire. (Negative values for
+// the uint64 counters are already rejected by the JSON decoder itself.)
 func ReadProfileJSON(r io.Reader) (*Profile, error) {
 	var pj profileJSON
 	if err := json.NewDecoder(r).Decode(&pj); err != nil {
+		return nil, fmt.Errorf("witch: decoding profile: %w", err)
+	}
+	if err := pj.validate(); err != nil {
 		return nil, err
 	}
 	return &Profile{
@@ -76,8 +138,23 @@ func ReadProfileJSON(r io.Reader) (*Profile, error) {
 		Loads:      pj.Loads,
 		Stores:     pj.Stores,
 		Stats:      pj.Stats,
+		Health:     pj.Health,
 		pairs:      pj.Pairs,
 	}, nil
+}
+
+// NewProfile assembles a Profile from externally merged parts — the
+// constructor internal/agg uses to re-materialize an aggregated profile
+// in the same shape ReadProfileJSON produces, so it re-serializes with
+// WriteJSON in the existing schema and witchdiff consumes it unchanged.
+// The exported fields of meta are copied verbatim and pairs becomes the
+// ranked pair list; like a loaded profile, the result has no calling
+// context tree.
+func NewProfile(meta Profile, pairs []Pair) *Profile {
+	meta.pairs = pairs
+	meta.tree = nil
+	meta.prog = nil
+	return &meta
 }
 
 // FlatProfile aggregates waste by source leaf location alone, discarding

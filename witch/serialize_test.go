@@ -2,6 +2,7 @@ package witch_test
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"repro/witch"
@@ -44,6 +45,95 @@ func TestProfileJSONRoundTrip(t *testing.T) {
 func TestReadProfileJSONRejectsGarbage(t *testing.T) {
 	if _, err := witch.ReadProfileJSON(bytes.NewBufferString("not json")); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// validProfileJSON is a minimal well-formed WriteJSON document the
+// hardening tests mutate one field at a time.
+const validProfileJSON = `{
+	"format_version": 1, "program": "p", "tool": "DeadCraft",
+	"redundancy": 0.5, "waste": 8, "use": 8, "wall_ns": 100,
+	"instrs": 10, "loads": 3, "stores": 2,
+	"pairs": [{"Src": "a.wa:f:1", "Dst": "a.wa:g:2", "Chain": "main -> f",
+	           "Waste": 8, "Use": 8, "SrcLine": 1, "DstLine": 2}]
+}`
+
+// TestReadProfileJSONHardening: the witchd ingest endpoint feeds this
+// decoder hostile and truncated bodies, so every malformed shape must be
+// rejected with a descriptive error instead of silently loading partial
+// data.
+func TestReadProfileJSONHardening(t *testing.T) {
+	if _, err := witch.ReadProfileJSON(bytes.NewBufferString(validProfileJSON)); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantSub string
+	}{
+		{"unknown format_version", func(s string) string {
+			return strings.Replace(s, `"format_version": 1`, `"format_version": 99`, 1)
+		}, "format_version"},
+		{"missing format_version", func(s string) string {
+			return strings.Replace(s, `"format_version": 1`, `"format_version": 0`, 1)
+		}, "format_version"},
+		{"negative counter", func(s string) string {
+			return strings.Replace(s, `"instrs": 10`, `"instrs": -10`, 1)
+		}, "decoding profile"},
+		{"negative waste", func(s string) string {
+			return strings.Replace(s, `"waste": 8`, `"waste": -8`, 1)
+		}, "waste/use"},
+		{"redundancy above one", func(s string) string {
+			return strings.Replace(s, `"redundancy": 0.5`, `"redundancy": 1.5`, 1)
+		}, "redundancy"},
+		{"negative wall time", func(s string) string {
+			return strings.Replace(s, `"wall_ns": 100`, `"wall_ns": -100`, 1)
+		}, "wall_ns"},
+		{"missing tool", func(s string) string {
+			return strings.Replace(s, `"tool": "DeadCraft"`, `"tool": ""`, 1)
+		}, "tool"},
+		{"pair without src", func(s string) string {
+			return strings.Replace(s, `"Src": "a.wa:f:1"`, `"Src": ""`, 1)
+		}, "pair 0"},
+		{"pair with negative waste", func(s string) string {
+			return strings.Replace(s, `"Waste": 8`, `"Waste": -1`, 1)
+		}, "pair 0"},
+		{"pair with negative line", func(s string) string {
+			return strings.Replace(s, `"SrcLine": 1`, `"SrcLine": -1`, 1)
+		}, "pair 0"},
+		{"truncated body", func(s string) string {
+			return s[:len(s)/2]
+		}, "decoding profile"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := witch.ReadProfileJSON(bytes.NewBufferString(tc.mutate(validProfileJSON)))
+			if err == nil {
+				t.Fatal("malformed profile accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestNewProfileRoundTrip: a profile assembled with NewProfile writes
+// the same schema a run-produced profile does.
+func TestNewProfileRoundTrip(t *testing.T) {
+	orig := witch.NewProfile(witch.Profile{
+		Program: "p", Tool: "DeadCraft", Redundancy: 0.25, Waste: 2, Use: 6,
+	}, []witch.Pair{{Src: "a:f:1", Dst: "a:g:2", Chain: "main", Waste: 2, Use: 6}})
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := witch.ReadProfileJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Waste != 2 || len(loaded.TopPairs(0)) != 1 || loaded.TopPairs(0)[0] != orig.TopPairs(0)[0] {
+		t.Fatalf("round trip lost data: %+v", loaded)
 	}
 }
 
