@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	witchd -addr 127.0.0.1:9147 -window 1m -buckets 60
+//	witchd -addr 127.0.0.1:9147 -window 1m -buckets 60 -data-dir /var/lib/witchd
 //
 //	# From a profiled process (or use witch.Pusher in-process):
 //	witch -tool dead -workload gcc -json prof.json
@@ -24,36 +24,176 @@
 //
 // Profiles are merged keyed by ⟨tool, program, context-pair signature⟩;
 // retention is a ring of fixed time windows with expired buckets folded
-// into a rollup, so memory stays bounded under indefinite ingest. See
-// docs/INTERNALS.md, "Aggregation service (witchd)".
+// into a rollup, so memory stays bounded under indefinite ingest.
+//
+// With -data-dir set, witchd is crash-safe: every acknowledged batch is
+// appended to a CRC-framed write-ahead journal before the 200 is
+// returned, the store is periodically snapshotted, and startup recovery
+// replays the journal suffix past the newest snapshot, truncating any
+// torn tail. SIGTERM drains gracefully: ingest gets 503, in-flight
+// requests finish, the journal is fsynced and a final snapshot taken.
+// See docs/INTERNALS.md, "Aggregation service (witchd)" and
+// "Durability & recovery".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
+// daemonFlags is every knob, parsed then validated as a unit so a bad
+// deployment config dies loudly at startup instead of panicking later
+// or silently running with a default the operator did not choose.
+type daemonFlags struct {
+	addr      string
+	window    time.Duration
+	buckets   int
+	maxBody   int64
+	inflight  int
+	backlog   int64
+	dataDir   string
+	fsync     string
+	snapEvery int
+	segBytes  int64
+}
+
+func parseFlags(args []string) (*daemonFlags, error) {
+	fs := flag.NewFlagSet("witchd", flag.ContinueOnError)
+	f := &daemonFlags{}
+	fs.StringVar(&f.addr, "addr", "127.0.0.1:9147", "listen address")
+	fs.DurationVar(&f.window, "window", time.Minute, "retention bucket width")
+	fs.IntVar(&f.buckets, "buckets", 60, "live retention buckets (older data rolls up)")
+	fs.Int64Var(&f.maxBody, "max-body", 32<<20, "largest accepted ingest body in bytes")
+	fs.IntVar(&f.inflight, "max-inflight", 64, "concurrent ingest requests before shedding 429s")
+	fs.Int64Var(&f.backlog, "max-backlog", 64<<20, "unsynced journal bytes before shedding 429s (with -fsync off; <0 disables)")
+	fs.StringVar(&f.dataDir, "data-dir", "", "durability directory for journal + snapshots (empty: in-memory only)")
+	fs.StringVar(&f.fsync, "fsync", "always", "journal fsync policy: always (fsync before every ack) or off (page cache only)")
+	fs.IntVar(&f.snapEvery, "snapshot-every", 256, "acknowledged batches between snapshots (0: snapshot only on shutdown)")
+	fs.Int64Var(&f.segBytes, "segment-bytes", 8<<20, "journal segment size before rotation")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return f, f.validate()
+}
+
+func (f *daemonFlags) validate() error {
+	if f.window <= 0 {
+		return fmt.Errorf("-window must be positive, got %v", f.window)
+	}
+	if f.buckets <= 0 {
+		return fmt.Errorf("-buckets must be positive, got %d", f.buckets)
+	}
+	if f.maxBody <= 0 {
+		return fmt.Errorf("-max-body must be positive, got %d", f.maxBody)
+	}
+	if f.inflight <= 0 {
+		return fmt.Errorf("-max-inflight must be positive, got %d", f.inflight)
+	}
+	if f.snapEvery < 0 {
+		return fmt.Errorf("-snapshot-every must be >= 0, got %d", f.snapEvery)
+	}
+	if f.segBytes <= 0 {
+		return fmt.Errorf("-segment-bytes must be positive, got %d", f.segBytes)
+	}
+	if f.fsync != "always" && f.fsync != "off" {
+		return fmt.Errorf("-fsync must be \"always\" or \"off\", got %q", f.fsync)
+	}
+	if _, _, err := net.SplitHostPort(f.addr); err != nil {
+		return fmt.Errorf("-addr %q is not host:port: %v", f.addr, err)
+	}
+	if f.dataDir == "" && f.fsync == "off" {
+		return fmt.Errorf("-fsync off is meaningless without -data-dir")
+	}
+	return nil
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:9147", "listen address")
-	window := flag.Duration("window", time.Minute, "retention bucket width")
-	buckets := flag.Int("buckets", 60, "live retention buckets (older data rolls up)")
-	maxBody := flag.Int64("max-body", 32<<20, "largest accepted ingest body in bytes")
-	flag.Parse()
-	if *window <= 0 || *buckets <= 0 || *maxBody <= 0 {
-		fmt.Fprintln(os.Stderr, "witchd: -window, -buckets and -max-body must be positive")
+	f, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "witchd: %v\n", err)
 		os.Exit(2)
 	}
 
-	st := store.New(store.Config{Window: *window, Buckets: *buckets})
-	srv := newServer(st, *maxBody)
-	log.Printf("witchd: listening on %s (retention %v x %d buckets)", *addr, *window, *buckets)
-	if err := http.ListenAndServe(*addr, srv.handler()); err != nil {
-		log.Fatalf("witchd: %v", err)
+	st := store.New(store.Config{Window: f.window, Buckets: f.buckets})
+	srv := newServer(st, serverConfig{
+		MaxBody:     f.maxBody,
+		MaxInflight: f.inflight,
+		MaxBacklog:  f.backlog,
+	})
+
+	// Bind before recovery so a taken port fails fast, but serve only
+	// after recovery completes (readiness = /healthz state "serving").
+	ln, err := net.Listen("tcp", f.addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "witchd: listen: %v\n", err)
+		os.Exit(1)
 	}
+
+	if f.dataDir != "" {
+		srv.setState(stateRecovering)
+		start := time.Now()
+		pers, err := openPersistence(f.dataDir, st, wal.Options{
+			SegmentBytes: f.segBytes,
+			NoSync:       f.fsync == "off",
+		}, uint64(f.snapEvery))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "witchd: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		srv.pers = pers
+		rec := pers.recovery
+		log.Printf("witchd: recovered in %v: snapshot lsn %d (loaded=%v), %d batches replayed, torn tail=%v (%d bytes truncated)",
+			time.Since(start).Round(time.Millisecond), rec.SnapshotLSN, rec.SnapshotLoaded,
+			rec.ReplayedBatches, rec.TornTail, rec.TruncatedBytes)
+	}
+	srv.setState(stateServing)
+
+	hs := &http.Server{Handler: srv.handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("witchd: serving on %s (retention %v x %d buckets, durability %s)",
+		f.addr, f.window, f.buckets, durabilityLabel(f))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatalf("witchd: %v", err)
+	case sig := <-sigc:
+		log.Printf("witchd: %v: draining (ingest now 503)", sig)
+	}
+
+	// Graceful drain: refuse new ingest, finish in-flight requests,
+	// then make everything durable and exit 0.
+	srv.setState(stateDraining)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("witchd: drain: %v", err)
+	}
+	if srv.pers != nil {
+		if err := srv.pers.shutdown(); err != nil {
+			log.Printf("witchd: final snapshot: %v", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("witchd: drained clean")
+}
+
+func durabilityLabel(f *daemonFlags) string {
+	if f.dataDir == "" {
+		return "off"
+	}
+	return fmt.Sprintf("%s fsync=%s snapshot-every=%d", f.dataDir, f.fsync, f.snapEvery)
 }

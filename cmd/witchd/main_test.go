@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlagValidation: a bad deployment config must die loudly at parse
+// time with an error naming the offending flag, and a good one must
+// land every value.
+func TestFlagValidation(t *testing.T) {
+	good, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9147", "-window", "30s", "-buckets", "10",
+		"-data-dir", "/tmp/w", "-fsync", "off", "-snapshot-every", "0",
+		"-max-inflight", "8", "-max-backlog", "-1", "-segment-bytes", "1024",
+	})
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if good.window != 30*time.Second || good.buckets != 10 || good.dataDir != "/tmp/w" ||
+		good.fsync != "off" || good.snapEvery != 0 || good.inflight != 8 ||
+		good.backlog != -1 || good.segBytes != 1024 {
+		t.Fatalf("flags mis-parsed: %+v", good)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the error
+	}{
+		{"zero window", []string{"-window", "0s"}, "-window"},
+		{"negative window", []string{"-window", "-1m"}, "-window"},
+		{"zero buckets", []string{"-buckets", "0"}, "-buckets"},
+		{"negative max-body", []string{"-max-body", "-5"}, "-max-body"},
+		{"zero inflight", []string{"-max-inflight", "0"}, "-max-inflight"},
+		{"negative snapshot-every", []string{"-snapshot-every", "-1"}, "-snapshot-every"},
+		{"zero segment-bytes", []string{"-segment-bytes", "0"}, "-segment-bytes"},
+		{"bad fsync policy", []string{"-fsync", "sometimes"}, "-fsync"},
+		{"fsync off without data dir", []string{"-fsync", "off"}, "-data-dir"},
+		{"addr without port", []string{"-addr", "localhost"}, "-addr"},
+		{"unknown flag", []string{"-wat"}, "-wat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name %q", err, tc.want)
+			}
+		})
+	}
+}

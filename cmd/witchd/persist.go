@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// persistence makes witchd crash-safe: every acknowledged ingest batch
+// is journaled (timestamp envelope + raw body) before the 200 goes
+// back, and the retention store is periodically checkpointed to a
+// snapshot that anchors journal GC. Startup recovery = load the newest
+// valid snapshot, replay the journal suffix past its anchor, truncate
+// any torn tail.
+//
+// Consistency contract: applies take the read side of applyMu (many in
+// flight), snapshots take the write side — so a snapshot's journal
+// anchor (LastLSN at that instant) covers exactly the batches whose
+// store ingest has completed, and replay-from-anchor is exactly-once.
+type persistence struct {
+	dir       string
+	journal   *wal.Journal
+	st        *store.Store
+	snapEvery uint64 // acknowledged batches between snapshots; 0 = shutdown only
+
+	applyMu sync.RWMutex
+	batches atomic.Uint64
+
+	journalErrors atomic.Uint64
+	snapshots     atomic.Uint64
+	lastSnapLSN   atomic.Uint64
+	snapErrors    atomic.Uint64
+
+	recovery recoveryReport
+}
+
+// recoveryReport is what startup recovery found, served on /healthz so
+// operators can see exactly what a crash cost (spoiler: only torn,
+// never-acknowledged bytes).
+type recoveryReport struct {
+	SnapshotLSN      uint64 `json:"snapshot_lsn"`
+	SnapshotLoaded   bool   `json:"snapshot_loaded"`
+	SnapshotsSkipped int    `json:"snapshots_skipped"`
+	ReplayedBatches  int    `json:"replayed_batches"`
+	ReplayedProfiles int    `json:"replayed_profiles"`
+	SkippedRecords   int    `json:"skipped_records"`
+	TornTail         bool   `json:"torn_tail"`
+	TruncatedBytes   int64  `json:"truncated_bytes"`
+}
+
+// snapName formats a snapshot filename anchored at a journal LSN.
+func snapName(lsn uint64) string {
+	return fmt.Sprintf("snap-%016x.snap", lsn)
+}
+
+// listSnapshots returns snapshot LSNs found in dir, newest first.
+func listSnapshots(dir string) []uint64 {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var lsns []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+		if err != nil {
+			continue
+		}
+		lsns = append(lsns, lsn)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] > lsns[j] })
+	return lsns
+}
+
+// openPersistence recovers state from dir into st and returns the
+// manager, ready to journal new batches. Recovery is deliberately
+// unfailable for data corruption: a corrupt snapshot falls back to the
+// next older one, a torn journal tail is truncated, an undecodable
+// journal record is skipped and counted — only environmental errors
+// (unreadable dir) abort startup.
+func openPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery uint64) (*persistence, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("data dir: %w", err)
+	}
+	p := &persistence{dir: dir, st: st, snapEvery: snapEvery}
+
+	// Newest loadable snapshot wins; corrupt ones are skipped, not fatal.
+	var anchor uint64
+	for _, lsn := range listSnapshots(dir) {
+		f, err := os.Open(filepath.Join(dir, snapName(lsn)))
+		if err != nil {
+			p.recovery.SnapshotsSkipped++
+			continue
+		}
+		got, err := st.Restore(f)
+		f.Close()
+		if err != nil {
+			log.Printf("witchd: skipping corrupt snapshot %s: %v", snapName(lsn), err)
+			p.recovery.SnapshotsSkipped++
+			continue
+		}
+		anchor = got
+		p.recovery.SnapshotLoaded = true
+		p.recovery.SnapshotLSN = got
+		p.lastSnapLSN.Store(got)
+		break
+	}
+
+	j, err := wal.Open(dir, walOpts)
+	if err != nil {
+		return nil, err
+	}
+	p.journal = j
+	ri := j.Recovery()
+	p.recovery.TornTail = ri.TornTail
+	p.recovery.TruncatedBytes = ri.TruncatedBytes
+
+	// Replay the acknowledged suffix past the snapshot anchor, each
+	// batch landing at its original wall time so the bucket layout (and
+	// every windowed query) is reconstructed, not smeared.
+	err = wal.Replay(dir, anchor, func(r wal.Record) error {
+		if len(r.Payload) < 8 {
+			p.recovery.SkippedRecords++
+			return nil
+		}
+		ts := time.Unix(0, int64(binary.BigEndian.Uint64(r.Payload)))
+		profs, err := decodeBatch(bytes.NewReader(r.Payload[8:]))
+		if err != nil {
+			// Journaled bodies were validated before the append, so this
+			// is bit rot inside a CRC-valid record — count and continue
+			// rather than refuse to start.
+			p.recovery.SkippedRecords++
+			return nil
+		}
+		for _, prof := range profs {
+			st.IngestAt(prof, ts)
+		}
+		p.recovery.ReplayedBatches++
+		p.recovery.ReplayedProfiles += len(profs)
+		return nil
+	})
+	if err != nil {
+		j.Close()
+		return nil, fmt.Errorf("journal replay: %w", err)
+	}
+	return p, nil
+}
+
+// applyBatch is the write path: envelope = 8-byte big-endian unix-nano
+// arrival time + raw validated body, journaled before the store ingest
+// runs and before the caller may acknowledge. An error means the batch
+// is NOT durable and must not be acknowledged — the caller sheds it
+// with a 5xx and the pusher's breaker backs off. The batch arrives
+// pre-decoded (as the ingest closure) so a decode error can never
+// strike between journal append and store ingest.
+func (p *persistence) applyBatch(body []byte, ingest func(time.Time), now time.Time) error {
+	env := make([]byte, 8+len(body))
+	binary.BigEndian.PutUint64(env, uint64(now.UnixNano()))
+	copy(env[8:], body)
+
+	p.applyMu.RLock()
+	if _, err := p.journal.Append(env); err != nil {
+		p.applyMu.RUnlock()
+		p.journalErrors.Add(1)
+		return err
+	}
+	ingest(now)
+	p.applyMu.RUnlock()
+
+	if n := p.batches.Add(1); p.snapEvery > 0 && n%p.snapEvery == 0 {
+		if err := p.snapshot(); err != nil {
+			p.snapErrors.Add(1)
+			log.Printf("witchd: periodic snapshot failed (journal still covers everything): %v", err)
+		}
+	}
+	return nil
+}
+
+// snapshot checkpoints the store, anchors it at the journal position,
+// and garbage-collects the journal prefix plus older snapshots. Applies
+// are excluded for the duration, which is what makes the anchor exact.
+func (p *persistence) snapshot() error {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+
+	lsn := p.journal.LastLSN()
+	tmp := filepath.Join(p.dir, "snap.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := p.st.Snapshot(f, lsn); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// The rename is the commit point: a crash before it leaves the old
+	// snapshot + full journal; after it, the new snapshot anchors GC.
+	if err := os.Rename(tmp, filepath.Join(p.dir, snapName(lsn))); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	p.snapshots.Add(1)
+	p.lastSnapLSN.Store(lsn)
+
+	// GC: journal records <= lsn and snapshots < lsn are now dead weight.
+	if _, err := p.journal.RemoveThrough(lsn); err != nil {
+		log.Printf("witchd: journal gc: %v", err)
+	}
+	for _, old := range listSnapshots(p.dir) {
+		if old < lsn {
+			os.Remove(filepath.Join(p.dir, snapName(old)))
+		}
+	}
+	return nil
+}
+
+// shutdown is the graceful-drain epilogue: flush the journal, take a
+// final snapshot, close. After this a restart recovers instantly from
+// the snapshot with an empty replay suffix.
+func (p *persistence) shutdown() error {
+	var firstErr error
+	if err := p.journal.Sync(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.snapshot(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := p.journal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

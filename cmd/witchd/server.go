@@ -16,29 +16,88 @@ import (
 	"repro/witch"
 )
 
-// server wires the retention store to the HTTP API. All state lives in
-// the store; the server adds only ingest accounting.
+// Lifecycle states. Ingest is accepted only while serving; /healthz
+// reports the state so orchestrators can distinguish "still replaying
+// the journal" from "being told to go away".
+const (
+	stateStarting int32 = iota
+	stateRecovering
+	stateServing
+	stateDraining
+)
+
+func stateName(s int32) string {
+	switch s {
+	case stateStarting:
+		return "starting"
+	case stateRecovering:
+		return "recovering"
+	case stateServing:
+		return "serving"
+	case stateDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// serverConfig sizes the server's protection limits.
+type serverConfig struct {
+	// MaxBody bounds one ingest body (default 32 MiB).
+	MaxBody int64
+	// MaxInflight bounds concurrent ingest requests; excess load is shed
+	// with 429 + Retry-After instead of queueing without bound
+	// (default 64).
+	MaxInflight int
+	// MaxBacklog sheds ingest with 429 once the journal's unsynced-byte
+	// backlog passes this watermark (only reachable with -fsync off;
+	// default 64 MiB, 0 keeps the default, negative disables).
+	MaxBacklog int64
+	// Now is the ingest clock, injectable for tests (default time.Now).
+	Now func() time.Time
+}
+
+// server wires the retention store, the persistence layer, and the
+// lifecycle/overload guards to the HTTP API.
 type server struct {
-	st      *store.Store
-	maxBody int64
+	st   *store.Store
+	cfg  serverConfig
+	pers *persistence // nil = memory-only (no -data-dir)
+
+	state atomic.Int32
+	sem   chan struct{}
 
 	batches  atomic.Uint64 // ingest requests accepted
-	rejected atomic.Uint64 // ingest requests rejected
+	rejected atomic.Uint64 // ingest requests rejected (bad input)
+	shed     atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
 }
 
-func newServer(st *store.Store, maxBody int64) *server {
-	if maxBody <= 0 {
-		maxBody = 32 << 20
+func newServer(st *store.Store, cfg serverConfig) *server {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 32 << 20
 	}
-	return &server{st: st, maxBody: maxBody}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.MaxBacklog == 0 {
+		cfg.MaxBacklog = 64 << 20
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+	s.state.Store(stateStarting)
+	return s
 }
+
+// setState moves the lifecycle forward.
+func (s *server) setState(st int32) { s.state.Store(st) }
 
 // handler routes the API:
 //
 //	POST /v1/ingest   WriteJSON payloads, single or batched
 //	GET  /v1/top      ranked merged pairs (tool, window, program, n)
 //	GET  /v1/profile  full merged profile in the WriteJSON schema
-//	GET  /healthz     fleet-wide aggregated Health + retention stats
+//	GET  /healthz     lifecycle state, fleet Health, retention + durability stats
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
@@ -55,6 +114,14 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// shed refuses an ingest for load or lifecycle reasons, with a
+// Retry-After the pusher's circuit breaker honors.
+func (s *server) shedRequest(w http.ResponseWriter, status int, retryAfter int, format string, args ...any) {
+	s.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	httpError(w, status, format, args...)
+}
+
 // decodeBatch parses an ingest body: either one WriteJSON document, a
 // stream of concatenated documents, or a JSON array of documents. Every
 // profile passes ReadProfileJSON's hardening; the batch is all-or-
@@ -64,6 +131,13 @@ func decodeBatch(r io.Reader) ([]*witch.Profile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reading body: %w", err)
 	}
+	return decodeProfiles(data)
+}
+
+// decodeProfiles is decodeBatch over bytes already in hand (the ingest
+// path reads the raw body first because the journal appends it
+// verbatim).
+func decodeProfiles(data []byte) ([]*witch.Profile, error) {
 	data = bytes.TrimSpace(data)
 	if len(data) == 0 {
 		return nil, fmt.Errorf("empty batch")
@@ -105,8 +179,36 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	profs, err := decodeBatch(body)
+	switch s.state.Load() {
+	case stateServing:
+	case stateDraining:
+		s.shedRequest(w, http.StatusServiceUnavailable, 5, "draining: witchd is shutting down")
+		return
+	default:
+		s.shedRequest(w, http.StatusServiceUnavailable, 1, "recovering: not yet serving ingest")
+		return
+	}
+	// Bounded concurrency: a pusher stampede gets 429s, not an
+	// unbounded pile of goroutines decoding 32 MiB bodies.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shedRequest(w, http.StatusTooManyRequests, 1, "overloaded: %d ingests in flight", cap(s.sem))
+		return
+	}
+	if s.pers != nil {
+		if s.pers.journal.Failed() {
+			s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal failed, restart required: ingest disabled to avoid un-durable acks")
+			return
+		}
+		if s.cfg.MaxBacklog > 0 && s.pers.journal.UnsyncedBytes() > s.cfg.MaxBacklog {
+			s.shedRequest(w, http.StatusTooManyRequests, 1, "journal backlog over watermark, retry shortly")
+			return
+		}
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		s.rejected.Add(1)
 		status := http.StatusBadRequest
@@ -117,12 +219,35 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "ingest: %v", err)
 		return
 	}
+	profs, err := decodeProfiles(body)
+	if err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, "ingest: %v", err)
+		return
+	}
+
 	// Per-tool routing happens inside the aggregate: every profile
 	// carries its tool, and merge keys are tool-scoped, so a batch may
 	// mix tools freely without cross-contamination.
+	ingest := func(now time.Time) {
+		for _, p := range profs {
+			s.st.IngestAt(p, now)
+		}
+	}
+	if s.pers != nil {
+		// Durability before acknowledgement: journal (and fsync, per
+		// policy) first; a journal error shed the batch un-acked so the
+		// client retries against a daemon that can make it durable.
+		if err := s.pers.applyBatch(body, ingest, s.cfg.Now()); err != nil {
+			s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal append failed, batch not accepted: %v", err)
+			return
+		}
+	} else {
+		ingest(s.cfg.Now())
+	}
+
 	byTool := map[string]int{}
 	for _, p := range profs {
-		s.st.Ingest(p)
 		byTool[p.Tool]++
 	}
 	s.batches.Add(1)
@@ -225,14 +350,29 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if health.Degraded {
 		status = "degraded"
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	out := map[string]any{
 		"status":           status,
+		"state":            stateName(s.state.Load()),
 		"profiles":         profiles,
 		"batches":          s.batches.Load(),
 		"rejected_batches": s.rejected.Load(),
+		"shed_batches":     s.shed.Load(),
 		"tools":            s.st.Query(0).Tools(),
 		"health":           health,
 		"store":            s.st.Stats(),
-	})
+	}
+	if p := s.pers; p != nil {
+		out["durability"] = map[string]any{
+			"journal_lsn":       p.journal.LastLSN(),
+			"journal_failed":    p.journal.Failed(),
+			"journal_errors":    p.journalErrors.Load(),
+			"unsynced_bytes":    p.journal.UnsyncedBytes(),
+			"snapshots_taken":   p.snapshots.Load(),
+			"snapshot_errors":   p.snapErrors.Load(),
+			"last_snapshot_lsn": p.lastSnapLSN.Load(),
+			"recovery":          p.recovery,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }

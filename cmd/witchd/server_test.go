@@ -31,7 +31,8 @@ func testProfile(t *testing.T, seed int64) *witch.Profile {
 
 func newTestServer(t *testing.T, cfg store.Config) (*server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(store.New(cfg), 4<<20)
+	srv := newServer(store.New(cfg), serverConfig{MaxBody: 4 << 20, Now: cfg.Now})
+	srv.setState(stateServing)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -207,7 +208,8 @@ func TestIngestRejections(t *testing.T) {
 	}
 
 	// Size limit: a tiny cap rejects the same valid body outright.
-	small := newServer(store.New(store.Config{}), 16)
+	small := newServer(store.New(store.Config{}), serverConfig{MaxBody: 16})
+	small.setState(stateServing)
 	tss := httptest.NewServer(small.handler())
 	defer tss.Close()
 	resp, err := http.Post(tss.URL+"/v1/ingest", "application/json", bytes.NewReader(good.Bytes()))

@@ -1,0 +1,115 @@
+package agg
+
+import (
+	"sort"
+
+	"repro/witch"
+)
+
+// State is the aggregator's exported snapshot codec: a flat, encodable
+// image of every accumulator, used by internal/store to persist the
+// retention ring and rollup. Loading a State rebuilds an aggregator
+// whose every query answer is identical to the original's — the codec
+// carries the raw sums, so no merge is re-run and no float is re-added
+// in a different order.
+type State struct {
+	Metas []MetaState
+	Pairs []PairState
+}
+
+// MetaState is one (tool, program) scalar accumulator.
+type MetaState struct {
+	Tool, Program string
+	Profiles      uint64
+	Waste, Use    float64
+	WallNanos     int64
+	ToolBytes     uint64
+	Instrs        uint64
+	Loads         uint64
+	Stores        uint64
+	Exhaustive    bool
+	Stats         witch.Stats
+	Health        witch.Health
+}
+
+// PairState is one merged pair stream's accumulator.
+type PairState struct {
+	Tool, Program    string
+	Src, Dst, Chain  string
+	Waste, Use       float64
+	SrcLine, DstLine int
+}
+
+// State snapshots the aggregator. Safe for concurrent use with Merge,
+// though callers wanting an exact cut must quiesce writers (the store
+// and witchd's snapshot barrier do). Output order is deterministic so
+// identical aggregates encode identically.
+func (a *Aggregator) State() *State {
+	st := &State{}
+	a.metaMu.Lock()
+	for k, m := range a.metas {
+		st.Metas = append(st.Metas, MetaState{
+			Tool: k.tool, Program: k.program,
+			Profiles: m.profiles, Waste: m.waste, Use: m.use,
+			WallNanos: m.wallNanos, ToolBytes: m.toolBytes,
+			Instrs: m.instrs, Loads: m.loads, Stores: m.stores,
+			Exhaustive: m.exhaustive, Stats: m.stats, Health: m.health,
+		})
+	}
+	a.metaMu.Unlock()
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for k, acc := range sh.pairs {
+			st.Pairs = append(st.Pairs, PairState{
+				Tool: k.tool, Program: k.program,
+				Src: k.src, Dst: k.dst, Chain: k.chain,
+				Waste: acc.waste, Use: acc.use,
+				SrcLine: acc.srcLine, DstLine: acc.dstLine,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(st.Metas, func(i, j int) bool {
+		if st.Metas[i].Tool != st.Metas[j].Tool {
+			return st.Metas[i].Tool < st.Metas[j].Tool
+		}
+		return st.Metas[i].Program < st.Metas[j].Program
+	})
+	sort.Slice(st.Pairs, func(i, j int) bool {
+		x, y := st.Pairs[i], st.Pairs[j]
+		switch {
+		case x.Tool != y.Tool:
+			return x.Tool < y.Tool
+		case x.Program != y.Program:
+			return x.Program < y.Program
+		case x.Src != y.Src:
+			return x.Src < y.Src
+		case x.Dst != y.Dst:
+			return x.Dst < y.Dst
+		}
+		return x.Chain < y.Chain
+	})
+	return st
+}
+
+// FromState rebuilds an aggregator from a snapshot image.
+func FromState(st *State) *Aggregator {
+	a := New()
+	for _, m := range st.Metas {
+		a.metas[metaKey{m.Tool, m.Program}] = &meta{
+			profiles: m.Profiles, waste: m.Waste, use: m.Use,
+			wallNanos: m.WallNanos, toolBytes: m.ToolBytes,
+			instrs: m.Instrs, loads: m.Loads, stores: m.Stores,
+			exhaustive: m.Exhaustive, stats: m.Stats, health: m.Health,
+		}
+	}
+	for _, p := range st.Pairs {
+		k := pairKey{p.Tool, p.Program, p.Src, p.Dst, p.Chain}
+		a.shards[shardFor(k)].pairs[k] = &pairAcc{
+			waste: p.Waste, use: p.Use,
+			srcLine: p.SrcLine, dstLine: p.DstLine,
+		}
+	}
+	return a
+}

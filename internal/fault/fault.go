@@ -42,8 +42,26 @@ const (
 	// forcing precise-PC recovery to disassemble from the function entry.
 	LBROutage
 
+	// The disk classes fail the witchd write-ahead journal the way real
+	// filesystems fail, injected via the WAL's writer seam (internal/wal).
+
+	// ShortWrite makes a journal append land only a prefix of its bytes
+	// (write(2) returning n < len, as on a full or flaky disk); the WAL
+	// must roll the partial frame back or refuse the ack.
+	ShortWrite
+	// SyncFail fails fsync after a fully-written append, so the record's
+	// durability is unknown and the batch must not be acknowledged.
+	SyncFail
+	// TornRecord simulates a crash mid-append: a partial frame is left on
+	// disk and the journal is unusable until restart, when recovery must
+	// truncate the torn tail back to the last complete record.
+	TornRecord
+	// ENOSPC fails a journal append outright with no bytes written, as a
+	// full filesystem does.
+	ENOSPC
+
 	// NumClasses is the number of fault classes.
-	NumClasses = int(LBROutage) + 1
+	NumClasses = int(ENOSPC) + 1
 )
 
 // String names the class.
@@ -59,6 +77,14 @@ func (c Class) String() string {
 		return "signal-drop"
 	case LBROutage:
 		return "lbr-outage"
+	case ShortWrite:
+		return "short-write"
+	case SyncFail:
+		return "sync-fail"
+	case TornRecord:
+		return "torn-record"
+	case ENOSPC:
+		return "enospc"
 	}
 	return "unknown"
 }
@@ -78,6 +104,10 @@ type Plan struct {
 	RingOverflow float64
 	SignalDrop   float64
 	LBROutage    float64
+	ShortWrite   float64
+	SyncFail     float64
+	TornRecord   float64
+	ENOSPC       float64
 
 	// Burst windows model correlated failure (a debugger attaching for a
 	// while, a load spike coalescing signals): every BurstEvery
@@ -89,7 +119,9 @@ type Plan struct {
 	BurstRate  float64
 }
 
-// Uniform returns a plan injecting every class at the same rate.
+// Uniform returns a plan injecting every perf-substrate class at the
+// same rate (the disk classes stay zero — they target the witchd WAL,
+// not the profiler, and have their own DiskUniform).
 func Uniform(rate float64, seed int64) Plan {
 	return Plan{
 		Seed:     seed,
@@ -111,8 +143,25 @@ func (p Plan) rate(c Class) float64 {
 		return p.SignalDrop
 	case LBROutage:
 		return p.LBROutage
+	case ShortWrite:
+		return p.ShortWrite
+	case SyncFail:
+		return p.SyncFail
+	case TornRecord:
+		return p.TornRecord
+	case ENOSPC:
+		return p.ENOSPC
 	}
 	return 0
+}
+
+// DiskUniform returns a plan injecting only the disk classes, each at
+// the same rate — the knob the WAL chaos tests sweep.
+func DiskUniform(rate float64, seed int64) Plan {
+	return Plan{
+		Seed:       seed,
+		ShortWrite: rate, SyncFail: rate, TornRecord: rate, ENOSPC: rate,
+	}
 }
 
 // Enabled reports whether the plan can inject anything at all.

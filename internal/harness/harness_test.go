@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/witch"
 )
 
 // quick is the test configuration: representative subset, small sweep.
@@ -78,25 +80,48 @@ func TestFigure5RunsAllRegisterCounts(t *testing.T) {
 	}
 }
 
+// TestTable1SpiesCostMoreThanCrafts asserts the paper's Table 1 claim —
+// exhaustive spies cost an order of magnitude more than sampling
+// crafts — on deterministic counters, not wall-clock ratios: a craft's
+// work is its substrate operations (samples, traps, fd opens/closes,
+// modifies, disassembled instructions), a spy's work is the accesses it
+// instruments (every load and store), and memory cost is ToolBytes.
+// Wall time still appears in the report but is too noisy to gate a test
+// on (a loaded CI machine can compress the slowdown ratio arbitrarily).
 func TestTable1SpiesCostMoreThanCrafts(t *testing.T) {
 	out := runExp(t, Table1)
-	// Parse the geometric means block: craft slowdown must be far below
-	// spy slowdown, craft bloat far below spy bloat.
+	// The report itself must still carry the geomean summary rows.
 	re := regexp.MustCompile(`DeadCraft/DeadSpy\s+(\d+\.\d+)x\s+(\d+\.\d+)x\s+(\d+\.\d+)x\s+(\d+\.\d+)x`)
-	ms := re.FindAllStringSubmatch(out, -1)
-	if len(ms) == 0 {
+	if re.FindStringSubmatch(out) == nil {
 		t.Fatalf("no geomean row:\n%s", out)
 	}
-	last := ms[len(ms)-1] // the summary table row
-	craftSlow, _ := strconv.ParseFloat(last[1], 64)
-	craftBloat, _ := strconv.ParseFloat(last[2], 64)
-	spySlow, _ := strconv.ParseFloat(last[3], 64)
-	spyBloat, _ := strconv.ParseFloat(last[4], 64)
-	if spySlow < 2*craftSlow {
-		t.Fatalf("spy slowdown %.2f should dwarf craft %.2f", spySlow, craftSlow)
-	}
-	if spyBloat < 3*craftBloat {
-		t.Fatalf("spy bloat %.2f should dwarf craft %.2f", spyBloat, craftBloat)
+
+	for _, tool := range tools {
+		var craftBytes, spyBytes uint64
+		for _, name := range quick.suiteNames() {
+			craft, err := witch.Run(mustWorkload(name), witch.Options{Tool: tool, Seed: quick.Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spy, err := witch.RunExhaustive(mustWorkload(name), tool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			craftWork := craft.Stats.Samples + craft.Stats.Traps + craft.Stats.Opens +
+				craft.Stats.Closes + craft.Stats.Modifies + craft.Stats.DisasmInstrs
+			spyWork := spy.Loads + spy.Stores
+			if spyWork < 10*craftWork {
+				t.Fatalf("%s/%v: spy work %d not an order of magnitude over craft work %d",
+					name, tool, spyWork, craftWork)
+			}
+			craftBytes += craft.ToolBytes
+			spyBytes += spy.ToolBytes
+		}
+		// Memory: the spy's shadow state dwarfs the craft's fixed-size
+		// reservoir + watchpoint bookkeeping across the suite.
+		if spyBytes < 3*craftBytes {
+			t.Fatalf("%v: spy bytes %d should dwarf craft bytes %d", tool, spyBytes, craftBytes)
+		}
 	}
 }
 

@@ -14,6 +14,9 @@
 package store
 
 import (
+	"encoding/gob"
+	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +53,16 @@ type Store struct {
 	mu     sync.Mutex
 	ring   []*bucket
 	rollup *agg.Aggregator
+	// pending holds buckets that have been displaced from the ring but
+	// whose fold into the rollup has not completed — the window during
+	// which a concurrent Snapshot must still see them, or their data
+	// would exist nowhere.
+	pending []*bucket
+
+	// foldMu serializes rollup mutation (fold) against Snapshot, so a
+	// bucket is always captured on exactly one side of the rollup
+	// boundary. Lock order: foldMu before mu; never mu before foldMu.
+	foldMu sync.Mutex
 
 	ingested       atomic.Uint64
 	evictedBuckets atomic.Uint64
@@ -76,12 +89,16 @@ func New(cfg Config) *Store {
 // Ingest merges one profile into the current time bucket, evicting any
 // expired bucket whose ring slot it reuses.
 func (s *Store) Ingest(p *witch.Profile) {
-	now := s.cfg.Now()
+	s.IngestAt(p, s.cfg.Now())
+}
+
+// IngestAt is Ingest with an explicit arrival time — the journal-replay
+// entry point: recovery re-ingests each batch at its original wall
+// time, so the restored bucket layout (and every windowed query) comes
+// back identical, not smeared into the restart instant.
+func (s *Store) IngestAt(p *witch.Profile, now time.Time) {
 	start := now.Truncate(s.cfg.Window)
-	slot := int((start.UnixNano() / int64(s.cfg.Window)) % int64(s.cfg.Buckets))
-	if slot < 0 {
-		slot += s.cfg.Buckets
-	}
+	slot := s.slotFor(start)
 
 	s.mu.Lock()
 	b := s.ring[slot]
@@ -90,6 +107,9 @@ func (s *Store) Ingest(p *witch.Profile) {
 		expired = b
 		b = &bucket{start: start, agg: agg.New()}
 		s.ring[slot] = b
+		if expired != nil {
+			s.pending = append(s.pending, expired)
+		}
 	}
 	// Take the read side before releasing the ring lock so eviction of
 	// *this* bucket (a full ring wrap later) cannot fold it while this
@@ -105,24 +125,52 @@ func (s *Store) Ingest(p *witch.Profile) {
 	s.ingested.Add(1)
 }
 
+// slotFor maps a bucket start time onto its ring slot.
+func (s *Store) slotFor(start time.Time) int {
+	slot := int((start.UnixNano() / int64(s.cfg.Window)) % int64(s.cfg.Buckets))
+	if slot < 0 {
+		slot += s.cfg.Buckets
+	}
+	return slot
+}
+
 // fold waits out in-flight merges on an expired bucket and rolls it up.
+// The rollup merge and the bucket's removal from the pending list are
+// one atomic step under foldMu, so a concurrent Snapshot sees the
+// bucket on exactly one side of the rollup — never both, never neither.
 func (s *Store) fold(b *bucket) {
 	b.rw.Lock()
+	s.foldMu.Lock()
 	s.rollup.MergeFrom(b.agg)
+	s.mu.Lock()
+	for i, p := range s.pending {
+		if p == b {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	s.foldMu.Unlock()
 	b.rw.Unlock()
 	s.evictedBuckets.Add(1)
 }
 
 // Query merges every bucket overlapping the trailing window into a
 // fresh aggregator and returns it. window <= 0 means everything ever
-// ingested, including the rollup of evicted buckets.
+// ingested, including the rollup of evicted buckets; that path holds
+// the fold barrier so a bucket mid-eviction is counted exactly once
+// (from whichever side of the rollup it is on), never twice.
 func (s *Store) Query(window time.Duration) *agg.Aggregator {
 	now := s.cfg.Now()
 	out := agg.New()
 
+	if window <= 0 {
+		s.foldMu.Lock()
+		defer s.foldMu.Unlock()
+	}
 	s.mu.Lock()
-	live := make([]*bucket, 0, len(s.ring))
-	for _, b := range s.ring {
+	live := make([]*bucket, 0, len(s.ring)+len(s.pending))
+	for _, b := range append(append([]*bucket(nil), s.ring...), s.pending...) {
 		if b == nil {
 			continue
 		}
@@ -141,6 +189,115 @@ func (s *Store) Query(window time.Duration) *agg.Aggregator {
 		out.MergeFrom(b.agg)
 	}
 	return out
+}
+
+// snapshotVersion guards the snapshot codec; bump on incompatible
+// layout changes so recovery skips (not crashes on) foreign files.
+const snapshotVersion = 1
+
+// snapshotFile is the gob image of a store.
+type snapshotFile struct {
+	Version     int
+	Anchor      uint64
+	WindowNanos int64
+	Ingested    uint64
+	Evicted     uint64
+	Buckets     []bucketImage
+	Rollup      *agg.State
+}
+
+// bucketImage is one retention bucket's encoded state.
+type bucketImage struct {
+	StartUnixNano int64
+	State         *agg.State
+}
+
+// Snapshot encodes the full retention state — ring, pending folds, and
+// rollup — to w. anchor is an opaque caller cursor (witchd stores the
+// journal LSN the snapshot covers) returned verbatim by Restore.
+//
+// The fold barrier is held for the duration, so eviction cannot move a
+// bucket across the rollup boundary mid-encode: every bucket lands on
+// exactly one side (TestSnapshotRacesEviction). Concurrent ingest into
+// live buckets remains possible — callers needing an exact cut (witchd
+// does, for replay consistency) must quiesce ingest around the call.
+func (s *Store) Snapshot(w io.Writer, anchor uint64) error {
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+
+	s.mu.Lock()
+	buckets := make([]*bucket, 0, len(s.ring)+len(s.pending))
+	for _, b := range s.ring {
+		if b != nil {
+			buckets = append(buckets, b)
+		}
+	}
+	buckets = append(buckets, s.pending...)
+	rollup := s.rollup
+	s.mu.Unlock()
+
+	img := snapshotFile{
+		Version:     snapshotVersion,
+		Anchor:      anchor,
+		WindowNanos: int64(s.cfg.Window),
+		Ingested:    s.ingested.Load(),
+		Evicted:     s.evictedBuckets.Load(),
+		Rollup:      rollup.State(),
+	}
+	for _, b := range buckets {
+		img.Buckets = append(img.Buckets, bucketImage{
+			StartUnixNano: b.start.UnixNano(),
+			State:         b.agg.State(),
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the store's state with a snapshot, returning the
+// caller anchor it was written with. Meant for a freshly built store
+// during recovery, before serving. Buckets that no longer fit the
+// ring — a changed window width, or two buckets hashing to one slot
+// after a long outage — are folded into the rollup rather than dropped,
+// so all-time queries stay exact under any reconfiguration.
+func (s *Store) Restore(r io.Reader) (anchor uint64, err error) {
+	var img snapshotFile
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return 0, fmt.Errorf("store: decoding snapshot: %w", err)
+	}
+	if img.Version != snapshotVersion {
+		return 0, fmt.Errorf("store: snapshot version %d unsupported (this build reads %d)", img.Version, snapshotVersion)
+	}
+
+	ring := make([]*bucket, s.cfg.Buckets)
+	rollup := agg.FromState(img.Rollup)
+	evicted := img.Evicted
+	for _, bi := range img.Buckets {
+		start := time.Unix(0, bi.StartUnixNano)
+		a := agg.FromState(bi.State)
+		slot := s.slotFor(start)
+		if int64(s.cfg.Window) != img.WindowNanos || ring[slot] != nil {
+			// Doesn't fit the current ring geometry: keep the data, lose
+			// only its windowing.
+			rollup.MergeFrom(a)
+			evicted++
+			continue
+		}
+		ring[slot] = &bucket{start: start, agg: a}
+	}
+
+	s.foldMu.Lock()
+	s.mu.Lock()
+	s.ring = ring
+	s.rollup = rollup
+	s.pending = nil
+	s.mu.Unlock()
+	s.foldMu.Unlock()
+	s.ingested.Store(img.Ingested)
+	s.evictedBuckets.Store(evicted)
+	return img.Anchor, nil
 }
 
 // Stats reports the retention state: live buckets, buckets folded into

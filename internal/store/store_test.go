@@ -1,6 +1,8 @@
 package store
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -173,5 +175,174 @@ func TestConcurrentIngestQueryEvict(t *testing.T) {
 	}
 	if st.LiveBuckets > 3 {
 		t.Fatalf("live buckets %d exceed ring size", st.LiveBuckets)
+	}
+}
+
+// TestSnapshotRestoreRoundTrip: snapshot → restore reproduces the full
+// retention state — ring layout, rollup, counters, and the caller's
+// anchor — so a recovered daemon answers queries identically.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+	const windows = 9 // > ring size: rollup is populated too
+	for i := 0; i < windows; i++ {
+		s.Ingest(synth(fmt.Sprintf("prog-%02d", i), 16))
+		clk.advance(time.Minute)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+	anchor, err := r.Restore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anchor != 42 {
+		t.Fatalf("anchor = %d, want 42", anchor)
+	}
+
+	if got, want := r.Stats(), s.Stats(); got != want {
+		t.Fatalf("restored stats %+v, want %+v", got, want)
+	}
+	for _, window := range []time.Duration{0, 2 * time.Minute, 10 * time.Minute} {
+		a := s.Query(window).Snapshot("dead", "")
+		b := r.Query(window).Snapshot("dead", "")
+		if (a == nil) != (b == nil) {
+			t.Fatalf("window %v: presence drifted", window)
+		}
+		if a == nil {
+			continue
+		}
+		var wa, wb bytes.Buffer
+		if err := a.WriteJSON(&wa); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteJSON(&wb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+			t.Fatalf("window %v: restored profile drifted:\n%s\nvs\n%s", window, wb.String(), wa.String())
+		}
+	}
+}
+
+// TestSnapshotRestoreGeometryChange: restoring into a ring with a
+// different window width folds every bucket into the rollup — windowed
+// placement is lost, but the all-time view stays exact.
+func TestSnapshotRestoreGeometryChange(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+	const n = 6
+	for i := 0; i < n; i++ {
+		s.Ingest(synth(fmt.Sprintf("prog-%d", i), 16))
+		clk.advance(time.Minute)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(Config{Window: time.Hour, Buckets: 2, Now: clk.now})
+	if _, err := r.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Query(0).Profiles(); got != n {
+		t.Fatalf("all-time view lost profiles under reconfiguration: %d, want %d", got, n)
+	}
+	if got := r.Query(0).Snapshot("dead", "").Waste; got != 16*n {
+		t.Fatalf("all-time waste %g, want %d", got, 16*n)
+	}
+}
+
+// TestRestoreRejectsBadSnapshots: garbage and version-mismatched
+// snapshots error out (the recovery layer falls back to older ones)
+// instead of restoring nonsense.
+func TestRestoreRejectsBadSnapshots(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage restored without error")
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snapshotFile{Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("future snapshot version restored without error")
+	}
+}
+
+// TestSnapshotRacesEviction: snapshots run concurrently with ingest
+// that is continuously displacing and folding buckets. The exactly-once
+// guarantee under test: a bucket mid-fold appears in a snapshot on
+// exactly one side of the rollup boundary. Each pair is ingested once
+// with waste 16, so any double-count shows up as a pair whose waste
+// exceeds 16 in some snapshot, and any loss shows up in the final one.
+func TestSnapshotRacesEviction(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{Window: time.Minute, Buckets: 2, Now: clk.now}
+	s := New(cfg)
+
+	const n = 300
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			s.Ingest(synth(fmt.Sprintf("prog-%03d", i), 16))
+			// Every other ingest starts a new window, displacing a bucket
+			// and racing its fold against the snapshotter.
+			clk.advance(31 * time.Second)
+		}
+	}()
+
+	var snaps [][]byte
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		var buf bytes.Buffer
+		if err := s.Snapshot(&buf, uint64(len(snaps))); err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, buf.Bytes())
+	}
+	// One more after ingest quiesced: this one must be exact.
+	var final bytes.Buffer
+	if err := s.Snapshot(&final, uint64(len(snaps))); err != nil {
+		t.Fatal(err)
+	}
+	snaps = append(snaps, final.Bytes())
+
+	for i, snap := range snaps {
+		r := New(cfg)
+		if _, err := r.Restore(bytes.NewReader(snap)); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		prof := r.Query(0).Snapshot("dead", "")
+		if prof == nil {
+			continue // taken before the first merge landed
+		}
+		for _, pair := range prof.TopPairs(0) {
+			if pair.Waste > 16 {
+				t.Fatalf("snapshot %d: pair %s has waste %g > 16: bucket counted on both sides of the rollup", i, pair.Src, pair.Waste)
+			}
+		}
+	}
+
+	r := New(cfg)
+	if _, err := r.Restore(bytes.NewReader(final.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Query(0).Profiles(); got != n {
+		t.Fatalf("final snapshot accounts for %d profiles, want %d", got, n)
+	}
+	if got := len(r.Query(0).Snapshot("dead", "").TopPairs(0)); got != n {
+		t.Fatalf("final snapshot has %d pairs, want %d", got, n)
+	}
+	if st := r.Stats(); st.EvictedBuckets == 0 {
+		t.Fatal("race never exercised eviction")
 	}
 }

@@ -1,0 +1,288 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// replayAll collects every record after a given LSN.
+func replayAll(t *testing.T, dir string, after uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := Replay(dir, after, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("batch-%d", i))
+		lsn, err := j.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d (dense from 1)", lsn, i+1)
+		}
+		want = append(want, p)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, dir, 0)
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d = {%d %q}", i, r.LSN, r.Payload)
+		}
+	}
+	// Suffix replay honors the after cursor (the snapshot boundary).
+	if got := replayAll(t, dir, 15); len(got) != 5 || got[0].LSN != 16 {
+		t.Fatalf("suffix replay = %d records from %d", len(got), got[0].LSN)
+	}
+}
+
+func TestReopenContinuesLSNs(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	for i := 0; i < 5; i++ {
+		if _, err := j.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if ri := j2.Recovery(); ri.LastLSN != 5 || ri.TornTail {
+		t.Fatalf("recovery = %+v", ri)
+	}
+	lsn, err := j2.Append([]byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 6 {
+		t.Fatalf("post-reopen lsn = %d, want 6", lsn)
+	}
+	if got := replayAll(t, dir, 0); len(got) != 6 {
+		t.Fatalf("replayed %d, want 6", len(got))
+	}
+}
+
+func TestRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{SegmentBytes: 64}) // rotate almost every append
+	payload := bytes.Repeat([]byte("p"), 50)
+	for i := 0; i < 10; i++ {
+		if _, err := j.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments after forced rotation", len(segs))
+	}
+	// GC through LSN 8: every segment wholly <= 8 goes; records 9, 10
+	// (and the active segment) survive.
+	if _, err := j.RemoveThrough(8); err != nil {
+		t.Fatal(err)
+	}
+	recs := replayAll(t, dir, 8)
+	if len(recs) != 2 || recs[0].LSN != 9 {
+		t.Fatalf("post-GC suffix = %+v", recs)
+	}
+	after, _ := listSegments(dir)
+	if len(after) >= len(segs) {
+		t.Fatalf("GC removed nothing: %d -> %d segments", len(segs), len(after))
+	}
+	j.Close()
+}
+
+// tearTail simulates a crash mid-append by appending garbage to the
+// newest segment file.
+func tearTail(t *testing.T, dir string, garbage []byte) {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments to tear (%v)", err)
+	}
+	path := segs[len(segs)-1].path
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		garbage []byte
+	}{
+		{"partial frame header", []byte{0x10, 0x00}},
+		{"frame running past eof", append([]byte{0xff, 0x00, 0x00, 0x00, 1, 2, 3, 4}, []byte("short")...)},
+		{"bad crc", append([]byte{3, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}, []byte("abc")...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, _ := Open(dir, Options{})
+			for i := 0; i < 3; i++ {
+				if _, err := j.Append([]byte(fmt.Sprintf("ok-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			j.Close()
+			tearTail(t, dir, tc.garbage)
+
+			j2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("torn tail must never prevent startup: %v", err)
+			}
+			ri := j2.Recovery()
+			if !ri.TornTail || ri.TruncatedBytes != int64(len(tc.garbage)) || ri.LastLSN != 3 {
+				t.Fatalf("recovery = %+v, want torn tail of %d bytes after lsn 3", ri, len(tc.garbage))
+			}
+			// The journal appends cleanly after the cut...
+			if lsn, err := j2.Append([]byte("after")); err != nil || lsn != 4 {
+				t.Fatalf("append after recovery: lsn=%d err=%v", lsn, err)
+			}
+			j2.Close()
+			// ...and replay sees the full acknowledged history, nothing else.
+			recs := replayAll(t, dir, 0)
+			if len(recs) != 4 || string(recs[3].Payload) != "after" {
+				t.Fatalf("replay after tear = %+v", recs)
+			}
+		})
+	}
+}
+
+func TestAllTornSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	j.Append([]byte("keep"))
+	j.Close()
+	// A second segment that is pure tear: header cut short.
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000002.log"), []byte("WIT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	ri := j2.Recovery()
+	if !ri.TornTail || ri.Segments != 1 || ri.LastLSN != 1 {
+		t.Fatalf("recovery = %+v", ri)
+	}
+	if lsn, _ := j2.Append([]byte("next")); lsn != 2 {
+		t.Fatalf("lsn after dropping torn segment = %d, want 2", lsn)
+	}
+}
+
+// TestInjectedAppendFaults drives the writer seam through every disk
+// fault class: short writes, ENOSPC, and fsync failures roll back and
+// leave the journal appendable; a torn record fails the journal until
+// the next Open. In every case an errored Append is never replayable —
+// the no-lost-ack half of the crash-safety contract.
+func TestInjectedAppendFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		plan  fault.Plan
+		fatal bool // journal must declare itself Failed
+	}{
+		{"short write", fault.Plan{Seed: 1, ShortWrite: 1}, false},
+		{"enospc", fault.Plan{Seed: 1, ENOSPC: 1}, false},
+		{"sync fail", fault.Plan{Seed: 1, SyncFail: 1}, false},
+		{"torn record", fault.Plan{Seed: 1, TornRecord: 1}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := j.Append([]byte("acked")); err != nil {
+				t.Fatal(err)
+			}
+			// Arm the injector after the clean append: rate 1 fails the
+			// next one deterministically.
+			j.opts.Injector = fault.NewInjector(tc.plan)
+			if _, err := j.Append([]byte("lost")); err == nil {
+				t.Fatal("faulted append reported success")
+			}
+			if got := j.Failed(); got != tc.fatal {
+				t.Fatalf("Failed() = %v, want %v", got, tc.fatal)
+			}
+			if tc.fatal {
+				if _, err := j.Append([]byte("x")); !errors.Is(err, ErrFailed) {
+					t.Fatalf("append on failed journal: %v, want ErrFailed", err)
+				}
+			} else {
+				// Recovered in place: the next clean append succeeds.
+				j.opts.Injector = nil
+				if lsn, err := j.Append([]byte("retried")); err != nil || lsn != 2 {
+					t.Fatalf("append after rollback: lsn=%d err=%v", lsn, err)
+				}
+			}
+			j.Close()
+
+			// Restart: only acknowledged records replay, and recovery
+			// never fails.
+			j2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open after %s: %v", tc.name, err)
+			}
+			j2.Close()
+			for _, r := range replayAll(t, dir, 0) {
+				if string(r.Payload) == "lost" {
+					t.Fatal("an unacknowledged (errored) append replayed")
+				}
+			}
+			if recs := replayAll(t, dir, 0); string(recs[0].Payload) != "acked" {
+				t.Fatalf("acknowledged record missing after recovery: %+v", recs)
+			}
+		})
+	}
+}
+
+func TestUnsyncedBacklogWatermark(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{NoSync: true})
+	defer j.Close()
+	if j.UnsyncedBytes() != 0 {
+		t.Fatal("fresh journal has backlog")
+	}
+	j.Append(bytes.Repeat([]byte("b"), 100))
+	if j.UnsyncedBytes() < 100 {
+		t.Fatalf("backlog = %d after 100-byte unsynced append", j.UnsyncedBytes())
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if j.UnsyncedBytes() != 0 {
+		t.Fatal("Sync did not clear the backlog watermark")
+	}
+}

@@ -4,11 +4,30 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+)
+
+// Drop reasons, the keys of PusherStats.DroppedByReason.
+const (
+	// DropQueueFull: Push found the bounded queue full (daemon slower
+	// than the workload produces profiles, or breaker open).
+	DropQueueFull = "queue_full"
+	// DropClosed: Push after Close.
+	DropClosed = "closed"
+	// DropRetries: every delivery attempt failed.
+	DropRetries = "retries_exhausted"
+	// DropEncode: the profile failed to serialize.
+	DropEncode = "encode_error"
+	// DropBreakerOpen: the pusher was closing while the circuit breaker
+	// held deliveries back, so the queued profile was abandoned without
+	// hammering a daemon that just said stop.
+	DropBreakerOpen = "breaker_open"
 )
 
 // PusherOptions configures a Pusher. The zero value of every field is a
@@ -32,6 +51,21 @@ type PusherOptions struct {
 	Timeout time.Duration
 	// Client overrides the HTTP client, e.g. for tests.
 	Client *http.Client
+	// BreakerThreshold is how many consecutive delivery failures open
+	// the circuit breaker (default 3). While open, the sender stops
+	// attempting deliveries entirely; after the cooldown one half-open
+	// trial decides whether to close it again. A daemon answering 429
+	// or 503 with Retry-After opens the breaker immediately for the
+	// advertised duration — shedding means "go away", not "try harder".
+	BreakerThreshold int
+	// BreakerCooldown is the initial open duration (default 500ms),
+	// doubling on each failed half-open trial up to 30s.
+	BreakerCooldown time.Duration
+	// Logf receives the pusher's (rare) log lines: the first drop of an
+	// outage and the recovery summary — repeats in between are
+	// suppressed so a dead daemon costs one line, not one per profile.
+	// Defaults to log.Printf; use a no-op func to silence.
+	Logf func(format string, args ...any)
 }
 
 // PusherStats counts a pusher's lifetime outcomes.
@@ -42,9 +76,13 @@ type PusherStats struct {
 	// exhausted retries — the backpressure escape valve: the profiled
 	// workload sheds profiles rather than ever blocking on the daemon.
 	Dropped uint64
+	// DroppedByReason splits Dropped by cause (see the Drop* constants).
+	DroppedByReason map[string]uint64
 	// Retries counts extra delivery attempts; Errors counts failed
 	// attempts (each drop after retries contributes Retries+1 errors).
 	Retries, Errors uint64
+	// BreakerTrips counts transitions of the circuit breaker to open.
+	BreakerTrips uint64
 }
 
 // Pusher streams profiles to a witchd daemon from the profiled process.
@@ -56,7 +94,10 @@ type PusherStats struct {
 // non-blocking: a bounded queue feeds one background sender, and when
 // the daemon is slow, unreachable, or dead, profiles are dropped and
 // counted (see PusherStats.Dropped) — the same degrade-don't-die policy
-// the profiler applies to its own substrate failures.
+// the profiler applies to its own substrate failures. When the daemon
+// sheds load (429/503 + Retry-After) or fails repeatedly, a circuit
+// breaker stops delivery attempts for the advertised cooldown instead
+// of retrying blind, re-probing with a single half-open trial.
 type Pusher struct {
 	opts  PusherOptions
 	url   string
@@ -70,6 +111,20 @@ type Pusher struct {
 	dropped  atomic.Uint64
 	retries  atomic.Uint64
 	errors   atomic.Uint64
+	trips    atomic.Uint64
+
+	reasonMu sync.Mutex
+	byReason map[string]uint64
+
+	// inOutage marks that at least one drop has been logged since the
+	// last successful delivery; further drop logs are suppressed until
+	// delivery recovers.
+	inOutage atomic.Bool
+
+	// Breaker state, touched only by the sender goroutine.
+	brFails    int
+	brOpenTill time.Time
+	brCooldown time.Duration
 }
 
 // NewPusher starts a pusher's background sender.
@@ -98,11 +153,22 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 	if opts.Client == nil {
 		opts.Client = &http.Client{Timeout: opts.Timeout}
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 500 * time.Millisecond
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
 	p := &Pusher{
-		opts:  opts,
-		url:   strings.TrimRight(opts.URL, "/") + "/v1/ingest",
-		queue: make(chan *Profile, opts.Queue),
-		quit:  make(chan struct{}),
+		opts:       opts,
+		url:        strings.TrimRight(opts.URL, "/") + "/v1/ingest",
+		queue:      make(chan *Profile, opts.Queue),
+		quit:       make(chan struct{}),
+		byReason:   make(map[string]uint64),
+		brCooldown: opts.BreakerCooldown,
 	}
 	p.wg.Add(1)
 	go p.sender()
@@ -114,7 +180,7 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 // pusher is closed; it never blocks and never fails the caller.
 func (p *Pusher) Push(prof *Profile) bool {
 	if p.closed.Load() {
-		p.dropped.Add(1)
+		p.drop(DropClosed)
 		return false
 	}
 	select {
@@ -122,8 +188,29 @@ func (p *Pusher) Push(prof *Profile) bool {
 		p.enqueued.Add(1)
 		return true
 	default:
-		p.dropped.Add(1)
+		p.drop(DropQueueFull)
 		return false
+	}
+}
+
+// drop counts one lost profile and logs the first drop of an outage
+// (suppressing repeats until delivery recovers).
+func (p *Pusher) drop(reason string) {
+	p.dropped.Add(1)
+	p.reasonMu.Lock()
+	p.byReason[reason]++
+	p.reasonMu.Unlock()
+	if !p.inOutage.Swap(true) {
+		p.opts.Logf("witch: pusher to %s dropping profiles (%s); further drops suppressed until delivery recovers", p.url, reason)
+	}
+}
+
+// recovered notes a successful delivery, closing any outage episode
+// with a summary line.
+func (p *Pusher) recovered() {
+	p.sent.Add(1)
+	if p.inOutage.Swap(false) {
+		p.opts.Logf("witch: pusher to %s recovered (%d profiles dropped so far)", p.url, p.dropped.Load())
 	}
 }
 
@@ -140,12 +227,20 @@ func (p *Pusher) Close() error {
 
 // Stats snapshots the lifetime counters.
 func (p *Pusher) Stats() PusherStats {
+	p.reasonMu.Lock()
+	byReason := make(map[string]uint64, len(p.byReason))
+	for k, v := range p.byReason {
+		byReason[k] = v
+	}
+	p.reasonMu.Unlock()
 	return PusherStats{
-		Enqueued: p.enqueued.Load(),
-		Sent:     p.sent.Load(),
-		Dropped:  p.dropped.Load(),
-		Retries:  p.retries.Load(),
-		Errors:   p.errors.Load(),
+		Enqueued:        p.enqueued.Load(),
+		Sent:            p.sent.Load(),
+		Dropped:         p.dropped.Load(),
+		DroppedByReason: byReason,
+		Retries:         p.retries.Load(),
+		Errors:          p.errors.Load(),
+		BreakerTrips:    p.trips.Load(),
 	}
 }
 
@@ -170,24 +265,81 @@ func (p *Pusher) sender() {
 	}
 }
 
+// breakerWait blocks while the breaker is open. It returns false when
+// the pusher is closing and the open interval has not elapsed — the
+// caller abandons the profile rather than out-waiting a daemon that
+// said stop.
+func (p *Pusher) breakerWait() bool {
+	wait := time.Until(p.brOpenTill)
+	if wait <= 0 {
+		return true
+	}
+	select {
+	case <-time.After(wait):
+		return true
+	case <-p.quit:
+		// Closing mid-cooldown: if the cooldown has still not elapsed,
+		// give up instead of sleeping out the daemon's Retry-After.
+		return time.Until(p.brOpenTill) <= 0
+	}
+}
+
+// breakerFailure records a failed attempt, opening the breaker after
+// BreakerThreshold consecutive failures — or immediately for the
+// daemon-advertised retryAfter of a shedding response.
+func (p *Pusher) breakerFailure(retryAfter time.Duration) {
+	p.brFails++
+	open := time.Duration(0)
+	if retryAfter > 0 {
+		open = retryAfter
+	} else if p.brFails >= p.opts.BreakerThreshold {
+		open = p.brCooldown
+		if p.brCooldown *= 2; p.brCooldown > 30*time.Second {
+			p.brCooldown = 30 * time.Second
+		}
+	}
+	if open > 0 {
+		if till := time.Now().Add(open); till.After(p.brOpenTill) {
+			p.brOpenTill = till
+		}
+		p.trips.Add(1)
+	}
+}
+
+// breakerSuccess closes the breaker after a successful (half-open or
+// regular) delivery.
+func (p *Pusher) breakerSuccess() {
+	p.brFails = 0
+	p.brCooldown = p.opts.BreakerCooldown
+	p.brOpenTill = time.Time{}
+}
+
 // deliver sends one profile with bounded retries and exponential
-// backoff, counting a drop when every attempt fails.
+// backoff, counting a drop when every attempt fails. The breaker gates
+// every attempt: while open, no request leaves the process.
 func (p *Pusher) deliver(prof *Profile) {
 	var body bytes.Buffer
 	if err := prof.WriteJSON(&body); err != nil {
 		p.errors.Add(1)
-		p.dropped.Add(1)
+		p.drop(DropEncode)
 		return
 	}
 	backoff := p.opts.Backoff
 	for attempt := 0; ; attempt++ {
-		if p.post(body.Bytes()) {
-			p.sent.Add(1)
+		if !p.breakerWait() {
+			p.drop(DropBreakerOpen)
+			return
+		}
+		retryAfter, ok := p.post(body.Bytes())
+		if ok {
+			p.recovered()
+			p.breakerSuccess()
 			return
 		}
 		p.errors.Add(1)
+		p.breakerFailure(retryAfter)
 		if attempt >= p.opts.Retries {
-			p.dropped.Add(1)
+			p.drop(DropRetries)
 			return
 		}
 		p.retries.Add(1)
@@ -195,12 +347,17 @@ func (p *Pusher) deliver(prof *Profile) {
 		case <-time.After(backoff):
 		case <-p.quit:
 			// Closing: one immediate final attempt instead of sleeping
-			// out the remaining backoff schedule.
-			if p.post(body.Bytes()) {
-				p.sent.Add(1)
+			// out the remaining backoff schedule — unless the breaker is
+			// open, in which case the daemon asked for silence.
+			if time.Until(p.brOpenTill) > 0 {
+				p.drop(DropBreakerOpen)
+				return
+			}
+			if _, ok := p.post(body.Bytes()); ok {
+				p.recovered()
 			} else {
 				p.errors.Add(1)
-				p.dropped.Add(1)
+				p.drop(DropRetries)
 			}
 			return
 		}
@@ -208,13 +365,22 @@ func (p *Pusher) deliver(prof *Profile) {
 	}
 }
 
-// post performs one ingest attempt.
-func (p *Pusher) post(body []byte) bool {
+// post performs one ingest attempt, reporting any daemon-advertised
+// Retry-After so the breaker can honor it.
+func (p *Pusher) post(body []byte) (retryAfter time.Duration, ok bool) {
 	resp, err := p.opts.Client.Post(p.url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return false
+		return 0, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return 0, true
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return retryAfter, false
 }

@@ -1,10 +1,12 @@
 package witch_test
 
 import (
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -179,6 +181,196 @@ func TestPusherOptionValidation(t *testing.T) {
 		if _, err := witch.NewPusher(opts); err == nil {
 			t.Fatalf("NewPusher(%+v) accepted", opts)
 		}
+	}
+}
+
+// TestPusherBreakerHonorsRetryAfter: a shedding daemon (429 +
+// Retry-After) opens the circuit breaker for the advertised duration —
+// the pusher must not hammer it with its normal millisecond backoff.
+func TestPusherBreakerHonorsRetryAfter(t *testing.T) {
+	var mu sync.Mutex
+	var attempts []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		mu.Lock()
+		attempts = append(attempts, time.Now())
+		n := len(attempts)
+		mu.Unlock()
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+	}))
+	defer srv.Close()
+
+	p, err := witch.NewPusher(witch.PusherOptions{
+		URL:     srv.URL,
+		Retries: 4,
+		Backoff: time.Millisecond,
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Push(pushProfile(t, 1)) {
+		t.Fatal("push rejected")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Sent == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	st := p.Stats()
+	if st.Sent != 1 {
+		t.Fatalf("stats = %+v, want 1 sent", st)
+	}
+	if st.BreakerTrips == 0 {
+		t.Fatalf("429 + Retry-After did not trip the breaker: %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(attempts) < 2 {
+		t.Fatalf("saw %d attempts, want >= 2", len(attempts))
+	}
+	// The retry must have waited out the advertised second, not the 1ms
+	// backoff (with slack for coarse timers).
+	if gap := attempts[1].Sub(attempts[0]); gap < 900*time.Millisecond {
+		t.Fatalf("retry arrived %v after the 429, ignoring Retry-After: 1", gap)
+	}
+}
+
+// TestPusherBreakerOpensOnConsecutiveFailures: repeated failures without
+// any Retry-After hint still open the breaker after the threshold, so a
+// dead daemon gets a cooldown's silence instead of a retry storm.
+func TestPusherBreakerOpensOnConsecutiveFailures(t *testing.T) {
+	var mu sync.Mutex
+	var attempts []time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		mu.Lock()
+		attempts = append(attempts, time.Now())
+		mu.Unlock()
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	p, err := witch.NewPusher(witch.PusherOptions{
+		URL:              srv.URL,
+		Retries:          3,
+		Backoff:          time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  300 * time.Millisecond,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Push(pushProfile(t, 1)) {
+		t.Fatal("push rejected")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Dropped == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	st := p.Stats()
+	if st.BreakerTrips == 0 {
+		t.Fatalf("%d consecutive failures never tripped the breaker: %+v", st.Errors, st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(attempts) < 3 {
+		t.Fatalf("saw %d attempts, want >= 3", len(attempts))
+	}
+	// After the second failure the breaker is open: the third attempt is
+	// the half-open trial and must arrive no sooner than the cooldown.
+	if gap := attempts[2].Sub(attempts[1]); gap < 250*time.Millisecond {
+		t.Fatalf("half-open trial arrived %v after the threshold failure, cooldown ignored", gap)
+	}
+}
+
+// TestPusherDropAccountingAndLogging: drops are split by reason, the
+// first drop of an outage logs exactly once, and recovery logs a
+// summary and re-arms the first-drop log.
+func TestPusherDropAccountingAndLogging(t *testing.T) {
+	var healthy atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		if !healthy.Load() {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+
+	var logMu sync.Mutex
+	var logs []string
+	p, err := witch.NewPusher(witch.PusherOptions{
+		URL:     srv.URL,
+		Retries: 1,
+		Backoff: time.Millisecond,
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			logs = append(logs, fmt.Sprintf(format, args...))
+			logMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := pushProfile(t, 1)
+
+	// Outage: both attempts fail, the profile drops as retries_exhausted.
+	for i := 0; i < 3; i++ {
+		p.Push(prof)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for p.Stats().Dropped < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Recovery: the next delivery succeeds and logs the summary.
+	healthy.Store(true)
+	p.Push(prof)
+	for p.Stats().Sent == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Close()
+	p.Push(prof) // after Close: counted under "closed"
+
+	st := p.Stats()
+	if st.DroppedByReason[witch.DropRetries] != 3 {
+		t.Fatalf("DroppedByReason[%s] = %d, want 3 (%+v)", witch.DropRetries, st.DroppedByReason[witch.DropRetries], st)
+	}
+	if st.DroppedByReason[witch.DropClosed] != 1 {
+		t.Fatalf("DroppedByReason[%s] = %d, want 1 (%+v)", witch.DropClosed, st.DroppedByReason[witch.DropClosed], st)
+	}
+	var sum uint64
+	for _, n := range st.DroppedByReason {
+		sum += n
+	}
+	if sum != st.Dropped {
+		t.Fatalf("DroppedByReason sums to %d, Dropped = %d", sum, st.Dropped)
+	}
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	var drops, recoveries int
+	for _, line := range logs {
+		if strings.Contains(line, "dropping") {
+			drops++
+		}
+		if strings.Contains(line, "recovered") {
+			recoveries++
+		}
+	}
+	// 3 drops in the outage plus 1 after Close, but only the outage's
+	// first and the post-Close episode's first may log.
+	if drops != 2 {
+		t.Fatalf("%d first-drop log lines (want 2: outage start + post-close):\n%s", drops, strings.Join(logs, "\n"))
+	}
+	if recoveries != 1 {
+		t.Fatalf("%d recovery log lines (want 1):\n%s", recoveries, strings.Join(logs, "\n"))
 	}
 }
 
