@@ -76,7 +76,7 @@ func parseFlags(args []string) (*daemonFlags, error) {
 	fs.IntVar(&f.buckets, "buckets", 60, "live retention buckets (older data rolls up)")
 	fs.Int64Var(&f.maxBody, "max-body", 32<<20, "largest accepted ingest body in bytes")
 	fs.IntVar(&f.inflight, "max-inflight", 64, "concurrent ingest requests before shedding 429s")
-	fs.Int64Var(&f.backlog, "max-backlog", 64<<20, "unsynced journal bytes before shedding 429s (with -fsync off; <0 disables)")
+	fs.Int64Var(&f.backlog, "max-backlog", 64<<20, "unsynced journal bytes before shedding 429s (with -fsync off; negative disables, 0 invalid)")
 	fs.StringVar(&f.dataDir, "data-dir", "", "durability directory for journal + snapshots (empty: in-memory only)")
 	fs.StringVar(&f.fsync, "fsync", "always", "journal fsync policy: always (fsync before every ack) or off (page cache only)")
 	fs.IntVar(&f.snapEvery, "snapshot-every", 256, "acknowledged batches between snapshots (0: snapshot only on shutdown)")
@@ -99,6 +99,9 @@ func (f *daemonFlags) validate() error {
 	}
 	if f.inflight <= 0 {
 		return fmt.Errorf("-max-inflight must be positive, got %d", f.inflight)
+	}
+	if f.backlog == 0 {
+		return fmt.Errorf("-max-backlog must be nonzero (use a negative value to disable the watermark)")
 	}
 	if f.snapEvery < 0 {
 		return fmt.Errorf("-snapshot-every must be >= 0, got %d", f.snapEvery)

@@ -34,6 +34,7 @@ func TestFlagValidation(t *testing.T) {
 		{"zero buckets", []string{"-buckets", "0"}, "-buckets"},
 		{"negative max-body", []string{"-max-body", "-5"}, "-max-body"},
 		{"zero inflight", []string{"-max-inflight", "0"}, "-max-inflight"},
+		{"zero backlog", []string{"-max-backlog", "0"}, "-max-backlog"},
 		{"negative snapshot-every", []string{"-snapshot-every", "-1"}, "-snapshot-every"},
 		{"zero segment-bytes", []string{"-segment-bytes", "0"}, "-segment-bytes"},
 		{"bad fsync policy", []string{"-fsync", "sometimes"}, "-fsync"},

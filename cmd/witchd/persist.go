@@ -100,8 +100,15 @@ func openPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 	p := &persistence{dir: dir, st: st, snapEvery: snapEvery}
 
 	// Newest loadable snapshot wins; corrupt ones are skipped, not fatal.
-	var anchor uint64
-	for _, lsn := range listSnapshots(dir) {
+	// Even a snapshot too corrupt to load still floors LSN assignment:
+	// its filename proves the journal once reached that LSN, so new
+	// appends must land strictly past it or replay would skip them.
+	var anchor, floor uint64
+	snaps := listSnapshots(dir)
+	if len(snaps) > 0 {
+		floor = snaps[0] // newest first
+	}
+	for _, lsn := range snaps {
 		f, err := os.Open(filepath.Join(dir, snapName(lsn)))
 		if err != nil {
 			p.recovery.SnapshotsSkipped++
@@ -121,6 +128,10 @@ func openPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 		break
 	}
 
+	if anchor > floor {
+		floor = anchor
+	}
+	walOpts.FloorLSN = floor
 	j, err := wal.Open(dir, walOpts)
 	if err != nil {
 		return nil, err
@@ -223,6 +234,13 @@ func (p *persistence) snapshot() error {
 	if err := os.Rename(tmp, filepath.Join(p.dir, snapName(lsn))); err != nil {
 		os.Remove(tmp)
 		return err
+	}
+	// The commit point is only real once the directory entry is on disk.
+	// Without this fsync, the GC removals below could survive a machine
+	// crash while the rename does not — leaving neither the new snapshot
+	// nor the journal prefix and old snapshot it replaced.
+	if err := wal.SyncDir(p.dir); err != nil {
+		return fmt.Errorf("syncing data dir after snapshot commit: %w", err)
 	}
 	p.snapshots.Add(1)
 	p.lastSnapLSN.Store(lsn)

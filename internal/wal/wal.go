@@ -76,6 +76,13 @@ type Options struct {
 	// Injector injects disk faults at the writer seam; nil injects
 	// nothing.
 	Injector *fault.Injector
+	// FloorLSN is a lower bound on LSN assignment: newly appended
+	// records get LSNs strictly greater than FloorLSN even if every
+	// segment file is missing or torn. witchd passes its newest snapshot
+	// anchor here, so a gutted journal directory can never re-issue LSNs
+	// a snapshot already covers (replay would silently skip them — an
+	// acknowledged-data loss).
+	FloorLSN uint64
 }
 
 // RecoveryInfo reports what Open found and repaired.
@@ -142,7 +149,22 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{dir: dir, opts: opts, nextLSN: 1}
+	j := &Journal{dir: dir, opts: opts}
+	// nextLSN must never regress below any LSN this directory may ever
+	// have assigned, or fresh appends would land at-or-below an existing
+	// snapshot anchor and be silently skipped by the next Replay. Every
+	// segment filename is a floor — even for a file whose records all
+	// tore, or that the post-tear sweep below removes — as is the
+	// caller-declared FloorLSN.
+	next := opts.FloorLSN + 1
+	if next < 1 {
+		next = 1
+	}
+	for i := range segs {
+		if segs[i].firstLSN > next {
+			next = segs[i].firstLSN
+		}
+	}
 	var kept []segment
 	for i := range segs {
 		// Only the final segment may legitimately have a torn tail; an
@@ -154,16 +176,21 @@ func Open(dir string, opts Options) (*Journal, error) {
 			return nil, err
 		}
 		j.recovery.TruncatedBytes += info.truncated
-		if info.truncated > 0 {
+		if info.torn {
 			j.recovery.TornTail = true
 			if err := truncateSegment(&segs[i], info.validSize); err != nil {
 				return nil, err
 			}
 		}
-		// A segment left with at least one complete record (or an intact
-		// empty header) survives; one that was all tear has been removed
-		// from disk by truncateSegment.
-		if segs[i].lastLSN >= segs[i].firstLSN || info.truncated == 0 {
+		if segs[i].lastLSN+1 > next {
+			next = segs[i].lastLSN + 1
+		}
+		// A segment holding at least one complete record (or an intact
+		// header with a clean, record-free tail) survives; a torn one
+		// with no complete records — including zero-byte and headerless
+		// files from a crash mid-rotation — has been removed from disk
+		// by truncateSegment.
+		if segs[i].lastLSN >= segs[i].firstLSN || !info.torn {
 			kept = append(kept, segs[i])
 		}
 		if info.torn && i < len(segs)-1 {
@@ -176,18 +203,28 @@ func Open(dir string, opts Options) (*Journal, error) {
 		}
 	}
 	j.recovery.Segments = len(kept)
+	j.nextLSN = next
 	if n := len(kept); n > 0 {
 		last := kept[n-1]
-		j.segments = kept[:n-1]
-		j.nextLSN = last.lastLSN + 1
-		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("wal: reopening %s: %w", last.path, err)
-		}
-		j.f = f
-		j.seg = last
 		j.recovery.LastLSN = last.lastLSN
-	} else if err := j.openSegment(); err != nil {
+		if next == last.lastLSN+1 {
+			j.segments = kept[:n-1]
+			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("wal: reopening %s: %w", last.path, err)
+			}
+			j.f = f
+			j.seg = last
+			return j, nil
+		}
+		// next ran past the last surviving record (a later segment
+		// vanished whole, or a snapshot anchor outruns the files on
+		// disk): appending into the last segment would bury an LSN gap
+		// inside it, which replay's dense per-segment numbering cannot
+		// represent — keep it read-only and start a fresh segment.
+		j.segments = kept
+	}
+	if err := j.openSegment(); err != nil {
 		return nil, err
 	}
 	return j, nil
@@ -246,6 +283,15 @@ func (j *Journal) openSegment() error {
 			f.Close()
 			os.Remove(path)
 			return fmt.Errorf("wal: syncing segment header: %w", err)
+		}
+		// The file's contents being durable is not enough — its directory
+		// entry must be too, or a machine crash can forget the segment
+		// exists while later state (a snapshot rename, GC removals)
+		// survives.
+		if err := SyncDir(j.dir); err != nil {
+			f.Close()
+			os.Remove(path)
+			return fmt.Errorf("wal: syncing dir after segment create: %w", err)
 		}
 	}
 	j.f = f
@@ -504,7 +550,10 @@ func scanSegment(s *segment) (scanInfo, error) {
 	}
 	hdr := make([]byte, headerSize)
 	if _, err := io.ReadFull(f, hdr); err != nil {
-		// A segment too short for its own header is all tear.
+		// A segment too short for its own header — including a zero-byte
+		// file from a crash between create and header write — is all
+		// tear: no complete records, remove-on-recovery.
+		s.lastLSN = s.firstLSN - 1
 		return scanInfo{validSize: 0, truncated: st.Size(), torn: true}, nil
 	}
 	if string(hdr[:len(magic)]) != magic {
@@ -572,6 +621,21 @@ func truncateSegment(s *segment, validSize int64) error {
 	return nil
 }
 
+// SyncDir fsyncs a directory so freshly created, renamed, or removed
+// entries survive a machine crash. The WAL calls it after each segment
+// create; witchd also calls it after the snapshot-rename commit point.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
 // listSegments finds and orders the segment files of a dir.
 func listSegments(dir string) ([]segment, error) {
 	ents, err := os.ReadDir(dir)
@@ -585,8 +649,8 @@ func listSegments(dir string) ([]segment, error) {
 			continue
 		}
 		lsn, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
-		if err != nil {
-			continue // foreign file; leave it alone
+		if err != nil || lsn == 0 {
+			continue // foreign file (LSNs are dense from 1); leave it alone
 		}
 		segs = append(segs, segment{path: filepath.Join(dir, name), firstLSN: lsn})
 	}

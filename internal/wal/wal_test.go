@@ -202,6 +202,108 @@ func TestAllTornSegmentRemoved(t *testing.T) {
 	}
 }
 
+func TestZeroByteSegmentFromCrashedRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append([]byte("acked")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// A crash between segment create and header write leaves a zero-byte
+	// file named for the next LSN.
+	empty := filepath.Join(dir, fmt.Sprintf("wal-%016x.log", uint64(4)))
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := j2.Recovery(); !ri.TornTail || ri.LastLSN != 3 {
+		t.Fatalf("recovery = %+v, want torn tail after lsn 3", ri)
+	}
+	if _, err := os.Stat(empty); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("headerless zero-byte segment survived recovery")
+	}
+	// LSNs continue, not restart from 1 — a restart would put new acked
+	// records at-or-below any snapshot anchor, where replay skips them.
+	if lsn, err := j2.Append([]byte("after")); err != nil || lsn != 4 {
+		t.Fatalf("append after recovery: lsn=%d err=%v, want lsn 4", lsn, err)
+	}
+	j2.Close()
+	// The repaired dir stays openable: no headerless poison pill causing
+	// bad-magic failures on every later Open.
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	j3.Close()
+	if recs := replayAll(t, dir, 0); len(recs) != 4 || string(recs[3].Payload) != "after" {
+		t.Fatalf("replay = %+v, want 4 records", recs)
+	}
+}
+
+func TestSoleTornSegmentDoesNotRegressLSNs(t *testing.T) {
+	dir := t.TempDir()
+	// Only artifact on disk: a headerless torn segment whose name proves
+	// the journal once reached LSN 5 (earlier segments GC'd away after a
+	// snapshot anchored them). Removing it must not reset LSNs to 1.
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000005.log"), []byte("WIT"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if lsn, err := j.Append([]byte("fresh")); err != nil || lsn != 5 {
+		t.Fatalf("append = lsn %d err %v, want 5 (filename floor)", lsn, err)
+	}
+}
+
+func TestFloorLSNFromSnapshotAnchor(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{FloorLSN: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if lsn, err := j.Append([]byte("fresh")); err != nil || lsn != 42 {
+		t.Fatalf("append = lsn %d err %v, want 42 (> FloorLSN)", lsn, err)
+	}
+	if recs := replayAll(t, dir, 41); len(recs) != 1 || recs[0].LSN != 42 {
+		t.Fatalf("replay past anchor = %+v, want the fresh record", recs)
+	}
+}
+
+func TestGapAfterVanishedSegmentStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir, Options{})
+	j.Append([]byte("one"))
+	j.Append([]byte("two"))
+	j.Close()
+	// A later segment whose records all tore floors LSN assignment at 7;
+	// appending into the surviving segment would bury an LSN gap inside
+	// it, so recovery must start a fresh segment instead.
+	if err := os.WriteFile(filepath.Join(dir, "wal-0000000000000007.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn, _ := j2.Append([]byte("seven")); lsn != 7 {
+		t.Fatalf("lsn = %d, want 7", lsn)
+	}
+	j2.Close()
+	recs := replayAll(t, dir, 0)
+	if len(recs) != 3 || recs[2].LSN != 7 || string(recs[2].Payload) != "seven" {
+		t.Fatalf("replay = %+v, want records 1, 2, 7", recs)
+	}
+}
+
 // TestInjectedAppendFaults drives the writer seam through every disk
 // fault class: short writes, ENOSPC, and fsync failures roll back and
 // leave the journal appendable; a torn record fails the journal until

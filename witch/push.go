@@ -222,7 +222,17 @@ func (p *Pusher) Close() error {
 	}
 	close(p.quit)
 	p.wg.Wait()
-	return nil
+	// A Push racing Close can pass the closed check and enqueue after
+	// the sender's final drain; sweep those stragglers so every profile
+	// Push accepted is either sent or counted dropped.
+	for {
+		select {
+		case <-p.queue:
+			p.drop(DropClosed)
+		default:
+			return nil
+		}
+	}
 }
 
 // Stats snapshots the lifetime counters.
@@ -299,10 +309,16 @@ func (p *Pusher) breakerFailure(retryAfter time.Duration) {
 		}
 	}
 	if open > 0 {
+		// A trip is the closed-to-open transition only — extending an
+		// already-open interval (several in-flight attempts hitting one
+		// shedding episode) is the same trip.
+		wasOpen := time.Until(p.brOpenTill) > 0
 		if till := time.Now().Add(open); till.After(p.brOpenTill) {
 			p.brOpenTill = till
 		}
-		p.trips.Add(1)
+		if !wasOpen {
+			p.trips.Add(1)
+		}
 	}
 }
 
