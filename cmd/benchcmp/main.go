@@ -1,0 +1,159 @@
+// Command benchcmp is the CI allocation-regression gate: it compares a
+// fresh `go test -bench -benchmem` run against the checked-in baseline
+// (bench_baseline.txt) and fails if any benchmark's allocs/op grew past
+// the tolerance. Allocations — unlike ns/op — are deterministic across
+// machines, so they can gate a shared CI runner without flaking; the
+// wall-clock columns are parsed but only reported, never gated.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem -benchtime 1000x ./... > new.txt
+//	go run ./cmd/benchcmp -baseline bench_baseline.txt -new new.txt
+//
+// A benchmark present in the baseline but missing from the new run is an
+// error (a rename must update the baseline deliberately); a new
+// benchmark absent from the baseline is reported but passes — it gets
+// gated once the baseline is regenerated.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	name     string // -GOMAXPROCS suffix stripped, so baselines port across machines
+	nsPerOp  float64
+	allocsOp int64
+	hasAlloc bool
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+(?:/[^\s]+)??)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+// parseBench reads `go test -bench -benchmem` output into results keyed
+// by benchmark name. Duplicate names (same bench in several packages)
+// keep the worse allocs/op so the gate is conservative.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := result{name: m[1]}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i++ {
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsPerOp, _ = strconv.ParseFloat(fields[i], 64)
+			case "allocs/op":
+				v, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+				}
+				res.allocsOp, res.hasAlloc = v, true
+			}
+		}
+		if prev, ok := out[res.name]; !ok || res.allocsOp > prev.allocsOp {
+			out[res.name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// compare gates new against base: each baseline benchmark must be
+// present and must not exceed allocs/op × tolerance (plus one alloc of
+// slack, so near-zero baselines don't fail on a single allocation that
+// rounds differently). Returns human-readable failures.
+func compare(base, new map[string]result, tolerance float64) []string {
+	var fails []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		if !b.hasAlloc {
+			continue
+		}
+		n, ok := new[name]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("%s: in baseline but missing from new run (rename? update the baseline)", name))
+			continue
+		}
+		allowed := int64(float64(b.allocsOp)*tolerance) + 1
+		if n.allocsOp > allowed {
+			fails = append(fails, fmt.Sprintf("%s: %d allocs/op, baseline %d (allowed <= %d)",
+				name, n.allocsOp, b.allocsOp, allowed))
+		}
+	}
+	return fails
+}
+
+func run(baselinePath, newPath string, tolerance float64, w io.Writer) error {
+	bf, err := os.Open(baselinePath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	base, err := parseBench(bf)
+	if err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("no benchmark lines in baseline %s", baselinePath)
+	}
+
+	var nr io.Reader = os.Stdin
+	if newPath != "" {
+		nf, err := os.Open(newPath)
+		if err != nil {
+			return err
+		}
+		defer nf.Close()
+		nr = nf
+	}
+	cur, err := parseBench(nr)
+	if err != nil {
+		return fmt.Errorf("parsing new run: %w", err)
+	}
+	if len(cur) == 0 {
+		return fmt.Errorf("no benchmark lines in new run")
+	}
+
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(w, "note: %s not in baseline (gated after next baseline refresh)\n", name)
+		}
+	}
+	fails := compare(base, cur, tolerance)
+	for _, f := range fails {
+		fmt.Fprintf(w, "FAIL %s\n", f)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d allocation regression(s) past %.0f%% tolerance", len(fails), (tolerance-1)*100)
+	}
+	fmt.Fprintf(w, "benchcmp: %d benchmarks within %.0f%% allocation tolerance\n", len(base), (tolerance-1)*100)
+	return nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "bench_baseline.txt", "checked-in baseline bench output")
+	newRun := flag.String("new", "", "new bench output (default: stdin)")
+	tolerance := flag.Float64("tolerance", 1.3, "allowed allocs/op growth factor")
+	flag.Parse()
+	if err := run(*baseline, *newRun, *tolerance, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+BenchmarkDecodeJSONBaseline-2    	    1000	    123456 ns/op	        11.00 pairs/op	   12345 B/op	      68 allocs/op
+BenchmarkDecodeBinaryPooled-2    	    1000	     23456 ns/op	        11.00 pairs/op	     345 B/op	       8 allocs/op
+BenchmarkMergeSteadyState-2      	    1000	      3456 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAppendSync-2            	    1000	    208000 ns/op	   9.84 MB/s	     130 B/op	       2 allocs/op
+PASS
+`
+
+func parsed(t *testing.T, s string) map[string]result {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBenchStripsGOMAXPROCSAndReadsAllocs(t *testing.T) {
+	m := parsed(t, baseOut)
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	}
+	b, ok := m["BenchmarkDecodeJSONBaseline"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", m)
+	}
+	if !b.hasAlloc || b.allocsOp != 68 {
+		t.Fatalf("allocs/op = %+v, want 68", b)
+	}
+	if z := m["BenchmarkMergeSteadyState"]; !z.hasAlloc || z.allocsOp != 0 {
+		t.Fatalf("zero-alloc row misparsed: %+v", z)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := parsed(t, baseOut)
+	// 68 -> 80 is within 1.3x (88.4 allowed); 0 -> 1 rides the +1 slack.
+	cur := parsed(t, strings.ReplaceAll(strings.ReplaceAll(baseOut,
+		"      68 allocs/op", "      80 allocs/op"),
+		"       0 allocs/op", "       1 allocs/op"))
+	if fails := compare(base, cur, 1.3); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := parsed(t, baseOut)
+	cur := parsed(t, strings.ReplaceAll(baseOut, "       8 allocs/op", "      15 allocs/op"))
+	fails := compare(base, cur, 1.3)
+	if len(fails) != 1 || !strings.Contains(fails[0], "BenchmarkDecodeBinaryPooled") {
+		t.Fatalf("want exactly the binary-decode regression flagged, got %v", fails)
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	base := parsed(t, baseOut)
+	cur := parsed(t, strings.Replace(baseOut, "BenchmarkAppendSync", "BenchmarkAppendRenamed", 1))
+	fails := compare(base, cur, 1.3)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing from new run") {
+		t.Fatalf("want missing-benchmark failure, got %v", fails)
+	}
+}

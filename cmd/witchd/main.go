@@ -30,10 +30,12 @@
 // appended to a CRC-framed write-ahead journal before the 200 is
 // returned, the store is periodically snapshotted, and startup recovery
 // replays the journal suffix past the newest snapshot, truncating any
-// torn tail. SIGTERM drains gracefully: ingest gets 503, in-flight
-// requests finish, the journal is fsynced and a final snapshot taken.
-// See docs/INTERNALS.md, "Aggregation service (witchd)" and
-// "Durability & recovery".
+// torn tail. -fsync group keeps the per-ack durability guarantee while
+// batching concurrent appends into one fsync (group commit). SIGTERM
+// drains gracefully: ingest gets 503, in-flight requests finish, the
+// journal is fsynced and a final snapshot taken. See docs/INTERNALS.md,
+// "Aggregation service (witchd)", "Durability & recovery", and "Ingest
+// fast path & group commit".
 package main
 
 import (
@@ -43,11 +45,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/daemon"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -56,16 +60,18 @@ import (
 // deployment config dies loudly at startup instead of panicking later
 // or silently running with a default the operator did not choose.
 type daemonFlags struct {
-	addr      string
-	window    time.Duration
-	buckets   int
-	maxBody   int64
-	inflight  int
-	backlog   int64
-	dataDir   string
-	fsync     string
-	snapEvery int
-	segBytes  int64
+	addr        string
+	window      time.Duration
+	buckets     int
+	maxBody     int64
+	inflight    int
+	backlog     int64
+	dataDir     string
+	fsync       string
+	commitDelay time.Duration
+	snapEvery   int
+	segBytes    int64
+	pprofAddr   string
 }
 
 func parseFlags(args []string) (*daemonFlags, error) {
@@ -78,9 +84,11 @@ func parseFlags(args []string) (*daemonFlags, error) {
 	fs.IntVar(&f.inflight, "max-inflight", 64, "concurrent ingest requests before shedding 429s")
 	fs.Int64Var(&f.backlog, "max-backlog", 64<<20, "unsynced journal bytes before shedding 429s (with -fsync off; negative disables, 0 invalid)")
 	fs.StringVar(&f.dataDir, "data-dir", "", "durability directory for journal + snapshots (empty: in-memory only)")
-	fs.StringVar(&f.fsync, "fsync", "always", "journal fsync policy: always (fsync before every ack) or off (page cache only)")
+	fs.StringVar(&f.fsync, "fsync", "always", "journal fsync policy: always (fsync before every ack), group (one fsync per commit gang, same guarantee), or off (page cache only)")
+	fs.DurationVar(&f.commitDelay, "commit-delay", 0, "with -fsync group: extra time the committer lingers to gather a gang (0 = the previous fsync is the batching window)")
 	fs.IntVar(&f.snapEvery, "snapshot-every", 256, "acknowledged batches between snapshots (0: snapshot only on shutdown)")
 	fs.Int64Var(&f.segBytes, "segment-bytes", 8<<20, "journal segment size before rotation")
+	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this host:port (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -109,14 +117,25 @@ func (f *daemonFlags) validate() error {
 	if f.segBytes <= 0 {
 		return fmt.Errorf("-segment-bytes must be positive, got %d", f.segBytes)
 	}
-	if f.fsync != "always" && f.fsync != "off" {
-		return fmt.Errorf("-fsync must be \"always\" or \"off\", got %q", f.fsync)
+	if f.fsync != "always" && f.fsync != "group" && f.fsync != "off" {
+		return fmt.Errorf("-fsync must be \"always\", \"group\", or \"off\", got %q", f.fsync)
+	}
+	if f.commitDelay < 0 {
+		return fmt.Errorf("-commit-delay must be >= 0, got %v", f.commitDelay)
+	}
+	if f.commitDelay > 0 && f.fsync != "group" {
+		return fmt.Errorf("-commit-delay only applies with -fsync group")
 	}
 	if _, _, err := net.SplitHostPort(f.addr); err != nil {
 		return fmt.Errorf("-addr %q is not host:port: %v", f.addr, err)
 	}
-	if f.dataDir == "" && f.fsync == "off" {
-		return fmt.Errorf("-fsync off is meaningless without -data-dir")
+	if f.pprofAddr != "" {
+		if _, _, err := net.SplitHostPort(f.pprofAddr); err != nil {
+			return fmt.Errorf("-pprof %q is not host:port: %v", f.pprofAddr, err)
+		}
+	}
+	if f.dataDir == "" && f.fsync != "always" {
+		return fmt.Errorf("-fsync %s is meaningless without -data-dir", f.fsync)
 	}
 	return nil
 }
@@ -129,7 +148,7 @@ func main() {
 	}
 
 	st := store.New(store.Config{Window: f.window, Buckets: f.buckets})
-	srv := newServer(st, serverConfig{
+	srv := daemon.NewServer(st, daemon.Config{
 		MaxBody:     f.maxBody,
 		MaxInflight: f.inflight,
 		MaxBacklog:  f.backlog,
@@ -143,26 +162,52 @@ func main() {
 		os.Exit(1)
 	}
 
+	if f.pprofAddr != "" {
+		// Opt-in profiling endpoints on their own listener: never on the
+		// ingest port, and an explicit mux so nothing else the process
+		// might register on http.DefaultServeMux leaks out.
+		pln, err := net.Listen("tcp", f.pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "witchd: pprof listen: %v\n", err)
+			os.Exit(1)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil {
+				log.Printf("witchd: pprof server: %v", err)
+			}
+		}()
+		log.Printf("witchd: pprof on %s", f.pprofAddr)
+	}
+
+	var pers *daemon.Persistence
 	if f.dataDir != "" {
-		srv.setState(stateRecovering)
+		srv.SetState(daemon.StateRecovering)
 		start := time.Now()
-		pers, err := openPersistence(f.dataDir, st, wal.Options{
-			SegmentBytes: f.segBytes,
-			NoSync:       f.fsync == "off",
+		pers, err = daemon.OpenPersistence(f.dataDir, st, wal.Options{
+			SegmentBytes:   f.segBytes,
+			NoSync:         f.fsync == "off",
+			GroupCommit:    f.fsync == "group",
+			MaxCommitDelay: f.commitDelay,
 		}, uint64(f.snapEvery))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "witchd: recovery: %v\n", err)
 			os.Exit(1)
 		}
-		srv.pers = pers
-		rec := pers.recovery
+		srv.AttachPersistence(pers)
+		rec := pers.Recovery()
 		log.Printf("witchd: recovered in %v: snapshot lsn %d (loaded=%v), %d batches replayed, torn tail=%v (%d bytes truncated)",
 			time.Since(start).Round(time.Millisecond), rec.SnapshotLSN, rec.SnapshotLoaded,
 			rec.ReplayedBatches, rec.TornTail, rec.TruncatedBytes)
 	}
-	srv.setState(stateServing)
+	srv.SetState(daemon.StateServing)
 
-	hs := &http.Server{Handler: srv.handler()}
+	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	log.Printf("witchd: serving on %s (retention %v x %d buckets, durability %s)",
@@ -179,14 +224,14 @@ func main() {
 
 	// Graceful drain: refuse new ingest, finish in-flight requests,
 	// then make everything durable and exit 0.
-	srv.setState(stateDraining)
+	srv.SetState(daemon.StateDraining)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("witchd: drain: %v", err)
 	}
-	if srv.pers != nil {
-		if err := srv.pers.shutdown(); err != nil {
+	if pers != nil {
+		if err := pers.Shutdown(); err != nil {
 			log.Printf("witchd: final snapshot: %v", err)
 			os.Exit(1)
 		}

@@ -24,6 +24,19 @@ func TestFlagValidation(t *testing.T) {
 		t.Fatalf("flags mis-parsed: %+v", good)
 	}
 
+	// Group commit with a linger bound, plus the pprof listener.
+	grouped, err := parseFlags([]string{
+		"-data-dir", "/tmp/w", "-fsync", "group", "-commit-delay", "500us",
+		"-pprof", "127.0.0.1:6060",
+	})
+	if err != nil {
+		t.Fatalf("valid group-commit flags rejected: %v", err)
+	}
+	if grouped.fsync != "group" || grouped.commitDelay != 500*time.Microsecond ||
+		grouped.pprofAddr != "127.0.0.1:6060" {
+		t.Fatalf("group-commit flags mis-parsed: %+v", grouped)
+	}
+
 	cases := []struct {
 		name string
 		args []string
@@ -39,6 +52,10 @@ func TestFlagValidation(t *testing.T) {
 		{"zero segment-bytes", []string{"-segment-bytes", "0"}, "-segment-bytes"},
 		{"bad fsync policy", []string{"-fsync", "sometimes"}, "-fsync"},
 		{"fsync off without data dir", []string{"-fsync", "off"}, "-data-dir"},
+		{"fsync group without data dir", []string{"-fsync", "group"}, "-data-dir"},
+		{"negative commit-delay", []string{"-data-dir", "/tmp/w", "-fsync", "group", "-commit-delay", "-1ms"}, "-commit-delay"},
+		{"commit-delay without group", []string{"-data-dir", "/tmp/w", "-commit-delay", "1ms"}, "-commit-delay"},
+		{"pprof without port", []string{"-pprof", "localhost"}, "-pprof"},
 		{"addr without port", []string{"-addr", "localhost"}, "-addr"},
 		{"unknown flag", []string{"-wat"}, "-wat"},
 	}

@@ -21,7 +21,6 @@ package agg
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -31,7 +30,8 @@ import (
 
 // numShards is the lock-stripe width for pair accumulators. 64 shards
 // keep 8–16 concurrent pushers mostly contention-free while the
-// per-shard maps stay small enough to snapshot cheaply.
+// per-shard maps stay small enough to snapshot cheaply. Must be a power
+// of two: shard routing is a mask over the precomputed pair hash.
 const numShards = 64
 
 // pairKey identifies one merged pair stream: the tool that found it, the
@@ -47,16 +47,74 @@ type pairKey struct {
 	chain   string
 }
 
-// pairAcc accumulates one pair stream's metrics.
+// pairAcc accumulates one pair stream's metrics. It embeds its key and
+// the key's 64-bit hash — the map is keyed by that hash alone (one
+// word-sized comparison instead of five string comparisons on lookup),
+// with genuine hash collisions chained through next and resolved by
+// full key equality.
 type pairAcc struct {
+	pairKey
+	hash             uint64
 	waste, use       float64
 	srcLine, dstLine int
+	next             *pairAcc // hash-collision chain
 }
 
-// shard is one lock stripe of the pair map.
+// shard is one lock stripe of the pair map. count tracks accumulators
+// including chained collisions, which len(pairs) would undercount.
 type shard struct {
 	mu    sync.Mutex
-	pairs map[pairKey]*pairAcc
+	pairs map[uint64]*pairAcc
+	count int
+}
+
+// find walks the hash slot's chain for an exact key match. Caller holds
+// sh.mu.
+func (sh *shard) find(h uint64, tool, program, src, dst, chain string) *pairAcc {
+	for acc := sh.pairs[h]; acc != nil; acc = acc.next {
+		if acc.tool == tool && acc.program == program &&
+			acc.src == src && acc.dst == dst && acc.chain == chain {
+			return acc
+		}
+	}
+	return nil
+}
+
+// insert adds a new accumulator to its hash slot. Caller holds sh.mu
+// and has checked find missed.
+func (sh *shard) insert(acc *pairAcc) {
+	acc.next = sh.pairs[acc.hash]
+	sh.pairs[acc.hash] = acc
+	sh.count++
+}
+
+// FNV-1a 64 constants; the hash is computed inline (hash/fnv's Writer
+// interface would allocate per string on this, the hottest loop the
+// daemon has).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashPart folds one string plus a 0-byte separator into h, so
+// ("ab","c") and ("a","bc") hash differently.
+func hashPart(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h *= fnvPrime64 // separator: h ^= 0 is a no-op, the multiply is not
+	return h
+}
+
+// hashKey computes the pair-stream hash used for both shard routing
+// (low bits) and map keying.
+func hashKey(tool, program, src, dst, chain string) uint64 {
+	h := hashPart(fnvOffset64, tool)
+	h = hashPart(h, program)
+	h = hashPart(h, src)
+	h = hashPart(h, dst)
+	return hashPart(h, chain)
 }
 
 // metaKey groups profile-level scalars.
@@ -88,32 +146,27 @@ type Aggregator struct {
 }
 
 // New returns an empty aggregator.
-func New() *Aggregator {
+func New() *Aggregator { return NewSized(0) }
+
+// NewSized returns an empty aggregator whose shard maps are pre-sized
+// for about pairHint distinct pair streams, so a bulk fold (retention
+// rollup, a query-time merge of the ring) skips the incremental map
+// growth. A zero or negative hint means no pre-sizing.
+func NewSized(pairHint int) *Aggregator {
 	a := &Aggregator{metas: make(map[metaKey]*meta)}
+	per := 0
+	if pairHint > 0 {
+		per = pairHint/numShards + 1
+	}
 	for i := range a.shards {
-		a.shards[i].pairs = make(map[pairKey]*pairAcc)
+		a.shards[i].pairs = make(map[uint64]*pairAcc, per)
 	}
 	return a
 }
 
-// shardFor hashes a pair key onto its lock stripe.
-func shardFor(k pairKey) int {
-	h := fnv.New32a()
-	h.Write([]byte(k.tool))
-	h.Write([]byte{0})
-	h.Write([]byte(k.program))
-	h.Write([]byte{0})
-	h.Write([]byte(k.src))
-	h.Write([]byte{0})
-	h.Write([]byte(k.dst))
-	h.Write([]byte{0})
-	h.Write([]byte(k.chain))
-	return int(h.Sum32() % numShards)
-}
-
 // Merge folds one profile into the aggregate. Safe for concurrent use.
 func (a *Aggregator) Merge(p *witch.Profile) {
-	a.mergeMeta(metaKey{p.Tool, p.Program}, &meta{
+	a.mergeMeta(metaKey{p.Tool, p.Program}, meta{
 		profiles:   1,
 		waste:      p.Waste,
 		use:        p.Use,
@@ -127,13 +180,17 @@ func (a *Aggregator) Merge(p *witch.Profile) {
 		health:     p.Health,
 	})
 	for _, pr := range p.TopPairs(0) {
-		k := pairKey{p.Tool, p.Program, pr.Src, pr.Dst, pr.Chain}
-		sh := &a.shards[shardFor(k)]
+		h := hashKey(p.Tool, p.Program, pr.Src, pr.Dst, pr.Chain)
+		sh := &a.shards[h&(numShards-1)]
 		sh.mu.Lock()
-		acc := sh.pairs[k]
+		acc := sh.find(h, p.Tool, p.Program, pr.Src, pr.Dst, pr.Chain)
 		if acc == nil {
-			acc = &pairAcc{srcLine: pr.SrcLine, dstLine: pr.DstLine}
-			sh.pairs[k] = acc
+			acc = &pairAcc{
+				pairKey: pairKey{p.Tool, p.Program, pr.Src, pr.Dst, pr.Chain},
+				hash:    h,
+				srcLine: pr.SrcLine, dstLine: pr.DstLine,
+			}
+			sh.insert(acc)
 		}
 		acc.waste += pr.Waste
 		acc.use += pr.Use
@@ -152,36 +209,46 @@ func (a *Aggregator) Merge(p *witch.Profile) {
 func (a *Aggregator) MergeFrom(other *Aggregator) {
 	other.metaMu.Lock()
 	for k, m := range other.metas {
-		cp := *m
-		a.mergeMeta(k, &cp)
+		a.mergeMeta(k, *m)
 	}
 	other.metaMu.Unlock()
 	for i := range other.shards {
 		osh := &other.shards[i]
 		osh.mu.Lock()
-		for k, acc := range osh.pairs {
-			sh := &a.shards[shardFor(k)]
-			sh.mu.Lock()
-			dst := sh.pairs[k]
-			if dst == nil {
-				dst = &pairAcc{srcLine: acc.srcLine, dstLine: acc.dstLine}
-				sh.pairs[k] = dst
+		for _, head := range osh.pairs {
+			// The source accumulator carries its hash, so a cross-
+			// aggregator fold never re-hashes a single string.
+			for acc := head; acc != nil; acc = acc.next {
+				sh := &a.shards[acc.hash&(numShards-1)]
+				sh.mu.Lock()
+				dst := sh.find(acc.hash, acc.tool, acc.program, acc.src, acc.dst, acc.chain)
+				if dst == nil {
+					dst = &pairAcc{
+						pairKey: acc.pairKey,
+						hash:    acc.hash,
+						srcLine: acc.srcLine, dstLine: acc.dstLine,
+					}
+					sh.insert(dst)
+				}
+				dst.waste += acc.waste
+				dst.use += acc.use
+				sh.mu.Unlock()
 			}
-			dst.waste += acc.waste
-			dst.use += acc.use
-			sh.mu.Unlock()
 		}
 		osh.mu.Unlock()
 	}
 }
 
 // mergeMeta folds one scalar bundle into the (tool, program) totals.
-func (a *Aggregator) mergeMeta(k metaKey, m *meta) {
+// By-value m keeps the per-profile bundle off the heap except on the
+// first sighting of a (tool, program) group.
+func (a *Aggregator) mergeMeta(k metaKey, m meta) {
 	a.metaMu.Lock()
 	defer a.metaMu.Unlock()
 	dst := a.metas[k]
 	if dst == nil {
-		a.metas[k] = m
+		cp := m
+		a.metas[k] = &cp
 		return
 	}
 	dst.profiles += m.profiles
@@ -307,25 +374,41 @@ func (a *Aggregator) combinedMeta(tool, program string) (meta, uint64) {
 }
 
 // pairsFor collects and ranks the merged pairs matching a tool and
-// optional program filter.
+// optional program filter. Witch.Pair carries the chain, so ranking
+// sorts the output slice directly — no wrapper structs — and a count
+// pass sizes that one allocation exactly.
 func (a *Aggregator) pairsFor(tool, program string) []witch.Pair {
-	type ranked struct {
-		witch.Pair
-		chain string
+	match := func(acc *pairAcc) bool {
+		return acc.tool == tool && (program == "" || acc.program == program)
 	}
-	var out []ranked
+	n := 0
 	for i := range a.shards {
 		sh := &a.shards[i]
 		sh.mu.Lock()
-		for k, acc := range sh.pairs {
-			if k.tool != tool || (program != "" && k.program != program) {
-				continue
+		for _, head := range sh.pairs {
+			for acc := head; acc != nil; acc = acc.next {
+				if match(acc) {
+					n++
+				}
 			}
-			out = append(out, ranked{witch.Pair{
-				Src: k.src, Dst: k.dst, Chain: k.chain,
-				Waste: acc.waste, Use: acc.use,
-				SrcLine: acc.srcLine, DstLine: acc.dstLine,
-			}, k.chain})
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]witch.Pair, 0, n)
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for _, head := range sh.pairs {
+			for acc := head; acc != nil; acc = acc.next {
+				if !match(acc) {
+					continue
+				}
+				out = append(out, witch.Pair{
+					Src: acc.src, Dst: acc.dst, Chain: acc.chain,
+					Waste: acc.waste, Use: acc.use,
+					SrcLine: acc.srcLine, DstLine: acc.dstLine,
+				})
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -333,19 +416,15 @@ func (a *Aggregator) pairsFor(tool, program string) []witch.Pair {
 		if out[i].Waste != out[j].Waste {
 			return out[i].Waste > out[j].Waste
 		}
-		if out[i].chain != out[j].chain {
-			return out[i].chain < out[j].chain
+		if out[i].Chain != out[j].Chain {
+			return out[i].Chain < out[j].Chain
 		}
 		if out[i].Src != out[j].Src {
 			return out[i].Src < out[j].Src
 		}
 		return out[i].Dst < out[j].Dst
 	})
-	pairs := make([]witch.Pair, len(out))
-	for i, r := range out {
-		pairs[i] = r.Pair
-	}
-	return pairs
+	return out
 }
 
 // Tools lists the tools with merged data, sorted.
@@ -401,7 +480,7 @@ func (a *Aggregator) PairCount() int {
 	for i := range a.shards {
 		sh := &a.shards[i]
 		sh.mu.Lock()
-		n += len(sh.pairs)
+		n += sh.count
 		sh.mu.Unlock()
 	}
 	return n

@@ -1,0 +1,66 @@
+package agg_test
+
+import (
+	"testing"
+
+	"repro/internal/agg"
+	"repro/witch"
+)
+
+// benchProfile builds the merge-benchmark input: a real h264ref
+// DeadStores profile (~11 pairs).
+func benchProfile(b *testing.B) *witch.Profile {
+	b.Helper()
+	prog, err := witch.Workload("h264ref")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prof
+}
+
+// BenchmarkMerge is the steady-state ingest fold: re-merging a profile
+// whose pair streams already exist, which is what a fleet pushing the
+// same programs does after the first minute.
+func BenchmarkMerge(b *testing.B) {
+	prof := benchProfile(b)
+	a := agg.New()
+	a.Merge(prof)
+	b.ReportMetric(float64(len(prof.TopPairs(0))), "pairs/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Merge(prof)
+	}
+}
+
+// BenchmarkMergeFrom measures the bucket-fold path (retention eviction,
+// query-time ring merges): an aggregator-to-aggregator fold where the
+// precomputed hashes make re-hashing unnecessary.
+func BenchmarkMergeFrom(b *testing.B) {
+	prof := benchProfile(b)
+	src := agg.New()
+	src.Merge(prof)
+	dst := agg.NewSized(src.PairCount())
+	dst.MergeFrom(src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.MergeFrom(src)
+	}
+}
+
+// BenchmarkSnapshot re-materializes the merged profile — the /v1/profile
+// query path.
+func BenchmarkSnapshot(b *testing.B) {
+	prof := benchProfile(b)
+	a := agg.New()
+	a.Merge(prof)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Snapshot(prof.Tool, prof.Program) == nil {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

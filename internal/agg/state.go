@@ -60,13 +60,15 @@ func (a *Aggregator) State() *State {
 	for i := range a.shards {
 		sh := &a.shards[i]
 		sh.mu.Lock()
-		for k, acc := range sh.pairs {
-			st.Pairs = append(st.Pairs, PairState{
-				Tool: k.tool, Program: k.program,
-				Src: k.src, Dst: k.dst, Chain: k.chain,
-				Waste: acc.waste, Use: acc.use,
-				SrcLine: acc.srcLine, DstLine: acc.dstLine,
-			})
+		for _, head := range sh.pairs {
+			for acc := head; acc != nil; acc = acc.next {
+				st.Pairs = append(st.Pairs, PairState{
+					Tool: acc.tool, Program: acc.program,
+					Src: acc.src, Dst: acc.dst, Chain: acc.chain,
+					Waste: acc.waste, Use: acc.use,
+					SrcLine: acc.srcLine, DstLine: acc.dstLine,
+				})
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -93,9 +95,10 @@ func (a *Aggregator) State() *State {
 	return st
 }
 
-// FromState rebuilds an aggregator from a snapshot image.
+// FromState rebuilds an aggregator from a snapshot image, pre-sizing
+// the shard maps from the known pair count.
 func FromState(st *State) *Aggregator {
-	a := New()
+	a := NewSized(len(st.Pairs))
 	for _, m := range st.Metas {
 		a.metas[metaKey{m.Tool, m.Program}] = &meta{
 			profiles: m.Profiles, waste: m.Waste, use: m.Use,
@@ -105,11 +108,13 @@ func FromState(st *State) *Aggregator {
 		}
 	}
 	for _, p := range st.Pairs {
-		k := pairKey{p.Tool, p.Program, p.Src, p.Dst, p.Chain}
-		a.shards[shardFor(k)].pairs[k] = &pairAcc{
-			waste: p.Waste, use: p.Use,
+		h := hashKey(p.Tool, p.Program, p.Src, p.Dst, p.Chain)
+		a.shards[h&(numShards-1)].insert(&pairAcc{
+			pairKey: pairKey{p.Tool, p.Program, p.Src, p.Dst, p.Chain},
+			hash:    h,
+			waste:   p.Waste, use: p.Use,
 			srcLine: p.SrcLine, dstLine: p.DstLine,
-		}
+		})
 	}
 	return a
 }

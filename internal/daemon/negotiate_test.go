@@ -1,0 +1,117 @@
+package daemon
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+	"repro/witch"
+)
+
+// TestBinaryPusherFallsBackOnJSONOnlyDaemon: a binary-capable Pusher
+// talking to a daemon that does not know the binary content type (it
+// answers 415) must downgrade to JSON permanently — losing no profiles,
+// tripping no breaker, and counting exactly one fallback.
+func TestBinaryPusherFallsBackOnJSONOnlyDaemon(t *testing.T) {
+	srv, _ := newTestServer(t, store.Config{})
+	var binaryPosts, jsonPosts atomic.Int64
+	// A pre-fast-path daemon: rejects the binary offer the way any
+	// server rejects an unknown media type, accepts JSON as always.
+	legacy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Content-Type") == witch.BinaryContentType {
+			binaryPosts.Add(1)
+			http.Error(w, "unsupported media type", http.StatusUnsupportedMediaType)
+			return
+		}
+		jsonPosts.Add(1)
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer legacy.Close()
+
+	prof := testProfile(t, 1)
+	p, err := witch.NewPusher(witch.PusherOptions{
+		URL: legacy.URL, Queue: 8, Backoff: time.Millisecond, Encoding: "binary",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if !p.Push(prof) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	p.Close()
+
+	st := p.Stats()
+	if st.Sent != n {
+		t.Fatalf("delivered %d/%d after fallback: %+v", st.Sent, n, st)
+	}
+	if st.EncodingFallbacks != 1 {
+		t.Fatalf("EncodingFallbacks = %d, want 1 (the downgrade latches)", st.EncodingFallbacks)
+	}
+	if st.BreakerTrips != 0 || st.Dropped != 0 {
+		t.Fatalf("negotiation must not trip the breaker or drop: %+v", st)
+	}
+	if got := binaryPosts.Load(); got != 1 {
+		t.Fatalf("binary offered %d times, want exactly 1 before latching JSON", got)
+	}
+	if got := jsonPosts.Load(); got != n {
+		t.Fatalf("JSON deliveries = %d, want %d", got, n)
+	}
+	if got := srv.st.Stats().Ingested; got != n {
+		t.Fatalf("daemon ingested %d, want %d", got, n)
+	}
+}
+
+// TestBinaryAndJSONIngestAgreeByteForByte: the same profiles pushed
+// through the JSON encoding and through the negotiated binary encoding
+// must produce byte-identical GET /v1/profile output — the wire format
+// is an optimization, never a semantic fork.
+func TestBinaryAndJSONIngestAgreeByteForByte(t *testing.T) {
+	profs := []*witch.Profile{testProfile(t, 1), testProfile(t, 2), testProfile(t, 3)}
+	tool := profs[0].Tool
+
+	fetch := func(enc string) []byte {
+		now := func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }
+		_, ts := newTestServer(t, store.Config{Now: now})
+		p, err := witch.NewPusher(witch.PusherOptions{
+			URL: ts.URL, Queue: 8, Backoff: time.Millisecond, Encoding: enc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prof := range profs {
+			if !p.Push(prof) {
+				t.Fatalf("%s push rejected", enc)
+			}
+		}
+		p.Close()
+		if st := p.Stats(); st.Sent != uint64(len(profs)) || st.EncodingFallbacks != 0 {
+			t.Fatalf("%s pusher stats: %+v", enc, st)
+		}
+		resp, err := http.Get(ts.URL + "/v1/profile?tool=" + tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s profile: HTTP %d", enc, resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	jsonView := fetch("json")
+	binView := fetch("binary")
+	if !bytes.Equal(jsonView, binView) {
+		t.Fatalf("merged views diverge by encoding:\njson:   %s\nbinary: %s", jsonView, binView)
+	}
+}

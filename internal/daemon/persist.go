@@ -1,7 +1,6 @@
-package main
+package daemon
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -16,9 +15,10 @@ import (
 
 	"repro/internal/store"
 	"repro/internal/wal"
+	"repro/witch"
 )
 
-// persistence makes witchd crash-safe: every acknowledged ingest batch
+// Persistence makes witchd crash-safe: every acknowledged ingest batch
 // is journaled (timestamp envelope + raw body) before the 200 goes
 // back, and the retention store is periodically checkpointed to a
 // snapshot that anchors journal GC. Startup recovery = load the newest
@@ -29,7 +29,7 @@ import (
 // flight), snapshots take the write side — so a snapshot's journal
 // anchor (LastLSN at that instant) covers exactly the batches whose
 // store ingest has completed, and replay-from-anchor is exactly-once.
-type persistence struct {
+type Persistence struct {
 	dir       string
 	journal   *wal.Journal
 	st        *store.Store
@@ -43,13 +43,13 @@ type persistence struct {
 	lastSnapLSN   atomic.Uint64
 	snapErrors    atomic.Uint64
 
-	recovery recoveryReport
+	recovery RecoveryReport
 }
 
-// recoveryReport is what startup recovery found, served on /healthz so
+// RecoveryReport is what startup recovery found, served on /healthz so
 // operators can see exactly what a crash cost (spoiler: only torn,
 // never-acknowledged bytes).
-type recoveryReport struct {
+type RecoveryReport struct {
 	SnapshotLSN      uint64 `json:"snapshot_lsn"`
 	SnapshotLoaded   bool   `json:"snapshot_loaded"`
 	SnapshotsSkipped int    `json:"snapshots_skipped"`
@@ -59,6 +59,13 @@ type recoveryReport struct {
 	TornTail         bool   `json:"torn_tail"`
 	TruncatedBytes   int64  `json:"truncated_bytes"`
 }
+
+// Recovery returns the startup recovery report.
+func (p *Persistence) Recovery() RecoveryReport { return p.recovery }
+
+// JournalCommits reports the journal's physical write(+fsync) count —
+// acked batches divided by this is the achieved mean commit-gang size.
+func (p *Persistence) JournalCommits() uint64 { return p.journal.Commits() }
 
 // snapName formats a snapshot filename anchored at a journal LSN.
 func snapName(lsn uint64) string {
@@ -87,17 +94,17 @@ func listSnapshots(dir string) []uint64 {
 	return lsns
 }
 
-// openPersistence recovers state from dir into st and returns the
+// OpenPersistence recovers state from dir into st and returns the
 // manager, ready to journal new batches. Recovery is deliberately
 // unfailable for data corruption: a corrupt snapshot falls back to the
 // next older one, a torn journal tail is truncated, an undecodable
 // journal record is skipped and counted — only environmental errors
 // (unreadable dir) abort startup.
-func openPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery uint64) (*persistence, error) {
+func OpenPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery uint64) (*Persistence, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("data dir: %w", err)
 	}
-	p := &persistence{dir: dir, st: st, snapEvery: snapEvery}
+	p := &Persistence{dir: dir, st: st, snapEvery: snapEvery}
 
 	// Newest loadable snapshot wins; corrupt ones are skipped, not fatal.
 	// Even a snapshot too corrupt to load still floors LSN assignment:
@@ -143,14 +150,19 @@ func openPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 
 	// Replay the acknowledged suffix past the snapshot anchor, each
 	// batch landing at its original wall time so the bucket layout (and
-	// every windowed query) is reconstructed, not smeared.
+	// every windowed query) is reconstructed, not smeared. One decoder
+	// serves the whole replay: the store copies what it keeps, so the
+	// decoder's recycled profiles never outlive their record. Bodies are
+	// sniffed, not typed — a batch journaled from a binary-encoding
+	// pusher replays exactly like a JSON one.
+	var dec witch.BatchDecoder
 	err = wal.Replay(dir, anchor, func(r wal.Record) error {
 		if len(r.Payload) < 8 {
 			p.recovery.SkippedRecords++
 			return nil
 		}
 		ts := time.Unix(0, int64(binary.BigEndian.Uint64(r.Payload)))
-		profs, err := decodeBatch(bytes.NewReader(r.Payload[8:]))
+		profs, err := dec.Decode(r.Payload[8:])
 		if err != nil {
 			// Journaled bodies were validated before the append, so this
 			// is bit rot inside a CRC-valid record — count and continue
@@ -179,7 +191,7 @@ func openPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 // with a 5xx and the pusher's breaker backs off. The batch arrives
 // pre-decoded (as the ingest closure) so a decode error can never
 // strike between journal append and store ingest.
-func (p *persistence) applyBatch(body []byte, ingest func(time.Time), now time.Time) error {
+func (p *Persistence) applyBatch(body []byte, ingest func(time.Time), now time.Time) error {
 	env := make([]byte, 8+len(body))
 	binary.BigEndian.PutUint64(env, uint64(now.UnixNano()))
 	copy(env[8:], body)
@@ -205,7 +217,7 @@ func (p *persistence) applyBatch(body []byte, ingest func(time.Time), now time.T
 // snapshot checkpoints the store, anchors it at the journal position,
 // and garbage-collects the journal prefix plus older snapshots. Applies
 // are excluded for the duration, which is what makes the anchor exact.
-func (p *persistence) snapshot() error {
+func (p *Persistence) snapshot() error {
 	p.applyMu.Lock()
 	defer p.applyMu.Unlock()
 
@@ -257,10 +269,10 @@ func (p *persistence) snapshot() error {
 	return nil
 }
 
-// shutdown is the graceful-drain epilogue: flush the journal, take a
+// Shutdown is the graceful-drain epilogue: flush the journal, take a
 // final snapshot, close. After this a restart recovers instantly from
 // the snapshot with an empty replay suffix.
-func (p *persistence) shutdown() error {
+func (p *Persistence) Shutdown() error {
 	var firstErr error
 	if err := p.journal.Sync(); err != nil && firstErr == nil {
 		firstErr = err

@@ -1,13 +1,18 @@
-package main
+// Package daemon is the witchd aggregation service: the HTTP API, the
+// lifecycle/overload guards, and the crash-safety layer (journal +
+// snapshots), extracted from the witchd binary so benchmarks and the
+// witchbench harness can boot a real daemon in-process. cmd/witchd is a
+// thin flag-parsing shell around this package.
+package daemon
 
 import (
 	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,28 +25,29 @@ import (
 // reports the state so orchestrators can distinguish "still replaying
 // the journal" from "being told to go away".
 const (
-	stateStarting int32 = iota
-	stateRecovering
-	stateServing
-	stateDraining
+	StateStarting int32 = iota
+	StateRecovering
+	StateServing
+	StateDraining
 )
 
-func stateName(s int32) string {
+// StateName renders a lifecycle state for logs and /healthz.
+func StateName(s int32) string {
 	switch s {
-	case stateStarting:
+	case StateStarting:
 		return "starting"
-	case stateRecovering:
+	case StateRecovering:
 		return "recovering"
-	case stateServing:
+	case StateServing:
 		return "serving"
-	case stateDraining:
+	case StateDraining:
 		return "draining"
 	}
 	return "unknown"
 }
 
-// serverConfig sizes the server's protection limits.
-type serverConfig struct {
+// Config sizes the server's protection limits.
+type Config struct {
 	// MaxBody bounds one ingest body (default 32 MiB).
 	MaxBody int64
 	// MaxInflight bounds concurrent ingest requests; excess load is shed
@@ -56,12 +62,12 @@ type serverConfig struct {
 	Now func() time.Time
 }
 
-// server wires the retention store, the persistence layer, and the
+// Server wires the retention store, the persistence layer, and the
 // lifecycle/overload guards to the HTTP API.
-type server struct {
+type Server struct {
 	st   *store.Store
-	cfg  serverConfig
-	pers *persistence // nil = memory-only (no -data-dir)
+	cfg  Config
+	pers *Persistence // nil = memory-only (no data dir)
 
 	state atomic.Int32
 	sem   chan struct{}
@@ -71,7 +77,10 @@ type server struct {
 	shed     atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
 }
 
-func newServer(st *store.Store, cfg serverConfig) *server {
+// NewServer builds a server over a retention store, applying defaults
+// for zero config fields. It starts in StateStarting; the caller runs
+// recovery (if any) and then SetState(StateServing).
+func NewServer(st *store.Store, cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 32 << 20
 	}
@@ -84,21 +93,25 @@ func newServer(st *store.Store, cfg serverConfig) *server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	s := &server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
-	s.state.Store(stateStarting)
+	s := &Server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+	s.state.Store(StateStarting)
 	return s
 }
 
-// setState moves the lifecycle forward.
-func (s *server) setState(st int32) { s.state.Store(st) }
+// SetState moves the lifecycle forward.
+func (s *Server) SetState(st int32) { s.state.Store(st) }
 
-// handler routes the API:
+// AttachPersistence wires a recovered persistence layer into the ingest
+// path; call before SetState(StateServing).
+func (s *Server) AttachPersistence(p *Persistence) { s.pers = p }
+
+// Handler routes the API:
 //
-//	POST /v1/ingest   WriteJSON payloads, single or batched
+//	POST /v1/ingest   WriteJSON payloads (single, batched, or binary)
 //	GET  /v1/top      ranked merged pairs (tool, window, program, n)
 //	GET  /v1/profile  full merged profile in the WriteJSON schema
 //	GET  /healthz     lifecycle state, fleet Health, retention + durability stats
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/top", s.handleTop)
@@ -116,72 +129,50 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // shed refuses an ingest for load or lifecycle reasons, with a
 // Retry-After the pusher's circuit breaker honors.
-func (s *server) shedRequest(w http.ResponseWriter, status int, retryAfter int, format string, args ...any) {
+func (s *Server) shedRequest(w http.ResponseWriter, status int, retryAfter int, format string, args ...any) {
 	s.shed.Add(1)
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	httpError(w, status, format, args...)
 }
 
-// decodeBatch parses an ingest body: either one WriteJSON document, a
-// stream of concatenated documents, or a JSON array of documents. Every
-// profile passes ReadProfileJSON's hardening; the batch is all-or-
-// nothing so a truncated upload never half-lands.
-func decodeBatch(r io.Reader) ([]*witch.Profile, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("reading body: %w", err)
-	}
-	return decodeProfiles(data)
-}
+// decoders pools BatchDecoders across ingest requests: the decoder owns
+// the profile structs, pair slices, and intern table it hands out, so
+// a request must finish with the decoded batch before putting its
+// decoder back.
+var decoders = sync.Pool{New: func() any { return new(witch.BatchDecoder) }}
 
-// decodeProfiles is decodeBatch over bytes already in hand (the ingest
-// path reads the raw body first because the journal appends it
-// verbatim).
-func decodeProfiles(data []byte) ([]*witch.Profile, error) {
-	data = bytes.TrimSpace(data)
-	if len(data) == 0 {
-		return nil, fmt.Errorf("empty batch")
-	}
-	var raws []json.RawMessage
-	if data[0] == '[' {
-		if err := json.Unmarshal(data, &raws); err != nil {
-			return nil, fmt.Errorf("batch array: %w", err)
-		}
-	} else {
-		dec := json.NewDecoder(bytes.NewReader(data))
-		for {
-			var raw json.RawMessage
-			if err := dec.Decode(&raw); err != nil {
-				if errors.Is(err, io.EOF) {
-					break
-				}
-				return nil, fmt.Errorf("stream entry %d: %w", len(raws), err)
+// bufPool recycles ingest scratch buffers (request bodies, ack
+// responses) so the hot path does not regrow a fresh buffer per batch.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// appendJSONString appends s as a JSON string literal. Plain printable
+// ASCII (the overwhelmingly common case for tool names) is copied
+// directly; anything else goes through encoding/json for correct
+// escaping.
+func appendJSONString(buf *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			b, err := json.Marshal(s)
+			if err != nil { // a Go string always marshals
+				b = []byte(`"?"`)
 			}
-			raws = append(raws, raw)
+			buf.Write(b)
+			return
 		}
 	}
-	if len(raws) == 0 {
-		return nil, fmt.Errorf("empty batch")
-	}
-	profs := make([]*witch.Profile, len(raws))
-	for i, raw := range raws {
-		p, err := witch.ReadProfileJSON(bytes.NewReader(raw))
-		if err != nil {
-			return nil, fmt.Errorf("batch entry %d: %w", i, err)
-		}
-		profs[i] = p
-	}
-	return profs, nil
+	buf.WriteByte('"')
+	buf.WriteString(s)
+	buf.WriteByte('"')
 }
 
-func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	switch s.state.Load() {
-	case stateServing:
-	case stateDraining:
+	case StateServing:
+	case StateDraining:
 		s.shedRequest(w, http.StatusServiceUnavailable, 5, "draining: witchd is shutting down")
 		return
 	default:
@@ -208,7 +199,13 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	// Pooled body scratch: the journal frames its own copy and the
+	// decoder interns every string it keeps, so nothing outlives the
+	// request holding a reference into this buffer.
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	_, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		s.rejected.Add(1)
 		status := http.StatusBadRequest
@@ -219,8 +216,17 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, "ingest: %v", err)
 		return
 	}
-	profs, err := decodeProfiles(body)
+	body := buf.Bytes()
+
+	// The fast path: a pooled decoder parses the body — JSON or the
+	// binary wire format, sniffed by magic rather than trusted from the
+	// Content-Type header — reusing profile structs, pair slices, and
+	// interned strings across requests. Everything below up to the Put
+	// must finish with the batch before the decoder can be reused.
+	dec := decoders.Get().(*witch.BatchDecoder)
+	profs, err := dec.Decode(body)
 	if err != nil {
+		decoders.Put(dec)
 		s.rejected.Add(1)
 		httpError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
@@ -236,9 +242,10 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.pers != nil {
 		// Durability before acknowledgement: journal (and fsync, per
-		// policy) first; a journal error shed the batch un-acked so the
+		// policy) first; a journal error sheds the batch un-acked so the
 		// client retries against a daemon that can make it durable.
 		if err := s.pers.applyBatch(body, ingest, s.cfg.Now()); err != nil {
+			decoders.Put(dec)
 			s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal append failed, batch not accepted: %v", err)
 			return
 		}
@@ -246,16 +253,46 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		ingest(s.cfg.Now())
 	}
 
-	byTool := map[string]int{}
-	for _, p := range profs {
-		byTool[p.Tool]++
+	// The merge copied everything it keeps, so the batch is done with:
+	// summarize the ack, then recycle the decoder. The ack JSON is
+	// written by hand — a reflective Encode over a map costs more than
+	// the whole binary decode for a small batch. Batches are almost
+	// always single-tool, so the counts live in a short slice, not a map.
+	type toolCount struct {
+		tool string
+		n    int
 	}
+	var counts []toolCount
+countTools:
+	for _, p := range profs {
+		for i := range counts {
+			if counts[i].tool == p.Tool {
+				counts[i].n++
+				continue countTools
+			}
+		}
+		counts = append(counts, toolCount{p.Tool, 1})
+	}
+	accepted := len(profs)
+	decoders.Put(dec)
+
 	s.batches.Add(1)
+	buf.Reset() // the body is journaled and merged; reuse for the ack
+	var tmp [20]byte
+	buf.WriteString(`{"accepted":`)
+	buf.Write(strconv.AppendInt(tmp[:0], int64(accepted), 10))
+	buf.WriteString(`,"by_tool":{`)
+	for i, tc := range counts {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		appendJSONString(buf, tc.tool)
+		buf.WriteByte(':')
+		buf.Write(strconv.AppendInt(tmp[:0], int64(tc.n), 10))
+	}
+	buf.WriteString("}}\n")
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"accepted": len(profs),
-		"by_tool":  byTool,
-	})
+	w.Write(buf.Bytes())
 }
 
 // queryWindow parses the window parameter: a Go duration, with an
@@ -277,7 +314,7 @@ func queryWindow(r *http.Request) (time.Duration, error) {
 }
 
 // view resolves the tool/window/program parameters to a merged view.
-func (s *server) view(w http.ResponseWriter, r *http.Request) (*agg.Aggregator, string, string, bool) {
+func (s *Server) view(w http.ResponseWriter, r *http.Request) (*agg.Aggregator, string, string, bool) {
 	tool := r.URL.Query().Get("tool")
 	if tool == "" {
 		httpError(w, http.StatusBadRequest, "tool parameter is required (a profile tool string, e.g. DeadCraft)")
@@ -291,7 +328,7 @@ func (s *server) view(w http.ResponseWriter, r *http.Request) (*agg.Aggregator, 
 	return s.st.Query(window), tool, r.URL.Query().Get("program"), true
 }
 
-func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
@@ -326,7 +363,7 @@ func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
@@ -341,10 +378,12 @@ func (s *server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	prof.WriteJSON(w)
+	// Compact on the wire: indented output is for files and humans; a
+	// fleet dashboard polling /v1/profile pays ~2x bytes for indentation.
+	prof.WriteJSONCompact(w)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	health, profiles := s.st.Health()
 	status := "ok"
 	if health.Degraded {
@@ -352,7 +391,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	out := map[string]any{
 		"status":           status,
-		"state":            stateName(s.state.Load()),
+		"state":            StateName(s.state.Load()),
 		"profiles":         profiles,
 		"batches":          s.batches.Load(),
 		"rejected_batches": s.rejected.Load(),

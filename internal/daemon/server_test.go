@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -29,11 +29,11 @@ func testProfile(t *testing.T, seed int64) *witch.Profile {
 	return prof
 }
 
-func newTestServer(t *testing.T, cfg store.Config) (*server, *httptest.Server) {
+func newTestServer(t *testing.T, cfg store.Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := newServer(store.New(cfg), serverConfig{MaxBody: 4 << 20, Now: cfg.Now})
-	srv.setState(stateServing)
-	ts := httptest.NewServer(srv.handler())
+	srv := NewServer(store.New(cfg), Config{MaxBody: 4 << 20, Now: cfg.Now})
+	srv.SetState(StateServing)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
@@ -189,6 +189,8 @@ func TestIngestRejections(t *testing.T) {
 		{"empty array", "[]", http.StatusBadRequest},
 		{"bad version", strings.Replace(good.String(), `"format_version": 1`, `"format_version": 9`, 1), http.StatusBadRequest},
 		{"good then bad", good.String() + "{\"format_version\": 9}", http.StatusBadRequest},
+		{"binary magic only", "WITCHB1\n", http.StatusBadRequest},
+		{"binary truncated", "WITCHB1\n\x05{\"a\"", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -208,9 +210,9 @@ func TestIngestRejections(t *testing.T) {
 	}
 
 	// Size limit: a tiny cap rejects the same valid body outright.
-	small := newServer(store.New(store.Config{}), serverConfig{MaxBody: 16})
-	small.setState(stateServing)
-	tss := httptest.NewServer(small.handler())
+	small := NewServer(store.New(store.Config{}), Config{MaxBody: 16})
+	small.SetState(StateServing)
+	tss := httptest.NewServer(small.Handler())
 	defer tss.Close()
 	resp, err := http.Post(tss.URL+"/v1/ingest", "application/json", bytes.NewReader(good.Bytes()))
 	if err != nil {
@@ -345,8 +347,14 @@ func TestConcurrentPushersWithEviction(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Odd pushers negotiate the binary encoding, even ones stay
+			// JSON — the merged view must not care.
+			enc := "json"
+			if i%2 == 1 {
+				enc = "binary"
+			}
 			p, err := witch.NewPusher(witch.PusherOptions{
-				URL: ts.URL, Queue: perP, Backoff: time.Millisecond,
+				URL: ts.URL, Queue: perP, Backoff: time.Millisecond, Encoding: enc,
 			})
 			if err != nil {
 				t.Error(err)

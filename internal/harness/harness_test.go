@@ -251,10 +251,23 @@ func TestChaosBoundedDegradation(t *testing.T) {
 	}
 }
 
+// TestIngestGroupCommitSpeedup runs the ingest macro-benchmark in quick
+// mode; Ingest itself errors if group commit fails its throughput gate
+// (2x in quick mode, 5x full) or the pooled codecs fail the ≥50%
+// allocation-reduction gate, so a clean return is the assertion. Quick
+// mode never writes BENCH_ingest.json, so the test has no side effects.
+func TestIngestGroupCommitSpeedup(t *testing.T) {
+	out := runExp(t, Ingest)
+	if !strings.Contains(out, "group commit speedup") {
+		t.Fatalf("ingest summary missing:\n%s", out)
+	}
+}
+
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	for _, name := range []string{"fig2", "fig4", "fig5", "table1", "table2", "table3",
-		"blindspot", "dominance", "adversary", "stability", "rank", "ablations", "chaos", "all"} {
+		"blindspot", "dominance", "adversary", "stability", "rank", "ablations", "chaos",
+		"ingest", "all"} {
 		if reg[name] == nil {
 			t.Fatalf("missing experiment %q", name)
 		}

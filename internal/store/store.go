@@ -66,6 +66,14 @@ type Store struct {
 
 	ingested       atomic.Uint64
 	evictedBuckets atomic.Uint64
+
+	// bucketHint and queryHint remember recent pair cardinalities —
+	// of the last expired bucket and the last Query result — so fresh
+	// aggregators pre-size their shard maps instead of growing them
+	// incrementally under the merge locks. Hints are advisory: a bad one
+	// costs memory or growth, never correctness.
+	bucketHint atomic.Int64
+	queryHint  atomic.Int64
 }
 
 // New builds a store, applying defaults for zero config fields.
@@ -105,7 +113,7 @@ func (s *Store) IngestAt(p *witch.Profile, now time.Time) {
 	var expired *bucket
 	if b == nil || !b.start.Equal(start) {
 		expired = b
-		b = &bucket{start: start, agg: agg.New()}
+		b = &bucket{start: start, agg: agg.NewSized(int(s.bucketHint.Load()))}
 		s.ring[slot] = b
 		if expired != nil {
 			s.pending = append(s.pending, expired)
@@ -118,6 +126,9 @@ func (s *Store) IngestAt(p *witch.Profile, now time.Time) {
 	s.mu.Unlock()
 
 	if expired != nil {
+		// The expired bucket's cardinality is the best predictor for the
+		// next bucket of the same traffic.
+		s.bucketHint.Store(int64(expired.agg.PairCount()))
 		s.fold(expired)
 	}
 	b.agg.Merge(p)
@@ -162,7 +173,7 @@ func (s *Store) fold(b *bucket) {
 // (from whichever side of the rollup it is on), never twice.
 func (s *Store) Query(window time.Duration) *agg.Aggregator {
 	now := s.cfg.Now()
-	out := agg.New()
+	out := agg.NewSized(int(s.queryHint.Load()))
 
 	if window <= 0 {
 		s.foldMu.Lock()
@@ -188,6 +199,7 @@ func (s *Store) Query(window time.Duration) *agg.Aggregator {
 	for _, b := range live {
 		out.MergeFrom(b.agg)
 	}
+	s.queryHint.Store(int64(out.PairCount()))
 	return out
 }
 

@@ -39,10 +39,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 )
@@ -83,6 +85,19 @@ type Options struct {
 	// a snapshot already covers (replay would silently skip them — an
 	// acknowledged-data loss).
 	FloorLSN uint64
+	// GroupCommit batches concurrent Appends: callers enqueue framed
+	// records to a committer goroutine that lands a whole gang with one
+	// write and one fsync, acking every waiter at once. Durability
+	// semantics are unchanged — no Append returns success before its
+	// record is synced per policy — only the fsyncs are amortized.
+	// witchd maps -fsync group here.
+	GroupCommit bool
+	// MaxCommitDelay bounds how long the committer waits to grow a gang
+	// after the first record of a batch arrives. Zero commits immediately
+	// with whatever has queued by then (concurrency alone forms the
+	// gangs); a small positive value trades that much ack latency for
+	// bigger gangs. Ignored without GroupCommit.
+	MaxCommitDelay time.Duration
 }
 
 // RecoveryInfo reports what Open found and repaired.
@@ -126,13 +141,38 @@ type Journal struct {
 	nextLSN uint64
 	failed  bool
 	appends uint64
+	commits uint64
 	// unsynced counts bytes appended since the last fsync — the backlog
 	// watermark witchd sheds on when running with NoSync.
 	unsynced int64
 
 	recovery RecoveryInfo
 	segments []segment // completed (rotated-out) segments, oldest first
+
+	// Group-commit machinery, live only when opts.GroupCommit is set.
+	// commitCh carries waiters to the committer goroutine; closeMu/closing
+	// fence Append's channel send against Close's channel close; cbuf is
+	// the gang concatenation buffer, touched only under mu.
+	commitCh    chan *waiter
+	closeMu     sync.RWMutex
+	closing     bool
+	committerWG sync.WaitGroup
+	cbuf        []byte
 }
+
+// waiter carries one framed record from an Append caller to the group
+// committer and the resulting LSN (or error) back. The done channel has
+// capacity 1 so the committer never blocks on a slow waiter.
+type waiter struct {
+	frame []byte
+	lsn   uint64
+	err   error
+	done  chan struct{}
+}
+
+// waiterPool recycles waiters (and their frame buffers) so a steady
+// ingest load allocates nothing per append.
+var waiterPool = sync.Pool{New: func() any { return &waiter{done: make(chan struct{}, 1)} }}
 
 // Open scans dir, truncates any torn tail back to the last complete
 // record, and returns a journal positioned to append after it. The dir
@@ -215,7 +255,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 			}
 			j.f = f
 			j.seg = last
-			return j, nil
+			return j.start(), nil
 		}
 		// next ran past the last surviving record (a later segment
 		// vanished whole, or a snapshot anchor outruns the files on
@@ -227,7 +267,18 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err := j.openSegment(); err != nil {
 		return nil, err
 	}
-	return j, nil
+	return j.start(), nil
+}
+
+// start launches the group committer when configured; called once, at
+// the end of a successful Open.
+func (j *Journal) start() *Journal {
+	if j.opts.GroupCommit {
+		j.commitCh = make(chan *waiter, 256)
+		j.committerWG.Add(1)
+		go j.committer()
+	}
+	return j
 }
 
 // Recovery reports what Open found and repaired.
@@ -239,6 +290,15 @@ func (j *Journal) LastLSN() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.nextLSN - 1
+}
+
+// Commits reports physical write(+fsync) operations: one per append in
+// per-append mode, one per gang under group commit — so appends divided
+// by commits is the achieved mean gang size.
+func (j *Journal) Commits() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.commits
 }
 
 // UnsyncedBytes reports bytes appended since the last fsync — zero when
@@ -305,25 +365,25 @@ func (j *Journal) openSegment() error {
 // ErrFailed (possibly wrapped) means the journal is out of service
 // until restart.
 func (j *Journal) Append(payload []byte) (uint64, error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.failed {
-		return 0, ErrFailed
-	}
 	if len(payload) == 0 {
 		// An empty frame is indistinguishable from a zero-filled hole on
 		// recovery, so it is not representable.
 		return 0, errors.New("wal: empty payload")
+	}
+	if j.opts.GroupCommit {
+		return j.appendGrouped(payload)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed {
+		return 0, ErrFailed
 	}
 	if j.seg.size >= j.opts.SegmentBytes {
 		if err := j.rotateLocked(); err != nil {
 			return 0, err
 		}
 	}
-	frame := make([]byte, frameOverhead+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
-	copy(frame[frameOverhead:], payload)
+	frame := appendFrame(make([]byte, 0, frameOverhead+len(payload)), payload)
 
 	preSize := j.seg.size
 	n, werr := j.seamWrite(frame)
@@ -349,10 +409,185 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 	j.nextLSN++
 	j.seg.lastLSN = lsn
 	j.appends++
+	j.commits++
 	if j.opts.NoSync {
 		j.unsynced += int64(n)
 	}
 	return lsn, nil
+}
+
+// appendFrame appends one framed record ([len][crc][payload]) to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendGrouped frames the payload in the caller's goroutine (CRC and
+// copy are the parallelizable work), hands it to the committer, and
+// blocks until the gang containing it commits or rolls back.
+func (j *Journal) appendGrouped(payload []byte) (uint64, error) {
+	w := waiterPool.Get().(*waiter)
+	w.lsn, w.err = 0, nil
+	w.frame = appendFrame(w.frame[:0], payload)
+	// The read-lock fences the send against Close: Close flips closing
+	// and closes commitCh under the write lock, so a send that got past
+	// this check is guaranteed to land before the close.
+	j.closeMu.RLock()
+	if j.closing {
+		j.closeMu.RUnlock()
+		waiterPool.Put(w)
+		return 0, ErrFailed
+	}
+	j.commitCh <- w
+	j.closeMu.RUnlock()
+	<-w.done
+	lsn, err := w.lsn, w.err
+	waiterPool.Put(w)
+	return lsn, err
+}
+
+// committer is the group-commit loop: take the first waiter of a gang,
+// optionally linger up to MaxCommitDelay to let the gang grow, sweep
+// whatever else has queued, and commit the lot with one write+fsync.
+//
+// The linger deliberately does not park on a timer. Waking from a timer
+// costs milliseconds on virtualized hosts regardless of the duration
+// asked for, which would put a multi-ms floor under every ack and make
+// sub-millisecond lingers (the useful range: a gang fills in
+// concurrency × per-append CPU) silently 10x longer than configured.
+// Instead the committer yields the processor between non-blocking
+// sweeps: each runtime.Gosched lets every runnable producer reach its
+// Append, and two consecutive sweeps finding nothing new means the
+// producers are all either blocked in this gang or idle — so the gang
+// is as big as it is going to get and waiting longer only adds
+// latency. An idle journal therefore still acks in microseconds while
+// a saturated one fills gangs to the offered concurrency.
+func (j *Journal) committer() {
+	defer j.committerWG.Done()
+	var batch []*waiter
+	for w := range j.commitCh {
+		batch = append(batch[:0], w)
+		if d := j.opts.MaxCommitDelay; d > 0 {
+			deadline := time.Now().Add(d)
+			for empty := 0; empty < 2 && time.Now().Before(deadline); {
+				grew := false
+			gather:
+				for {
+					select {
+					case w2, ok := <-j.commitCh:
+						if !ok {
+							break gather
+						}
+						batch = append(batch, w2)
+						grew = true
+					default:
+						break gather
+					}
+				}
+				if grew {
+					empty = 0
+				} else {
+					empty++
+				}
+				runtime.Gosched()
+			}
+		}
+	sweep:
+		for {
+			select {
+			case w2, ok := <-j.commitCh:
+				if !ok {
+					break sweep
+				}
+				batch = append(batch, w2)
+			default:
+				break sweep
+			}
+		}
+		j.commitBatch(batch)
+	}
+}
+
+// commitBatch lands a gang of pre-framed records with a single write and
+// a single fsync, then acks every waiter — or nacks every waiter.
+// LSNs are positional within a segment (recovery re-derives them from
+// frame order), so they are assigned only after the gang is durable: a
+// rolled-back gang consumes no LSNs.
+func (j *Journal) commitBatch(batch []*waiter) {
+	j.mu.Lock()
+	if j.failed {
+		j.mu.Unlock()
+		finish(batch, 0, ErrFailed)
+		return
+	}
+	if j.seg.size >= j.opts.SegmentBytes {
+		if err := j.rotateLocked(); err != nil {
+			j.mu.Unlock()
+			finish(batch, 0, err)
+			return
+		}
+	}
+	buf := j.cbuf[:0]
+	for _, w := range batch {
+		buf = append(buf, w.frame...)
+	}
+	j.cbuf = buf
+
+	preSize := j.seg.size
+	n, werr := j.seamWrite(buf)
+	if werr == nil && !j.opts.NoSync {
+		werr = j.seamSync()
+	}
+	if werr != nil {
+		// A gang rollback must also remove any complete frames that
+		// landed ahead of the failure point: none of them was
+		// acknowledged, and leaving them durable would make recovery
+		// replay batches whose pushers are about to retry them. This is
+		// why — unlike the per-append path — truncation is attempted even
+		// for a torn write.
+		terr := j.f.Truncate(preSize)
+		switch {
+		case errors.Is(werr, errTorn):
+			j.fail()
+			j.mu.Unlock()
+			finish(batch, 0, fmt.Errorf("wal: append tore mid-write: %w", ErrFailed))
+		case terr != nil:
+			j.fail()
+			j.mu.Unlock()
+			finish(batch, 0, fmt.Errorf("wal: append failed (%v) and rollback failed (%v): %w", werr, terr, ErrFailed))
+		default:
+			j.mu.Unlock()
+			finish(batch, 0, fmt.Errorf("wal: append: %w", werr))
+		}
+		return
+	}
+	j.seg.size = preSize + int64(n)
+	first := j.nextLSN
+	j.nextLSN += uint64(len(batch))
+	j.seg.lastLSN = j.nextLSN - 1
+	j.appends += uint64(len(batch))
+	j.commits++
+	if j.opts.NoSync {
+		j.unsynced += int64(n)
+	}
+	j.mu.Unlock()
+	finish(batch, first, nil)
+}
+
+// finish acks (dense LSNs from first) or nacks (shared err) every
+// waiter of a gang.
+func finish(batch []*waiter, first uint64, err error) {
+	for i, w := range batch {
+		if err != nil {
+			w.err = err
+		} else {
+			w.lsn = first + uint64(i)
+		}
+		w.done <- struct{}{}
+	}
 }
 
 // errTorn marks a fault-injected crash-mid-write; see fault.TornRecord.
@@ -425,8 +660,20 @@ func (j *Journal) Sync() error {
 	return nil
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal. With GroupCommit it first stops
+// new enqueues, drains the committer (every already-enqueued Append is
+// still committed and acked), and joins the goroutine.
 func (j *Journal) Close() error {
+	if j.opts.GroupCommit {
+		j.closeMu.Lock()
+		already := j.closing
+		j.closing = true
+		if !already {
+			close(j.commitCh)
+		}
+		j.closeMu.Unlock()
+		j.committerWG.Wait()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.failed || j.f == nil {

@@ -1,0 +1,192 @@
+package witch_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/witch"
+)
+
+// codecProfile builds a real profile with a non-trivial pair list
+// (h264ref under DeadStores yields ~11 pairs).
+func codecProfile(t testing.TB) *witch.Profile {
+	t.Helper()
+	prog, err := witch.Workload("h264ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := witch.Run(prog, witch.Options{Tool: witch.DeadStores, Period: 97, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// jsonOf canonicalizes a profile for comparison.
+func jsonOf(t testing.TB, pr *witch.Profile) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestBinaryRoundTrip: encode → decode must preserve every field the
+// JSON schema carries, verified by byte-comparing the canonical JSON of
+// both sides.
+func TestBinaryRoundTrip(t *testing.T) {
+	prof := codecProfile(t)
+	body, err := prof.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !witch.IsBinaryProfile(body) {
+		t.Fatal("encoded body does not self-identify as binary")
+	}
+	var dec witch.BatchDecoder
+	got, err := dec.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d profiles, want 1", len(got))
+	}
+	if want, have := jsonOf(t, prof), jsonOf(t, got[0]); want != have {
+		t.Fatalf("binary round trip drifted:\nwant %s\ngot  %s", want, have)
+	}
+}
+
+// TestBatchDecoderMatchesReadProfileJSON: the pooled JSON path must
+// agree exactly with the reference ReadProfileJSON decoder, for a bare
+// object and for a batch array, across decoder reuse.
+func TestBatchDecoderMatchesReadProfileJSON(t *testing.T) {
+	prof := codecProfile(t)
+	var single bytes.Buffer
+	if err := prof.WriteJSON(&single); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := witch.ReadProfileJSON(bytes.NewReader(single.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jsonOf(t, ref)
+
+	var dec witch.BatchDecoder
+	for round := 0; round < 3; round++ { // reuse must not corrupt later decodes
+		got, err := dec.Decode(single.Bytes())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != 1 || jsonOf(t, got[0]) != want {
+			t.Fatalf("round %d: single-object decode drifted", round)
+		}
+		batch := []byte("[" + single.String() + "," + single.String() + "]")
+		got, err = dec.Decode(batch)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("round %d: decoded %d profiles, want 2", round, len(got))
+		}
+		for i, pr := range got {
+			if jsonOf(t, pr) != want {
+				t.Fatalf("round %d: batch profile %d drifted", round, i)
+			}
+		}
+
+		// Stream form: concatenated WriteJSON documents, no array.
+		stream := []byte(single.String() + single.String() + single.String())
+		got, err = dec.Decode(stream)
+		if err != nil {
+			t.Fatalf("round %d: stream: %v", round, err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("round %d: stream decoded %d profiles, want 3", round, len(got))
+		}
+		for i, pr := range got {
+			if jsonOf(t, pr) != want {
+				t.Fatalf("round %d: stream profile %d drifted", round, i)
+			}
+		}
+	}
+
+	// All-or-nothing: a stream with a bad trailing document fails whole,
+	// and an empty array is not a batch.
+	if _, err := dec.Decode([]byte(single.String() + `{"format_version": 9}`)); err == nil {
+		t.Fatal("good-then-bad stream decoded")
+	}
+	if _, err := dec.Decode([]byte("[]")); err == nil {
+		t.Fatal("empty array decoded as a batch")
+	}
+}
+
+// TestBinaryBatchConcatenation: a batch is concatenated documents.
+func TestBinaryBatchConcatenation(t *testing.T) {
+	prof := codecProfile(t)
+	one, err := prof.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	three := append(append(append([]byte(nil), one...), one...), one...)
+	var dec witch.BatchDecoder
+	got, err := dec.Decode(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d profiles, want 3", len(got))
+	}
+	want := jsonOf(t, prof)
+	for i, pr := range got {
+		if jsonOf(t, pr) != want {
+			t.Fatalf("batch profile %d drifted", i)
+		}
+	}
+}
+
+// TestBinaryDecodeHostileInput: truncations, corrupt lengths, and junk
+// must produce errors, never panics or silent partial batches.
+func TestBinaryDecodeHostileInput(t *testing.T) {
+	prof := codecProfile(t)
+	body, err := prof.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec witch.BatchDecoder
+	// Every proper prefix must fail (the full body succeeds).
+	for n := 0; n < len(body); n++ {
+		if n > 0 && witch.IsBinaryProfile(body[:n]) {
+			if _, err := dec.Decode(body[:n]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded cleanly", n, len(body))
+			}
+		}
+	}
+	// Junk after a valid document is a bad-magic error, not a silent stop.
+	if _, err := dec.Decode(append(append([]byte(nil), body...), "trailing junk"...)); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("trailing junk: got %v, want bad-magic error", err)
+	}
+	// A corrupt final byte (dangling varint) must fail too.
+	corrupt := append(append([]byte(nil), body[:len(body)-1]...), 0xFF)
+	if _, err := dec.Decode(corrupt); err == nil {
+		t.Fatal("corrupt tail decoded cleanly")
+	}
+}
+
+// TestBinaryDecodeRejectsInvalidMetrics: the binary path runs the same
+// semantic validation as ReadProfileJSON.
+func TestBinaryDecodeRejectsInvalidMetrics(t *testing.T) {
+	bad := witch.NewProfile(witch.Profile{Tool: "DeadStores"}, []witch.Pair{
+		{Src: "a.c:f:1", Dst: "a.c:g:2", Waste: -5, Use: 1},
+	})
+	body, err := bad.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec witch.BatchDecoder
+	if _, err := dec.Decode(body); err == nil || !strings.Contains(err.Error(), "waste") {
+		t.Fatalf("negative waste decoded cleanly (err=%v)", err)
+	}
+}

@@ -66,6 +66,13 @@ type PusherOptions struct {
 	// suppressed so a dead daemon costs one line, not one per profile.
 	// Defaults to log.Printf; use a no-op func to silence.
 	Logf func(format string, args ...any)
+	// Encoding selects the wire format: "json" (the default) or
+	// "binary", the compact encoding witchd negotiates by Content-Type.
+	// A binary pusher talking to a daemon that does not know the format
+	// (415 or 400 responses) logs once, counts the event, and falls back
+	// to JSON for the rest of its lifetime — delivery never fails over a
+	// format preference.
+	Encoding string
 }
 
 // PusherStats counts a pusher's lifetime outcomes.
@@ -83,6 +90,9 @@ type PusherStats struct {
 	Retries, Errors uint64
 	// BreakerTrips counts transitions of the circuit breaker to open.
 	BreakerTrips uint64
+	// EncodingFallbacks counts binary-to-JSON downgrades (0 or 1: the
+	// fallback latches).
+	EncodingFallbacks uint64
 }
 
 // Pusher streams profiles to a witchd daemon from the profiled process.
@@ -125,6 +135,15 @@ type Pusher struct {
 	brFails    int
 	brOpenTill time.Time
 	brCooldown time.Duration
+
+	// Encoder state, touched only by the sender goroutine: binary flips
+	// to false (permanently) when the daemon rejects the format, and the
+	// buffers are reused across deliveries so a long-lived pusher
+	// encodes with zero steady-state allocations.
+	binary    bool
+	encBuf    []byte
+	jsonBuf   bytes.Buffer
+	fallbacks atomic.Uint64
 }
 
 // NewPusher starts a pusher's background sender.
@@ -162,6 +181,13 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
+	switch opts.Encoding {
+	case "":
+		opts.Encoding = "json"
+	case "json", "binary":
+	default:
+		return nil, fmt.Errorf("witch: PusherOptions.Encoding must be \"json\" or \"binary\", got %q", opts.Encoding)
+	}
 	p := &Pusher{
 		opts:       opts,
 		url:        strings.TrimRight(opts.URL, "/") + "/v1/ingest",
@@ -169,6 +195,7 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 		quit:       make(chan struct{}),
 		byReason:   make(map[string]uint64),
 		brCooldown: opts.BreakerCooldown,
+		binary:     opts.Encoding == "binary",
 	}
 	p.wg.Add(1)
 	go p.sender()
@@ -244,13 +271,14 @@ func (p *Pusher) Stats() PusherStats {
 	}
 	p.reasonMu.Unlock()
 	return PusherStats{
-		Enqueued:        p.enqueued.Load(),
-		Sent:            p.sent.Load(),
-		Dropped:         p.dropped.Load(),
-		DroppedByReason: byReason,
-		Retries:         p.retries.Load(),
-		Errors:          p.errors.Load(),
-		BreakerTrips:    p.trips.Load(),
+		Enqueued:          p.enqueued.Load(),
+		Sent:              p.sent.Load(),
+		Dropped:           p.dropped.Load(),
+		DroppedByReason:   byReason,
+		Retries:           p.retries.Load(),
+		Errors:            p.errors.Load(),
+		BreakerTrips:      p.trips.Load(),
+		EncodingFallbacks: p.fallbacks.Load(),
 	}
 }
 
@@ -330,12 +358,30 @@ func (p *Pusher) breakerSuccess() {
 	p.brOpenTill = time.Time{}
 }
 
+// encode serializes one profile per the pusher's current wire format,
+// reusing the sender's buffers. The returned body aliases those buffers
+// and is valid until the next encode.
+func (p *Pusher) encode(prof *Profile) (body []byte, ctype string, err error) {
+	if p.binary {
+		p.encBuf, err = prof.AppendBinary(p.encBuf[:0])
+		if err != nil {
+			return nil, "", err
+		}
+		return p.encBuf, BinaryContentType, nil
+	}
+	p.jsonBuf.Reset()
+	if err := prof.WriteJSONCompact(&p.jsonBuf); err != nil {
+		return nil, "", err
+	}
+	return p.jsonBuf.Bytes(), "application/json", nil
+}
+
 // deliver sends one profile with bounded retries and exponential
 // backoff, counting a drop when every attempt fails. The breaker gates
 // every attempt: while open, no request leaves the process.
 func (p *Pusher) deliver(prof *Profile) {
-	var body bytes.Buffer
-	if err := prof.WriteJSON(&body); err != nil {
+	body, ctype, err := p.encode(prof)
+	if err != nil {
 		p.errors.Add(1)
 		p.drop(DropEncode)
 		return
@@ -346,11 +392,27 @@ func (p *Pusher) deliver(prof *Profile) {
 			p.drop(DropBreakerOpen)
 			return
 		}
-		retryAfter, ok := p.post(body.Bytes())
+		retryAfter, status, ok := p.post(body, ctype)
 		if ok {
 			p.recovered()
 			p.breakerSuccess()
 			return
+		}
+		if p.binary && (status == http.StatusUnsupportedMediaType || status == http.StatusBadRequest) {
+			// Not a delivery failure — a format negotiation failure: the
+			// daemon is alive but does not read binary profiles. Latch
+			// JSON and retry immediately; no error, breaker, or attempt
+			// is charged.
+			p.binary = false
+			p.fallbacks.Add(1)
+			p.opts.Logf("witch: pusher to %s: daemon rejected binary encoding (HTTP %d), falling back to JSON", p.url, status)
+			if body, ctype, err = p.encode(prof); err != nil {
+				p.errors.Add(1)
+				p.drop(DropEncode)
+				return
+			}
+			attempt--
+			continue
 		}
 		p.errors.Add(1)
 		p.breakerFailure(retryAfter)
@@ -369,7 +431,7 @@ func (p *Pusher) deliver(prof *Profile) {
 				p.drop(DropBreakerOpen)
 				return
 			}
-			if _, ok := p.post(body.Bytes()); ok {
+			if _, _, ok := p.post(body, ctype); ok {
 				p.recovered()
 			} else {
 				p.errors.Add(1)
@@ -381,22 +443,23 @@ func (p *Pusher) deliver(prof *Profile) {
 	}
 }
 
-// post performs one ingest attempt, reporting any daemon-advertised
-// Retry-After so the breaker can honor it.
-func (p *Pusher) post(body []byte) (retryAfter time.Duration, ok bool) {
-	resp, err := p.opts.Client.Post(p.url, "application/json", bytes.NewReader(body))
+// post performs one ingest attempt, reporting the HTTP status (0 for
+// transport errors) and any daemon-advertised Retry-After so the
+// breaker can honor it.
+func (p *Pusher) post(body []byte, ctype string) (retryAfter time.Duration, status int, ok bool) {
+	resp, err := p.opts.Client.Post(p.url, ctype, bytes.NewReader(body))
 	if err != nil {
-		return 0, false
+		return 0, 0, false
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		return 0, true
+		return 0, resp.StatusCode, true
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return retryAfter, false
+	return retryAfter, resp.StatusCode, false
 }

@@ -37,10 +37,24 @@ type profileJSON struct {
 const currentFormatVersion = 1
 
 // WriteJSON serializes the profile (metadata plus the full ranked pair
-// list) for postmortem inspection.
+// list) for postmortem inspection, indented for human eyes — the format
+// witch files and CLI output use.
 func (pr *Profile) WriteJSON(w io.Writer) error {
+	return pr.writeJSON(w, true)
+}
+
+// WriteJSONCompact serializes the same schema without indentation — the
+// HTTP responder's format, where the reader is a program and the
+// whitespace would be most of the bytes.
+func (pr *Profile) WriteJSONCompact(w io.Writer) error {
+	return pr.writeJSON(w, false)
+}
+
+func (pr *Profile) writeJSON(w io.Writer, indent bool) error {
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
+	if indent {
+		enc.SetIndent("", "  ")
+	}
 	return enc.Encode(profileJSON{
 		FormatVersion: currentFormatVersion,
 		Program:       pr.Program,
