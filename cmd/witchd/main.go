@@ -72,6 +72,9 @@ type daemonFlags struct {
 	snapEvery   int
 	segBytes    int64
 	pprofAddr   string
+	dedupWindow uint64
+	dedupMax    int
+	hdrTimeout  time.Duration
 }
 
 func parseFlags(args []string) (*daemonFlags, error) {
@@ -89,6 +92,9 @@ func parseFlags(args []string) (*daemonFlags, error) {
 	fs.IntVar(&f.snapEvery, "snapshot-every", 256, "acknowledged batches between snapshots (0: snapshot only on shutdown)")
 	fs.Int64Var(&f.segBytes, "segment-bytes", 8<<20, "journal segment size before rotation")
 	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this host:port (empty: disabled)")
+	fs.Uint64Var(&f.dedupWindow, "dedup-window", daemon.DefaultDedupWindow, "per-pusher idempotency window in sequences (rounded up to a multiple of 64)")
+	fs.IntVar(&f.dedupMax, "dedup-max-pushers", daemon.DefaultDedupMaxPushers, "distinct pusher identities tracked for dedup before LRU eviction")
+	fs.DurationVar(&f.hdrTimeout, "read-header-timeout", 10*time.Second, "disconnect clients that have not finished sending headers within this window")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -137,6 +143,15 @@ func (f *daemonFlags) validate() error {
 	if f.dataDir == "" && f.fsync != "always" {
 		return fmt.Errorf("-fsync %s is meaningless without -data-dir", f.fsync)
 	}
+	if f.dedupWindow == 0 {
+		return fmt.Errorf("-dedup-window must be positive")
+	}
+	if f.dedupMax <= 0 {
+		return fmt.Errorf("-dedup-max-pushers must be positive, got %d", f.dedupMax)
+	}
+	if f.hdrTimeout <= 0 {
+		return fmt.Errorf("-read-header-timeout must be positive, got %v", f.hdrTimeout)
+	}
 	return nil
 }
 
@@ -149,9 +164,11 @@ func main() {
 
 	st := store.New(store.Config{Window: f.window, Buckets: f.buckets})
 	srv := daemon.NewServer(st, daemon.Config{
-		MaxBody:     f.maxBody,
-		MaxInflight: f.inflight,
-		MaxBacklog:  f.backlog,
+		MaxBody:         f.maxBody,
+		MaxInflight:     f.inflight,
+		MaxBacklog:      f.backlog,
+		DedupWindow:     f.dedupWindow,
+		DedupMaxPushers: f.dedupMax,
 	})
 
 	// Bind before recovery so a taken port fails fast, but serve only
@@ -189,7 +206,7 @@ func main() {
 	if f.dataDir != "" {
 		srv.SetState(daemon.StateRecovering)
 		start := time.Now()
-		pers, err = daemon.OpenPersistence(f.dataDir, st, wal.Options{
+		pers, err = daemon.OpenPersistence(f.dataDir, st, srv.Dedup(), wal.Options{
 			SegmentBytes:   f.segBytes,
 			NoSync:         f.fsync == "off",
 			GroupCommit:    f.fsync == "group",
@@ -207,7 +224,7 @@ func main() {
 	}
 	srv.SetState(daemon.StateServing)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := daemon.HardenedServer(srv.Handler(), f.hdrTimeout)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	log.Printf("witchd: serving on %s (retention %v x %d buckets, durability %s)",

@@ -8,7 +8,10 @@
 //
 // The pusher never blocks the profiled workload: if the daemon is down,
 // profiles are dropped and counted, and this example still exits
-// promptly — run it without a daemon to watch the drops.
+// promptly — run it without a daemon to watch the drops. Pass
+// -spool-dir to trade drops for disk: undeliverable profiles park in a
+// durable spool and are replayed (exactly once, across restarts of
+// either side) when the daemon returns.
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	daemon := flag.String("daemon", "http://127.0.0.1:9147", "witchd base URL")
 	runs := flag.Int("runs", 4, "profiling runs to push")
 	workload := flag.String("workload", "listing2", "workload to profile")
+	spoolDir := flag.String("spool-dir", "", "durable spool directory (empty = drop when undeliverable)")
 	flag.Parse()
 
 	prog, err := witch.Workload(*workload)
@@ -31,9 +35,10 @@ func main() {
 		log.Fatal(err)
 	}
 	pusher, err := witch.NewPusher(witch.PusherOptions{
-		URL:     *daemon,
-		Timeout: time.Second,
-		Backoff: 100 * time.Millisecond,
+		URL:      *daemon,
+		Timeout:  time.Second,
+		Backoff:  100 * time.Millisecond,
+		SpoolDir: *spoolDir,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -56,8 +61,14 @@ func main() {
 	}
 	pusher.Close() // flush the queue before reading final stats
 	st := pusher.Stats()
+	// The denominator is everything this process was responsible for:
+	// its own pushes plus the spool backlog replayed from earlier runs.
 	fmt.Printf("pushed %d/%d profiles (%d dropped, %d retries)\n",
-		st.Sent, st.Enqueued+st.Dropped, st.Dropped, st.Retries)
+		st.Sent, st.Enqueued+st.Dropped+st.Replayed, st.Dropped, st.Retries)
+	if *spoolDir != "" {
+		fmt.Printf("spool: %d spooled, %d replayed, %d pending on disk for the next run\n",
+			st.Spooled, st.Replayed, st.SpoolPending)
+	}
 	if st.Sent > 0 {
 		fmt.Printf("query the merged view:\n  curl '%s/v1/top?tool=DeadCraft&n=5'\n", *daemon)
 	}

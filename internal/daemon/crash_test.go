@@ -32,7 +32,7 @@ func openDurable(t *testing.T, dir string, walOpts wal.Options, snapEvery uint64
 	st := store.New(store.Config{Window: time.Minute, Buckets: 4, Now: now})
 	srv := NewServer(st, Config{MaxBody: 4 << 20, Now: now})
 	srv.SetState(StateRecovering)
-	pers, err := OpenPersistence(dir, st, walOpts, snapEvery)
+	pers, err := OpenPersistence(dir, st, srv.Dedup(), walOpts, snapEvery)
 	if err != nil {
 		t.Fatalf("recovery must never fail on crash damage: %v", err)
 	}
@@ -390,7 +390,7 @@ func TestBacklogWatermarkSheds(t *testing.T) {
 		now := stepClock()
 		st := store.New(store.Config{Now: now})
 		srv := NewServer(st, Config{MaxBody: 4 << 20, MaxBacklog: 64, Now: now})
-		pers, err := OpenPersistence(dir, st, mode(wal.Options{NoSync: true}), 0)
+		pers, err := OpenPersistence(dir, st, srv.Dedup(), mode(wal.Options{NoSync: true}), 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,275 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// Dedup is witchd's half of exactly-once ingest: a bounded per-pusher
+// window over the (pusher ID, sequence) idempotency keys that batches
+// carry. A batch whose key was already processed is re-acked without
+// being journaled or merged — safe precisely because the original was
+// journaled before its ack, so the data is durable whether or not that
+// ack survived the network.
+//
+// Window semantics, per pusher (window width W):
+//
+//   - seq > max: never seen — process and mark, advancing max.
+//   - max-W < seq <= max, bit set: duplicate — re-ack.
+//   - max-W < seq <= max, bit clear: out-of-order first arrival —
+//     process and mark.
+//   - seq <= max-W: stale, beyond the window's memory. Treated as a
+//     duplicate (counted separately): re-acking a possibly-new batch
+//     loses at most that batch, while merging a possibly-seen batch
+//     corrupts the aggregate forever. Pushers deliver roughly in
+//     order (the spool replays oldest-first), so a W-deep reordering
+//     never happens in practice; W is surfaced in /healthz so an
+//     operator can see the bound they are trusting.
+//
+// Marking happens only after the batch is journaled and merged — a
+// failed journal append must leave the key unseen so the retry is
+// processed, not re-acked into the void. To keep check-then-mark
+// atomic, Process holds the pusher's entry lock across the batch
+// apply; batches from different pushers proceed in parallel, batches
+// from one pusher serialize (which the wire already guarantees: a
+// pusher has one sender).
+//
+// The pusher table itself is bounded: beyond MaxPushers the
+// least-recently-active pusher's window is evicted (counted). A
+// duplicate arriving after its window was evicted would double-merge —
+// the table bound is sized so that takes thousands of distinct
+// pushers, not a busy one.
+type Dedup struct {
+	mu      sync.Mutex
+	window  uint64
+	maxP    int
+	pushers map[string]*pusherWindow
+	tick    uint64
+
+	dups    uint64 // duplicate re-acks inside the window
+	stale   uint64 // conservative re-acks below the window
+	evicted uint64 // pusher windows dropped by the table bound
+}
+
+// pusherWindow is one pusher's dedup state. mu serializes that
+// pusher's batches through check→apply→mark.
+type pusherWindow struct {
+	mu   sync.Mutex
+	max  uint64
+	bits []uint64
+	last uint64 // LRU tick, guarded by Dedup.mu
+}
+
+// DefaultDedupWindow is the per-pusher window width in sequences.
+const DefaultDedupWindow = 4096
+
+// DefaultDedupMaxPushers bounds the pusher table.
+const DefaultDedupMaxPushers = 4096
+
+// NewDedup builds a dedup layer; zero arguments take the defaults.
+func NewDedup(window uint64, maxPushers int) *Dedup {
+	if window == 0 {
+		window = DefaultDedupWindow
+	}
+	// Round up to a multiple of 64 so the bitmap ring has no partial
+	// word to special-case.
+	window = (window + 63) &^ 63
+	if maxPushers <= 0 {
+		maxPushers = DefaultDedupMaxPushers
+	}
+	return &Dedup{window: window, maxP: maxPushers, pushers: make(map[string]*pusherWindow)}
+}
+
+// Window reports the per-pusher window width.
+func (d *Dedup) Window() uint64 { return d.window }
+
+// DedupStats is the /healthz view of the dedup layer.
+type DedupStats struct {
+	Window         uint64 `json:"window"`
+	Pushers        int    `json:"pushers"`
+	MaxPushers     int    `json:"max_pushers"`
+	Duplicates     uint64 `json:"duplicates_reacked"`
+	Stale          uint64 `json:"stale_reacked"`
+	EvictedPushers uint64 `json:"evicted_pushers"`
+}
+
+// Stats snapshots the counters.
+func (d *Dedup) Stats() DedupStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DedupStats{
+		Window:         d.window,
+		Pushers:        len(d.pushers),
+		MaxPushers:     d.maxP,
+		Duplicates:     d.dups,
+		Stale:          d.stale,
+		EvictedPushers: d.evicted,
+	}
+}
+
+// entry returns (creating if needed) the pusher's window, updating its
+// LRU stamp and enforcing the table bound.
+func (d *Dedup) entry(id string) *pusherWindow {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tick++
+	w := d.pushers[id]
+	if w == nil {
+		if len(d.pushers) >= d.maxP {
+			var coldID string
+			var coldW *pusherWindow
+			for pid, pw := range d.pushers {
+				if coldW == nil || pw.last < coldW.last {
+					coldID, coldW = pid, pw
+				}
+			}
+			delete(d.pushers, coldID)
+			d.evicted++
+		}
+		w = &pusherWindow{bits: make([]uint64, d.window/64)}
+		d.pushers[id] = w
+	}
+	w.last = d.tick
+	return w
+}
+
+// Process runs apply under the pusher's dedup lock: if (id, seq) was
+// already processed it reports dup=true without calling apply; else it
+// calls apply and the key becomes seen only on success. Any apply error
+// leaves the key unseen (the retry will be processed).
+//
+// apply receives a commit callback and MUST invoke it exactly once on
+// its success path, from inside whatever exclusion barrier makes the
+// batch durable (witchd calls it while still holding the persistence
+// apply lock). commit is what marks the key seen; deferring the mark to
+// after apply returned would let a snapshot cut the journal between the
+// durable batch and its mark, and a crash would then re-merge the
+// retry. An apply that errors must not call commit.
+func (d *Dedup) Process(id string, seq uint64, apply func(commit func()) error) (dup bool, stale bool, err error) {
+	w := d.entry(id)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	switch {
+	case seq > w.max:
+		// fresh
+	case w.max >= d.window && seq <= w.max-d.window:
+		d.mu.Lock()
+		d.stale++
+		d.mu.Unlock()
+		return true, true, nil
+	case w.bits[(seq/64)%(d.window/64)]&(1<<(seq%64)) != 0:
+		d.mu.Lock()
+		d.dups++
+		d.mu.Unlock()
+		return true, false, nil
+	}
+	if err := apply(func() { d.mark(w, seq) }); err != nil {
+		return false, false, err
+	}
+	return false, false, nil
+}
+
+// Mark records a key as seen without an apply — the journal-replay
+// path, where the batch is already durable and merged. Caller
+// guarantees no concurrent traffic (recovery runs before serving).
+func (d *Dedup) Mark(id string, seq uint64) {
+	w := d.entry(id)
+	w.mu.Lock()
+	d.mark(w, seq)
+	w.mu.Unlock()
+}
+
+// mark sets seq's bit, clearing the bits of any skipped-over range so
+// a sequence jump cannot leave ghost marks from a lap ago. Caller
+// holds w.mu.
+func (d *Dedup) mark(w *pusherWindow, seq uint64) {
+	if seq > w.max {
+		if seq-w.max >= d.window {
+			for i := range w.bits {
+				w.bits[i] = 0
+			}
+		} else {
+			for s := w.max + 1; s < seq; s++ {
+				w.bits[(s/64)%(d.window/64)] &^= 1 << (s % 64)
+			}
+		}
+		w.max = seq
+	}
+	w.bits[(seq/64)%(d.window/64)] |= 1 << (seq % 64)
+}
+
+// dedupImage is the gob codec for snapshot persistence.
+type dedupImage struct {
+	Window  uint64
+	Dups    uint64
+	Stale   uint64
+	Evicted uint64
+	Pushers map[string]pusherImage
+}
+
+type pusherImage struct {
+	Max  uint64
+	Bits []uint64
+}
+
+// State serializes the dedup windows for the store snapshot's extra
+// blob. Per-pusher locks are not taken: every window WRITE happens
+// inside the persistence apply barrier (Process's commit callback runs
+// under the apply read-lock), and State is only called with the apply
+// write-lock held — so the windows are frozen for the duration, and
+// concurrent pre-apply duplicate checks are read-only.
+func (d *Dedup) State() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	img := dedupImage{
+		Window:  d.window,
+		Dups:    d.dups,
+		Stale:   d.stale,
+		Evicted: d.evicted,
+		Pushers: make(map[string]pusherImage, len(d.pushers)),
+	}
+	for id, w := range d.pushers {
+		img.Pushers[id] = pusherImage{Max: w.max, Bits: append([]uint64(nil), w.bits...)}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		return nil, fmt.Errorf("daemon: encoding dedup state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Load replaces the dedup state from a snapshot blob. A window-width
+// mismatch keeps each pusher's max but marks its whole window seen —
+// the conservative direction: a late out-of-order batch below max is
+// re-acked rather than risking a double-merge with marks whose ring
+// positions no longer line up.
+func (d *Dedup) Load(blob []byte) error {
+	if len(blob) == 0 {
+		return nil
+	}
+	var img dedupImage
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&img); err != nil {
+		return fmt.Errorf("daemon: decoding dedup state: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dups, d.stale, d.evicted = img.Dups, img.Stale, img.Evicted
+	d.pushers = make(map[string]*pusherWindow, len(img.Pushers))
+	words := d.window / 64
+	for id, pi := range img.Pushers {
+		d.tick++
+		w := &pusherWindow{max: pi.Max, bits: make([]uint64, words), last: d.tick}
+		if img.Window == d.window && uint64(len(pi.Bits)) == words {
+			copy(w.bits, pi.Bits)
+		} else {
+			for i := range w.bits {
+				w.bits[i] = ^uint64(0)
+			}
+		}
+		d.pushers[id] = w
+	}
+	return nil
+}

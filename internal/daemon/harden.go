@@ -1,0 +1,34 @@
+package daemon
+
+import (
+	"net/http"
+	"time"
+)
+
+// HardenedServer builds an http.Server with the protection limits a
+// daemon facing a fleet of pushers (and whatever else can reach its
+// port) needs. The zero-value http.Server has none of them: a single
+// client that opens a connection and trickles header bytes — or simply
+// goes silent — holds a file descriptor and a goroutine forever
+// (slow-loris). readHeaderTimeout <= 0 takes the default.
+func HardenedServer(h http.Handler, readHeaderTimeout time.Duration) *http.Server {
+	if readHeaderTimeout <= 0 {
+		readHeaderTimeout = 10 * time.Second
+	}
+	return &http.Server{
+		Handler: h,
+		// A well-behaved pusher sends its entire header burst in one
+		// round trip; anyone still dribbling after this is a slow-loris.
+		ReadHeaderTimeout: readHeaderTimeout,
+		// Bodies are bounded by MaxBody (default 32 MiB); even over a
+		// slow link a legitimate ingest finishes far inside this.
+		ReadTimeout: 2 * time.Minute,
+		// Keep-alive is welcome (pushers reuse connections), but an idle
+		// connection is not a lease on a file descriptor.
+		IdleTimeout: 2 * time.Minute,
+		// Header space for the idempotency key and friends is a few
+		// hundred bytes; 64 KiB is generous, the 1 MiB default is a gift
+		// to memory-exhaustion attacks.
+		MaxHeaderBytes: 64 << 10,
+	}
+}

@@ -33,6 +33,7 @@ type Persistence struct {
 	dir       string
 	journal   *wal.Journal
 	st        *store.Store
+	ded       *Dedup // may be nil; rides the snapshot's extra blob
 	snapEvery uint64 // acknowledged batches between snapshots; 0 = shutdown only
 
 	applyMu sync.RWMutex
@@ -56,6 +57,7 @@ type RecoveryReport struct {
 	ReplayedBatches  int    `json:"replayed_batches"`
 	ReplayedProfiles int    `json:"replayed_profiles"`
 	SkippedRecords   int    `json:"skipped_records"`
+	ReplayedKeys     int    `json:"replayed_keys"`
 	TornTail         bool   `json:"torn_tail"`
 	TruncatedBytes   int64  `json:"truncated_bytes"`
 }
@@ -66,6 +68,56 @@ func (p *Persistence) Recovery() RecoveryReport { return p.recovery }
 // JournalCommits reports the journal's physical write(+fsync) count —
 // acked batches divided by this is the achieved mean commit-gang size.
 func (p *Persistence) JournalCommits() uint64 { return p.journal.Commits() }
+
+// Journal envelope. v1: [8-byte big-endian unix-nano][raw body]. v2
+// adds the batch's idempotency key between timestamp and body:
+//
+//	[8-byte ts][0x01][uvarint len(id)][id][uvarint seq][raw body]
+//
+// The 0x01 marker cannot be the first byte of any valid body — JSON
+// starts with '{', '[' or whitespace and the binary codec with 'W'
+// (its magic) — so v1 envelopes keep decoding unchanged, and a v2
+// daemon restarted over a v1 journal replays it cleanly.
+const envKeyMarker = 0x01
+
+// appendEnvelope encodes a journal envelope for body at time now.
+func appendEnvelope(now time.Time, id string, seq uint64, keyed bool, body []byte) []byte {
+	env := make([]byte, 8, 8+1+binary.MaxVarintLen64*2+len(id)+len(body))
+	binary.BigEndian.PutUint64(env, uint64(now.UnixNano()))
+	if keyed {
+		env = append(env, envKeyMarker)
+		env = binary.AppendUvarint(env, uint64(len(id)))
+		env = append(env, id...)
+		env = binary.AppendUvarint(env, seq)
+	}
+	return append(env, body...)
+}
+
+// splitEnvelope decodes a journal envelope into its timestamp, optional
+// idempotency key, and body. An envelope too mangled to split reports
+// ok=false (the caller counts it skipped).
+func splitEnvelope(payload []byte) (ts time.Time, id string, seq uint64, keyed bool, body []byte, ok bool) {
+	if len(payload) < 8 {
+		return ts, "", 0, false, nil, false
+	}
+	ts = time.Unix(0, int64(binary.BigEndian.Uint64(payload)))
+	rest := payload[8:]
+	if len(rest) == 0 || rest[0] != envKeyMarker {
+		return ts, "", 0, false, rest, true
+	}
+	rest = rest[1:]
+	idLen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < idLen {
+		return ts, "", 0, false, nil, false
+	}
+	id = string(rest[n : n+int(idLen)])
+	rest = rest[n+int(idLen):]
+	seq, n = binary.Uvarint(rest)
+	if n <= 0 {
+		return ts, "", 0, false, nil, false
+	}
+	return ts, id, seq, true, rest[n:], true
+}
 
 // snapName formats a snapshot filename anchored at a journal LSN.
 func snapName(lsn uint64) string {
@@ -100,11 +152,14 @@ func listSnapshots(dir string) []uint64 {
 // next older one, a torn journal tail is truncated, an undecodable
 // journal record is skipped and counted — only environmental errors
 // (unreadable dir) abort startup.
-func OpenPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery uint64) (*Persistence, error) {
+// If ded is non-nil, its windows are restored from the snapshot's
+// extra blob and re-marked from replayed keyed envelopes, so dedup
+// survives kill-restart exactly as far as the acknowledged data does.
+func OpenPersistence(dir string, st *store.Store, ded *Dedup, walOpts wal.Options, snapEvery uint64) (*Persistence, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("data dir: %w", err)
 	}
-	p := &Persistence{dir: dir, st: st, snapEvery: snapEvery}
+	p := &Persistence{dir: dir, st: st, ded: ded, snapEvery: snapEvery}
 
 	// Newest loadable snapshot wins; corrupt ones are skipped, not fatal.
 	// Even a snapshot too corrupt to load still floors LSN assignment:
@@ -121,12 +176,19 @@ func OpenPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 			p.recovery.SnapshotsSkipped++
 			continue
 		}
-		got, err := st.Restore(f)
+		got, extra, err := st.Restore(f)
 		f.Close()
 		if err != nil {
 			log.Printf("witchd: skipping corrupt snapshot %s: %v", snapName(lsn), err)
 			p.recovery.SnapshotsSkipped++
 			continue
+		}
+		if ded != nil {
+			if err := ded.Load(extra); err != nil {
+				// Lost dedup state degrades to at-least-once for batches
+				// older than the journal suffix — log, don't refuse to start.
+				log.Printf("witchd: dedup state in snapshot %s unreadable: %v", snapName(lsn), err)
+			}
 		}
 		anchor = got
 		p.recovery.SnapshotLoaded = true
@@ -157,12 +219,12 @@ func OpenPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 	// pusher replays exactly like a JSON one.
 	var dec witch.BatchDecoder
 	err = wal.Replay(dir, anchor, func(r wal.Record) error {
-		if len(r.Payload) < 8 {
+		ts, id, seq, keyed, body, ok := splitEnvelope(r.Payload)
+		if !ok {
 			p.recovery.SkippedRecords++
 			return nil
 		}
-		ts := time.Unix(0, int64(binary.BigEndian.Uint64(r.Payload)))
-		profs, err := dec.Decode(r.Payload[8:])
+		profs, err := dec.Decode(body)
 		if err != nil {
 			// Journaled bodies were validated before the append, so this
 			// is bit rot inside a CRC-valid record — count and continue
@@ -172,6 +234,12 @@ func OpenPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 		}
 		for _, prof := range profs {
 			st.IngestAt(prof, ts)
+		}
+		if keyed && ded != nil {
+			// The batch is durably merged; a post-restart retry of the
+			// same key must be re-acked, not re-merged.
+			ded.Mark(id, seq)
+			p.recovery.ReplayedKeys++
 		}
 		p.recovery.ReplayedBatches++
 		p.recovery.ReplayedProfiles += len(profs)
@@ -184,17 +252,22 @@ func OpenPersistence(dir string, st *store.Store, walOpts wal.Options, snapEvery
 	return p, nil
 }
 
-// applyBatch is the write path: envelope = 8-byte big-endian unix-nano
-// arrival time + raw validated body, journaled before the store ingest
-// runs and before the caller may acknowledge. An error means the batch
-// is NOT durable and must not be acknowledged — the caller sheds it
-// with a 5xx and the pusher's breaker backs off. The batch arrives
+// applyBatch is the write path: the envelope (arrival time, optional
+// idempotency key, raw validated body) is journaled before the store
+// ingest runs and before the caller may acknowledge. An error means the
+// batch is NOT durable and must not be acknowledged — the caller sheds
+// it with a 5xx and the pusher's breaker backs off. The batch arrives
 // pre-decoded (as the ingest closure) so a decode error can never
-// strike between journal append and store ingest.
-func (p *Persistence) applyBatch(body []byte, ingest func(time.Time), now time.Time) error {
-	env := make([]byte, 8+len(body))
-	binary.BigEndian.PutUint64(env, uint64(now.UnixNano()))
-	copy(env[8:], body)
+// strike between journal append and store ingest. Journaling the key
+// with the batch is what makes dedup crash-safe: replay re-marks
+// exactly the keys whose data it re-merges.
+//
+// commit runs after the batch is journaled and merged, still inside the
+// apply read-lock — it is where Dedup.Process marks the idempotency key
+// seen, so a snapshot (which takes the write lock) can never observe
+// the batch without its mark.
+func (p *Persistence) applyBatch(id string, seq uint64, keyed bool, body []byte, ingest func(time.Time), now time.Time, commit func()) error {
+	env := appendEnvelope(now, id, seq, keyed, body)
 
 	p.applyMu.RLock()
 	if _, err := p.journal.Append(env); err != nil {
@@ -203,6 +276,7 @@ func (p *Persistence) applyBatch(body []byte, ingest func(time.Time), now time.T
 		return err
 	}
 	ingest(now)
+	commit()
 	p.applyMu.RUnlock()
 
 	if n := p.batches.Add(1); p.snapEvery > 0 && n%p.snapEvery == 0 {
@@ -222,12 +296,21 @@ func (p *Persistence) snapshot() error {
 	defer p.applyMu.Unlock()
 
 	lsn := p.journal.LastLSN()
+	// With applies excluded, the dedup image is consistent with the
+	// store image: both cover exactly the batches at or below lsn.
+	var extra []byte
+	if p.ded != nil {
+		var err error
+		if extra, err = p.ded.State(); err != nil {
+			return err
+		}
+	}
 	tmp := filepath.Join(p.dir, "snap.tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := p.st.Snapshot(f, lsn); err != nil {
+	if err := p.st.Snapshot(f, lsn, extra); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -284,4 +367,11 @@ func (p *Persistence) Shutdown() error {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// Abandon drops the journal without syncing or snapshotting — the
+// kill -9 path for crash harnesses. Recovery must reconstruct
+// everything from whatever the page cache already made durable.
+func (p *Persistence) Abandon() {
+	p.journal.Abandon()
 }

@@ -60,6 +60,12 @@ type Config struct {
 	MaxBacklog int64
 	// Now is the ingest clock, injectable for tests (default time.Now).
 	Now func() time.Time
+	// DedupWindow is the per-pusher idempotency window in sequences
+	// (default DefaultDedupWindow; rounded up to a multiple of 64).
+	DedupWindow uint64
+	// DedupMaxPushers bounds the dedup pusher table (default
+	// DefaultDedupMaxPushers).
+	DedupMaxPushers int
 }
 
 // Server wires the retention store, the persistence layer, and the
@@ -68,6 +74,7 @@ type Server struct {
 	st   *store.Store
 	cfg  Config
 	pers *Persistence // nil = memory-only (no data dir)
+	ded  *Dedup
 
 	state atomic.Int32
 	sem   chan struct{}
@@ -94,9 +101,14 @@ func NewServer(st *store.Store, cfg Config) *Server {
 		cfg.Now = time.Now
 	}
 	s := &Server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+	s.ded = NewDedup(cfg.DedupWindow, cfg.DedupMaxPushers)
 	s.state.Store(StateStarting)
 	return s
 }
+
+// Dedup exposes the idempotency layer so persistence recovery can
+// restore and re-mark it (pass it to OpenPersistence).
+func (s *Server) Dedup() *Dedup { return s.ded }
 
 // SetState moves the lifecycle forward.
 func (s *Server) SetState(st int32) { s.state.Store(st) }
@@ -232,6 +244,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Idempotency key: pushers stamp every batch with their durable
+	// identity and a never-reused sequence. A keyed batch already seen
+	// is re-acked without touching the journal or the store — the ack
+	// the pusher lost is replayed, the data is not.
+	id := r.Header.Get(witch.PusherIDHeader)
+	var seq uint64
+	keyed := false
+	if id != "" {
+		if rawSeq := r.Header.Get(witch.PusherSeqHeader); rawSeq != "" {
+			if v, perr := strconv.ParseUint(rawSeq, 10, 64); perr == nil {
+				seq, keyed = v, true
+			}
+		}
+	}
+
 	// Per-tool routing happens inside the aggregate: every profile
 	// carries its tool, and merge keys are tool-scoped, so a batch may
 	// mix tools freely without cross-contamination.
@@ -240,17 +267,40 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			s.st.IngestAt(p, now)
 		}
 	}
-	if s.pers != nil {
-		// Durability before acknowledgement: journal (and fsync, per
-		// policy) first; a journal error sheds the batch un-acked so the
-		// client retries against a daemon that can make it durable.
-		if err := s.pers.applyBatch(body, ingest, s.cfg.Now()); err != nil {
-			decoders.Put(dec)
-			s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal append failed, batch not accepted: %v", err)
-			return
+	// Durability before acknowledgement: journal (and fsync, per
+	// policy) first; a journal error sheds the batch un-acked so the
+	// client retries against a daemon that can make it durable.
+	apply := func(commit func()) error {
+		if s.pers != nil {
+			return s.pers.applyBatch(id, seq, keyed, body, ingest, s.cfg.Now(), commit)
 		}
-	} else {
 		ingest(s.cfg.Now())
+		commit()
+		return nil
+	}
+	var dup, stale bool
+	if keyed {
+		// Process holds the pusher's window lock across apply, making
+		// check→journal→merge→mark atomic per pusher; the commit
+		// callback marks the key inside the persistence apply barrier.
+		dup, stale, err = s.ded.Process(id, seq, apply)
+	} else {
+		err = apply(func() {})
+	}
+	if err != nil {
+		decoders.Put(dec)
+		s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal append failed, batch not accepted: %v", err)
+		return
+	}
+	if dup {
+		// The ack body below is identical to the original's — a pusher
+		// must not care whether its ack is first-hand. The header is
+		// for operators and tests.
+		if stale {
+			w.Header().Set("X-Witch-Duplicate", "stale")
+		} else {
+			w.Header().Set("X-Witch-Duplicate", "window")
+		}
 	}
 
 	// The merge copied everything it keeps, so the batch is done with:
@@ -399,6 +449,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"tools":            s.st.Query(0).Tools(),
 		"health":           health,
 		"store":            s.st.Stats(),
+		"dedup":            s.ded.Stats(),
 	}
 	if p := s.pers; p != nil {
 		out["durability"] = map[string]any{

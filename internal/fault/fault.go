@@ -17,7 +17,10 @@
 // branches entirely when no injector is installed.
 package fault
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // Class is one injectable fault class.
 type Class uint8
@@ -60,8 +63,29 @@ const (
 	// full filesystem does.
 	ENOSPC
 
+	// The network classes fail the pusher→witchd HTTP path the way real
+	// networks fail, injected via the client RoundTripper seam
+	// (fault.Transport) or the daemon handler seam (daemon.ChaosHandler).
+
+	// ConnRefused fails the dial outright — daemon down or restarting,
+	// nothing reaches the wire.
+	ConnRefused
+	// ReqTimeout times the request out client-side before any response
+	// arrives; the client cannot know whether the daemon processed it.
+	ReqTimeout
+	// RespCorrupt garbles the response after the daemon has processed the
+	// request, so a committed batch comes back unreadable.
+	RespCorrupt
+	// MidBodyCut disconnects mid-request-body: the daemon sees a
+	// truncated upload and must reject it without merging.
+	MidBodyCut
+	// LostAck drops the connection after the daemon has durably committed
+	// and merged the batch but before the ack reaches the client — the
+	// critical exactly-once case: a naive retry double-counts.
+	LostAck
+
 	// NumClasses is the number of fault classes.
-	NumClasses = int(ENOSPC) + 1
+	NumClasses = int(LostAck) + 1
 )
 
 // String names the class.
@@ -85,6 +109,16 @@ func (c Class) String() string {
 		return "torn-record"
 	case ENOSPC:
 		return "enospc"
+	case ConnRefused:
+		return "conn-refused"
+	case ReqTimeout:
+		return "req-timeout"
+	case RespCorrupt:
+		return "resp-corrupt"
+	case MidBodyCut:
+		return "mid-body-cut"
+	case LostAck:
+		return "lost-ack"
 	}
 	return "unknown"
 }
@@ -108,6 +142,11 @@ type Plan struct {
 	SyncFail     float64
 	TornRecord   float64
 	ENOSPC       float64
+	ConnRefused  float64
+	ReqTimeout   float64
+	RespCorrupt  float64
+	MidBodyCut   float64
+	LostAck      float64
 
 	// Burst windows model correlated failure (a debugger attaching for a
 	// while, a load spike coalescing signals): every BurstEvery
@@ -151,6 +190,16 @@ func (p Plan) rate(c Class) float64 {
 		return p.TornRecord
 	case ENOSPC:
 		return p.ENOSPC
+	case ConnRefused:
+		return p.ConnRefused
+	case ReqTimeout:
+		return p.ReqTimeout
+	case RespCorrupt:
+		return p.RespCorrupt
+	case MidBodyCut:
+		return p.MidBodyCut
+	case LostAck:
+		return p.LostAck
 	}
 	return 0
 }
@@ -161,6 +210,16 @@ func DiskUniform(rate float64, seed int64) Plan {
 	return Plan{
 		Seed:       seed,
 		ShortWrite: rate, SyncFail: rate, TornRecord: rate, ENOSPC: rate,
+	}
+}
+
+// NetUniform returns a plan injecting only the network classes, each at
+// the same rate — the knob the delivery chaos experiment sweeps.
+func NetUniform(rate float64, seed int64) Plan {
+	return Plan{
+		Seed:        seed,
+		ConnRefused: rate, ReqTimeout: rate, RespCorrupt: rate,
+		MidBodyCut: rate, LostAck: rate,
 	}
 }
 
@@ -184,8 +243,13 @@ type classState struct {
 	injected      uint64
 }
 
-// Injector executes a Plan. A nil *Injector is valid and injects nothing.
+// Injector executes a Plan. A nil *Injector is valid and injects
+// nothing. Safe for concurrent use: the daemon handler seam draws
+// opportunities from parallel requests. Each class's stream stays
+// deterministic in its own opportunity order; under concurrency the
+// interleaving of opportunities onto that stream is the caller's.
 type Injector struct {
+	mu   sync.Mutex
 	plan Plan
 	cls  [NumClasses]classState
 }
@@ -220,6 +284,8 @@ func (in *Injector) Should(c Class) bool {
 	if in == nil {
 		return false
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	st := &in.cls[c]
 	n := st.opportunities
 	st.opportunities++
@@ -242,6 +308,8 @@ func (in *Injector) Injected(c Class) uint64 {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.cls[c].injected
 }
 
@@ -250,6 +318,8 @@ func (in *Injector) Opportunities(c Class) uint64 {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.cls[c].opportunities
 }
 
@@ -258,6 +328,8 @@ func (in *Injector) TotalInjected() uint64 {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	var n uint64
 	for c := range in.cls {
 		n += in.cls[c].injected

@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Transport is the client-side network fault seam: an http.RoundTripper
+// that injects the network fault classes in front of an inner
+// transport. It slots into witch.PusherOptions.Client unchanged, so the
+// pusher needs no fault-specific code path.
+//
+// Class semantics at this seam:
+//
+//   - ConnRefused / ReqTimeout fire before the request is forwarded —
+//     the server never sees it.
+//   - MidBodyCut truncates the request body mid-stream, so the server
+//     sees a short read against Content-Length and must reject.
+//   - RespCorrupt garbles a response the server already produced.
+//   - LostAck discards a *successful* response after the server has
+//     fully processed the request — the client is told the connection
+//     died, but the work is committed server-side.
+type Transport struct {
+	Inner http.RoundTripper
+	Inj   *Injector
+}
+
+// errTimeout satisfies net.Error so callers treating timeouts specially
+// see a faithful failure.
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "fault: injected request timeout" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }
+
+// ErrLostAck is returned when an ack is dropped after the server
+// committed the batch. Tests assert on it; production callers see just
+// another transport error and retry.
+var ErrLostAck = errors.New("fault: connection lost after server commit (ack dropped)")
+
+// cutBody truncates a request body after limit bytes, then fails the
+// way a torn-down connection does.
+type cutBody struct {
+	r     io.Reader
+	limit int64
+	read  int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.read >= c.limit {
+		return 0, errors.New("fault: connection cut mid-body")
+	}
+	if int64(len(p)) > c.limit-c.read {
+		p = p[:c.limit-c.read]
+	}
+	n, err := c.r.Read(p)
+	c.read += int64(n)
+	if err == nil && c.read >= c.limit {
+		err = errors.New("fault: connection cut mid-body")
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error {
+	if cl, ok := c.r.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// RoundTrip injects at most one fault per request, checking classes in
+// wire order: dial, send, response. A nil injector forwards untouched.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	in := t.Inj
+	if in == nil {
+		return inner.RoundTrip(req)
+	}
+
+	if in.Should(ConnRefused) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errors.New("fault: injected connect refused")
+	}
+	if in.Should(ReqTimeout) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errTimeout{}
+	}
+	if req.Body != nil && req.ContentLength > 1 && in.Should(MidBodyCut) {
+		req = req.Clone(req.Context())
+		req.Body = &cutBody{r: req.Body, limit: req.ContentLength / 2}
+	}
+
+	resp, err := inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode < 400 && in.Should(LostAck) {
+		// The server has fully handled the request; only the ack is lost.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, ErrLostAck
+	}
+	if in.Should(RespCorrupt) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		resp.StatusCode = http.StatusBadGateway
+		resp.Status = "502 Bad Gateway (fault: response corrupted)"
+		garbled := bytes.Repeat([]byte{0xff, 0x00, 0x5a}, 16)
+		resp.Body = io.NopCloser(bytes.NewReader(garbled))
+		resp.ContentLength = int64(len(garbled))
+		resp.Header = resp.Header.Clone()
+		resp.Header.Set("Content-Type", "application/octet-stream")
+	}
+	return resp, nil
+}
+
+// IsInjectedNetError reports whether err came from this seam — the
+// harness uses it to separate injected failures from real ones.
+func IsInjectedNetError(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "fault: ")
+}

@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeliveryExactlyOnce is the tier-1 gate on the exactly-once story:
+// the quick delivery sweep (3 pushers, 4 combined net+disk fault
+// matrices, kill -9 restarts of daemon and pushers) must end with every
+// program's merged profile byte-identical to the fault-free oracle.
+// The experiment itself returns an error on any acked loss, double
+// merge, unpermitted drop, or unbalanced pusher ledger, so the test
+// only has to run it and sanity-check the report.
+func TestDeliveryExactlyOnce(t *testing.T) {
+	out := runExp(t, Delivery)
+	if !strings.Contains(out, "byte-identical") {
+		t.Fatalf("delivery report missing oracle verdict:\n%s", out)
+	}
+	for _, sweep := range []string{"refused+timeout", "ack loss both sides", "spool write faults", "spool overflow"} {
+		if !strings.Contains(out, sweep) {
+			t.Fatalf("delivery report missing sweep %q:\n%s", sweep, out)
+		}
+	}
+}

@@ -296,7 +296,7 @@ func runIngestMode(prof *witch.Profile, pushers, perPusher int, group bool, enco
 	st := store.New(store.Config{})
 	srv := daemon.NewServer(st, daemon.Config{MaxInflight: 2 * pushers})
 	srv.SetState(daemon.StateRecovering)
-	pers, err := daemon.OpenPersistence(dir, st, wal.Options{
+	pers, err := daemon.OpenPersistence(dir, st, srv.Dedup(), wal.Options{
 		GroupCommit: group, MaxCommitDelay: delay,
 	}, 0)
 	if err != nil {

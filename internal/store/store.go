@@ -216,6 +216,11 @@ type snapshotFile struct {
 	Evicted     uint64
 	Buckets     []bucketImage
 	Rollup      *agg.State
+	// Extra is an opaque caller blob carried beside the retention state
+	// — witchd stores its idempotency-dedup windows here, so duplicate
+	// suppression survives the same snapshot/replay cycle the data
+	// does. Absent in pre-extra snapshots (gob leaves it nil).
+	Extra []byte
 }
 
 // bucketImage is one retention bucket's encoded state.
@@ -226,14 +231,15 @@ type bucketImage struct {
 
 // Snapshot encodes the full retention state — ring, pending folds, and
 // rollup — to w. anchor is an opaque caller cursor (witchd stores the
-// journal LSN the snapshot covers) returned verbatim by Restore.
+// journal LSN the snapshot covers) and extra an opaque caller blob
+// (witchd: dedup windows); both are returned verbatim by Restore.
 //
 // The fold barrier is held for the duration, so eviction cannot move a
 // bucket across the rollup boundary mid-encode: every bucket lands on
 // exactly one side (TestSnapshotRacesEviction). Concurrent ingest into
 // live buckets remains possible — callers needing an exact cut (witchd
 // does, for replay consistency) must quiesce ingest around the call.
-func (s *Store) Snapshot(w io.Writer, anchor uint64) error {
+func (s *Store) Snapshot(w io.Writer, anchor uint64, extra []byte) error {
 	s.foldMu.Lock()
 	defer s.foldMu.Unlock()
 
@@ -255,6 +261,7 @@ func (s *Store) Snapshot(w io.Writer, anchor uint64) error {
 		Ingested:    s.ingested.Load(),
 		Evicted:     s.evictedBuckets.Load(),
 		Rollup:      rollup.State(),
+		Extra:       extra,
 	}
 	for _, b := range buckets {
 		img.Buckets = append(img.Buckets, bucketImage{
@@ -269,18 +276,19 @@ func (s *Store) Snapshot(w io.Writer, anchor uint64) error {
 }
 
 // Restore replaces the store's state with a snapshot, returning the
-// caller anchor it was written with. Meant for a freshly built store
+// caller anchor and extra blob it was written with. Meant for a freshly
+// built store
 // during recovery, before serving. Buckets that no longer fit the
 // ring — a changed window width, or two buckets hashing to one slot
 // after a long outage — are folded into the rollup rather than dropped,
 // so all-time queries stay exact under any reconfiguration.
-func (s *Store) Restore(r io.Reader) (anchor uint64, err error) {
+func (s *Store) Restore(r io.Reader) (anchor uint64, extra []byte, err error) {
 	var img snapshotFile
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
-		return 0, fmt.Errorf("store: decoding snapshot: %w", err)
+		return 0, nil, fmt.Errorf("store: decoding snapshot: %w", err)
 	}
 	if img.Version != snapshotVersion {
-		return 0, fmt.Errorf("store: snapshot version %d unsupported (this build reads %d)", img.Version, snapshotVersion)
+		return 0, nil, fmt.Errorf("store: snapshot version %d unsupported (this build reads %d)", img.Version, snapshotVersion)
 	}
 
 	ring := make([]*bucket, s.cfg.Buckets)
@@ -309,7 +317,7 @@ func (s *Store) Restore(r io.Reader) (anchor uint64, err error) {
 	s.foldMu.Unlock()
 	s.ingested.Store(img.Ingested)
 	s.evictedBuckets.Store(evicted)
-	return img.Anchor, nil
+	return img.Anchor, img.Extra, nil
 }
 
 // Stats reports the retention state: live buckets, buckets folded into

@@ -191,16 +191,19 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf, 42); err != nil {
+	if err := s.Snapshot(&buf, 42, []byte("extra-blob")); err != nil {
 		t.Fatal(err)
 	}
 	r := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
-	anchor, err := r.Restore(bytes.NewReader(buf.Bytes()))
+	anchor, extra, err := r.Restore(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if anchor != 42 {
 		t.Fatalf("anchor = %d, want 42", anchor)
+	}
+	if string(extra) != "extra-blob" {
+		t.Fatalf("extra = %q, want %q", extra, "extra-blob")
 	}
 
 	if got, want := r.Stats(), s.Stats(); got != want {
@@ -240,12 +243,12 @@ func TestSnapshotRestoreGeometryChange(t *testing.T) {
 		clk.advance(time.Minute)
 	}
 	var buf bytes.Buffer
-	if err := s.Snapshot(&buf, 1); err != nil {
+	if err := s.Snapshot(&buf, 1, nil); err != nil {
 		t.Fatal(err)
 	}
 
 	r := New(Config{Window: time.Hour, Buckets: 2, Now: clk.now})
-	if _, err := r.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+	if _, _, err := r.Restore(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.Query(0).Profiles(); got != n {
@@ -261,14 +264,14 @@ func TestSnapshotRestoreGeometryChange(t *testing.T) {
 // instead of restoring nonsense.
 func TestRestoreRejectsBadSnapshots(t *testing.T) {
 	s := New(Config{})
-	if _, err := s.Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+	if _, _, err := s.Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
 		t.Fatal("garbage restored without error")
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&snapshotFile{Version: snapshotVersion + 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+	if _, _, err := s.Restore(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("future snapshot version restored without error")
 	}
 }
@@ -304,21 +307,21 @@ func TestSnapshotRacesEviction(t *testing.T) {
 		default:
 		}
 		var buf bytes.Buffer
-		if err := s.Snapshot(&buf, uint64(len(snaps))); err != nil {
+		if err := s.Snapshot(&buf, uint64(len(snaps)), nil); err != nil {
 			t.Fatal(err)
 		}
 		snaps = append(snaps, buf.Bytes())
 	}
 	// One more after ingest quiesced: this one must be exact.
 	var final bytes.Buffer
-	if err := s.Snapshot(&final, uint64(len(snaps))); err != nil {
+	if err := s.Snapshot(&final, uint64(len(snaps)), nil); err != nil {
 		t.Fatal(err)
 	}
 	snaps = append(snaps, final.Bytes())
 
 	for i, snap := range snaps {
 		r := New(cfg)
-		if _, err := r.Restore(bytes.NewReader(snap)); err != nil {
+		if _, _, err := r.Restore(bytes.NewReader(snap)); err != nil {
 			t.Fatalf("snapshot %d: %v", i, err)
 		}
 		prof := r.Query(0).Snapshot("dead", "")
@@ -333,7 +336,7 @@ func TestSnapshotRacesEviction(t *testing.T) {
 	}
 
 	r := New(cfg)
-	if _, err := r.Restore(bytes.NewReader(final.Bytes())); err != nil {
+	if _, _, err := r.Restore(bytes.NewReader(final.Bytes())); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.Query(0).Profiles(); got != n {

@@ -689,6 +689,76 @@ func (j *Journal) Close() error {
 	return cerr
 }
 
+// SizeBytes reports the journal's total on-disk footprint: every
+// rotated-out segment plus the active one. The pusher spool polls it to
+// enforce its disk budget.
+func (j *Journal) SizeBytes() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	total := j.seg.size
+	for _, s := range j.segments {
+		total += s.size
+	}
+	return total
+}
+
+// Rotate forces the active segment closed and starts a fresh one, so
+// its records become evictable by EvictOldest. A segment holding no
+// records is not rotated (nothing would become evictable).
+func (j *Journal) Rotate() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed {
+		return ErrFailed
+	}
+	if j.seg.lastLSN < j.seg.firstLSN {
+		return nil
+	}
+	return j.rotateLocked()
+}
+
+// EvictOldest removes the oldest rotated-out segment regardless of any
+// snapshot anchor — the spool's bounded-disk eviction, where the caller
+// (not a snapshot) decides the budget and must count the records in
+// [first, last] as dropped. ok is false when only the active segment
+// remains; rotate first to free it.
+func (j *Journal) EvictOldest() (first, last uint64, ok bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.segments) == 0 {
+		return 0, 0, false, nil
+	}
+	s := j.segments[0]
+	if err := os.Remove(s.path); err != nil {
+		return 0, 0, false, fmt.Errorf("wal: evict: %w", err)
+	}
+	j.segments = j.segments[1:]
+	return s.firstLSN, s.lastLSN, true, nil
+}
+
+// Abandon closes the journal without syncing or draining — the
+// kill -9 twin of Close, used by crash tests and Pusher.Abort to model
+// a process death: whatever the page cache held is all a restart gets.
+func (j *Journal) Abandon() {
+	if j.opts.GroupCommit {
+		j.closeMu.Lock()
+		already := j.closing
+		j.closing = true
+		if !already {
+			close(j.commitCh)
+		}
+		j.closeMu.Unlock()
+		j.committerWG.Wait()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	j.failed = true
+}
+
 // RemoveThrough deletes segments every record of which has LSN <= lsn —
 // the snapshot-anchored GC: once a snapshot covers lsn, the prefix it
 // covers is dead weight. The active segment is never removed.

@@ -5,22 +5,27 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // Drop reasons, the keys of PusherStats.DroppedByReason.
 const (
 	// DropQueueFull: Push found the bounded queue full (daemon slower
-	// than the workload produces profiles, or breaker open).
+	// than the workload produces profiles, or breaker open). With a
+	// spool configured this means the spill channel was full too.
 	DropQueueFull = "queue_full"
 	// DropClosed: Push after Close.
 	DropClosed = "closed"
-	// DropRetries: every delivery attempt failed.
+	// DropRetries: every delivery attempt failed (memory-only pushers;
+	// a spooled pusher parks the profile on disk instead).
 	DropRetries = "retries_exhausted"
 	// DropEncode: the profile failed to serialize.
 	DropEncode = "encode_error"
@@ -28,6 +33,13 @@ const (
 	// held deliveries back, so the queued profile was abandoned without
 	// hammering a daemon that just said stop.
 	DropBreakerOpen = "breaker_open"
+	// DropSpoolEvict: the bounded spool shed its oldest entries to make
+	// room — the only drop path a healthy spooled pusher has, and the
+	// exactly-counted one the delivery chaos experiment audits.
+	DropSpoolEvict = "spool_evicted"
+	// DropSpoolError: the spool itself failed (disk error) while a
+	// profile was being parked.
+	DropSpoolError = "spool_error"
 )
 
 // PusherOptions configures a Pusher. The zero value of every field is a
@@ -37,19 +49,23 @@ type PusherOptions struct {
 	// profiles are POSTed to URL + "/v1/ingest".
 	URL string
 	// Queue bounds the number of profiles waiting to be sent
-	// (default 16). When the queue is full, Push drops and counts.
+	// (default 16). When the queue is full, Push drops and counts —
+	// or spills to the durable spool when SpoolDir is set.
 	Queue int
 	// Retries is how many extra delivery attempts a profile gets after
 	// its first failure before being dropped (default 3).
 	Retries int
 	// Backoff is the delay before the first retry, doubling each
 	// attempt — the same bounded-retry idiom the profiler uses for
-	// failed watchpoint arms (default 50ms).
+	// failed watchpoint arms (default 50ms). The actual sleep is
+	// full-jittered: uniform in (0, backoff], so a daemon restart does
+	// not see every pusher's retry land in the same instant.
 	Backoff time.Duration
 	// Timeout bounds each HTTP request (default 2s). Ignored when
 	// Client is set.
 	Timeout time.Duration
-	// Client overrides the HTTP client, e.g. for tests.
+	// Client overrides the HTTP client, e.g. for tests or fault
+	// injection (see internal/fault.Transport).
 	Client *http.Client
 	// BreakerThreshold is how many consecutive delivery failures open
 	// the circuit breaker (default 3). While open, the sender stops
@@ -59,7 +75,10 @@ type PusherOptions struct {
 	// advertised duration — shedding means "go away", not "try harder".
 	BreakerThreshold int
 	// BreakerCooldown is the initial open duration (default 500ms),
-	// doubling on each failed half-open trial up to 30s.
+	// doubling on each failed half-open trial up to 30s. The applied
+	// interval is equal-jittered — uniform in [cooldown/2, cooldown] —
+	// so a fleet of pushers tripped by one outage re-probes spread out,
+	// not in lockstep.
 	BreakerCooldown time.Duration
 	// Logf receives the pusher's (rare) log lines: the first drop of an
 	// outage and the recovery summary — repeats in between are
@@ -73,15 +92,36 @@ type PusherOptions struct {
 	// to JSON for the rest of its lifetime — delivery never fails over a
 	// format preference.
 	Encoding string
+	// SpoolDir enables the durable spool: a disk-backed overflow queue
+	// (internal/wal segments) that catches profiles the daemon cannot
+	// take right now — breaker open, queue full, retries exhausted —
+	// and replays them oldest-first on reconnect and across process
+	// restarts. The directory also persists the pusher's identity and
+	// sequence floor, making the (pusher ID, sequence) idempotency key
+	// stable across restarts. Empty disables spooling (memory-only, the
+	// pre-spool behavior).
+	SpoolDir string
+	// SpoolMaxBytes bounds the spool's disk footprint (default 64 MiB).
+	// When exceeded, the oldest entries are shed first and counted in
+	// DroppedByReason[DropSpoolEvict].
+	SpoolMaxBytes int64
+	// SpoolSegmentBytes is the spool's segment file size (default
+	// 1 MiB) — the GC and eviction granule.
+	SpoolSegmentBytes int64
+	// SpoolInjector threads a disk-fault injector into the spool's
+	// journal writes — the chaos seam for delivery experiments. Nil in
+	// production.
+	SpoolInjector *fault.Injector
 }
 
 // PusherStats counts a pusher's lifetime outcomes.
 type PusherStats struct {
 	// Enqueued profiles were accepted by Push; Sent were delivered.
 	Enqueued, Sent uint64
-	// Dropped counts profiles lost to a full queue, a closed pusher, or
-	// exhausted retries — the backpressure escape valve: the profiled
-	// workload sheds profiles rather than ever blocking on the daemon.
+	// Dropped counts profiles lost to a full queue, a closed pusher,
+	// exhausted retries, or spool eviction — the backpressure escape
+	// valve: the profiled workload sheds profiles rather than ever
+	// blocking on the daemon.
 	Dropped uint64
 	// DroppedByReason splits Dropped by cause (see the Drop* constants).
 	DroppedByReason map[string]uint64
@@ -93,6 +133,13 @@ type PusherStats struct {
 	// EncodingFallbacks counts binary-to-JSON downgrades (0 or 1: the
 	// fallback latches).
 	EncodingFallbacks uint64
+	// Spooled counts profiles parked in the durable spool; Replayed
+	// counts spool entries later delivered. SpoolPending is the durable
+	// backlog right now — at quiescence, Enqueued = Sent + Dropped +
+	// SpoolPending. SpoolEvicted is the spool's lifetime eviction count
+	// (across process restarts; also included in Dropped for evictions
+	// this incarnation performed).
+	Spooled, Replayed, SpoolPending, SpoolEvicted uint64
 }
 
 // Pusher streams profiles to a witchd daemon from the profiled process.
@@ -108,14 +155,27 @@ type PusherStats struct {
 // sheds load (429/503 + Retry-After) or fails repeatedly, a circuit
 // breaker stops delivery attempts for the advertised cooldown instead
 // of retrying blind, re-probing with a single half-open trial.
+//
+// With PusherOptions.SpoolDir set the escape valve becomes durable:
+// instead of dropping, undeliverable profiles are parked in a bounded
+// on-disk spool and replayed — oldest first — when the daemon returns,
+// including after a pusher process restart. Every request carries a
+// (pusher ID, sequence) idempotency key, so a retry whose original ack
+// was lost in the network is re-acked by the daemon without being
+// merged twice: together spool and key give exactly-once delivery up
+// to spool eviction, which is itself exactly counted.
 type Pusher struct {
 	opts  PusherOptions
 	url   string
 	queue chan *Profile
+	// spill catches profiles that found queue full (spool mode only);
+	// the sender moves them to disk.
+	spill chan *Profile
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
 	closed   atomic.Bool
+	aborted  atomic.Bool
 	enqueued atomic.Uint64
 	sent     atomic.Uint64
 	dropped  atomic.Uint64
@@ -131,10 +191,27 @@ type Pusher struct {
 	// delivery recovers.
 	inOutage atomic.Bool
 
+	// Identity and sequence: the idempotency key. id is durable with a
+	// spool, per-process without; nextSeq is touched only by the sender.
+	id      string
+	nextSeq uint64
+
+	// sp is the durable spool (nil without SpoolDir). All spool I/O
+	// happens on the sender goroutine (plus Close, after the sender has
+	// exited); the atomics below mirror its state for Stats.
+	sp           *spool
+	spooled      atomic.Uint64
+	replayed     atomic.Uint64
+	spoolPending atomic.Uint64
+	spoolEvicted atomic.Uint64
+
 	// Breaker state, touched only by the sender goroutine.
 	brFails    int
 	brOpenTill time.Time
 	brCooldown time.Duration
+
+	// rng drives backoff and cooldown jitter; sender-owned.
+	rng *rand.Rand
 
 	// Encoder state, touched only by the sender goroutine: binary flips
 	// to false (permanently) when the daemon rejects the format, and the
@@ -146,7 +223,9 @@ type Pusher struct {
 	fallbacks atomic.Uint64
 }
 
-// NewPusher starts a pusher's background sender.
+// NewPusher starts a pusher's background sender. With SpoolDir set it
+// first opens (or creates) the spool, restoring the durable pusher
+// identity, sequence floor, and any backlog a previous process left.
 func NewPusher(opts PusherOptions) (*Pusher, error) {
 	if opts.URL == "" {
 		return nil, fmt.Errorf("witch: PusherOptions.URL is required")
@@ -188,6 +267,12 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 	default:
 		return nil, fmt.Errorf("witch: PusherOptions.Encoding must be \"json\" or \"binary\", got %q", opts.Encoding)
 	}
+	if opts.SpoolMaxBytes <= 0 {
+		opts.SpoolMaxBytes = 64 << 20
+	}
+	if opts.SpoolSegmentBytes <= 0 {
+		opts.SpoolSegmentBytes = 1 << 20
+	}
 	p := &Pusher{
 		opts:       opts,
 		url:        strings.TrimRight(opts.URL, "/") + "/v1/ingest",
@@ -196,15 +281,36 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 		byReason:   make(map[string]uint64),
 		brCooldown: opts.BreakerCooldown,
 		binary:     opts.Encoding == "binary",
+		rng:        rand.New(rand.NewSource(randSeed())),
+	}
+	if opts.SpoolDir != "" {
+		sp, err := openSpool(opts.SpoolDir, opts.SpoolSegmentBytes, opts.SpoolMaxBytes, opts.SpoolInjector)
+		if err != nil {
+			return nil, err
+		}
+		p.sp = sp
+		p.id = sp.meta.PusherID
+		p.nextSeq = sp.meta.SeqFloor
+		p.spill = make(chan *Profile, opts.Queue)
+		p.spoolEvicted.Store(sp.meta.Evicted)
+		p.spoolPending.Store(sp.pending())
+	} else {
+		p.id = newPusherID()
 	}
 	p.wg.Add(1)
 	go p.sender()
 	return p, nil
 }
 
+// ID returns the pusher's identity — the stable half of the
+// (pusher ID, sequence) idempotency key. Durable across restarts with
+// a spool, per-process without.
+func (p *Pusher) ID() string { return p.id }
+
 // Push enqueues a profile for delivery and returns immediately. It
-// reports false — and counts a drop — when the queue is full or the
-// pusher is closed; it never blocks and never fails the caller.
+// reports false — and counts a drop — when the queue (and, with a
+// spool, the spill channel) is full or the pusher is closed; it never
+// blocks and never fails the caller.
 func (p *Pusher) Push(prof *Profile) bool {
 	if p.closed.Load() {
 		p.drop(DropClosed)
@@ -215,9 +321,17 @@ func (p *Pusher) Push(prof *Profile) bool {
 		p.enqueued.Add(1)
 		return true
 	default:
-		p.drop(DropQueueFull)
-		return false
 	}
+	if p.spill != nil {
+		select {
+		case p.spill <- prof:
+			p.enqueued.Add(1)
+			return true
+		default:
+		}
+	}
+	p.drop(DropQueueFull)
+	return false
 }
 
 // drop counts one lost profile and logs the first drop of an outage
@@ -242,7 +356,9 @@ func (p *Pusher) recovered() {
 }
 
 // Close stops accepting profiles, attempts delivery of everything
-// queued, and waits for the sender to exit.
+// queued (spooling what the daemon will not take, when a spool is
+// configured), and waits for the sender to exit. A spooled pusher's
+// undelivered backlog stays on disk for the next incarnation.
 func (p *Pusher) Close() error {
 	if p.closed.Swap(true) {
 		return nil
@@ -251,7 +367,13 @@ func (p *Pusher) Close() error {
 	p.wg.Wait()
 	// A Push racing Close can pass the closed check and enqueue after
 	// the sender's final drain; sweep those stragglers so every profile
-	// Push accepted is either sent or counted dropped.
+	// Push accepted is either sent, spooled, or counted dropped.
+	if p.sp != nil {
+		p.sweepAllToSpool()
+		err := p.sp.close()
+		p.syncSpoolStats()
+		return err
+	}
 	for {
 		select {
 		case <-p.queue:
@@ -259,6 +381,23 @@ func (p *Pusher) Close() error {
 		default:
 			return nil
 		}
+	}
+}
+
+// Abort is Close's kill -9 twin, for crash tests and the chaos
+// harness: it stops the pusher immediately — no drain, no final
+// deliveries, no spool sync — losing exactly what a process crash
+// would lose. Durable spool state (entries, ack cursor, sequence
+// floor) survives for the next incarnation to replay.
+func (p *Pusher) Abort() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.aborted.Store(true)
+	close(p.quit)
+	p.wg.Wait()
+	if p.sp != nil {
+		p.sp.abandon()
 	}
 }
 
@@ -279,17 +418,48 @@ func (p *Pusher) Stats() PusherStats {
 		Errors:            p.errors.Load(),
 		BreakerTrips:      p.trips.Load(),
 		EncodingFallbacks: p.fallbacks.Load(),
+		Spooled:           p.spooled.Load(),
+		Replayed:          p.replayed.Load(),
+		SpoolPending:      p.spoolPending.Load(),
+		SpoolEvicted:      p.spoolEvicted.Load(),
 	}
+}
+
+// syncSpoolStats mirrors spool state into the atomics Stats reads.
+// Sender goroutine only (or Close, after the sender exited).
+func (p *Pusher) syncSpoolStats() {
+	p.spoolPending.Store(p.sp.pending())
+	p.spoolEvicted.Store(p.sp.meta.Evicted)
+}
+
+// allocSeq issues the next sequence number, reserving the durable
+// floor ahead in blocks so a restart can never reuse a sequence (reuse
+// would make the daemon discard the new batch as a duplicate).
+func (p *Pusher) allocSeq() uint64 {
+	p.nextSeq++
+	if p.sp != nil && p.nextSeq > p.sp.meta.SeqFloor {
+		if err := p.sp.reserveSeq(p.nextSeq + seqReserveBlock); err != nil {
+			p.opts.Logf("witch: pusher to %s: sequence reservation failed: %v (dedup may weaken after a crash)", p.url, err)
+		}
+	}
+	return p.nextSeq
 }
 
 // sender is the background delivery loop.
 func (p *Pusher) sender() {
 	defer p.wg.Done()
+	if p.sp != nil {
+		p.spoolSender()
+		return
+	}
 	for {
 		select {
 		case prof := <-p.queue:
 			p.deliver(prof)
 		case <-p.quit:
+			if p.aborted.Load() {
+				return
+			}
 			// Drain whatever Push enqueued before Close, then exit.
 			for {
 				select {
@@ -300,6 +470,356 @@ func (p *Pusher) sender() {
 				}
 			}
 		}
+	}
+}
+
+// spoolSender is the delivery loop of a spooled pusher. Priorities per
+// iteration: (1) get spilled profiles onto disk — the spill channel is
+// small and Push drops when it is full; (2) drain the spool backlog
+// oldest-first so delivery order tracks sequence order; (3) only with
+// an empty spool, deliver fresh profiles directly. While the breaker
+// is open the spool is the wait room: arrivals go to disk and the loop
+// parks until the cooldown elapses.
+func (p *Pusher) spoolSender() {
+	for {
+		p.sweepSpill()
+		if p.sp.pending() > 0 {
+			if time.Until(p.brOpenTill) > 0 {
+				if !p.parkOpenBreaker() {
+					p.finalSpool()
+					return
+				}
+				continue
+			}
+			if !p.drainChunk() {
+				quit := false
+				select {
+				case <-p.quit:
+					quit = true
+				default:
+				}
+				if !quit && time.Until(p.brOpenTill) <= 0 {
+					// Terminal failure without a breaker trip: pace the
+					// next drain attempt instead of spinning.
+					quit = !p.pause(p.jitterFull(p.opts.Backoff))
+				}
+				if quit {
+					p.finalSpool()
+					return
+				}
+			}
+			continue
+		}
+		select {
+		case prof := <-p.spill:
+			p.spoolProfile(prof)
+		case prof := <-p.queue:
+			p.deliverOrSpool(prof)
+		case <-p.quit:
+			p.finalSpool()
+			return
+		}
+	}
+}
+
+// pause sleeps d, returning false if the pusher began closing.
+func (p *Pusher) pause(d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-p.quit:
+		return false
+	}
+}
+
+// parkOpenBreaker waits out the breaker's open interval, spooling any
+// arrivals meanwhile so the workload never blocks on the outage. It
+// returns false when the pusher began closing.
+func (p *Pusher) parkOpenBreaker() bool {
+	for {
+		wait := time.Until(p.brOpenTill)
+		if wait <= 0 {
+			return true
+		}
+		t := time.NewTimer(wait)
+		select {
+		case prof := <-p.spill:
+			t.Stop()
+			p.spoolProfile(prof)
+		case prof := <-p.queue:
+			t.Stop()
+			p.spoolProfile(prof)
+		case <-t.C:
+			return true
+		case <-p.quit:
+			t.Stop()
+			return false
+		}
+	}
+}
+
+// sweepSpill moves everything in the spill channel to disk.
+func (p *Pusher) sweepSpill() {
+	for {
+		select {
+		case prof := <-p.spill:
+			p.spoolProfile(prof)
+		default:
+			return
+		}
+	}
+}
+
+// sweepAllToSpool parks everything still in memory on disk.
+func (p *Pusher) sweepAllToSpool() {
+	for {
+		select {
+		case prof := <-p.spill:
+			p.spoolProfile(prof)
+		case prof := <-p.queue:
+			p.spoolProfile(prof)
+		default:
+			return
+		}
+	}
+}
+
+// finalSpool is the spooled pusher's shutdown path: capture everything
+// still in memory durably, then best-effort drain until the spool is
+// empty, the daemon sheds, or an attempt fails terminally. Whatever
+// remains is pending on disk for the next incarnation. After Abort,
+// nothing runs — that is the point.
+func (p *Pusher) finalSpool() {
+	if p.aborted.Load() {
+		return
+	}
+	p.sweepAllToSpool()
+	for p.sp.pending() > 0 && time.Until(p.brOpenTill) <= 0 {
+		if !p.drainChunk() {
+			return
+		}
+		p.sweepAllToSpool()
+	}
+}
+
+// spoolProfile encodes a profile and parks it with a fresh sequence.
+func (p *Pusher) spoolProfile(prof *Profile) {
+	p.spoolEncoded(p.allocSeq(), prof)
+}
+
+// spoolEncoded encodes and parks a profile under an already-issued
+// sequence (the direct path spools retries under their original
+// sequence, so a daemon that did receive an earlier attempt dedups it).
+func (p *Pusher) spoolEncoded(seq uint64, prof *Profile) {
+	body, _, err := p.encode(prof)
+	if err != nil {
+		p.errors.Add(1)
+		p.drop(DropEncode)
+		return
+	}
+	p.spoolBody(seq, body)
+}
+
+// spoolBody parks encoded bytes, counting any eviction the disk bound
+// forced.
+func (p *Pusher) spoolBody(seq uint64, body []byte) {
+	evicted, err := p.sp.append(seq, body)
+	if evicted > 0 {
+		p.dropped.Add(evicted)
+		p.reasonMu.Lock()
+		p.byReason[DropSpoolEvict] += evicted
+		p.reasonMu.Unlock()
+		if !p.inOutage.Swap(true) {
+			p.opts.Logf("witch: pusher to %s: spool over budget, evicted %d oldest entries; further drops suppressed until delivery recovers", p.url, evicted)
+		}
+	}
+	if err != nil {
+		p.errors.Add(1)
+		p.drop(DropSpoolError)
+		p.syncSpoolStats()
+		return
+	}
+	p.spooled.Add(1)
+	p.syncSpoolStats()
+}
+
+// spoolReplayChunk bounds how many backlog entries one drain pass
+// reads before re-checking the channels and the breaker.
+const spoolReplayChunk = 32
+
+// drainChunk replays up to one chunk of the spool backlog, acking each
+// delivered entry before touching the next. It reports false when
+// drain cannot continue right now (breaker opened, terminal failure,
+// closing, or a spool error).
+func (p *Pusher) drainChunk() bool {
+	entries, err := p.sp.readChunk(spoolReplayChunk)
+	if err != nil {
+		p.errors.Add(1)
+		p.opts.Logf("witch: pusher to %s: spool read failed: %v", p.url, err)
+		return false
+	}
+	if len(entries) == 0 {
+		// The cursors promise pending entries the segments no longer
+		// hold (e.g. a machine crash ate unsynced appends). Reconcile so
+		// the loop does not spin on a phantom backlog.
+		p.sp.reconcileEmpty()
+		p.syncSpoolStats()
+		return true
+	}
+	for _, e := range entries {
+		raw := e.body
+		body, ctype := raw, "application/json"
+		if IsBinaryProfile(raw) {
+			if p.binary {
+				ctype = BinaryContentType
+			} else {
+				// Spooled before the JSON fallback latched; transcode.
+				var terr error
+				if body, ctype, terr = p.transcode(raw); terr != nil {
+					p.poisonEntry(e, terr)
+					continue
+				}
+			}
+		}
+		switch p.trySend(body, ctype, e.seq, func() ([]byte, string, error) { return p.transcode(raw) }) {
+		case sendOK:
+			p.replayed.Add(1)
+			if err := p.sp.ack(e.lsn); err != nil {
+				p.errors.Add(1)
+				p.opts.Logf("witch: pusher to %s: spool ack failed: %v", p.url, err)
+				p.syncSpoolStats()
+				return false
+			}
+			p.syncSpoolStats()
+		case sendBad:
+			p.poisonEntry(e, nil)
+		case sendBusy, sendQuit:
+			return false
+		}
+	}
+	return true
+}
+
+// poisonEntry drops an undeliverable-by-content spool entry and
+// advances the cursor past it so it cannot wedge the backlog.
+func (p *Pusher) poisonEntry(e spoolEntry, err error) {
+	p.errors.Add(1)
+	p.drop(DropEncode)
+	if err != nil {
+		p.opts.Logf("witch: pusher to %s: dropping undecodable spool entry (lsn %d): %v", p.url, e.lsn, err)
+	}
+	if aerr := p.sp.ack(e.lsn); aerr != nil {
+		p.opts.Logf("witch: pusher to %s: spool ack failed: %v", p.url, aerr)
+	}
+	p.syncSpoolStats()
+}
+
+// deliverOrSpool handles a fresh profile when the spool backlog is
+// empty: deliver now if the breaker allows, otherwise park on disk.
+// A delivery that fails terminally parks instead of dropping — with a
+// spool, "retries exhausted" means "not now", not "never".
+func (p *Pusher) deliverOrSpool(prof *Profile) {
+	seq := p.allocSeq()
+	if time.Until(p.brOpenTill) > 0 {
+		p.spoolEncoded(seq, prof)
+		return
+	}
+	body, ctype, err := p.encode(prof)
+	if err != nil {
+		p.errors.Add(1)
+		p.drop(DropEncode)
+		return
+	}
+	switch p.trySend(body, ctype, seq, func() ([]byte, string, error) { return p.encode(prof) }) {
+	case sendOK:
+	case sendBad:
+		p.errors.Add(1)
+		p.drop(DropEncode)
+	case sendBusy, sendQuit:
+		// The daemon may have processed an attempt whose ack was lost;
+		// spooling under the same sequence keeps the retry dedupable.
+		p.spoolEncoded(seq, prof)
+	}
+}
+
+// transcode rewrites a spooled binary body as JSON after the daemon
+// rejected the binary format.
+func (p *Pusher) transcode(body []byte) ([]byte, string, error) {
+	if !IsBinaryProfile(body) {
+		return body, "application/json", nil
+	}
+	var dec BatchDecoder
+	profs, err := dec.Decode(body)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(profs) != 1 {
+		return nil, "", fmt.Errorf("witch: spool entry holds %d profiles, want 1", len(profs))
+	}
+	var buf bytes.Buffer
+	if err := profs[0].WriteJSONCompact(&buf); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), "application/json", nil
+}
+
+// sendResult is one trySend outcome.
+type sendResult int
+
+const (
+	// sendOK: delivered and acked.
+	sendOK sendResult = iota
+	// sendBusy: breaker open or retries exhausted — park the profile in
+	// the spool (it is not dropped).
+	sendBusy
+	// sendQuit: the pusher began closing mid-backoff.
+	sendQuit
+	// sendBad: the body cannot be (re-)encoded; the entry is poison.
+	sendBad
+)
+
+// trySend attempts delivery with bounded, full-jittered retries. It
+// never blocks on an open breaker — the spool is the wait room — and
+// charges the breaker exactly like the memory-only path does. reenc
+// re-serializes the body after a binary→JSON format fallback.
+func (p *Pusher) trySend(body []byte, ctype string, seq uint64, reenc func() ([]byte, string, error)) sendResult {
+	backoff := p.opts.Backoff
+	for attempt := 0; ; attempt++ {
+		if time.Until(p.brOpenTill) > 0 {
+			return sendBusy
+		}
+		retryAfter, status, ok := p.post(body, ctype, seq)
+		if ok {
+			p.recovered()
+			p.breakerSuccess()
+			return sendOK
+		}
+		if p.binary && (status == http.StatusUnsupportedMediaType || status == http.StatusBadRequest) {
+			p.binary = false
+			p.fallbacks.Add(1)
+			p.opts.Logf("witch: pusher to %s: daemon rejected binary encoding (HTTP %d), falling back to JSON", p.url, status)
+			var err error
+			if body, ctype, err = reenc(); err != nil {
+				return sendBad
+			}
+			attempt--
+			continue
+		}
+		p.errors.Add(1)
+		p.breakerFailure(retryAfter)
+		if attempt >= p.opts.Retries {
+			return sendBusy
+		}
+		if time.Until(p.brOpenTill) > 0 {
+			return sendBusy
+		}
+		p.retries.Add(1)
+		select {
+		case <-time.After(p.jitterFull(backoff)):
+		case <-p.quit:
+			return sendQuit
+		}
+		backoff *= 2
 	}
 }
 
@@ -322,6 +842,29 @@ func (p *Pusher) breakerWait() bool {
 	}
 }
 
+// jitterFull draws uniformly from (0, d] — "full jitter". Retry
+// backoff uses it so a fleet of pushers knocked over by one outage
+// spreads its retries across the whole interval instead of thundering
+// back together.
+func (p *Pusher) jitterFull(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(p.rng.Int63n(int64(d))) + 1
+}
+
+// jitterEqual draws uniformly from [d/2, d] — "equal jitter". Breaker
+// cooldowns use it: half the interval is kept as a guaranteed quiet
+// period (the daemon asked for silence), the other half decorrelates
+// the fleet's re-probes.
+func (p *Pusher) jitterEqual(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(p.rng.Int63n(int64(d-half)+1))
+}
+
 // breakerFailure records a failed attempt, opening the breaker after
 // BreakerThreshold consecutive failures — or immediately for the
 // daemon-advertised retryAfter of a shedding response.
@@ -329,9 +872,12 @@ func (p *Pusher) breakerFailure(retryAfter time.Duration) {
 	p.brFails++
 	open := time.Duration(0)
 	if retryAfter > 0 {
-		open = retryAfter
+		// The advertised interval is a floor — the daemon asked for that
+		// much silence — so jitter is upward-only: honor it exactly, then
+		// add up to a quarter more to spread the fleet's return.
+		open = retryAfter + p.jitterFull(retryAfter/4+1)
 	} else if p.brFails >= p.opts.BreakerThreshold {
-		open = p.brCooldown
+		open = p.jitterEqual(p.brCooldown)
 		if p.brCooldown *= 2; p.brCooldown > 30*time.Second {
 			p.brCooldown = 30 * time.Second
 		}
@@ -377,7 +923,8 @@ func (p *Pusher) encode(prof *Profile) (body []byte, ctype string, err error) {
 }
 
 // deliver sends one profile with bounded retries and exponential
-// backoff, counting a drop when every attempt fails. The breaker gates
+// backoff, counting a drop when every attempt fails — the memory-only
+// path (spooled pushers go through deliverOrSpool). The breaker gates
 // every attempt: while open, no request leaves the process.
 func (p *Pusher) deliver(prof *Profile) {
 	body, ctype, err := p.encode(prof)
@@ -386,13 +933,14 @@ func (p *Pusher) deliver(prof *Profile) {
 		p.drop(DropEncode)
 		return
 	}
+	seq := p.allocSeq()
 	backoff := p.opts.Backoff
 	for attempt := 0; ; attempt++ {
 		if !p.breakerWait() {
 			p.drop(DropBreakerOpen)
 			return
 		}
-		retryAfter, status, ok := p.post(body, ctype)
+		retryAfter, status, ok := p.post(body, ctype, seq)
 		if ok {
 			p.recovered()
 			p.breakerSuccess()
@@ -422,8 +970,11 @@ func (p *Pusher) deliver(prof *Profile) {
 		}
 		p.retries.Add(1)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(p.jitterFull(backoff)):
 		case <-p.quit:
+			if p.aborted.Load() {
+				return
+			}
 			// Closing: one immediate final attempt instead of sleeping
 			// out the remaining backoff schedule — unless the breaker is
 			// open, in which case the daemon asked for silence.
@@ -431,7 +982,7 @@ func (p *Pusher) deliver(prof *Profile) {
 				p.drop(DropBreakerOpen)
 				return
 			}
-			if _, _, ok := p.post(body, ctype); ok {
+			if _, _, ok := p.post(body, ctype, seq); ok {
 				p.recovered()
 			} else {
 				p.errors.Add(1)
@@ -443,11 +994,25 @@ func (p *Pusher) deliver(prof *Profile) {
 	}
 }
 
+// Idempotency-key headers: the daemon journals (pusher, seq) with each
+// batch and re-acks duplicates without re-merging.
+const (
+	PusherIDHeader  = "X-Witch-Pusher"
+	PusherSeqHeader = "X-Witch-Seq"
+)
+
 // post performs one ingest attempt, reporting the HTTP status (0 for
 // transport errors) and any daemon-advertised Retry-After so the
-// breaker can honor it.
-func (p *Pusher) post(body []byte, ctype string) (retryAfter time.Duration, status int, ok bool) {
-	resp, err := p.opts.Client.Post(p.url, ctype, bytes.NewReader(body))
+// breaker can honor it. Every request carries the idempotency key.
+func (p *Pusher) post(body []byte, ctype string, seq uint64) (retryAfter time.Duration, status int, ok bool) {
+	req, err := http.NewRequest(http.MethodPost, p.url, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, false
+	}
+	req.Header.Set("Content-Type", ctype)
+	req.Header.Set(PusherIDHeader, p.id)
+	req.Header.Set(PusherSeqHeader, strconv.FormatUint(seq, 10))
+	resp, err := p.opts.Client.Do(req)
 	if err != nil {
 		return 0, 0, false
 	}
@@ -457,9 +1022,27 @@ func (p *Pusher) post(body []byte, ctype string) (retryAfter time.Duration, stat
 		return 0, resp.StatusCode, true
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
-		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			retryAfter = time.Duration(secs) * time.Second
-		}
+		retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 	}
 	return retryAfter, resp.StatusCode, false
+}
+
+// parseRetryAfter reads both RFC 9110 Retry-After forms: delay-seconds
+// and HTTP-date.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs > 0 {
+			return time.Duration(secs) * time.Second
+		}
+		return 0
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

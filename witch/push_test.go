@@ -284,8 +284,10 @@ func TestPusherBreakerOpensOnConsecutiveFailures(t *testing.T) {
 		t.Fatalf("saw %d attempts, want >= 3", len(attempts))
 	}
 	// After the second failure the breaker is open: the third attempt is
-	// the half-open trial and must arrive no sooner than the cooldown.
-	if gap := attempts[2].Sub(attempts[1]); gap < 250*time.Millisecond {
+	// the half-open trial and must arrive no sooner than the applied
+	// cooldown — equal-jittered to [cooldown/2, cooldown], so the floor
+	// is half the configured 300ms (minus scheduling slop).
+	if gap := attempts[2].Sub(attempts[1]); gap < 140*time.Millisecond {
 		t.Fatalf("half-open trial arrived %v after the threshold failure, cooldown ignored", gap)
 	}
 }
