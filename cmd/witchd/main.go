@@ -48,9 +48,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/daemon"
 	"repro/internal/store"
 	"repro/internal/wal"
@@ -75,6 +77,10 @@ type daemonFlags struct {
 	dedupWindow uint64
 	dedupMax    int
 	hdrTimeout  time.Duration
+	maxTopN     int
+	peers       string
+	advertise   string
+	peerList    []string // validated split of peers
 }
 
 func parseFlags(args []string) (*daemonFlags, error) {
@@ -95,6 +101,9 @@ func parseFlags(args []string) (*daemonFlags, error) {
 	fs.Uint64Var(&f.dedupWindow, "dedup-window", daemon.DefaultDedupWindow, "per-pusher idempotency window in sequences (rounded up to a multiple of 64)")
 	fs.IntVar(&f.dedupMax, "dedup-max-pushers", daemon.DefaultDedupMaxPushers, "distinct pusher identities tracked for dedup before LRU eviction")
 	fs.DurationVar(&f.hdrTimeout, "read-header-timeout", 10*time.Second, "disconnect clients that have not finished sending headers within this window")
+	fs.IntVar(&f.maxTopN, "max-top-n", 1000, "largest accepted n for /v1/top (response-size cap)")
+	fs.StringVar(&f.peers, "peers", "", "comma-separated base URLs of every cluster node, this one included (empty: single node)")
+	fs.StringVar(&f.advertise, "advertise", "", "this node's base URL as it appears in -peers (default http://<addr>)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -152,6 +161,29 @@ func (f *daemonFlags) validate() error {
 	if f.hdrTimeout <= 0 {
 		return fmt.Errorf("-read-header-timeout must be positive, got %v", f.hdrTimeout)
 	}
+	if f.maxTopN <= 0 {
+		return fmt.Errorf("-max-top-n must be positive, got %d", f.maxTopN)
+	}
+	if f.advertise != "" && f.peers == "" {
+		return fmt.Errorf("-advertise only applies with -peers")
+	}
+	if f.peers != "" {
+		if f.advertise == "" {
+			f.advertise = "http://" + f.addr
+		}
+		for _, raw := range strings.Split(f.peers, ",") {
+			p := strings.TrimSpace(raw)
+			if p == "" {
+				return fmt.Errorf("-peers has an empty entry in %q", f.peers)
+			}
+			f.peerList = append(f.peerList, p)
+		}
+		// Full ring validation (schemes, duplicates, self in list) is
+		// cluster.New's; run it here so a bad config dies at flag time.
+		if _, err := cluster.New(cluster.Config{Self: f.advertise, Peers: f.peerList}); err != nil {
+			return fmt.Errorf("-peers: %v", err)
+		}
+	}
 	return nil
 }
 
@@ -169,7 +201,21 @@ func main() {
 		MaxBacklog:      f.backlog,
 		DedupWindow:     f.dedupWindow,
 		DedupMaxPushers: f.dedupMax,
+		MaxTopN:         f.maxTopN,
 	})
+	if len(f.peerList) > 0 {
+		cl, err := cluster.New(cluster.Config{
+			Self:  f.advertise,
+			Peers: f.peerList,
+			Logf:  log.Printf,
+		})
+		if err != nil { // validate() already ran this; belt and braces
+			fmt.Fprintf(os.Stderr, "witchd: %v\n", err)
+			os.Exit(2)
+		}
+		srv.AttachCluster(cl)
+		log.Printf("witchd: cluster of %d nodes, self %s", len(cl.Peers()), cl.Self())
+	}
 
 	// Bind before recovery so a taken port fails fast, but serve only
 	// after recovery completes (readiness = /healthz state "serving").

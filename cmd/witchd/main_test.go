@@ -37,6 +37,19 @@ func TestFlagValidation(t *testing.T) {
 		t.Fatalf("group-commit flags mis-parsed: %+v", grouped)
 	}
 
+	// Cluster membership: the advertised URL defaults to the listen
+	// address and the peer ring is validated at flag time.
+	clustered, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9147",
+		"-peers", "http://127.0.0.1:9147, http://127.0.0.1:9148,http://127.0.0.1:9149",
+	})
+	if err != nil {
+		t.Fatalf("valid cluster flags rejected: %v", err)
+	}
+	if clustered.advertise != "http://127.0.0.1:9147" || len(clustered.peerList) != 3 {
+		t.Fatalf("cluster flags mis-parsed: %+v", clustered)
+	}
+
 	cases := []struct {
 		name string
 		args []string
@@ -58,6 +71,17 @@ func TestFlagValidation(t *testing.T) {
 		{"pprof without port", []string{"-pprof", "localhost"}, "-pprof"},
 		{"addr without port", []string{"-addr", "localhost"}, "-addr"},
 		{"unknown flag", []string{"-wat"}, "-wat"},
+		{"zero max-top-n", []string{"-max-top-n", "0"}, "-max-top-n"},
+		{"advertise without peers", []string{"-advertise", "http://a:1"}, "-advertise"},
+		{"one-node peers", []string{"-peers", "http://127.0.0.1:9147"}, "-peers"},
+		{"self missing from peers", []string{"-addr", "127.0.0.1:9147",
+			"-peers", "http://127.0.0.1:9148,http://127.0.0.1:9149"}, "-peers"},
+		{"duplicate peers", []string{"-addr", "127.0.0.1:9147",
+			"-peers", "http://127.0.0.1:9147,http://127.0.0.1:9147"}, "-peers"},
+		{"peer with bad scheme", []string{"-addr", "127.0.0.1:9147",
+			"-peers", "http://127.0.0.1:9147,ftp://127.0.0.1:9148"}, "-peers"},
+		{"empty peer entry", []string{"-addr", "127.0.0.1:9147",
+			"-peers", "http://127.0.0.1:9147,"}, "-peers"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -95,6 +95,42 @@ func (a *Aggregator) State() *State {
 	return st
 }
 
+// MergeState folds a snapshot image into an existing aggregator —
+// the cluster query plane's shard-merge entry point. A coordinator
+// answers a fleet query by folding every peer's exported State into
+// its own local view with the exact rules Merge/MergeFrom use:
+// waste/use and counters sum, Stats sum (MaxBlindSpot is a max),
+// Health flags OR. Safe for concurrent use with Merge on a.
+func (a *Aggregator) MergeState(st *State) {
+	for i := range st.Metas {
+		m := &st.Metas[i]
+		a.mergeMeta(metaKey{m.Tool, m.Program}, meta{
+			profiles: m.Profiles, waste: m.Waste, use: m.Use,
+			wallNanos: m.WallNanos, toolBytes: m.ToolBytes,
+			instrs: m.Instrs, loads: m.Loads, stores: m.Stores,
+			exhaustive: m.Exhaustive, stats: m.Stats, health: m.Health,
+		})
+	}
+	for i := range st.Pairs {
+		p := &st.Pairs[i]
+		h := hashKey(p.Tool, p.Program, p.Src, p.Dst, p.Chain)
+		sh := &a.shards[h&(numShards-1)]
+		sh.mu.Lock()
+		acc := sh.find(h, p.Tool, p.Program, p.Src, p.Dst, p.Chain)
+		if acc == nil {
+			acc = &pairAcc{
+				pairKey: pairKey{p.Tool, p.Program, p.Src, p.Dst, p.Chain},
+				hash:    h,
+				srcLine: p.SrcLine, dstLine: p.DstLine,
+			}
+			sh.insert(acc)
+		}
+		acc.waste += p.Waste
+		acc.use += p.Use
+		sh.mu.Unlock()
+	}
+}
+
 // FromState rebuilds an aggregator from a snapshot image, pre-sizing
 // the shard maps from the known pair count.
 func FromState(st *State) *Aggregator {

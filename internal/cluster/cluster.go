@@ -1,0 +1,425 @@
+// Package cluster turns N witchd processes into one logical daemon.
+//
+// Membership is static: every node is started with the same -peers
+// list and its own advertised URL. Batch ownership is decided by
+// rendezvous (highest-random-weight) hashing over the durable pusher
+// identity — the same identity the dedup window and the client spool
+// are keyed on — so one pusher's whole sequence stream lands on one
+// owner and the per-pusher sliding window keeps deduplicating across
+// the fleet exactly as it did on a single node. Ownership depends
+// only on the peer list, never on liveness: a dead owner means the
+// batch is shed with Retry-After (the pusher spools and retries), it
+// is never rerouted to a node whose dedup window has no memory of
+// that pusher.
+//
+// Any node accepts any batch. A non-owner forwards it to the owner
+// over plain HTTP (one hop, marked so a stale peer list cannot build
+// a forwarding loop) and relays the owner's verdict — status, body,
+// Retry-After, duplicate marker — byte for byte, acking only after
+// the owner's journal-before-ack commit. Queries scatter to every
+// peer and gather with internal/agg's merge rules; unreachable peers
+// degrade the answer to a partial one instead of failing it.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ForwardedHeader marks a batch that already made its routing hop.
+// A node receiving it ingests locally no matter what its own ring
+// says: with a skewed peer list both nodes forwarding at each other
+// would otherwise loop, and one hop already placed the batch on the
+// node the first router chose.
+const ForwardedHeader = "X-Witch-Forwarded"
+
+// Defaults for Config zero values.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 500 * time.Millisecond
+	DefaultMaxCooldown      = 15 * time.Second
+	DefaultForwardTimeout   = 5 * time.Second
+	DefaultQueryTimeout     = 5 * time.Second
+	DefaultRetryAfter       = 2 * time.Second
+)
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's advertised base URL. Must appear in Peers:
+	// every node must agree on the ring, and a Self the others do not
+	// know about would silently own nothing.
+	Self string
+	// Peers is the full static membership, Self included.
+	Peers []string
+	// Client issues all inter-node requests (forwards and scatters).
+	// Nil gets a plain client; tests thread a fault.Transport here.
+	Client *http.Client
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's forwarding breaker. Zero means DefaultBreakerThreshold.
+	BreakerThreshold int
+	// BreakerCooldown is the initial open interval; it doubles per
+	// consecutive trip up to DefaultMaxCooldown. Zero means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// ForwardTimeout bounds one forwarded ingest round trip. Zero
+	// means DefaultForwardTimeout.
+	ForwardTimeout time.Duration
+	// QueryTimeout bounds one peer's leg of a scatter-gather query.
+	// Zero means DefaultQueryTimeout.
+	QueryTimeout time.Duration
+	// Now is the clock, for tests. Nil means time.Now.
+	Now func() time.Time
+	// Logf, when set, receives one line per breaker transition and
+	// per failed scatter leg.
+	Logf func(format string, args ...any)
+}
+
+// Router is one node's routing, forwarding, and scatter engine.
+// All methods are safe for concurrent use.
+type Router struct {
+	self    string
+	peers   []string // sorted, normalized, includes self
+	others  []string // peers minus self, same order
+	client  *http.Client
+	now     func() time.Time
+	logf    func(string, ...any)
+	queryTO time.Duration
+
+	threshold int
+	cooldown0 time.Duration
+	forwardTO time.Duration
+
+	mu  sync.Mutex
+	brs map[string]*peerBreaker
+
+	forwards        atomic.Uint64 // forwards acked by the owner (2xx relayed)
+	forwardShed     atomic.Uint64 // owner said 429/503; shed relayed to the pusher
+	forwardErrors   atomic.Uint64 // forward never got an owner verdict
+	scatters        atomic.Uint64 // fleet queries fanned out
+	scatterPartials atomic.Uint64 // fleet queries with ≥1 unreachable peer
+}
+
+// peerBreaker tracks one peer's forwarding health. Guarded by
+// Router.mu (transitions are rare and cheap; no per-peer lock).
+type peerBreaker struct {
+	fails     int       // consecutive failures since last success
+	trips     uint64    // lifetime open transitions
+	openUntil time.Time // zero when closed
+	cooldown  time.Duration
+	forwards  uint64 // lifetime attempts that reached a verdict
+	errors    uint64 // lifetime attempts that did not
+}
+
+// New validates the membership and returns the node's router.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Peers) < 2 {
+		return nil, errors.New("cluster: needs at least two peers (run without -peers for a single node)")
+	}
+	self, err := normalizeURL(cfg.Self)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: self %q: %w", cfg.Self, err)
+	}
+	seen := make(map[string]bool, len(cfg.Peers))
+	peers := make([]string, 0, len(cfg.Peers))
+	for _, raw := range cfg.Peers {
+		p, err := normalizeURL(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", raw, err)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		peers = append(peers, p)
+	}
+	if !seen[self] {
+		return nil, fmt.Errorf("cluster: self %q is not in the peer list", self)
+	}
+	sort.Strings(peers)
+	others := make([]string, 0, len(peers)-1)
+	for _, p := range peers {
+		if p != self {
+			others = append(others, p)
+		}
+	}
+	r := &Router{
+		self:    self,
+		peers:   peers,
+		others:  others,
+		client:  cfg.Client,
+		now:     cfg.Now,
+		logf:    cfg.Logf,
+		queryTO: cfg.QueryTimeout,
+		brs:     make(map[string]*peerBreaker, len(others)),
+	}
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	if r.now == nil {
+		r.now = time.Now
+	}
+	if r.queryTO <= 0 {
+		r.queryTO = DefaultQueryTimeout
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	fwdTO := cfg.ForwardTimeout
+	if fwdTO <= 0 {
+		fwdTO = DefaultForwardTimeout
+	}
+	r.threshold, r.cooldown0, r.forwardTO = threshold, cooldown, fwdTO
+	for _, p := range others {
+		r.brs[p] = &peerBreaker{cooldown: cooldown}
+	}
+	return r, nil
+}
+
+// normalizeURL canonicalizes a peer URL so that string equality is
+// ring equality on every node: scheme+host only, no trailing slash.
+func normalizeURL(raw string) (string, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("scheme must be http or https, got %q", u.Scheme)
+	}
+	if u.Host == "" {
+		return "", errors.New("missing host")
+	}
+	if u.Path != "" && u.Path != "/" {
+		return "", fmt.Errorf("peer URLs must not carry a path, got %q", u.Path)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// Self returns this node's advertised URL.
+func (r *Router) Self() string { return r.self }
+
+// Peers returns the full membership, sorted. Callers must not mutate.
+func (r *Router) Peers() []string { return r.peers }
+
+// Others returns the membership minus self, sorted.
+func (r *Router) Others() []string { return r.others }
+
+// Owner maps a pusher identity onto its owning node via rendezvous
+// hashing: each peer scores hash(peer, key) and the highest score
+// wins. Every node computes the same winner from the same peer list,
+// no coordination; removing one peer reassigns only that peer's keys.
+func (r *Router) Owner(pusherID string) string {
+	best := ""
+	var bestScore uint64
+	for _, p := range r.peers {
+		s := rendezvousScore(p, pusherID)
+		if best == "" || s > bestScore {
+			best, bestScore = p, s
+		}
+	}
+	return best
+}
+
+// IsOwner reports whether this node owns the pusher's batches.
+func (r *Router) IsOwner(pusherID string) bool { return r.Owner(pusherID) == r.self }
+
+// rendezvousScore is FNV-1a over peer ‖ 0xff ‖ key. The sentinel
+// byte cannot occur in either string (both are ASCII by validation),
+// so distinct (peer, key) splits never collide by concatenation.
+func rendezvousScore(peer, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint64(peer[i])
+		h *= prime64
+	}
+	h ^= 0xff
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// PeerDownError reports a forward that never got the owner's verdict
+// — breaker already open, connection refused, timeout, torn response.
+// The batch was NOT acked; the caller must shed it to the pusher with
+// the RetryAfter hint so the pusher spools and retries the same
+// sequence number later.
+type PeerDownError struct {
+	Peer       string
+	RetryAfter time.Duration
+	Err        error // nil when the breaker was open
+}
+
+func (e *PeerDownError) Error() string {
+	if e.Err == nil {
+		return fmt.Sprintf("cluster: owner %s breaker open, retry after %s", e.Peer, e.RetryAfter)
+	}
+	return fmt.Sprintf("cluster: owner %s unreachable: %v", e.Peer, e.Err)
+}
+
+func (e *PeerDownError) Unwrap() error { return e.Err }
+
+// Stats is the router's counter snapshot for /healthz and /metrics.
+type Stats struct {
+	Self            string   `json:"self"`
+	Peers           []string `json:"peers"`
+	Forwards        uint64   `json:"forwards"`
+	ForwardShed     uint64   `json:"forward_shed"`
+	ForwardErrors   uint64   `json:"forward_errors"`
+	Scatters        uint64   `json:"scatters"`
+	ScatterPartials uint64   `json:"scatter_partials"`
+}
+
+// StatsSnapshot returns the router's counters.
+func (r *Router) StatsSnapshot() Stats {
+	return Stats{
+		Self:            r.self,
+		Peers:           r.peers,
+		Forwards:        r.forwards.Load(),
+		ForwardShed:     r.forwardShed.Load(),
+		ForwardErrors:   r.forwardErrors.Load(),
+		Scatters:        r.scatters.Load(),
+		ScatterPartials: r.scatterPartials.Load(),
+	}
+}
+
+// PeerState is one peer's breaker view for /metrics.
+type PeerState struct {
+	Peer     string
+	Open     bool
+	Fails    int
+	Trips    uint64
+	Forwards uint64
+	Errors   uint64
+}
+
+// PeerStates returns every other peer's breaker state, sorted.
+func (r *Router) PeerStates() []PeerState {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PeerState, 0, len(r.others))
+	for _, p := range r.others {
+		b := r.brs[p]
+		out = append(out, PeerState{
+			Peer:     p,
+			Open:     b.openUntil.After(now),
+			Fails:    b.fails,
+			Trips:    b.trips,
+			Forwards: b.forwards,
+			Errors:   b.errors,
+		})
+	}
+	return out
+}
+
+// breakerGate returns how long the peer's breaker stays open, or 0 if
+// requests may flow.
+func (r *Router) breakerGate(peer string) time.Duration {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.brs[peer]
+	if b == nil || !b.openUntil.After(now) {
+		return 0
+	}
+	return b.openUntil.Sub(now)
+}
+
+// breakerFailure records a failed forward attempt. A positive
+// retryAfter (the owner shed with an explicit hint) opens the breaker
+// immediately for that long — the owner knows its own backlog better
+// than our counter does. Otherwise threshold consecutive failures
+// open it for a doubling cooldown.
+func (r *Router) breakerFailure(peer string, retryAfter time.Duration, verdict bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.brs[peer]
+	if b == nil {
+		return
+	}
+	if verdict {
+		b.forwards++
+	} else {
+		b.errors++
+	}
+	b.fails++
+	open := time.Duration(0)
+	switch {
+	case retryAfter > 0:
+		open = retryAfter
+	case b.fails >= r.threshold:
+		open = b.cooldown
+		b.cooldown *= 2
+		if b.cooldown > DefaultMaxCooldown {
+			b.cooldown = DefaultMaxCooldown
+		}
+	}
+	if open > 0 {
+		until := r.now().Add(open)
+		if until.After(b.openUntil) {
+			if !b.openUntil.After(r.now()) {
+				b.trips++
+				if r.logf != nil {
+					r.logf("cluster: breaker open for %s (%s)", peer, open)
+				}
+			}
+			b.openUntil = until
+		}
+	}
+}
+
+// breakerSuccess records a forward that got a usable verdict.
+func (r *Router) breakerSuccess(peer string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.brs[peer]
+	if b == nil {
+		return
+	}
+	b.forwards++
+	if b.fails >= r.threshold && r.logf != nil {
+		r.logf("cluster: breaker closed for %s", peer)
+	}
+	b.fails = 0
+	b.cooldown = r.cooldown0
+	b.openUntil = time.Time{}
+}
+
+// parseRetryAfter reads an HTTP Retry-After header (delay-seconds or
+// HTTP-date) into a duration; 0 when absent or unparseable.
+func (r *Router) parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := t.Sub(r.now()); d > 0 {
+			return d
+		}
+	}
+	return 0
+}

@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/witch"
+)
+
+func threeNodes() []string {
+	return []string{"http://10.0.0.1:9147", "http://10.0.0.2:9147", "http://10.0.0.3:9147"}
+}
+
+func mustRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestNewValidation: membership bugs are config bugs and must die at
+// construction with an error naming the offender.
+func TestNewValidation(t *testing.T) {
+	peers := threeNodes()
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"one peer", Config{Self: peers[0], Peers: peers[:1]}, "at least two"},
+		{"self missing", Config{Self: "http://10.9.9.9:1", Peers: peers}, "not in the peer list"},
+		{"duplicate", Config{Self: peers[0], Peers: []string{peers[0], peers[0]}}, "duplicate"},
+		{"bad scheme", Config{Self: peers[0], Peers: []string{peers[0], "ftp://x:1"}}, "scheme"},
+		{"path in peer", Config{Self: peers[0], Peers: []string{peers[0], "http://x:1/v1"}}, "path"},
+		{"no host", Config{Self: peers[0], Peers: []string{peers[0], "http://"}}, "host"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("New(%+v) = %v, want error containing %q", tc.cfg, err, tc.want)
+			}
+		})
+	}
+
+	// Trailing slashes normalize away: the ring must not split on
+	// cosmetic URL differences.
+	r := mustRouter(t, Config{Self: peers[0] + "/", Peers: []string{peers[0], peers[1] + "/"}})
+	if r.Self() != peers[0] {
+		t.Fatalf("self not normalized: %q", r.Self())
+	}
+	if got := r.Others(); len(got) != 1 || got[0] != peers[1] {
+		t.Fatalf("others not normalized: %v", got)
+	}
+}
+
+// TestOwnerAgreementAndSpread: every node computes the same owner for
+// every key (the whole point of rendezvous hashing over a shared
+// list), the assignment uses all nodes, and removing one peer
+// reassigns only that peer's keys.
+func TestOwnerAgreementAndSpread(t *testing.T) {
+	peers := threeNodes()
+	routers := make([]*Router, len(peers))
+	for i := range peers {
+		routers[i] = mustRouter(t, Config{Self: peers[i], Peers: peers})
+	}
+	const keys = 3000
+	counts := map[string]int{}
+	owner := make([]string, keys)
+	for k := 0; k < keys; k++ {
+		id := fmt.Sprintf("pusher-%06x", k*2654435761)
+		owner[k] = routers[0].Owner(id)
+		counts[owner[k]]++
+		for _, r := range routers[1:] {
+			if got := r.Owner(id); got != owner[k] {
+				t.Fatalf("ring disagreement for %q: %s vs %s", id, got, owner[k])
+			}
+		}
+	}
+	for _, p := range peers {
+		if counts[p] < keys/10 {
+			t.Fatalf("lopsided ring: %s owns %d of %d", p, counts[p], keys)
+		}
+	}
+
+	// Minimal-disruption property: with peer[2] gone, keys it did not
+	// own keep their owner.
+	small := mustRouter(t, Config{Self: peers[0], Peers: peers[:2]})
+	for k := 0; k < keys; k++ {
+		id := fmt.Sprintf("pusher-%06x", k*2654435761)
+		if owner[k] != peers[2] && small.Owner(id) != owner[k] {
+			t.Fatalf("removing %s moved key %q from %s", peers[2], id, owner[k])
+		}
+	}
+}
+
+// TestForwardRelaysVerdict: the owner's status, body, and duplicate
+// marker come back verbatim — the pusher must not be able to tell it
+// hit a non-owner.
+func TestForwardRelaysVerdict(t *testing.T) {
+	var gotID, gotSeq, gotHop string
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotID = r.Header.Get(witch.PusherIDHeader)
+		gotSeq = r.Header.Get(witch.PusherSeqHeader)
+		gotHop = r.Header.Get(ForwardedHeader)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Witch-Duplicate", "window")
+		w.Write([]byte(`{"accepted":1}`))
+	}))
+	defer owner.Close()
+
+	self := "http://10.0.0.1:9147"
+	r := mustRouter(t, Config{Self: self, Peers: []string{self, owner.URL}})
+	fr, err := r.Forward(context.Background(), owner.URL, "application/json", "pusher-1", 42, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Status != 200 || string(fr.Body) != `{"accepted":1}` || fr.Duplicate != "window" {
+		t.Fatalf("verdict not relayed: %+v", fr)
+	}
+	if gotID != "pusher-1" || gotSeq != "42" || gotHop != self {
+		t.Fatalf("forward headers wrong: id=%q seq=%q hop=%q", gotID, gotSeq, gotHop)
+	}
+	if s := r.StatsSnapshot(); s.Forwards != 1 || s.ForwardErrors != 0 {
+		t.Fatalf("counters: %+v", s)
+	}
+}
+
+// TestForwardBreaker: a dead owner costs one connection attempt per
+// forward until the threshold, then the breaker answers instantly
+// with a Retry-After hint; a success resets it.
+func TestForwardBreaker(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+	self := "http://10.0.0.1:9147"
+	dead := "http://127.0.0.1:1" // nothing listens on port 1
+	r := mustRouter(t, Config{
+		Self: self, Peers: []string{self, dead},
+		BreakerThreshold: 2, BreakerCooldown: time.Second, Now: clock,
+		Client: &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := r.Forward(ctx, dead, "application/json", "p", uint64(i), nil); err == nil {
+			t.Fatal("forward to dead peer succeeded")
+		}
+	}
+	ps := r.PeerStates()
+	if len(ps) != 1 || !ps[0].Open || ps[0].Errors != 2 {
+		t.Fatalf("breaker not open after threshold: %+v", ps)
+	}
+	_, err := r.Forward(ctx, dead, "application/json", "p", 9, nil)
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.RetryAfter <= 0 || pd.Err != nil {
+		t.Fatalf("want fast-fail PeerDownError with RetryAfter, got %v", err)
+	}
+	// Cooldown elapses; the half-open probe happens (and fails again).
+	now = now.Add(2 * time.Second)
+	if _, err := r.Forward(ctx, dead, "application/json", "p", 10, nil); err == nil {
+		t.Fatal("half-open probe succeeded against a dead peer")
+	}
+}
+
+// TestForwardShedOpensBreaker: an owner shedding with Retry-After gets
+// its verdict relayed AND the breaker opened for the advertised
+// interval, so the next batch for that owner sheds locally.
+func TestForwardShedOpensBreaker(t *testing.T) {
+	hits := 0
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer owner.Close()
+	now := time.Unix(1700000000, 0)
+	self := "http://10.0.0.1:9147"
+	r := mustRouter(t, Config{Self: self, Peers: []string{self, owner.URL}, Now: func() time.Time { return now }})
+
+	fr, err := r.Forward(context.Background(), owner.URL, "application/json", "p", 1, nil)
+	if err != nil || fr.Status != http.StatusServiceUnavailable || fr.RetryAfter != "3" {
+		t.Fatalf("shed verdict not relayed: fr=%+v err=%v", fr, err)
+	}
+	if !fr.Shed() {
+		t.Fatal("503 not classified as shed")
+	}
+	_, err = r.Forward(context.Background(), owner.URL, "application/json", "p", 2, nil)
+	var pd *PeerDownError
+	if !errors.As(err, &pd) || pd.RetryAfter != 3*time.Second {
+		t.Fatalf("breaker did not adopt the advertised interval: %v", err)
+	}
+	if hits != 1 {
+		t.Fatalf("second forward hit the shedding owner (%d hits)", hits)
+	}
+	if s := r.StatsSnapshot(); s.ForwardShed != 1 {
+		t.Fatalf("shed not counted: %+v", s)
+	}
+}
+
+// TestScatterPartial: one live peer and one dead peer produce one
+// State and one error — a partial gather, never a failed one.
+func TestScatterPartial(t *testing.T) {
+	a := agg.New()
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/shard" {
+			http.NotFound(w, r)
+			return
+		}
+		if got := r.URL.Query().Get("window"); got != "5m" {
+			t.Errorf("window not passed through: %q", got)
+		}
+		gob.NewEncoder(w).Encode(a.State())
+	}))
+	defer live.Close()
+	self := "http://10.0.0.1:9147"
+	dead := "http://127.0.0.1:1"
+	r := mustRouter(t, Config{
+		Self: self, Peers: []string{self, live.URL, dead},
+		Client: &http.Client{Timeout: 200 * time.Millisecond},
+	})
+	res := r.ScatterStates(context.Background(), "5m")
+	if len(res) != 2 {
+		t.Fatalf("want 2 legs, got %d", len(res))
+	}
+	okLegs, errLegs := 0, 0
+	for _, sr := range res {
+		switch {
+		case sr.Err == nil && sr.State != nil:
+			okLegs++
+		case sr.Err != nil && sr.Peer == dead:
+			errLegs++
+		default:
+			t.Fatalf("odd leg: %+v", sr)
+		}
+	}
+	if okLegs != 1 || errLegs != 1 {
+		t.Fatalf("legs: ok=%d err=%d", okLegs, errLegs)
+	}
+	if s := r.StatsSnapshot(); s.Scatters != 1 || s.ScatterPartials != 1 {
+		t.Fatalf("scatter counters: %+v", s)
+	}
+}

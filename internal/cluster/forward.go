@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/witch"
+)
+
+// maxAckBody bounds how much of the owner's response a forwarder will
+// buffer for relay. Ingest acks are a few hundred bytes; a megabyte
+// means something upstream is broken and truncating is the safe move.
+const maxAckBody = 1 << 20
+
+// ForwardResult is the owner's verdict on a forwarded batch, carried
+// back verbatim so the entry node can relay an ack that is
+// byte-identical to what the owner would have sent directly. In
+// particular Duplicate preserves the owner's re-ack marker: the
+// pusher cannot tell (and must not care) which node it talked to.
+type ForwardResult struct {
+	Status     int
+	Body       []byte
+	Ctype      string
+	RetryAfter string // owner's Retry-After header, verbatim
+	Duplicate  string // owner's X-Witch-Duplicate header, verbatim
+}
+
+// Shed reports whether the owner refused the batch with a backpressure
+// status (relayed to the pusher as its own shed).
+func (fr *ForwardResult) Shed() bool {
+	return fr.Status == http.StatusTooManyRequests || fr.Status == http.StatusServiceUnavailable
+}
+
+// Forward sends one keyed batch to its owner and returns the owner's
+// verdict. The entry node has NOT journaled the batch; the ack chain
+// is pusher → entry → owner, and only the owner's journal-before-ack
+// commit turns into a 2xx. A nil error means the owner produced a
+// verdict (success, duplicate re-ack, validation error, or shed) that
+// the caller must relay as-is. A *PeerDownError means no verdict
+// exists: the caller sheds with Retry-After and the pusher keeps the
+// batch.
+func (r *Router) Forward(ctx context.Context, owner, ctype, pusherID string, seq uint64, body []byte) (*ForwardResult, error) {
+	if wait := r.breakerGate(owner); wait > 0 {
+		r.forwardErrors.Add(1)
+		return nil, &PeerDownError{Peer: owner, RetryAfter: wait}
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.forwardTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/ingest", bytes.NewReader(body))
+	if err != nil {
+		r.forwardErrors.Add(1)
+		return nil, &PeerDownError{Peer: owner, RetryAfter: DefaultRetryAfter, Err: err}
+	}
+	req.Header.Set("Content-Type", ctype)
+	req.Header.Set(witch.PusherIDHeader, pusherID)
+	req.Header.Set(witch.PusherSeqHeader, strconv.FormatUint(seq, 10))
+	req.Header.Set(ForwardedHeader, r.self)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.breakerFailure(owner, 0, false)
+		r.forwardErrors.Add(1)
+		return nil, &PeerDownError{Peer: owner, RetryAfter: DefaultRetryAfter, Err: err}
+	}
+	ack, err := io.ReadAll(io.LimitReader(resp.Body, maxAckBody))
+	resp.Body.Close()
+	if err != nil {
+		// The owner may have committed before the response tore, so this
+		// is NOT a safe moment to re-route; shed and let the pusher retry
+		// the same sequence number at the same owner, where dedup re-acks.
+		r.breakerFailure(owner, 0, false)
+		r.forwardErrors.Add(1)
+		return nil, &PeerDownError{Peer: owner, RetryAfter: DefaultRetryAfter,
+			Err: fmt.Errorf("reading owner ack: %w", err)}
+	}
+	fr := &ForwardResult{
+		Status:     resp.StatusCode,
+		Body:       ack,
+		Ctype:      resp.Header.Get("Content-Type"),
+		RetryAfter: resp.Header.Get("Retry-After"),
+		Duplicate:  resp.Header.Get("X-Witch-Duplicate"),
+	}
+	if fr.Shed() {
+		// The owner is up but shedding: open the breaker for exactly the
+		// interval it advertised, so the next batch for that owner sheds
+		// here instantly instead of burning a doomed hop.
+		ra := r.parseRetryAfter(resp.Header)
+		if ra <= 0 {
+			ra = DefaultRetryAfter
+		}
+		r.breakerFailure(owner, ra, true)
+		r.forwardShed.Add(1)
+	} else {
+		r.breakerSuccess(owner)
+		r.forwards.Add(1)
+	}
+	return fr, nil
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"repro/internal/agg"
+	"repro/witch"
+)
+
+// ShardResult is one peer's leg of a scatter-gather query: either its
+// exported aggregate State for the requested window, or the error
+// that made this leg partial.
+type ShardResult struct {
+	Peer  string
+	State *agg.State
+	Err   error
+}
+
+// ScatterStates fans a window query out to every other peer's
+// /v1/shard and gathers the raw shard images. Results come back in
+// peer order (sorted), one entry per peer, errors in place — the
+// caller merges the successes with agg.MergeState and reports the
+// failures as the query's Incomplete set rather than failing the
+// query. rawWindow is passed through verbatim (the caller already
+// validated it against its own parser, which is the same parser the
+// peer will use).
+//
+// Scatter legs deliberately ignore the forwarding breakers: those
+// track the ingest path, and a peer refusing writes can still answer
+// reads. Each leg is bounded by QueryTimeout instead.
+func (r *Router) ScatterStates(ctx context.Context, rawWindow string) []ShardResult {
+	r.scatters.Add(1)
+	out := make([]ShardResult, len(r.others))
+	var wg sync.WaitGroup
+	for i, peer := range r.others {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			st, err := r.fetchShard(ctx, peer, rawWindow)
+			out[i] = ShardResult{Peer: peer, State: st, Err: err}
+		}(i, peer)
+	}
+	wg.Wait()
+	partial := false
+	for _, sr := range out {
+		if sr.Err != nil {
+			partial = true
+			if r.logf != nil {
+				r.logf("cluster: scatter leg %s failed: %v", sr.Peer, sr.Err)
+			}
+		}
+	}
+	if partial {
+		r.scatterPartials.Add(1)
+	}
+	return out
+}
+
+func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*agg.State, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
+	defer cancel()
+	u := peer + "/v1/shard"
+	if rawWindow != "" {
+		u += "?window=" + url.QueryEscape(rawWindow)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard query: %s", resp.Status)
+	}
+	st := new(agg.State)
+	if err := gob.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nil, fmt.Errorf("decoding shard state: %w", err)
+	}
+	return st, nil
+}
+
+// PeerHealth is one peer's row in the fleet health view.
+type PeerHealth struct {
+	Peer     string       `json:"peer"`
+	Err      string       `json:"error,omitempty"`
+	Status   string       `json:"status,omitempty"`
+	State    string       `json:"state,omitempty"`
+	Profiles uint64       `json:"profiles"`
+	Batches  uint64       `json:"batches"`
+	Health   witch.Health `json:"health"`
+}
+
+// PeerHealths polls every other peer's local /healthz concurrently
+// and returns one row per peer in sorted order; an unreachable peer's
+// row carries Err and zero values. The caller folds the rows into the
+// fleet view with agg.MergeHealth (flags OR, counters sum).
+func (r *Router) PeerHealths(ctx context.Context) []PeerHealth {
+	out := make([]PeerHealth, len(r.others))
+	var wg sync.WaitGroup
+	for i, peer := range r.others {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			out[i] = r.fetchHealth(ctx, peer)
+		}(i, peer)
+	}
+	wg.Wait()
+	return out
+}
+
+func (r *Router) fetchHealth(ctx context.Context, peer string) PeerHealth {
+	ph := PeerHealth{Peer: peer}
+	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		ph.Err = err.Error()
+		return ph
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		ph.Err = err.Error()
+		return ph
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&ph); err != nil {
+		ph.Err = fmt.Sprintf("decoding healthz: %v", err)
+		return ph
+	}
+	ph.Peer = peer // never trust the body to overwrite the row key
+	ph.Err = ""
+	return ph
+}

@@ -1,0 +1,142 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/agg"
+	"repro/internal/cluster"
+)
+
+// forwardIngest relays one keyed batch to its owning peer and the
+// owner's verdict back to the pusher, byte for byte. The ack chain is
+// pusher → this node → owner: a 2xx here means the owner journaled
+// before acking, so exactly-once survives the extra hop. When no
+// verdict exists (owner down, breaker open, torn response) the batch
+// is shed with 503 + Retry-After — the pusher spools it and retries
+// the same sequence number, which the owner's dedup window makes safe
+// even if the lost verdict had in fact committed.
+func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string, seq uint64) {
+	owner := s.cl.Owner(id)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)); err != nil {
+		s.rejected.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "ingest: %v", err)
+		return
+	}
+	fr, err := s.cl.Forward(r.Context(), owner, r.Header.Get("Content-Type"), id, seq, buf.Bytes())
+	if err != nil {
+		retry := 2
+		var pd *cluster.PeerDownError
+		if errors.As(err, &pd) && pd.RetryAfter > 0 {
+			retry = int((pd.RetryAfter + time.Second - 1) / time.Second)
+		}
+		s.shedRequest(w, http.StatusServiceUnavailable, retry, "%v", err)
+		return
+	}
+	if fr.Ctype != "" {
+		w.Header().Set("Content-Type", fr.Ctype)
+	}
+	if fr.RetryAfter != "" {
+		w.Header().Set("Retry-After", fr.RetryAfter)
+	}
+	if fr.Duplicate != "" {
+		w.Header().Set("X-Witch-Duplicate", fr.Duplicate)
+	}
+	w.WriteHeader(fr.Status)
+	w.Write(fr.Body)
+}
+
+// handleShard serves this node's raw aggregate State for a window —
+// the unit a peer's scatter-gather fetches and folds with
+// agg.MergeState. Always local by construction, which is what keeps
+// scatter legs from recursing.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	window, err := queryWindow(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.st.Query(window).State()
+	w.Header().Set("Content-Type", "application/x-gob")
+	if err := gob.NewEncoder(w).Encode(st); err != nil {
+		// Too late for a status change; the torn body fails the peer's
+		// decode and the leg lands in its Incomplete set.
+		return
+	}
+}
+
+// handleClusterHealthz answers for the fleet: one row per node plus a
+// merged rollup (Health flags OR, counters sum — agg.MergeHealth's
+// rules). Unreachable peers appear both as error rows and in the
+// incomplete list; the fleet status is degraded rather than the
+// request failed. Without a cluster it falls back to the local view.
+func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.cl == nil {
+		s.handleHealthz(w, r)
+		return
+	}
+	localHealth, localProfiles := s.st.Health()
+	rows := []cluster.PeerHealth{{
+		Peer:     s.cl.Self(),
+		Status:   map[bool]string{false: "ok", true: "degraded"}[localHealth.Degraded],
+		State:    StateName(s.state.Load()),
+		Profiles: localProfiles,
+		Batches:  s.batches.Load(),
+		Health:   localHealth,
+	}}
+	rows = append(rows, s.cl.PeerHealths(r.Context())...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Peer < rows[j].Peer })
+
+	merged := localHealth
+	profiles, batches := localProfiles, s.batches.Load()
+	var incomplete []string
+	for _, row := range rows {
+		if row.Peer == s.cl.Self() {
+			continue
+		}
+		if row.Err != "" {
+			incomplete = append(incomplete, row.Peer)
+			continue
+		}
+		merged = agg.MergeHealth(merged, row.Health)
+		profiles += row.Profiles
+		batches += row.Batches
+	}
+	status := "ok"
+	if merged.Degraded || len(incomplete) > 0 {
+		status = "degraded"
+	}
+	if len(incomplete) > 0 {
+		w.Header().Set("X-Witch-Incomplete", strings.Join(incomplete, ","))
+	}
+	out := map[string]any{
+		"status":     status,
+		"self":       s.cl.Self(),
+		"nodes":      rows,
+		"profiles":   profiles,
+		"batches":    batches,
+		"health":     merged,
+		"cluster":    s.cl.StatsSnapshot(),
+		"incomplete": incomplete,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,430 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+	"repro/witch"
+)
+
+// newTestCluster boots n in-process daemons wired into one ring over
+// real loopback HTTP. Returned slices are index-aligned: servers[i]
+// serves at urls[i].
+func newTestCluster(t *testing.T, n int) (servers []*Server, hts []*httptest.Server, urls []string) {
+	t.Helper()
+	servers = make([]*Server, n)
+	hts = make([]*httptest.Server, n)
+	urls = make([]string, n)
+	for i := range servers {
+		servers[i] = NewServer(store.New(store.Config{}), Config{})
+		servers[i].SetState(StateServing)
+		hts[i] = httptest.NewServer(servers[i].Handler())
+		urls[i] = hts[i].URL
+	}
+	t.Cleanup(func() {
+		for _, ts := range hts {
+			ts.Close()
+		}
+	})
+	for i := range servers {
+		cl, err := cluster.New(cluster.Config{
+			Self:  urls[i],
+			Peers: urls,
+			Logf:  t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i].AttachCluster(cl)
+	}
+	return servers, hts, urls
+}
+
+// keyedIngest POSTs one keyed batch and returns the response.
+func keyedIngest(t *testing.T, url string, body []byte, id string, seq uint64) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/ingest", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(witch.PusherIDHeader, id)
+	req.Header.Set(witch.PusherSeqHeader, fmt.Sprintf("%d", seq))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestClusterForwardIngest: a keyed batch entering at a non-owner is
+// journaled and merged on its owner, the ack (and a duplicate's
+// re-ack) relays byte-identically, and the data is queryable from any
+// node via scatter-gather while living on exactly one.
+func TestClusterForwardIngest(t *testing.T) {
+	servers, _, urls := newTestCluster(t, 3)
+	prof := testProfile(t, 1)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick a pusher identity owned by a node that is not the entry.
+	const id = "test-pusher-forwarding"
+	ownerURL := servers[0].Cluster().Owner(id)
+	entry := -1
+	owner := -1
+	for i, u := range urls {
+		if u == ownerURL {
+			owner = i
+		} else if entry == -1 {
+			entry = i
+		}
+	}
+	if owner == -1 {
+		t.Fatalf("owner %s not in ring %v", ownerURL, urls)
+	}
+
+	resp := keyedIngest(t, urls[entry], body.Bytes(), id, 1)
+	ack1, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded ingest: HTTP %d: %s", resp.StatusCode, ack1)
+	}
+	if servers[owner].batches.Load() != 1 || servers[entry].batches.Load() != 0 {
+		t.Fatalf("batch landed wrong: owner=%d entry=%d",
+			servers[owner].batches.Load(), servers[entry].batches.Load())
+	}
+	if servers[owner].forwardedIn.Load() != 1 {
+		t.Fatal("owner did not count the forwarded arrival")
+	}
+	if s := servers[entry].Cluster().StatsSnapshot(); s.Forwards != 1 {
+		t.Fatalf("entry did not count the forward: %+v", s)
+	}
+
+	// A duplicate retry through the entry node re-acks with the owner's
+	// duplicate marker and an ack body identical to the original's.
+	resp2 := keyedIngest(t, urls[entry], body.Bytes(), id, 1)
+	ack2, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Witch-Duplicate") != "window" {
+		t.Fatalf("duplicate not re-acked through forward: HTTP %d, dup=%q",
+			resp2.StatusCode, resp2.Header.Get("X-Witch-Duplicate"))
+	}
+	if !bytes.Equal(ack1, ack2) {
+		t.Fatalf("re-ack drifted:\n%s\n%s", ack1, ack2)
+	}
+	if servers[owner].st.Query(0).Profiles() != 1 {
+		t.Fatal("duplicate was re-merged on the owner")
+	}
+
+	// Fleet query from every node sees the same single profile; the
+	// entry node's local store stays empty.
+	for i, u := range urls {
+		r, err := http.Get(u + "/v1/top?tool=" + prof.Tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("node %d fleet query: HTTP %d", i, r.StatusCode)
+		}
+		if r.Header.Get("X-Witch-Incomplete") != "" {
+			t.Fatalf("node %d query partial with all peers up", i)
+		}
+		r.Body.Close()
+	}
+	r, err := http.Get(urls[entry] + "/v1/top?tool=" + prof.Tool + "&scope=local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("entry node holds local data it should have forwarded: HTTP %d", r.StatusCode)
+	}
+}
+
+// TestClusterPartialQuery: with one node down, surviving nodes answer
+// fleet queries with what they can reach and say what they could not
+// — the Incomplete marker in both header and body — and /v1/healthz
+// degrades instead of failing.
+func TestClusterPartialQuery(t *testing.T) {
+	servers, hts, urls := newTestCluster(t, 3)
+	prof := testProfile(t, 2)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	// Land one batch on node 0's local store directly (unkeyed, no
+	// forwarding), then kill node 2.
+	servers[0].SetState(StateServing)
+	resp := ingest(t, hts[0], body.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d", resp.StatusCode)
+	}
+	hts[2].Close()
+
+	r, err := http.Get(urls[1] + "/v1/top?tool=" + prof.Tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("partial query: HTTP %d", r.StatusCode)
+	}
+	if got := r.Header.Get("X-Witch-Incomplete"); got != urls[2] {
+		t.Fatalf("X-Witch-Incomplete = %q, want %q", got, urls[2])
+	}
+	var top struct {
+		Waste      float64  `json:"waste"`
+		Incomplete []string `json:"incomplete"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&top); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Incomplete) != 1 || top.Incomplete[0] != urls[2] {
+		t.Fatalf("incomplete field = %v", top.Incomplete)
+	}
+	if top.Waste != prof.Waste {
+		t.Fatalf("reachable data missing from partial answer: %v vs %v", top.Waste, prof.Waste)
+	}
+
+	hr, err := http.Get(urls[1] + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var fleet struct {
+		Status     string               `json:"status"`
+		Nodes      []cluster.PeerHealth `json:"nodes"`
+		Incomplete []string             `json:"incomplete"`
+		Profiles   uint64               `json:"profiles"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&fleet); err != nil {
+		t.Fatal(err)
+	}
+	if fleet.Status != "degraded" || len(fleet.Nodes) != 3 {
+		t.Fatalf("fleet health: %+v", fleet)
+	}
+	if len(fleet.Incomplete) != 1 || fleet.Incomplete[0] != urls[2] {
+		t.Fatalf("fleet incomplete = %v", fleet.Incomplete)
+	}
+	if fleet.Profiles != 1 {
+		t.Fatalf("fleet profiles = %d", fleet.Profiles)
+	}
+}
+
+// TestTopNValidation: garbage n values are caller bugs and get 400s,
+// not silent defaults; the cap bounds the response size.
+func TestTopNValidation(t *testing.T) {
+	_, ts := newTestServer(t, store.Config{})
+	prof := testProfile(t, 3)
+	var body bytes.Buffer
+	prof.WriteJSON(&body)
+	if resp := ingest(t, ts, body.Bytes()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d", resp.StatusCode)
+	}
+	bad := []string{"abc", "-1", "0", "12.5", "1000000", "+e9"}
+	for _, n := range bad {
+		r, err := http.Get(ts.URL + "/v1/top?tool=" + prof.Tool + "&n=" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("n=%q: HTTP %d, want 400", n, r.StatusCode)
+		}
+	}
+	for _, n := range []string{"1", "20", "1000"} {
+		r, err := http.Get(ts.URL + "/v1/top?tool=" + prof.Tool + "&n=" + n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("n=%q: HTTP %d, want 200", n, r.StatusCode)
+		}
+	}
+}
+
+// TestMetricsEndpoint: the plaintext counters cover ingest, store,
+// dedup, and — with a ring — cluster and per-peer breaker state.
+func TestMetricsEndpoint(t *testing.T) {
+	servers, _, urls := newTestCluster(t, 2)
+	prof := testProfile(t, 4)
+	var body bytes.Buffer
+	prof.WriteJSON(&body)
+	const id = "metrics-pusher"
+	entry := 0
+	if servers[0].Cluster().IsOwner(id) {
+		entry = 1
+	}
+	if resp := keyedIngest(t, urls[entry], body.Bytes(), id, 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: HTTP %d", resp.StatusCode)
+	}
+	r, err := http.Get(urls[entry] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	text, _ := io.ReadAll(r.Body)
+	for _, want := range []string{
+		`witchd_state{state="serving"} 1`,
+		"witchd_ingest_batches_total 0",
+		"witchd_cluster_forwards_total 1",
+		"witchd_dedup_pushers 0",
+		"witchd_store_live_pairs 0",
+		"witchd_peer_breaker_open{peer=",
+		"witchd_queries_total 0",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDedupEvictionReack is the eviction-replay hole: a pusher whose
+// window was LRU-evicted replays an old (acked) sequence — e.g. a
+// forwarded re-ingest after a partition. The tombstone must re-ack
+// it; merging it twice would corrupt the aggregate forever.
+func TestDedupEvictionReack(t *testing.T) {
+	d := NewDedup(128, 2)
+	applied := 0
+	apply := func(commit func()) error { applied++; commit(); return nil }
+
+	if dup, _, err := d.Process("A", 7, apply); err != nil || dup {
+		t.Fatalf("first A/7: dup=%v err=%v", dup, err)
+	}
+	// Two newer pushers force A out of the 2-entry table.
+	d.Process("B", 1, apply)
+	d.Process("C", 1, apply)
+	if st := d.Stats(); st.EvictedPushers != 1 || st.Tombstones != 1 {
+		t.Fatalf("A not evicted with tombstone: %+v", st)
+	}
+
+	// The replay of A's acked sequence must re-ack, not re-merge.
+	before := applied
+	dup, _, err := d.Process("A", 7, apply)
+	if err != nil || !dup {
+		t.Fatalf("evicted replay A/7: dup=%v err=%v", dup, err)
+	}
+	if applied != before {
+		t.Fatal("evicted replay was re-applied (double merge)")
+	}
+	// Sequences below the tombstone's window are stale re-acks.
+	if dup, stale, _ := d.Process("A", 0, apply); !dup && !stale {
+		t.Fatalf("pre-window replay processed: dup=%v stale=%v", dup, stale)
+	}
+	// Genuinely new work from the returned pusher still flows.
+	before = applied
+	if dup, _, _ := d.Process("A", 8, apply); dup || applied != before+1 {
+		t.Fatalf("fresh A/8 after return: dup=%v applied=%d", dup, applied)
+	}
+}
+
+// TestDedupPinnedWindowSurvivesEviction: the LRU may never evict a
+// window whose batch is mid-apply — that would orphan the commit mark
+// and re-merge the retry. The pin makes the mid-flight window
+// invisible to the victim scan.
+func TestDedupPinnedWindowSurvivesEviction(t *testing.T) {
+	d := NewDedup(128, 2)
+	inApply := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		d.Process("pinned", 5, func(commit func()) error {
+			close(inApply)
+			<-release
+			commit()
+			return nil
+		})
+	}()
+	<-inApply
+	// Overflow the table while the apply is in flight; the scan must
+	// pick the other window, never the pinned one.
+	quick := func(commit func()) error { commit(); return nil }
+	d.Process("other1", 1, quick)
+	d.Process("other2", 1, quick)
+	d.Process("other3", 1, quick)
+	close(release)
+	<-done
+
+	applied := 0
+	dup, _, err := d.Process("pinned", 5, func(commit func()) error { applied++; commit(); return nil })
+	if err != nil || !dup || applied != 0 {
+		t.Fatalf("pinned window lost its mark: dup=%v applied=%d err=%v", dup, applied, err)
+	}
+}
+
+// TestDedupTombstoneSnapshotRoundTrip: tombstones survive the
+// snapshot codec, so a crash cannot resurrect an evicted pusher's
+// acked sequences either.
+func TestDedupTombstoneSnapshotRoundTrip(t *testing.T) {
+	d := NewDedup(128, 2)
+	apply := func(commit func()) error { commit(); return nil }
+	d.Process("A", 9, apply)
+	d.Process("B", 1, apply)
+	d.Process("C", 1, apply) // evicts A
+	blob, err := d.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := NewDedup(128, 2)
+	if err := d2.Load(blob); err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	dup, _, err := d2.Process("A", 9, func(commit func()) error { applied++; commit(); return nil })
+	if err != nil || !dup || applied != 0 {
+		t.Fatalf("tombstone lost across snapshot: dup=%v applied=%d err=%v", dup, applied, err)
+	}
+}
+
+// TestDedupConcurrentEvictionChurn hammers a tiny table from many
+// goroutines so the race detector can chew on the pin/evict/tombstone
+// paths; every pusher then re-checks that its acked sequences re-ack.
+// The pusher universe (6) fits inside live (4) + tombstone (4)
+// capacity — the regime where exactly-once is guaranteed; past it the
+// bound is a memory cap, not a correctness promise.
+func TestDedupConcurrentEvictionChurn(t *testing.T) {
+	d := NewDedup(64, 4)
+	const pushers = 6
+	const seqs = 32
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			id := fmt.Sprintf("churn-%d", p)
+			for s := uint64(1); s <= seqs; s++ {
+				d.Process(id, s, func(commit func()) error {
+					commit()
+					return nil
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Every pusher's top sequence must re-ack from window or tombstone.
+	for p := 0; p < pushers; p++ {
+		id := fmt.Sprintf("churn-%d", p)
+		applied := 0
+		dup, stale, err := d.Process(id, seqs, func(commit func()) error { applied++; commit(); return nil })
+		if err != nil || (!dup && !stale) || applied != 0 {
+			t.Fatalf("%s seq %d re-merged: dup=%v stale=%v applied=%d", id, seqs, dup, stale, applied)
+		}
+	}
+}

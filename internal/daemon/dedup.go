@@ -37,15 +37,23 @@ import (
 // pusher has one sender).
 //
 // The pusher table itself is bounded: beyond MaxPushers the
-// least-recently-active pusher's window is evicted (counted). A
-// duplicate arriving after its window was evicted would double-merge —
-// the table bound is sized so that takes thousands of distinct
-// pushers, not a busy one.
+// least-recently-active pusher's window is evicted (counted). Two
+// guards keep eviction from un-acking history. A window with a batch
+// mid-apply is pinned (refs) and never a victim — evicting it would
+// orphan the commit mark and let a retried duplicate double-merge.
+// And an evicted window leaves a tombstone carrying its high-water
+// sequence: if that pusher comes back (a spool replay after a long
+// partition, a forwarded re-ingest), its fresh window resumes at the
+// tombstone's max with every in-window bit marked seen, so an old
+// sequence re-acks instead of re-merging. The tombstone table is
+// bounded at MaxPushers as well; only beyond 2×MaxPushers distinct
+// pushers does memory of an acked key truly expire.
 type Dedup struct {
 	mu      sync.Mutex
 	window  uint64
 	maxP    int
 	pushers map[string]*pusherWindow
+	tombs   map[string]tombstone
 	tick    uint64
 
 	dups    uint64 // duplicate re-acks inside the window
@@ -60,6 +68,14 @@ type pusherWindow struct {
 	max  uint64
 	bits []uint64
 	last uint64 // LRU tick, guarded by Dedup.mu
+	refs int    // in-flight batches pinning this window, guarded by Dedup.mu
+}
+
+// tombstone is the memory an evicted window leaves behind: enough to
+// re-ack, not enough to re-order (8 bytes vs the window's 512).
+type tombstone struct {
+	max  uint64
+	tick uint64
 }
 
 // DefaultDedupWindow is the per-pusher window width in sequences.
@@ -79,7 +95,12 @@ func NewDedup(window uint64, maxPushers int) *Dedup {
 	if maxPushers <= 0 {
 		maxPushers = DefaultDedupMaxPushers
 	}
-	return &Dedup{window: window, maxP: maxPushers, pushers: make(map[string]*pusherWindow)}
+	return &Dedup{
+		window:  window,
+		maxP:    maxPushers,
+		pushers: make(map[string]*pusherWindow),
+		tombs:   make(map[string]tombstone),
+	}
 }
 
 // Window reports the per-pusher window width.
@@ -90,6 +111,7 @@ type DedupStats struct {
 	Window         uint64 `json:"window"`
 	Pushers        int    `json:"pushers"`
 	MaxPushers     int    `json:"max_pushers"`
+	Tombstones     int    `json:"tombstones"`
 	Duplicates     uint64 `json:"duplicates_reacked"`
 	Stale          uint64 `json:"stale_reacked"`
 	EvictedPushers uint64 `json:"evicted_pushers"`
@@ -103,14 +125,16 @@ func (d *Dedup) Stats() DedupStats {
 		Window:         d.window,
 		Pushers:        len(d.pushers),
 		MaxPushers:     d.maxP,
+		Tombstones:     len(d.tombs),
 		Duplicates:     d.dups,
 		Stale:          d.stale,
 		EvictedPushers: d.evicted,
 	}
 }
 
-// entry returns (creating if needed) the pusher's window, updating its
-// LRU stamp and enforcing the table bound.
+// entry returns (creating if needed) the pusher's window, pinned
+// against eviction, with its LRU stamp updated and the table bound
+// enforced. Every entry must be paired with a release.
 func (d *Dedup) entry(id string) *pusherWindow {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -118,21 +142,71 @@ func (d *Dedup) entry(id string) *pusherWindow {
 	w := d.pushers[id]
 	if w == nil {
 		if len(d.pushers) >= d.maxP {
-			var coldID string
-			var coldW *pusherWindow
-			for pid, pw := range d.pushers {
-				if coldW == nil || pw.last < coldW.last {
-					coldID, coldW = pid, pw
-				}
-			}
-			delete(d.pushers, coldID)
-			d.evicted++
+			d.evictColdestLocked()
 		}
 		w = &pusherWindow{bits: make([]uint64, d.window/64)}
+		if t, ok := d.tombs[id]; ok {
+			// An evicted pusher came back. Resume at its tombstone's
+			// high-water mark with the whole window marked seen: a replayed
+			// old sequence re-acks (bit set → duplicate; below the window →
+			// stale) instead of merging a second time, and anything genuinely
+			// new is above max and processes normally.
+			w.max = t.max
+			for i := range w.bits {
+				w.bits[i] = ^uint64(0)
+			}
+			delete(d.tombs, id)
+		}
 		d.pushers[id] = w
 	}
+	w.refs++
 	w.last = d.tick
 	return w
+}
+
+// release unpins a window returned by entry.
+func (d *Dedup) release(w *pusherWindow) {
+	d.mu.Lock()
+	w.refs--
+	d.mu.Unlock()
+}
+
+// evictColdestLocked drops the least-recently-active unpinned window,
+// leaving its tombstone behind. Pinned windows have a batch somewhere
+// in check→journal→merge→mark and are never victims (the table
+// overshoots its bound by at most the ingest concurrency limit).
+// Caller holds d.mu.
+func (d *Dedup) evictColdestLocked() {
+	var coldID string
+	var coldW *pusherWindow
+	for pid, pw := range d.pushers {
+		if pw.refs > 0 {
+			continue
+		}
+		if coldW == nil || pw.last < coldW.last {
+			coldID, coldW = pid, pw
+		}
+	}
+	if coldW == nil {
+		return
+	}
+	delete(d.pushers, coldID)
+	d.evicted++
+	if len(d.tombs) >= d.maxP {
+		// The tombstone table is bounded too: beyond it the oldest
+		// eviction's memory expires entirely, which restores the documented
+		// pre-tombstone bound (thousands of distinct pushers) rather than
+		// growing without limit.
+		var oldID string
+		var old tombstone
+		for tid, t := range d.tombs {
+			if oldID == "" || t.tick < old.tick {
+				oldID, old = tid, t
+			}
+		}
+		delete(d.tombs, oldID)
+	}
+	d.tombs[coldID] = tombstone{max: coldW.max, tick: d.tick}
 }
 
 // Process runs apply under the pusher's dedup lock: if (id, seq) was
@@ -149,6 +223,7 @@ func (d *Dedup) entry(id string) *pusherWindow {
 // retry. An apply that errors must not call commit.
 func (d *Dedup) Process(id string, seq uint64, apply func(commit func()) error) (dup bool, stale bool, err error) {
 	w := d.entry(id)
+	defer d.release(w)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
@@ -180,6 +255,7 @@ func (d *Dedup) Mark(id string, seq uint64) {
 	w.mu.Lock()
 	d.mark(w, seq)
 	w.mu.Unlock()
+	d.release(w)
 }
 
 // mark sets seq's bit, clearing the bits of any skipped-over range so
@@ -201,13 +277,16 @@ func (d *Dedup) mark(w *pusherWindow, seq uint64) {
 	w.bits[(seq/64)%(d.window/64)] |= 1 << (seq % 64)
 }
 
-// dedupImage is the gob codec for snapshot persistence.
+// dedupImage is the gob codec for snapshot persistence. Tombs is
+// absent from pre-tombstone snapshots and decodes as nil, which Load
+// treats as empty.
 type dedupImage struct {
 	Window  uint64
 	Dups    uint64
 	Stale   uint64
 	Evicted uint64
 	Pushers map[string]pusherImage
+	Tombs   map[string]uint64
 }
 
 type pusherImage struct {
@@ -234,6 +313,10 @@ func (d *Dedup) State() ([]byte, error) {
 	for id, w := range d.pushers {
 		img.Pushers[id] = pusherImage{Max: w.max, Bits: append([]uint64(nil), w.bits...)}
 	}
+	img.Tombs = make(map[string]uint64, len(d.tombs))
+	for id, t := range d.tombs {
+		img.Tombs[id] = t.max
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
 		return nil, fmt.Errorf("daemon: encoding dedup state: %w", err)
@@ -258,6 +341,11 @@ func (d *Dedup) Load(blob []byte) error {
 	defer d.mu.Unlock()
 	d.dups, d.stale, d.evicted = img.Dups, img.Stale, img.Evicted
 	d.pushers = make(map[string]*pusherWindow, len(img.Pushers))
+	d.tombs = make(map[string]tombstone, len(img.Tombs))
+	for id, max := range img.Tombs {
+		d.tick++
+		d.tombs[id] = tombstone{max: max, tick: d.tick}
+	}
 	words := d.window / 64
 	for id, pi := range img.Pushers {
 		d.tick++

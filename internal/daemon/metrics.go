@@ -1,0 +1,81 @@
+package daemon
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+)
+
+// handleMetrics serves the node's counters as plaintext in the
+// Prometheus exposition format — one metric per line, labels for the
+// per-peer breaker gauges — so cluster behaviour is scrapeable and
+// greppable without parsing /healthz JSON. Everything here is a
+// cheap atomic load or an already-locked stats snapshot; the one
+// aggregate walk (live pair counts) is the same one /healthz pays.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+
+	fmt.Fprintf(buf, "witchd_state{state=%q} 1\n", StateName(s.state.Load()))
+	fmt.Fprintf(buf, "witchd_ingest_batches_total %d\n", s.batches.Load())
+	fmt.Fprintf(buf, "witchd_ingest_rejected_total %d\n", s.rejected.Load())
+	fmt.Fprintf(buf, "witchd_ingest_shed_total %d\n", s.shed.Load())
+	fmt.Fprintf(buf, "witchd_ingest_forwarded_in_total %d\n", s.forwardedIn.Load())
+	fmt.Fprintf(buf, "witchd_queries_total %d\n", s.queries.Load())
+
+	st := s.st.Stats()
+	fmt.Fprintf(buf, "witchd_store_ingested_profiles_total %d\n", st.Ingested)
+	fmt.Fprintf(buf, "witchd_store_live_buckets %d\n", st.LiveBuckets)
+	fmt.Fprintf(buf, "witchd_store_evicted_buckets_total %d\n", st.EvictedBuckets)
+	fmt.Fprintf(buf, "witchd_store_live_pairs %d\n", st.LivePairs)
+	fmt.Fprintf(buf, "witchd_store_rollup_pairs %d\n", st.RollupPairs)
+
+	ds := s.ded.Stats()
+	fmt.Fprintf(buf, "witchd_dedup_pushers %d\n", ds.Pushers)
+	fmt.Fprintf(buf, "witchd_dedup_max_pushers %d\n", ds.MaxPushers)
+	fmt.Fprintf(buf, "witchd_dedup_tombstones %d\n", ds.Tombstones)
+	fmt.Fprintf(buf, "witchd_dedup_duplicates_reacked_total %d\n", ds.Duplicates)
+	fmt.Fprintf(buf, "witchd_dedup_stale_reacked_total %d\n", ds.Stale)
+	fmt.Fprintf(buf, "witchd_dedup_evicted_pushers_total %d\n", ds.EvictedPushers)
+
+	if p := s.pers; p != nil {
+		fmt.Fprintf(buf, "witchd_journal_lsn %d\n", p.journal.LastLSN())
+		fmt.Fprintf(buf, "witchd_journal_failed %d\n", b2i(p.journal.Failed()))
+		fmt.Fprintf(buf, "witchd_journal_unsynced_bytes %d\n", p.journal.UnsyncedBytes())
+		fmt.Fprintf(buf, "witchd_journal_errors_total %d\n", p.journalErrors.Load())
+		fmt.Fprintf(buf, "witchd_snapshots_total %d\n", p.snapshots.Load())
+		fmt.Fprintf(buf, "witchd_snapshot_errors_total %d\n", p.snapErrors.Load())
+		fmt.Fprintf(buf, "witchd_last_snapshot_lsn %d\n", p.lastSnapLSN.Load())
+	}
+
+	if cl := s.cl; cl != nil {
+		cs := cl.StatsSnapshot()
+		fmt.Fprintf(buf, "witchd_cluster_peers %d\n", len(cs.Peers))
+		fmt.Fprintf(buf, "witchd_cluster_forwards_total %d\n", cs.Forwards)
+		fmt.Fprintf(buf, "witchd_cluster_forward_shed_total %d\n", cs.ForwardShed)
+		fmt.Fprintf(buf, "witchd_cluster_forward_errors_total %d\n", cs.ForwardErrors)
+		fmt.Fprintf(buf, "witchd_cluster_scatters_total %d\n", cs.Scatters)
+		fmt.Fprintf(buf, "witchd_cluster_scatter_partials_total %d\n", cs.ScatterPartials)
+		for _, ps := range cl.PeerStates() {
+			fmt.Fprintf(buf, "witchd_peer_breaker_open{peer=%q} %d\n", ps.Peer, b2i(ps.Open))
+			fmt.Fprintf(buf, "witchd_peer_breaker_trips_total{peer=%q} %d\n", ps.Peer, ps.Trips)
+			fmt.Fprintf(buf, "witchd_peer_forwards_total{peer=%q} %d\n", ps.Peer, ps.Forwards)
+			fmt.Fprintf(buf, "witchd_peer_forward_errors_total{peer=%q} %d\n", ps.Peer, ps.Errors)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/cluster"
 	"repro/internal/store"
 	"repro/witch"
 )
@@ -66,6 +68,9 @@ type Config struct {
 	// DedupMaxPushers bounds the dedup pusher table (default
 	// DefaultDedupMaxPushers).
 	DedupMaxPushers int
+	// MaxTopN caps /v1/top's n parameter — the response-size bound for
+	// the ranked-pairs query (default 1000).
+	MaxTopN int
 }
 
 // Server wires the retention store, the persistence layer, and the
@@ -73,15 +78,18 @@ type Config struct {
 type Server struct {
 	st   *store.Store
 	cfg  Config
-	pers *Persistence // nil = memory-only (no data dir)
+	pers *Persistence    // nil = memory-only (no data dir)
+	cl   *cluster.Router // nil = single node
 	ded  *Dedup
 
 	state atomic.Int32
 	sem   chan struct{}
 
-	batches  atomic.Uint64 // ingest requests accepted
-	rejected atomic.Uint64 // ingest requests rejected (bad input)
-	shed     atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
+	batches     atomic.Uint64 // ingest requests accepted locally
+	rejected    atomic.Uint64 // ingest requests rejected (bad input)
+	shed        atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
+	forwardedIn atomic.Uint64 // batches that arrived via a peer's routing hop
+	queries     atomic.Uint64 // /v1/top + /v1/profile requests served
 }
 
 // NewServer builds a server over a retention store, applying defaults
@@ -100,6 +108,9 @@ func NewServer(st *store.Store, cfg Config) *Server {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.MaxTopN <= 0 {
+		cfg.MaxTopN = 1000
+	}
 	s := &Server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
 	s.ded = NewDedup(cfg.DedupWindow, cfg.DedupMaxPushers)
 	s.state.Store(StateStarting)
@@ -117,18 +128,33 @@ func (s *Server) SetState(st int32) { s.state.Store(st) }
 // path; call before SetState(StateServing).
 func (s *Server) AttachPersistence(p *Persistence) { s.pers = p }
 
+// AttachCluster wires a cluster router into the ingest and query
+// paths; call before serving. With a router attached, keyed batches
+// owned by a peer are forwarded there, and /v1/top, /v1/profile, and
+// /v1/healthz answer for the whole fleet.
+func (s *Server) AttachCluster(cl *cluster.Router) { s.cl = cl }
+
+// Cluster returns the attached router (nil for a single node).
+func (s *Server) Cluster() *cluster.Router { return s.cl }
+
 // Handler routes the API:
 //
 //	POST /v1/ingest   WriteJSON payloads (single, batched, or binary)
-//	GET  /v1/top      ranked merged pairs (tool, window, program, n)
-//	GET  /v1/profile  full merged profile in the WriteJSON schema
-//	GET  /healthz     lifecycle state, fleet Health, retention + durability stats
+//	GET  /v1/top      ranked merged pairs (tool, window, program, n) — fleet-wide with a cluster
+//	GET  /v1/profile  full merged profile in the WriteJSON schema — fleet-wide with a cluster
+//	GET  /v1/shard    this node's raw aggregate State (gob), the scatter-gather unit
+//	GET  /v1/healthz  fleet health: every peer's row plus the merged rollup
+//	GET  /healthz     this node's lifecycle state, Health, retention + durability stats
+//	GET  /metrics     plaintext counters (ingest, forward, query, journal, dedup, breakers)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	mux.HandleFunc("/v1/top", s.handleTop)
 	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/v1/shard", s.handleShard)
+	mux.HandleFunc("/v1/healthz", s.handleClusterHealthz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -200,6 +226,34 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.shedRequest(w, http.StatusTooManyRequests, 1, "overloaded: %d ingests in flight", cap(s.sem))
 		return
 	}
+
+	// Idempotency key: pushers stamp every batch with their durable
+	// identity and a never-reused sequence. The key is also the routing
+	// key — in a cluster, rendezvous hashing on the pusher identity
+	// gives every batch exactly one owner, whose dedup window is the
+	// only one that ever judges this pusher's sequences.
+	id := r.Header.Get(witch.PusherIDHeader)
+	var seq uint64
+	keyed := false
+	if id != "" {
+		if rawSeq := r.Header.Get(witch.PusherSeqHeader); rawSeq != "" {
+			if v, perr := strconv.ParseUint(rawSeq, 10, 64); perr == nil {
+				seq, keyed = v, true
+			}
+		}
+	}
+	if forwarded := r.Header.Get(cluster.ForwardedHeader) != ""; s.cl != nil && keyed && !forwarded && !s.cl.IsOwner(id) {
+		// Routing hop: relay the batch to its owner and the owner's
+		// verdict back, before any local journal gate — a node with a
+		// failed journal can still route to healthy owners. A batch that
+		// already hopped is processed here unconditionally (one hop only;
+		// skewed peer lists must not build loops).
+		s.forwardIngest(w, r, id, seq)
+		return
+	} else if forwarded {
+		s.forwardedIn.Add(1)
+	}
+
 	if s.pers != nil {
 		if s.pers.journal.Failed() {
 			s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal failed, restart required: ingest disabled to avoid un-durable acks")
@@ -242,21 +296,6 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.rejected.Add(1)
 		httpError(w, http.StatusBadRequest, "ingest: %v", err)
 		return
-	}
-
-	// Idempotency key: pushers stamp every batch with their durable
-	// identity and a never-reused sequence. A keyed batch already seen
-	// is re-acked without touching the journal or the store — the ack
-	// the pusher lost is replayed, the data is not.
-	id := r.Header.Get(witch.PusherIDHeader)
-	var seq uint64
-	keyed := false
-	if id != "" {
-		if rawSeq := r.Header.Get(witch.PusherSeqHeader); rawSeq != "" {
-			if v, perr := strconv.ParseUint(rawSeq, 10, 64); perr == nil {
-				seq, keyed = v, true
-			}
-		}
 	}
 
 	// Per-tool routing happens inside the aggregate: every profile
@@ -364,18 +403,41 @@ func queryWindow(r *http.Request) (time.Duration, error) {
 }
 
 // view resolves the tool/window/program parameters to a merged view.
-func (s *Server) view(w http.ResponseWriter, r *http.Request) (*agg.Aggregator, string, string, bool) {
-	tool := r.URL.Query().Get("tool")
+// With a cluster attached the view is fleet-wide: the local window
+// query is the gather seed and every peer's /v1/shard State is folded
+// in with agg's merge rules. Unreachable peers degrade the answer to
+// a partial one — their URLs come back in incomplete (and in an
+// X-Witch-Incomplete response header) instead of failing the query.
+// scope=local bypasses the scatter (it is also how /v1/shard itself
+// stays local, so legs never recurse).
+func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggregator, tool, program string, incomplete []string, ok bool) {
+	tool = r.URL.Query().Get("tool")
 	if tool == "" {
 		httpError(w, http.StatusBadRequest, "tool parameter is required (a profile tool string, e.g. DeadCraft)")
-		return nil, "", "", false
+		return nil, "", "", nil, false
 	}
 	window, err := queryWindow(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return nil, "", "", false
+		return nil, "", "", nil, false
 	}
-	return s.st.Query(window), tool, r.URL.Query().Get("program"), true
+	view = s.st.Query(window)
+	if s.cl != nil && r.URL.Query().Get("scope") != "local" {
+		for _, sr := range s.cl.ScatterStates(r.Context(), r.URL.Query().Get("window")) {
+			if sr.Err != nil {
+				incomplete = append(incomplete, sr.Peer)
+				continue
+			}
+			view.MergeState(sr.State)
+		}
+		if len(incomplete) > 0 {
+			// A header, not a body field, so /v1/profile's body stays
+			// byte-identical to what a complete fleet would produce when
+			// the missing peers happen to hold no rows for this view.
+			w.Header().Set("X-Witch-Incomplete", strings.Join(incomplete, ","))
+		}
+	}
+	return view, tool, r.URL.Query().Get("program"), incomplete, true
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -383,26 +445,29 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	view, tool, program, ok := s.view(w, r)
-	if !ok {
-		return
-	}
+	// Validate the cheap parameter before paying for a fleet scatter.
+	// Anything non-numeric, zero, negative, or past the response-size
+	// cap is a caller bug worth a loud 400, not a silent default.
 	n := 20
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
-		if err != nil || v < 0 {
-			httpError(w, http.StatusBadRequest, "bad n %q", raw)
+		if err != nil || v <= 0 || v > s.cfg.MaxTopN {
+			httpError(w, http.StatusBadRequest, "bad n %q: need an integer in [1, %d]", raw, s.cfg.MaxTopN)
 			return
 		}
 		n = v
 	}
+	view, tool, program, incomplete, ok := s.view(w, r)
+	if !ok {
+		return
+	}
+	s.queries.Add(1)
 	prof := view.Snapshot(tool, program)
 	if prof == nil {
 		httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", tool, program)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	out := map[string]any{
 		"tool":       tool,
 		"program":    prof.Program,
 		"programs":   view.Programs(tool),
@@ -410,7 +475,12 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		"waste":      prof.Waste,
 		"use":        prof.Use,
 		"pairs":      prof.TopPairs(n),
-	})
+	}
+	if len(incomplete) > 0 {
+		out["incomplete"] = incomplete
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -418,10 +488,11 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	view, tool, program, ok := s.view(w, r)
+	view, tool, program, _, ok := s.view(w, r)
 	if !ok {
 		return
 	}
+	s.queries.Add(1)
 	prof := view.Snapshot(tool, program)
 	if prof == nil {
 		httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", tool, program)
@@ -446,10 +517,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"batches":          s.batches.Load(),
 		"rejected_batches": s.rejected.Load(),
 		"shed_batches":     s.shed.Load(),
+		"forwarded_in":     s.forwardedIn.Load(),
 		"tools":            s.st.Query(0).Tools(),
 		"health":           health,
 		"store":            s.st.Stats(),
 		"dedup":            s.ded.Stats(),
+	}
+	if s.cl != nil {
+		out["cluster"] = s.cl.StatsSnapshot()
 	}
 	if p := s.pers; p != nil {
 		out["durability"] = map[string]any{

@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestClusterScalingAndChaosQuick is the tier-1 gate for the sharded
+// ring: the quick run must clear its own scaling gate (2x at 3 nodes
+// under the deterministic disk model), survive the kill -9 chaos
+// phase with zero acked-batch loss, and prove the oracle
+// byte-identity from every node. Cluster itself fails on any gate
+// miss, so the test mostly asserts the run completed and the headline
+// numbers parse.
+func TestClusterScalingAndChaosQuick(t *testing.T) {
+	out := runExp(t, Cluster)
+	m := regexp.MustCompile(`3-node scaling (\d+(?:\.\d+)?)x \(gate: >=2\.0x\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no scaling line:\n%s", out)
+	}
+	speedup, _ := strconv.ParseFloat(m[1], 64)
+	if speedup < 2.0 {
+		t.Fatalf("3-node speedup %.2fx below the quick gate", speedup)
+	}
+	if !strings.Contains(out, "byte-identical to the single-node oracle from every node") {
+		t.Fatalf("chaos oracle line missing:\n%s", out)
+	}
+}

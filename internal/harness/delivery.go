@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -178,7 +177,7 @@ func (d *deliveryDaemon) start(inj *fault.Injector) error {
 		handler = daemon.ChaosHandler(handler, inj)
 	}
 	d.hs = daemon.HardenedServer(handler, time.Second)
-	ln, err := net.Listen("tcp", d.addr)
+	ln, err := listenPinned(d.addr)
 	if err != nil {
 		return fmt.Errorf("daemon listen: %w", err)
 	}
@@ -212,6 +211,7 @@ type deliveryPusher struct {
 	spoolDir  string
 	spoolMax  int64
 	url       string
+	urls      []string // extra failover targets (cluster runs)
 	clientInj *fault.Injector
 	diskInj   *fault.Injector
 
@@ -244,6 +244,7 @@ func (cp *deliveryPusher) open(faulty bool) error {
 	}
 	p, err := witch.NewPusher(witch.PusherOptions{
 		URL:               cp.url,
+		URLs:              cp.urls,
 		Queue:             512,
 		Backoff:           2 * time.Millisecond,
 		Client:            &http.Client{Transport: rt, Timeout: 2 * time.Second},

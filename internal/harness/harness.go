@@ -727,7 +727,7 @@ func All(w io.Writer, o Options) error {
 	steps := []func(io.Writer, Options) error{
 		Figure2, Figure4, Figure5, Table1, Table2, Table3,
 		BlindSpots, Dominance, Adversary, Stability, RankOrder, Ablations,
-		RelatedWork, IBS, OMP, Precision, Chaos, Ingest, Delivery,
+		RelatedWork, IBS, OMP, Precision, Chaos, Ingest, Delivery, Cluster,
 	}
 	for _, step := range steps {
 		if err := step(w, o); err != nil {
@@ -760,6 +760,7 @@ func Registry() map[string]func(io.Writer, Options) error {
 		"chaos":     Chaos,
 		"ingest":    Ingest,
 		"delivery":  Delivery,
+		"cluster":   Cluster,
 		"all":       All,
 	}
 }

@@ -1,0 +1,25 @@
+package harness
+
+import (
+	"errors"
+	"net"
+	"syscall"
+	"time"
+)
+
+// listenPinned binds addr, retrying briefly on EADDRINUSE. Harness
+// daemons pin their first kernel-assigned port so restarts keep the
+// same URL, which races with every other test binary on the machine
+// drawing ephemeral ports while the daemon is down; the holder is
+// almost always another short-lived test listener, so a bounded wait
+// recovers where a single attempt would flake.
+func listenPinned(addr string) (net.Listener, error) {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil || !errors.Is(err, syscall.EADDRINUSE) || time.Now().After(deadline) {
+			return ln, err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

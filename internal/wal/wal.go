@@ -98,6 +98,13 @@ type Options struct {
 	// gangs); a small positive value trades that much ack latency for
 	// bigger gangs. Ignored without GroupCommit.
 	MaxCommitDelay time.Duration
+	// SyncDelay models a disk whose commit costs a fixed latency: every
+	// successful fsync additionally holds the journal for this long.
+	// Zero (production) adds nothing. Benchmarks use it to pin the
+	// storage variable so a scaling experiment measures the layer under
+	// test — e.g. the cluster's N-journal parallelism — rather than
+	// whatever disk the host happens to have.
+	SyncDelay time.Duration
 }
 
 // RecoveryInfo reports what Open found and repaired.
@@ -615,12 +622,22 @@ func (j *Journal) seamWrite(frame []byte) (int, error) {
 // errNoSpace is the injected analogue of ENOSPC.
 var errNoSpace = errors.New("no space left on device")
 
-// seamSync is the fault-injectable fsync path.
+// seamSync is the fault-injectable fsync path. Both commit flavours
+// (per-append and group) sync through here, so the SyncDelay disk
+// model is applied exactly once per physical sync, while the journal
+// lock is held — a slower modeled disk serializes commits just like a
+// slower real one.
 func (j *Journal) seamSync() error {
 	if j.opts.Injector.Should(fault.SyncFail) {
 		return fmt.Errorf("fsync %s: input/output error", j.seg.path)
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if j.opts.SyncDelay > 0 {
+		time.Sleep(j.opts.SyncDelay)
+	}
+	return nil
 }
 
 // fail marks the journal out of service. Caller holds j.mu.

@@ -48,6 +48,17 @@ type PusherOptions struct {
 	// URL is the witchd daemon's base URL (e.g. "http://host:9147");
 	// profiles are POSTed to URL + "/v1/ingest".
 	URL string
+	// URLs optionally lists more witchd base URLs — the rest of a
+	// cluster's peers. Delivery targets one URL at a time, starting
+	// with URL; every failed attempt rotates to the next, so a dead
+	// entry node costs one attempt instead of an outage. Any node
+	// accepts any batch (non-owners forward), which is what makes
+	// blind rotation safe: the idempotency key, not the entry node,
+	// decides where a batch lands. A daemon-advertised Retry-After
+	// still opens the breaker globally — in a cluster it means this
+	// pusher's owner is shedding, and every entry node would relay the
+	// same answer.
+	URLs []string
 	// Queue bounds the number of profiles waiting to be sent
 	// (default 16). When the queue is full, Push drops and counts —
 	// or spills to the durable spool when SpoolDir is set.
@@ -130,6 +141,9 @@ type PusherStats struct {
 	Retries, Errors uint64
 	// BreakerTrips counts transitions of the circuit breaker to open.
 	BreakerTrips uint64
+	// Failovers counts delivery-target rotations (only with
+	// PusherOptions.URLs): each failed attempt moves to the next peer.
+	Failovers uint64
 	// EncodingFallbacks counts binary-to-JSON downgrades (0 or 1: the
 	// fallback latches).
 	EncodingFallbacks uint64
@@ -165,9 +179,16 @@ type PusherStats struct {
 // merged twice: together spool and key give exactly-once delivery up
 // to spool eviction, which is itself exactly counted.
 type Pusher struct {
-	opts  PusherOptions
-	url   string
-	queue chan *Profile
+	opts PusherOptions
+	// urls are the resolved ingest endpoints (URL first, then URLs,
+	// deduplicated); url is the current target, rotated by the sender
+	// on failed attempts. urlIdx is sender-owned; url is set at
+	// rotation and read by sender-side logging and post.
+	urls      []string
+	urlIdx    int
+	url       string
+	failovers atomic.Uint64
+	queue     chan *Profile
 	// spill catches profiles that found queue full (spool mode only);
 	// the sender moves them to disk.
 	spill chan *Profile
@@ -233,6 +254,23 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 	if !strings.HasPrefix(opts.URL, "http://") && !strings.HasPrefix(opts.URL, "https://") {
 		return nil, fmt.Errorf("witch: PusherOptions.URL must be http(s), got %q", opts.URL)
 	}
+	urls := []string{strings.TrimRight(opts.URL, "/") + "/v1/ingest"}
+	for _, u := range opts.URLs {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("witch: PusherOptions.URLs entries must be http(s), got %q", u)
+		}
+		ingest := strings.TrimRight(u, "/") + "/v1/ingest"
+		dup := false
+		for _, have := range urls {
+			if have == ingest {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			urls = append(urls, ingest)
+		}
+	}
 	if opts.Queue <= 0 {
 		opts.Queue = 16
 	}
@@ -275,7 +313,8 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 	}
 	p := &Pusher{
 		opts:       opts,
-		url:        strings.TrimRight(opts.URL, "/") + "/v1/ingest",
+		urls:       urls,
+		url:        urls[0],
 		queue:      make(chan *Profile, opts.Queue),
 		quit:       make(chan struct{}),
 		byReason:   make(map[string]uint64),
@@ -342,7 +381,10 @@ func (p *Pusher) drop(reason string) {
 	p.byReason[reason]++
 	p.reasonMu.Unlock()
 	if !p.inOutage.Swap(true) {
-		p.opts.Logf("witch: pusher to %s dropping profiles (%s); further drops suppressed until delivery recovers", p.url, reason)
+		// urls[0], not the rotating p.url: drop can run on the Push
+		// caller's goroutine while the sender rotates targets, and the
+		// line identifies the pusher, not the attempt.
+		p.opts.Logf("witch: pusher to %s dropping profiles (%s); further drops suppressed until delivery recovers", p.urls[0], reason)
 	}
 }
 
@@ -351,7 +393,7 @@ func (p *Pusher) drop(reason string) {
 func (p *Pusher) recovered() {
 	p.sent.Add(1)
 	if p.inOutage.Swap(false) {
-		p.opts.Logf("witch: pusher to %s recovered (%d profiles dropped so far)", p.url, p.dropped.Load())
+		p.opts.Logf("witch: pusher to %s recovered (%d profiles dropped so far)", p.urls[0], p.dropped.Load())
 	}
 }
 
@@ -417,6 +459,7 @@ func (p *Pusher) Stats() PusherStats {
 		Retries:           p.retries.Load(),
 		Errors:            p.errors.Load(),
 		BreakerTrips:      p.trips.Load(),
+		Failovers:         p.failovers.Load(),
 		EncodingFallbacks: p.fallbacks.Load(),
 		Spooled:           p.spooled.Load(),
 		Replayed:          p.replayed.Load(),
@@ -867,8 +910,17 @@ func (p *Pusher) jitterEqual(d time.Duration) time.Duration {
 
 // breakerFailure records a failed attempt, opening the breaker after
 // BreakerThreshold consecutive failures — or immediately for the
-// daemon-advertised retryAfter of a shedding response.
+// daemon-advertised retryAfter of a shedding response. With a peer
+// list it also rotates the delivery target, so the threshold is only
+// reached after every peer had a turn failing — one dead node never
+// opens the breaker by itself, while a Retry-After (the owner
+// shedding, same answer via any entry node) still opens it at once.
 func (p *Pusher) breakerFailure(retryAfter time.Duration) {
+	if len(p.urls) > 1 {
+		p.urlIdx = (p.urlIdx + 1) % len(p.urls)
+		p.url = p.urls[p.urlIdx]
+		p.failovers.Add(1)
+	}
 	p.brFails++
 	open := time.Duration(0)
 	if retryAfter > 0 {
