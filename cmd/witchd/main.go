@@ -48,6 +48,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -80,6 +81,10 @@ type daemonFlags struct {
 	maxTopN     int
 	peers       string
 	advertise   string
+	rf          int
+	hintMax     int64
+	hintDrain   time.Duration
+	repairEvery time.Duration
 	peerList    []string // validated split of peers
 }
 
@@ -104,6 +109,10 @@ func parseFlags(args []string) (*daemonFlags, error) {
 	fs.IntVar(&f.maxTopN, "max-top-n", 1000, "largest accepted n for /v1/top (response-size cap)")
 	fs.StringVar(&f.peers, "peers", "", "comma-separated base URLs of every cluster node, this one included (empty: single node)")
 	fs.StringVar(&f.advertise, "advertise", "", "this node's base URL as it appears in -peers (default http://<addr>)")
+	fs.IntVar(&f.rf, "replication-factor", 2, "copies of each pusher's partition across the ring; with -peers, acks wait for a durable follower copy (capped at the peer count; 1 = replication off)")
+	fs.Int64Var(&f.hintMax, "hint-max-bytes", 64<<20, "per-peer hinted-handoff journal bound; overflow evicts oldest hints, leaving convergence to repair (negative: unbounded)")
+	fs.DurationVar(&f.hintDrain, "hint-drain-interval", time.Second, "how often queued hints are replayed at healed peers")
+	fs.DurationVar(&f.repairEvery, "repair-interval", 30*time.Second, "anti-entropy digest-compare cadence (negative: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -167,6 +176,18 @@ func (f *daemonFlags) validate() error {
 	if f.advertise != "" && f.peers == "" {
 		return fmt.Errorf("-advertise only applies with -peers")
 	}
+	if f.rf < 1 {
+		return fmt.Errorf("-replication-factor must be >= 1, got %d", f.rf)
+	}
+	if f.hintMax == 0 {
+		return fmt.Errorf("-hint-max-bytes must be nonzero (use a negative value for unbounded)")
+	}
+	if f.hintDrain <= 0 {
+		return fmt.Errorf("-hint-drain-interval must be positive, got %v", f.hintDrain)
+	}
+	if f.repairEvery == 0 {
+		return fmt.Errorf("-repair-interval must be nonzero (use a negative value to disable)")
+	}
 	if f.peers != "" {
 		if f.advertise == "" {
 			f.advertise = "http://" + f.addr
@@ -178,9 +199,15 @@ func (f *daemonFlags) validate() error {
 			}
 			f.peerList = append(f.peerList, p)
 		}
+		// A ring smaller than the requested factor holds as many copies
+		// as it has nodes; cap rather than die so the documented default
+		// (2) works on any ring, including a single-node one.
+		if f.rf > len(f.peerList) {
+			f.rf = len(f.peerList)
+		}
 		// Full ring validation (schemes, duplicates, self in list) is
 		// cluster.New's; run it here so a bad config dies at flag time.
-		if _, err := cluster.New(cluster.Config{Self: f.advertise, Peers: f.peerList}); err != nil {
+		if _, err := cluster.New(cluster.Config{Self: f.advertise, Peers: f.peerList, ReplicationFactor: f.rf}); err != nil {
 			return fmt.Errorf("-peers: %v", err)
 		}
 	}
@@ -203,18 +230,21 @@ func main() {
 		DedupMaxPushers: f.dedupMax,
 		MaxTopN:         f.maxTopN,
 	})
-	if len(f.peerList) > 0 {
+	clustered := len(f.peerList) > 0
+	if clustered {
 		cl, err := cluster.New(cluster.Config{
-			Self:  f.advertise,
-			Peers: f.peerList,
-			Logf:  log.Printf,
+			Self:              f.advertise,
+			Peers:             f.peerList,
+			ReplicationFactor: f.rf,
+			Logf:              log.Printf,
 		})
 		if err != nil { // validate() already ran this; belt and braces
 			fmt.Fprintf(os.Stderr, "witchd: %v\n", err)
 			os.Exit(2)
 		}
 		srv.AttachCluster(cl)
-		log.Printf("witchd: cluster of %d nodes, self %s", len(cl.Peers()), cl.Self())
+		log.Printf("witchd: cluster of %d nodes, self %s, replication factor %d",
+			len(cl.Peers()), cl.Self(), f.rf)
 	}
 
 	// Bind before recovery so a taken port fails fast, but serve only
@@ -268,6 +298,26 @@ func main() {
 			time.Since(start).Round(time.Millisecond), rec.SnapshotLSN, rec.SnapshotLoaded,
 			rec.ReplayedBatches, rec.TornTail, rec.TruncatedBytes)
 	}
+	if clustered {
+		// After AttachCluster and AttachPersistence, before serving: the
+		// ingest path reads the engine without a lock, and with RF > 1 a
+		// coordinator sheds keyed batches until replication runs.
+		hintDir := ""
+		if f.dataDir != "" {
+			hintDir = filepath.Join(f.dataDir, "hints")
+		}
+		if err := srv.StartReplication(daemon.ReplicationConfig{
+			HintDir:        hintDir,
+			HintMaxBytes:   f.hintMax,
+			DrainInterval:  f.hintDrain,
+			RepairInterval: f.repairEvery,
+			WalOpts:        wal.Options{NoSync: f.fsync == "off"},
+			Logf:           log.Printf,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "witchd: replication: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv.SetState(daemon.StateServing)
 
 	hs := daemon.HardenedServer(srv.Handler(), f.hdrTimeout)
@@ -292,6 +342,12 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("witchd: drain: %v", err)
+	}
+	// Stop replication before the final snapshot: the loops write
+	// through the same journal barrier, and undelivered hints stay on
+	// disk for the next boot.
+	if clustered {
+		srv.StopReplication()
 	}
 	if pers != nil {
 		if err := pers.Shutdown(); err != nil {

@@ -49,6 +49,23 @@ func TestFlagValidation(t *testing.T) {
 	if clustered.advertise != "http://127.0.0.1:9147" || len(clustered.peerList) != 3 {
 		t.Fatalf("cluster flags mis-parsed: %+v", clustered)
 	}
+	if clustered.rf != 2 || clustered.hintMax != 64<<20 ||
+		clustered.hintDrain != time.Second || clustered.repairEvery != 30*time.Second {
+		t.Fatalf("replication defaults mis-parsed: %+v", clustered)
+	}
+
+	// A factor larger than the ring caps at the ring: the documented
+	// default (2) must work on any -peers list without hand-tuning.
+	capped, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9147", "-replication-factor", "5",
+		"-peers", "http://127.0.0.1:9147,http://127.0.0.1:9148",
+	})
+	if err != nil {
+		t.Fatalf("oversized replication factor rejected: %v", err)
+	}
+	if capped.rf != 2 {
+		t.Fatalf("replication factor not capped at ring size: %d", capped.rf)
+	}
 
 	cases := []struct {
 		name string
@@ -82,6 +99,10 @@ func TestFlagValidation(t *testing.T) {
 			"-peers", "http://127.0.0.1:9147,ftp://127.0.0.1:9148"}, "-peers"},
 		{"empty peer entry", []string{"-addr", "127.0.0.1:9147",
 			"-peers", "http://127.0.0.1:9147,"}, "-peers"},
+		{"zero replication factor", []string{"-replication-factor", "0"}, "-replication-factor"},
+		{"zero hint-max-bytes", []string{"-hint-max-bytes", "0"}, "-hint-max-bytes"},
+		{"zero hint-drain-interval", []string{"-hint-drain-interval", "0s"}, "-hint-drain-interval"},
+		{"zero repair-interval", []string{"-repair-interval", "0s"}, "-repair-interval"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

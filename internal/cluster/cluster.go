@@ -40,6 +40,18 @@ import (
 // node the first router chose.
 const ForwardedHeader = "X-Witch-Forwarded"
 
+// RingHeader carries the sender's ring hash (an FNV-1a fold of the
+// sorted peer list) on every inter-node request. The receiver rejects
+// a mismatch with 409 before touching any state: a typoed -peers list
+// on one node would otherwise silently split ownership, with each side
+// forwarding, replicating, and repairing against a different ring.
+const RingHeader = "X-Witch-Ring"
+
+// TimestampHeader carries the coordinator's ingest wall time (UnixNano)
+// on replication requests, so the follower buckets the batch at the
+// same instant and replayed/repaired layouts stay byte-comparable.
+const TimestampHeader = "X-Witch-TS"
+
 // Defaults for Config zero values.
 const (
 	DefaultBreakerThreshold = 3
@@ -58,6 +70,11 @@ type Config struct {
 	Self string
 	// Peers is the full static membership, Self included.
 	Peers []string
+	// ReplicationFactor is how many nodes (the top of each pusher's
+	// preference list) hold that pusher's data. Zero means 1 — the
+	// pre-replication single-owner behavior. Must not exceed the peer
+	// count.
+	ReplicationFactor int
 	// Client issues all inter-node requests (forwards and scatters).
 	// Nil gets a plain client; tests thread a fault.Transport here.
 	Client *http.Client
@@ -84,13 +101,15 @@ type Config struct {
 // Router is one node's routing, forwarding, and scatter engine.
 // All methods are safe for concurrent use.
 type Router struct {
-	self    string
-	peers   []string // sorted, normalized, includes self
-	others  []string // peers minus self, same order
-	client  *http.Client
-	now     func() time.Time
-	logf    func(string, ...any)
-	queryTO time.Duration
+	self     string
+	peers    []string // sorted, normalized, includes self
+	others   []string // peers minus self, same order
+	rf       int      // replica group size
+	ringHash string   // FNV-1a fold of the sorted peer list, hex
+	client   *http.Client
+	now      func() time.Time
+	logf     func(string, ...any)
+	queryTO  time.Duration
 
 	threshold int
 	cooldown0 time.Duration
@@ -102,8 +121,11 @@ type Router struct {
 	forwards        atomic.Uint64 // forwards acked by the owner (2xx relayed)
 	forwardShed     atomic.Uint64 // owner said 429/503; shed relayed to the pusher
 	forwardErrors   atomic.Uint64 // forward never got an owner verdict
+	forwardReroutes atomic.Uint64 // forwards retargeted past a breaker-open replica
 	scatters        atomic.Uint64 // fleet queries fanned out
 	scatterPartials atomic.Uint64 // fleet queries with ≥1 unreachable peer
+	replicates      atomic.Uint64 // replication legs acked by a follower
+	replicateErrors atomic.Uint64 // replication legs that got no usable verdict
 }
 
 // peerBreaker tracks one peer's forwarding health. Guarded by
@@ -149,15 +171,24 @@ func New(cfg Config) (*Router, error) {
 			others = append(others, p)
 		}
 	}
+	rf := cfg.ReplicationFactor
+	if rf == 0 {
+		rf = 1
+	}
+	if rf < 1 || rf > len(peers) {
+		return nil, fmt.Errorf("cluster: replication factor %d must be between 1 and the peer count (%d)", rf, len(peers))
+	}
 	r := &Router{
-		self:    self,
-		peers:   peers,
-		others:  others,
-		client:  cfg.Client,
-		now:     cfg.Now,
-		logf:    cfg.Logf,
-		queryTO: cfg.QueryTimeout,
-		brs:     make(map[string]*peerBreaker, len(others)),
+		self:     self,
+		peers:    peers,
+		others:   others,
+		rf:       rf,
+		ringHash: hashRing(peers),
+		client:   cfg.Client,
+		now:      cfg.Now,
+		logf:     cfg.Logf,
+		queryTO:  cfg.QueryTimeout,
+		brs:      make(map[string]*peerBreaker, len(others)),
 	}
 	if r.client == nil {
 		r.client = &http.Client{}
@@ -234,6 +265,98 @@ func (r *Router) Owner(pusherID string) string {
 // IsOwner reports whether this node owns the pusher's batches.
 func (r *Router) IsOwner(pusherID string) bool { return r.Owner(pusherID) == r.self }
 
+// RF returns the replica group size.
+func (r *Router) RF() int { return r.rf }
+
+// RingHash returns the hex FNV-1a hash of the sorted peer list — the
+// value every inter-node request carries in RingHeader. Two nodes with
+// equal hashes computed the peer set from identical membership.
+func (r *Router) RingHash() string { return r.ringHash }
+
+// hashRing folds the sorted, normalized peer list through FNV-1a with
+// a 0x00 separator (peers are ASCII URLs, so the separator cannot
+// occur inside one and distinct lists never concatenate equal).
+func hashRing(peers []string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range peers {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0x00
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// Preference returns the full membership ordered by descending
+// rendezvous score for the pusher — the preference list. Index 0 is
+// the owner; the top RF entries form the replica set; on permanent
+// owner loss the next preference-list node is the natural successor.
+// Deterministic across nodes: score ties (practically impossible for
+// FNV over distinct URLs) break by peer name.
+func (r *Router) Preference(pusherID string) []string {
+	type scored struct {
+		peer  string
+		score uint64
+	}
+	sc := make([]scored, len(r.peers))
+	for i, p := range r.peers {
+		sc[i] = scored{p, rendezvousScore(p, pusherID)}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].score != sc[j].score {
+			return sc[i].score > sc[j].score
+		}
+		return sc[i].peer < sc[j].peer
+	})
+	out := make([]string, len(sc))
+	for i, s := range sc {
+		out[i] = s.peer
+	}
+	return out
+}
+
+// ReplicaSet returns the top-RF prefix of the preference list — the
+// nodes that durably hold this pusher's batches.
+func (r *Router) ReplicaSet(pusherID string) []string {
+	return r.Preference(pusherID)[:r.rf]
+}
+
+// InReplicaSet reports whether peer is in the pusher's replica set.
+func (r *Router) InReplicaSet(pusherID, peer string) bool {
+	for _, p := range r.ReplicaSet(pusherID) {
+		if p == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// PreferenceIndex returns peer's rank in the pusher's preference list
+// (0 = owner), or len(peers) if peer is unknown. Query gather uses it
+// to pick, among the reachable holders of a partition, the one
+// replication keeps most authoritative.
+func (r *Router) PreferenceIndex(pusherID, peer string) int {
+	for i, p := range r.Preference(pusherID) {
+		if p == peer {
+			return i
+		}
+	}
+	return len(r.peers)
+}
+
+// Available reports whether peer's breaker currently lets requests
+// flow. A true result is a hint, not a guarantee; a false result means
+// no request would even be attempted.
+func (r *Router) Available(peer string) bool {
+	return r.breakerGate(peer) == 0
+}
+
 // rendezvousScore is FNV-1a over peer ‖ 0xff ‖ key. The sentinel
 // byte cannot occur in either string (both are ASCII by validation),
 // so distinct (peer, key) splits never collide by concatenation.
@@ -280,11 +403,16 @@ func (e *PeerDownError) Unwrap() error { return e.Err }
 type Stats struct {
 	Self            string   `json:"self"`
 	Peers           []string `json:"peers"`
+	RF              int      `json:"replication_factor"`
+	Ring            string   `json:"ring"`
 	Forwards        uint64   `json:"forwards"`
 	ForwardShed     uint64   `json:"forward_shed"`
 	ForwardErrors   uint64   `json:"forward_errors"`
+	ForwardReroutes uint64   `json:"forward_reroutes"`
 	Scatters        uint64   `json:"scatters"`
 	ScatterPartials uint64   `json:"scatter_partials"`
+	Replicates      uint64   `json:"replicates"`
+	ReplicateErrors uint64   `json:"replicate_errors"`
 }
 
 // StatsSnapshot returns the router's counters.
@@ -292,11 +420,16 @@ func (r *Router) StatsSnapshot() Stats {
 	return Stats{
 		Self:            r.self,
 		Peers:           r.peers,
+		RF:              r.rf,
+		Ring:            r.ringHash,
 		Forwards:        r.forwards.Load(),
 		ForwardShed:     r.forwardShed.Load(),
 		ForwardErrors:   r.forwardErrors.Load(),
+		ForwardReroutes: r.forwardReroutes.Load(),
 		Scatters:        r.scatters.Load(),
 		ScatterPartials: r.scatterPartials.Load(),
+		Replicates:      r.replicates.Load(),
+		ReplicateErrors: r.replicateErrors.Load(),
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/agg"
+	"repro/internal/store"
 	"repro/witch"
 )
 
@@ -207,7 +208,7 @@ func TestForwardShedOpensBreaker(t *testing.T) {
 }
 
 // TestScatterPartial: one live peer and one dead peer produce one
-// State and one error — a partial gather, never a failed one.
+// Export and one error — a partial gather, never a failed one.
 func TestScatterPartial(t *testing.T) {
 	a := agg.New()
 	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -218,7 +219,7 @@ func TestScatterPartial(t *testing.T) {
 		if got := r.URL.Query().Get("window"); got != "5m" {
 			t.Errorf("window not passed through: %q", got)
 		}
-		gob.NewEncoder(w).Encode(a.State())
+		gob.NewEncoder(w).Encode(&store.Export{Unkeyed: a.State()})
 	}))
 	defer live.Close()
 	self := "http://10.0.0.1:9147"
@@ -227,14 +228,14 @@ func TestScatterPartial(t *testing.T) {
 		Self: self, Peers: []string{self, live.URL, dead},
 		Client: &http.Client{Timeout: 200 * time.Millisecond},
 	})
-	res := r.ScatterStates(context.Background(), "5m")
+	res := r.ScatterExports(context.Background(), "5m")
 	if len(res) != 2 {
 		t.Fatalf("want 2 legs, got %d", len(res))
 	}
 	okLegs, errLegs := 0, 0
 	for _, sr := range res {
 		switch {
-		case sr.Err == nil && sr.State != nil:
+		case sr.Err == nil && sr.Export != nil:
 			okLegs++
 		case sr.Err != nil && sr.Peer == dead:
 			errLegs++
@@ -247,5 +248,108 @@ func TestScatterPartial(t *testing.T) {
 	}
 	if s := r.StatsSnapshot(); s.Scatters != 1 || s.ScatterPartials != 1 {
 		t.Fatalf("scatter counters: %+v", s)
+	}
+}
+
+// TestPreferenceAndReplicaSets: every node agrees on every pusher's
+// full preference order, the replica set is its RF-prefix with the
+// owner first, and RF is validated at construction.
+func TestPreferenceAndReplicaSets(t *testing.T) {
+	peers := threeNodes()
+	routers := make([]*Router, len(peers))
+	for i := range peers {
+		routers[i] = mustRouter(t, Config{Self: peers[i], Peers: peers, ReplicationFactor: 2})
+	}
+	for k := 0; k < 500; k++ {
+		id := fmt.Sprintf("pusher-%06x", k*2654435761)
+		pref := routers[0].Preference(id)
+		if len(pref) != len(peers) {
+			t.Fatalf("preference list truncated: %v", pref)
+		}
+		if pref[0] != routers[0].Owner(id) {
+			t.Fatalf("preference head %q is not the owner %q", pref[0], routers[0].Owner(id))
+		}
+		set := routers[0].ReplicaSet(id)
+		if len(set) != 2 || set[0] != pref[0] || set[1] != pref[1] {
+			t.Fatalf("replica set %v is not the preference prefix of %v", set, pref)
+		}
+		for _, r := range routers[1:] {
+			got := r.Preference(id)
+			for i := range pref {
+				if got[i] != pref[i] {
+					t.Fatalf("preference disagreement for %q: %v vs %v", id, got, pref)
+				}
+			}
+		}
+		if idx := routers[0].PreferenceIndex(id, pref[2]); idx != 2 {
+			t.Fatalf("PreferenceIndex(%q) = %d, want 2", pref[2], idx)
+		}
+	}
+
+	if _, err := New(Config{Self: peers[0], Peers: peers, ReplicationFactor: 4}); err == nil {
+		t.Fatal("RF above peer count accepted")
+	}
+	if r := mustRouter(t, Config{Self: peers[0], Peers: peers}); r.RF() != 1 {
+		t.Fatalf("default RF = %d, want 1", r.RF())
+	}
+}
+
+// TestRingHash: same membership (any order, cosmetic slashes) hashes
+// identically; different membership differs.
+func TestRingHash(t *testing.T) {
+	peers := threeNodes()
+	a := mustRouter(t, Config{Self: peers[0], Peers: peers})
+	b := mustRouter(t, Config{Self: peers[1], Peers: []string{peers[2] + "/", peers[0], peers[1]}})
+	if a.RingHash() != b.RingHash() {
+		t.Fatalf("same membership, different rings: %s vs %s", a.RingHash(), b.RingHash())
+	}
+	c := mustRouter(t, Config{Self: peers[0], Peers: peers[:2]})
+	if c.RingHash() == a.RingHash() {
+		t.Fatal("different membership, same ring")
+	}
+}
+
+// TestReplicateClient: the replicate leg carries the key, the
+// coordinator timestamp, and the ring hash; a 2xx closes the loop and
+// a refusal surfaces as a breaker-visible error.
+func TestReplicateClient(t *testing.T) {
+	var gotID, gotSeq, gotTS, gotRing string
+	refuse := false
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/replicate" {
+			http.NotFound(w, r)
+			return
+		}
+		gotID = r.Header.Get(witch.PusherIDHeader)
+		gotSeq = r.Header.Get(witch.PusherSeqHeader)
+		gotTS = r.Header.Get(TimestampHeader)
+		gotRing = r.Header.Get(RingHeader)
+		if refuse {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("X-Witch-Duplicate", "window")
+		w.Write([]byte(`{"replicated":1}`))
+	}))
+	defer peer.Close()
+	self := "http://10.0.0.1:9147"
+	r := mustRouter(t, Config{Self: self, Peers: []string{self, peer.URL}, ReplicationFactor: 2})
+	ts := time.Unix(1700000000, 12345)
+	rr, err := r.Replicate(context.Background(), peer.URL, "application/json", "pusher-1", 7, ts, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Duplicate {
+		t.Fatalf("duplicate marker not relayed: %+v", rr)
+	}
+	if gotID != "pusher-1" || gotSeq != "7" || gotTS != fmt.Sprint(ts.UnixNano()) || gotRing != r.RingHash() {
+		t.Fatalf("replicate headers wrong: id=%q seq=%q ts=%q ring=%q", gotID, gotSeq, gotTS, gotRing)
+	}
+	refuse = true
+	if _, err := r.Replicate(context.Background(), peer.URL, "application/json", "pusher-1", 8, ts, []byte(`{}`)); err == nil {
+		t.Fatal("refused replicate reported success")
+	}
+	if s := r.StatsSnapshot(); s.Replicates != 1 || s.ReplicateErrors != 1 {
+		t.Fatalf("replicate counters: %+v", s)
 	}
 }

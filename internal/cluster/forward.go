@@ -59,6 +59,7 @@ func (r *Router) Forward(ctx context.Context, owner, ctype, pusherID string, seq
 	req.Header.Set(witch.PusherIDHeader, pusherID)
 	req.Header.Set(witch.PusherSeqHeader, strconv.FormatUint(seq, 10))
 	req.Header.Set(ForwardedHeader, r.self)
+	req.Header.Set(RingHeader, r.ringHash)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		r.breakerFailure(owner, 0, false)

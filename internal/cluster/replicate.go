@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/witch"
+)
+
+// NoteReroute counts a forward that skipped a breaker-open replica in
+// favor of the next preference-list member.
+func (r *Router) NoteReroute() { r.forwardReroutes.Add(1) }
+
+// ReplicateResult is the follower's verdict on a replicated batch.
+type ReplicateResult struct {
+	Status    int
+	Duplicate bool // follower had already applied this sequence
+}
+
+// Replicate ships one keyed batch to a replica peer's /v1/replicate
+// endpoint and waits for its durable (journal-before-ack) verdict. ts
+// is the coordinator's ingest wall time; the follower buckets at that
+// instant, so both copies of the batch land in the same retention
+// window. A nil error means the follower has the batch durably (fresh
+// or as a dedup re-ack). Any error means replication did NOT happen
+// and the caller must fall back to a hinted handoff or shed the batch
+// un-acked — never ack on a failed leg.
+//
+// The same per-peer breaker that guards forwards guards replication:
+// a breaker-open peer fails fast here, and a replication failure opens
+// the breaker for forwards too (it is the same TCP path that is down).
+func (r *Router) Replicate(ctx context.Context, peer, ctype, pusherID string, seq uint64, ts time.Time, body []byte) (*ReplicateResult, error) {
+	if wait := r.breakerGate(peer); wait > 0 {
+		r.replicateErrors.Add(1)
+		return nil, &PeerDownError{Peer: peer, RetryAfter: wait}
+	}
+	ctx, cancel := context.WithTimeout(ctx, r.forwardTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/replicate", bytes.NewReader(body))
+	if err != nil {
+		r.replicateErrors.Add(1)
+		return nil, &PeerDownError{Peer: peer, RetryAfter: DefaultRetryAfter, Err: err}
+	}
+	req.Header.Set("Content-Type", ctype)
+	req.Header.Set(witch.PusherIDHeader, pusherID)
+	req.Header.Set(witch.PusherSeqHeader, strconv.FormatUint(seq, 10))
+	req.Header.Set(TimestampHeader, strconv.FormatInt(ts.UnixNano(), 10))
+	req.Header.Set(RingHeader, r.ringHash)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.breakerFailure(peer, 0, false)
+		r.replicateErrors.Add(1)
+		return nil, &PeerDownError{Peer: peer, RetryAfter: DefaultRetryAfter, Err: err}
+	}
+	// Drain so the connection is reusable. A torn body after the status
+	// line is ignored: unlike forwards (where the body IS the relayed
+	// pusher ack), the replication verdict is the status alone, and a
+	// 2xx means the follower committed before writing it.
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxAckBody))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		ra := r.parseRetryAfter(resp.Header)
+		verdict := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable
+		if verdict && ra <= 0 {
+			ra = DefaultRetryAfter
+		}
+		r.breakerFailure(peer, ra, verdict)
+		r.replicateErrors.Add(1)
+		return nil, &PeerDownError{Peer: peer, RetryAfter: ra,
+			Err: fmt.Errorf("replica %s refused batch: status %d", peer, resp.StatusCode)}
+	}
+	r.breakerSuccess(peer)
+	r.replicates.Add(1)
+	return &ReplicateResult{
+		Status:    resp.StatusCode,
+		Duplicate: resp.Header.Get("X-Witch-Duplicate") != "",
+	}, nil
+}

@@ -9,32 +9,33 @@ import (
 	"net/url"
 	"sync"
 
-	"repro/internal/agg"
+	"repro/internal/store"
 	"repro/witch"
 )
 
 // ShardResult is one peer's leg of a scatter-gather query: either its
-// exported aggregate State for the requested window, or the error
-// that made this leg partial.
+// partitioned export for the requested window, or the error that made
+// this leg partial.
 type ShardResult struct {
-	Peer  string
-	State *agg.State
-	Err   error
+	Peer   string
+	Export *store.Export
+	Err    error
 }
 
-// ScatterStates fans a window query out to every other peer's
-// /v1/shard and gathers the raw shard images. Results come back in
-// peer order (sorted), one entry per peer, errors in place — the
-// caller merges the successes with agg.MergeState and reports the
-// failures as the query's Incomplete set rather than failing the
-// query. rawWindow is passed through verbatim (the caller already
-// validated it against its own parser, which is the same parser the
-// peer will use).
+// ScatterExports fans a window query out to every other peer's
+// /v1/shard and gathers the raw partitioned exports. Results come back
+// in peer order (sorted), one entry per peer, errors in place — the
+// caller merges the anonymous partitions from every reachable peer,
+// picks exactly one holder per pusher partition (dedup across
+// replicas), and reports the failures as the query's Incomplete set
+// rather than failing the query. rawWindow is passed through verbatim
+// (the caller already validated it against its own parser, which is
+// the same parser the peer will use).
 //
 // Scatter legs deliberately ignore the forwarding breakers: those
 // track the ingest path, and a peer refusing writes can still answer
 // reads. Each leg is bounded by QueryTimeout instead.
-func (r *Router) ScatterStates(ctx context.Context, rawWindow string) []ShardResult {
+func (r *Router) ScatterExports(ctx context.Context, rawWindow string) []ShardResult {
 	r.scatters.Add(1)
 	out := make([]ShardResult, len(r.others))
 	var wg sync.WaitGroup
@@ -42,8 +43,8 @@ func (r *Router) ScatterStates(ctx context.Context, rawWindow string) []ShardRes
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
-			st, err := r.fetchShard(ctx, peer, rawWindow)
-			out[i] = ShardResult{Peer: peer, State: st, Err: err}
+			exp, err := r.fetchShard(ctx, peer, rawWindow)
+			out[i] = ShardResult{Peer: peer, Export: exp, Err: err}
 		}(i, peer)
 	}
 	wg.Wait()
@@ -62,7 +63,7 @@ func (r *Router) ScatterStates(ctx context.Context, rawWindow string) []ShardRes
 	return out
 }
 
-func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*agg.State, error) {
+func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*store.Export, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
 	defer cancel()
 	u := peer + "/v1/shard"
@@ -73,6 +74,7 @@ func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*agg.S
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(RingHeader, r.ringHash)
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -81,11 +83,91 @@ func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*agg.S
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("shard query: %s", resp.Status)
 	}
-	st := new(agg.State)
-	if err := gob.NewDecoder(resp.Body).Decode(st); err != nil {
-		return nil, fmt.Errorf("decoding shard state: %w", err)
+	exp := new(store.Export)
+	if err := gob.NewDecoder(resp.Body).Decode(exp); err != nil {
+		return nil, fmt.Errorf("decoding shard export: %w", err)
 	}
-	return st, nil
+	return exp, nil
+}
+
+// DigestEntry summarizes one pusher partition for anti-entropy: the
+// highest sequence the dedup window has acked, how many batches the
+// partition has merged all-time, and a checksum of its aggregate
+// state. The merge count disambiguates equal-max comparisons: a blank
+// node that caught mid-sequence hint replays can tie a survivor's max
+// while holding only the replayed suffix, and without N the owner-wins
+// checksum rule could propagate that incomplete copy.
+type DigestEntry struct {
+	Max uint64 `json:"max"`
+	N   uint64 `json:"n"`
+	Sum string `json:"sum"`
+}
+
+// Digest is one node's /v1/digest answer.
+type Digest struct {
+	Self    string                 `json:"self"`
+	Ring    string                 `json:"ring"`
+	Pushers map[string]DigestEntry `json:"pushers"`
+}
+
+// FetchDigest polls one peer's /v1/digest.
+func (r *Router) FetchDigest(ctx context.Context, peer string) (*Digest, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/digest", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(RingHeader, r.ringHash)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("digest query: %s", resp.Status)
+	}
+	d := new(Digest)
+	if err := json.NewDecoder(resp.Body).Decode(d); err != nil {
+		return nil, fmt.Errorf("decoding digest: %w", err)
+	}
+	return d, nil
+}
+
+// PartitionTransfer is the unit anti-entropy repair pulls: one
+// pusher's full bucket-structured history plus the dedup window that
+// guards it, so the adopting node re-acks (never re-merges) retries of
+// sequences the source had already acked.
+type PartitionTransfer struct {
+	Image     *store.PartitionImage
+	DedupMax  uint64
+	DedupBits []uint64
+}
+
+// FetchPartition pulls one pusher's transferable partition from a
+// peer's /v1/shard?pusher= export.
+func (r *Router) FetchPartition(ctx context.Context, peer, pusherID string) (*PartitionTransfer, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
+	defer cancel()
+	u := peer + "/v1/shard?pusher=" + url.QueryEscape(pusherID)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(RingHeader, r.ringHash)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("partition query: %s", resp.Status)
+	}
+	pt := new(PartitionTransfer)
+	if err := gob.NewDecoder(resp.Body).Decode(pt); err != nil {
+		return nil, fmt.Errorf("decoding partition transfer: %w", err)
+	}
+	return pt, nil
 }
 
 // PeerHealth is one peer's row in the fleet health view.
@@ -94,6 +176,7 @@ type PeerHealth struct {
 	Err      string       `json:"error,omitempty"`
 	Status   string       `json:"status,omitempty"`
 	State    string       `json:"state,omitempty"`
+	Ring     string       `json:"ring,omitempty"`
 	Profiles uint64       `json:"profiles"`
 	Batches  uint64       `json:"batches"`
 	Health   witch.Health `json:"health"`
@@ -102,7 +185,8 @@ type PeerHealth struct {
 // PeerHealths polls every other peer's local /healthz concurrently
 // and returns one row per peer in sorted order; an unreachable peer's
 // row carries Err and zero values. The caller folds the rows into the
-// fleet view with agg.MergeHealth (flags OR, counters sum).
+// fleet view with agg.MergeHealth (flags OR, counters sum) and can
+// compare Ring against its own hash to spot membership skew.
 func (r *Router) PeerHealths(ctx context.Context) []PeerHealth {
 	out := make([]PeerHealth, len(r.others))
 	var wg sync.WaitGroup

@@ -14,16 +14,20 @@ import (
 	"repro/internal/cluster"
 )
 
-// forwardIngest relays one keyed batch to its owning peer and the
-// owner's verdict back to the pusher, byte for byte. The ack chain is
-// pusher → this node → owner: a 2xx here means the owner journaled
-// before acking, so exactly-once survives the extra hop. When no
-// verdict exists (owner down, breaker open, torn response) the batch
-// is shed with 503 + Retry-After — the pusher spools it and retries
-// the same sequence number, which the owner's dedup window makes safe
-// even if the lost verdict had in fact committed.
-func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string, seq uint64) {
-	owner := s.cl.Owner(id)
+// forwardIngest relays one keyed batch to a member of its replica set
+// and that member's verdict back to the pusher, byte for byte. The ack
+// chain is pusher → this node → coordinator: a 2xx here means the
+// coordinator replicated and journaled before acking, so exactly-once
+// survives the extra hop. Candidates are tried in preference order,
+// but a later candidate is attempted ONLY when the earlier one's
+// breaker was already open — no request went out, so rerouting cannot
+// race a half-applied forward. A candidate that was actually attempted
+// and failed (refused, timeout, torn response) sheds instead: it may
+// have committed before the response tore, and only a retry of the
+// same sequence against the same dedup windows is safe. When no
+// verdict exists the batch is shed with 503 + Retry-After — the pusher
+// spools it and retries.
+func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string, seq uint64, candidates []string) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)
@@ -37,36 +41,65 @@ func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string
 		httpError(w, status, "ingest: %v", err)
 		return
 	}
-	fr, err := s.cl.Forward(r.Context(), owner, r.Header.Get("Content-Type"), id, seq, buf.Bytes())
-	if err != nil {
-		retry := 2
-		var pd *cluster.PeerDownError
-		if errors.As(err, &pd) && pd.RetryAfter > 0 {
-			retry = int((pd.RetryAfter + time.Second - 1) / time.Second)
+	var lastErr error
+	for i, peer := range candidates {
+		if peer == s.cl.Self() {
+			continue
 		}
-		s.shedRequest(w, http.StatusServiceUnavailable, retry, "%v", err)
+		fr, err := s.cl.Forward(r.Context(), peer, r.Header.Get("Content-Type"), id, seq, buf.Bytes())
+		if err != nil {
+			lastErr = err
+			var pd *cluster.PeerDownError
+			if errors.As(err, &pd) && pd.Err == nil && i+1 < len(candidates) {
+				// Breaker already open: provably nothing was sent, so the
+				// next replica-set member can coordinate instead.
+				s.cl.NoteReroute()
+				continue
+			}
+			break
+		}
+		if fr.Ctype != "" {
+			w.Header().Set("Content-Type", fr.Ctype)
+		}
+		if fr.RetryAfter != "" {
+			w.Header().Set("Retry-After", fr.RetryAfter)
+		}
+		if fr.Duplicate != "" {
+			w.Header().Set("X-Witch-Duplicate", fr.Duplicate)
+		}
+		w.WriteHeader(fr.Status)
+		w.Write(fr.Body)
 		return
 	}
-	if fr.Ctype != "" {
-		w.Header().Set("Content-Type", fr.Ctype)
+	retry := 2
+	var pd *cluster.PeerDownError
+	if errors.As(lastErr, &pd) && pd.RetryAfter > 0 {
+		retry = int((pd.RetryAfter + time.Second - 1) / time.Second)
 	}
-	if fr.RetryAfter != "" {
-		w.Header().Set("Retry-After", fr.RetryAfter)
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no forwardable replica")
 	}
-	if fr.Duplicate != "" {
-		w.Header().Set("X-Witch-Duplicate", fr.Duplicate)
-	}
-	w.WriteHeader(fr.Status)
-	w.Write(fr.Body)
+	s.shedRequest(w, http.StatusServiceUnavailable, retry, "%v", lastErr)
 }
 
-// handleShard serves this node's raw aggregate State for a window —
-// the unit a peer's scatter-gather fetches and folds with
-// agg.MergeState. Always local by construction, which is what keeps
-// scatter legs from recursing.
+// handleShard serves this node's partitioned export for a window — the
+// unit a peer's scatter-gather fetches — or, with ?pusher=, one
+// pusher's full transferable partition (bucket-structured history plus
+// its dedup window), the unit anti-entropy repair pulls. Always local
+// by construction, which is what keeps scatter legs from recursing.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.ringRejected(w, r) {
+		return
+	}
+	if id := r.URL.Query().Get("pusher"); id != "" {
+		pt := cluster.PartitionTransfer{Image: s.st.PartitionImage(id)}
+		pt.DedupMax, pt.DedupBits = s.ded.WindowOf(id)
+		w.Header().Set("Content-Type", "application/x-gob")
+		_ = gob.NewEncoder(w).Encode(&pt)
 		return
 	}
 	window, err := queryWindow(r)
@@ -74,9 +107,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	st := s.st.Query(window).State()
+	exp := s.st.Export(window)
 	w.Header().Set("Content-Type", "application/x-gob")
-	if err := gob.NewEncoder(w).Encode(st); err != nil {
+	if err := gob.NewEncoder(w).Encode(exp); err != nil {
 		// Too late for a status change; the torn body fails the peer's
 		// decode and the leg lands in its Incomplete set.
 		return
@@ -87,7 +120,9 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 // merged rollup (Health flags OR, counters sum — agg.MergeHealth's
 // rules). Unreachable peers appear both as error rows and in the
 // incomplete list; the fleet status is degraded rather than the
-// request failed. Without a cluster it falls back to the local view.
+// request failed. Each row carries the node's ring hash so membership
+// skew is visible at a glance. Without a cluster it falls back to the
+// local view.
 func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cl == nil {
 		s.handleHealthz(w, r)
@@ -98,6 +133,7 @@ func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
 		Peer:     s.cl.Self(),
 		Status:   map[bool]string{false: "ok", true: "degraded"}[localHealth.Degraded],
 		State:    StateName(s.state.Load()),
+		Ring:     s.cl.RingHash(),
 		Profiles: localProfiles,
 		Batches:  s.batches.Load(),
 		Health:   localHealth,
@@ -130,6 +166,7 @@ func (s *Server) handleClusterHealthz(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{
 		"status":     status,
 		"self":       s.cl.Self(),
+		"ring":       s.cl.RingHash(),
 		"nodes":      rows,
 		"profiles":   profiles,
 		"batches":    batches,

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -455,4 +457,72 @@ func TestGracefulShutdownRecoversInstantly(t *testing.T) {
 			t.Fatal("graceful shutdown + recovery drifted")
 		}
 	})
+}
+
+// TestSnapshotCRCFallback: a bit-rotted snapshot — even one whose gob
+// still decodes — fails its CRC trailer and recovery falls back to the
+// next-newest loadable snapshot plus the journal suffix, losing
+// nothing acknowledged.
+func TestSnapshotCRCFallback(t *testing.T) {
+	dir := t.TempDir()
+	now := stepClock()
+	prof := testProfile(t, 1)
+	var body bytes.Buffer
+	prof.WriteJSON(&body)
+
+	d := openDurable(t, dir, wal.Options{}, 0, now)
+	for i := 0; i < 3; i++ {
+		if resp := ingest(t, d.ts, body.Bytes()); resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	want := getProfile(t, d, prof.Tool)
+	d.ts.Close()
+	if err := d.pers.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant a CORRUPT snapshot at a higher LSN than the good one: the
+	// disk-rot scenario where the newest checkpoint is damaged. Recovery
+	// must skip it on checksum and load the older good snapshot.
+	snaps := listSnapshots(dir)
+	if len(snaps) == 0 {
+		t.Fatal("graceful shutdown left no snapshot")
+	}
+	good := snaps[0]
+	raw, err := os.ReadFile(filepath.Join(dir, snapName(good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)/2] ^= 0x20
+	if err := os.WriteFile(filepath.Join(dir, snapName(good+5)), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	d = openDurable(t, dir, wal.Options{}, 0, now)
+	defer d.crash()
+	rec := d.pers.recovery
+	if rec.SnapshotsSkipped != 1 {
+		t.Fatalf("corrupt snapshot not skipped: %+v", rec)
+	}
+	if !rec.SnapshotLoaded || rec.SnapshotLSN != good {
+		t.Fatalf("did not fall back to the good snapshot at %d: %+v", good, rec)
+	}
+	if got := getProfile(t, d, prof.Tool); !bytes.Equal(got, want) {
+		t.Fatal("fallback recovery lost acknowledged data")
+	}
+	// With every snapshot corrupt, recovery still comes up from the
+	// journal alone.
+	d.ts.Close()
+	for _, lsn := range listSnapshots(dir) {
+		if err := os.WriteFile(filepath.Join(dir, snapName(lsn)), bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d2 := openDurable(t, dir, wal.Options{}, 0, now)
+	defer d2.crash()
+	if d2.pers.recovery.SnapshotLoaded {
+		t.Fatalf("loaded a corrupt snapshot: %+v", d2.pers.recovery)
+	}
 }

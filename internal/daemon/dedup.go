@@ -277,6 +277,82 @@ func (d *Dedup) mark(w *pusherWindow, seq uint64) {
 	w.bits[(seq/64)%(d.window/64)] |= 1 << (seq % 64)
 }
 
+// MaxSeqs reports every pusher's acked high-water sequence — live
+// windows and tombstones alike — the maxSeq half of the anti-entropy
+// digest. Window pointers are collected under the table lock and each
+// window's max read under its own lock (never the reverse order:
+// Process takes the table lock while holding a window lock).
+func (d *Dedup) MaxSeqs() map[string]uint64 {
+	d.mu.Lock()
+	out := make(map[string]uint64, len(d.pushers)+len(d.tombs))
+	ws := make(map[string]*pusherWindow, len(d.pushers))
+	for id, w := range d.pushers {
+		ws[id] = w
+	}
+	for id, t := range d.tombs {
+		out[id] = t.max
+	}
+	d.mu.Unlock()
+	for id, w := range ws {
+		w.mu.Lock()
+		out[id] = w.max
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// WindowOf snapshots one pusher's window for a partition transfer:
+// its max and bitmap, or a tombstone's max with nil bits (the receiver
+// must treat nil as all-seen — the tombstone forgot the bit detail but
+// remembers everything up to max was judged).
+func (d *Dedup) WindowOf(id string) (max uint64, bits []uint64) {
+	d.mu.Lock()
+	w := d.pushers[id]
+	if w == nil {
+		t, ok := d.tombs[id]
+		d.mu.Unlock()
+		if !ok {
+			return 0, nil
+		}
+		return t.max, nil
+	}
+	d.mu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.max, append([]uint64(nil), w.bits...)
+}
+
+// Adopt replaces one pusher's window with a transferred peer window —
+// the dedup half of anti-entropy adoption, paired with the store's
+// ReplacePartition so the data and the judgment that guards it move
+// together. Callers hold the persistence apply barrier, so no batch
+// for id is mid-apply. A transfer whose max is behind the local window
+// (the local node learned more since the digest) keeps the local max
+// and conservatively marks everything seen; nil or width-mismatched
+// bits mark all seen likewise — re-acking an unseen batch loses at
+// most that batch, merging a seen one corrupts the aggregate forever.
+func (d *Dedup) Adopt(id string, max uint64, bits []uint64) {
+	w := d.entry(id)
+	w.mu.Lock()
+	allSeen := func() {
+		for i := range w.bits {
+			w.bits[i] = ^uint64(0)
+		}
+	}
+	switch {
+	case max < w.max:
+		allSeen()
+	case uint64(len(bits))*64 == d.window:
+		w.max = max
+		copy(w.bits, bits)
+	default:
+		w.max = max
+		allSeen()
+	}
+	w.mu.Unlock()
+	d.release(w)
+}
+
 // dedupImage is the gob codec for snapshot persistence. Tombs is
 // absent from pre-tombstone snapshots and decodes as nil, which Load
 // treats as empty.

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"sort"
 )
 
 // handleMetrics serves the node's counters as plaintext in the
 // Prometheus exposition format — one metric per line, labels for the
-// per-peer breaker gauges — so cluster behaviour is scrapeable and
-// greppable without parsing /healthz JSON. Everything here is a
+// per-peer gauges — so cluster behaviour is scrapeable and greppable
+// without parsing /healthz JSON. Lines are emitted in sorted order:
+// scrapers and tests can diff two scrapes textually, and a counter
+// never moves when a feature adds neighbours. Everything here is a
 // cheap atomic load or an already-locked stats snapshot; the one
 // aggregate walk (live pair counts) is the same one /healthz pays.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -17,58 +20,91 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	buf := bufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	defer bufPool.Put(buf)
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
 
-	fmt.Fprintf(buf, "witchd_state{state=%q} 1\n", StateName(s.state.Load()))
-	fmt.Fprintf(buf, "witchd_ingest_batches_total %d\n", s.batches.Load())
-	fmt.Fprintf(buf, "witchd_ingest_rejected_total %d\n", s.rejected.Load())
-	fmt.Fprintf(buf, "witchd_ingest_shed_total %d\n", s.shed.Load())
-	fmt.Fprintf(buf, "witchd_ingest_forwarded_in_total %d\n", s.forwardedIn.Load())
-	fmt.Fprintf(buf, "witchd_queries_total %d\n", s.queries.Load())
+	add("witchd_state{state=%q} 1", StateName(s.state.Load()))
+	add("witchd_ingest_batches_total %d", s.batches.Load())
+	add("witchd_ingest_rejected_total %d", s.rejected.Load())
+	add("witchd_ingest_shed_total %d", s.shed.Load())
+	add("witchd_ingest_forwarded_in_total %d", s.forwardedIn.Load())
+	add("witchd_ingest_replicated_in_total %d", s.replicatedIn.Load())
+	add("witchd_ring_mismatches_total %d", s.ringMismatches.Load())
+	add("witchd_queries_total %d", s.queries.Load())
 
 	st := s.st.Stats()
-	fmt.Fprintf(buf, "witchd_store_ingested_profiles_total %d\n", st.Ingested)
-	fmt.Fprintf(buf, "witchd_store_live_buckets %d\n", st.LiveBuckets)
-	fmt.Fprintf(buf, "witchd_store_evicted_buckets_total %d\n", st.EvictedBuckets)
-	fmt.Fprintf(buf, "witchd_store_live_pairs %d\n", st.LivePairs)
-	fmt.Fprintf(buf, "witchd_store_rollup_pairs %d\n", st.RollupPairs)
+	add("witchd_store_ingested_profiles_total %d", st.Ingested)
+	add("witchd_store_live_buckets %d", st.LiveBuckets)
+	add("witchd_store_evicted_buckets_total %d", st.EvictedBuckets)
+	add("witchd_store_live_pairs %d", st.LivePairs)
+	add("witchd_store_rollup_pairs %d", st.RollupPairs)
+	add("witchd_store_partitions %d", st.Partitions)
 
 	ds := s.ded.Stats()
-	fmt.Fprintf(buf, "witchd_dedup_pushers %d\n", ds.Pushers)
-	fmt.Fprintf(buf, "witchd_dedup_max_pushers %d\n", ds.MaxPushers)
-	fmt.Fprintf(buf, "witchd_dedup_tombstones %d\n", ds.Tombstones)
-	fmt.Fprintf(buf, "witchd_dedup_duplicates_reacked_total %d\n", ds.Duplicates)
-	fmt.Fprintf(buf, "witchd_dedup_stale_reacked_total %d\n", ds.Stale)
-	fmt.Fprintf(buf, "witchd_dedup_evicted_pushers_total %d\n", ds.EvictedPushers)
+	add("witchd_dedup_pushers %d", ds.Pushers)
+	add("witchd_dedup_max_pushers %d", ds.MaxPushers)
+	add("witchd_dedup_tombstones %d", ds.Tombstones)
+	add("witchd_dedup_duplicates_reacked_total %d", ds.Duplicates)
+	add("witchd_dedup_stale_reacked_total %d", ds.Stale)
+	add("witchd_dedup_evicted_pushers_total %d", ds.EvictedPushers)
 
 	if p := s.pers; p != nil {
-		fmt.Fprintf(buf, "witchd_journal_lsn %d\n", p.journal.LastLSN())
-		fmt.Fprintf(buf, "witchd_journal_failed %d\n", b2i(p.journal.Failed()))
-		fmt.Fprintf(buf, "witchd_journal_unsynced_bytes %d\n", p.journal.UnsyncedBytes())
-		fmt.Fprintf(buf, "witchd_journal_errors_total %d\n", p.journalErrors.Load())
-		fmt.Fprintf(buf, "witchd_snapshots_total %d\n", p.snapshots.Load())
-		fmt.Fprintf(buf, "witchd_snapshot_errors_total %d\n", p.snapErrors.Load())
-		fmt.Fprintf(buf, "witchd_last_snapshot_lsn %d\n", p.lastSnapLSN.Load())
+		add("witchd_journal_lsn %d", p.journal.LastLSN())
+		add("witchd_journal_failed %d", b2i(p.journal.Failed()))
+		add("witchd_journal_unsynced_bytes %d", p.journal.UnsyncedBytes())
+		add("witchd_journal_errors_total %d", p.journalErrors.Load())
+		add("witchd_snapshots_total %d", p.snapshots.Load())
+		add("witchd_snapshot_errors_total %d", p.snapErrors.Load())
+		add("witchd_last_snapshot_lsn %d", p.lastSnapLSN.Load())
 	}
 
 	if cl := s.cl; cl != nil {
 		cs := cl.StatsSnapshot()
-		fmt.Fprintf(buf, "witchd_cluster_peers %d\n", len(cs.Peers))
-		fmt.Fprintf(buf, "witchd_cluster_forwards_total %d\n", cs.Forwards)
-		fmt.Fprintf(buf, "witchd_cluster_forward_shed_total %d\n", cs.ForwardShed)
-		fmt.Fprintf(buf, "witchd_cluster_forward_errors_total %d\n", cs.ForwardErrors)
-		fmt.Fprintf(buf, "witchd_cluster_scatters_total %d\n", cs.Scatters)
-		fmt.Fprintf(buf, "witchd_cluster_scatter_partials_total %d\n", cs.ScatterPartials)
+		add("witchd_cluster_peers %d", len(cs.Peers))
+		add("witchd_cluster_replication_factor %d", cs.RF)
+		add("witchd_cluster_forwards_total %d", cs.Forwards)
+		add("witchd_cluster_forward_shed_total %d", cs.ForwardShed)
+		add("witchd_cluster_forward_errors_total %d", cs.ForwardErrors)
+		add("witchd_cluster_forward_reroutes_total %d", cs.ForwardReroutes)
+		add("witchd_cluster_replicates_total %d", cs.Replicates)
+		add("witchd_cluster_replicate_errors_total %d", cs.ReplicateErrors)
+		add("witchd_cluster_scatters_total %d", cs.Scatters)
+		add("witchd_cluster_scatter_partials_total %d", cs.ScatterPartials)
 		for _, ps := range cl.PeerStates() {
-			fmt.Fprintf(buf, "witchd_peer_breaker_open{peer=%q} %d\n", ps.Peer, b2i(ps.Open))
-			fmt.Fprintf(buf, "witchd_peer_breaker_trips_total{peer=%q} %d\n", ps.Peer, ps.Trips)
-			fmt.Fprintf(buf, "witchd_peer_forwards_total{peer=%q} %d\n", ps.Peer, ps.Forwards)
-			fmt.Fprintf(buf, "witchd_peer_forward_errors_total{peer=%q} %d\n", ps.Peer, ps.Errors)
+			add("witchd_peer_breaker_open{peer=%q} %d", ps.Peer, b2i(ps.Open))
+			add("witchd_peer_breaker_trips_total{peer=%q} %d", ps.Peer, ps.Trips)
+			add("witchd_peer_forwards_total{peer=%q} %d", ps.Peer, ps.Forwards)
+			add("witchd_peer_forward_errors_total{peer=%q} %d", ps.Peer, ps.Errors)
 		}
 	}
 
+	if s.repl != nil {
+		rs := s.repl.stats()
+		add("witchd_hints_queued_total %d", rs.HintsQueued)
+		add("witchd_hints_replayed_total %d", rs.HintsReplayed)
+		add("witchd_hints_dropped_total %d", rs.HintsDropped)
+		add("witchd_hint_append_errors_total %d", rs.HintAppendErrors)
+		add("witchd_hints_pending %d", rs.HintsPending)
+		for _, hp := range rs.HintPeers {
+			add("witchd_hints_pending_peer{peer=%q} %d", hp.Peer, hp.Pending)
+			add("witchd_hint_bytes_peer{peer=%q} %d", hp.Peer, hp.Bytes)
+		}
+		add("witchd_repair_rounds_total %d", rs.RepairRounds)
+		add("witchd_repair_pulls_total %d", rs.RepairPulls)
+		add("witchd_repair_conflicts_total %d", rs.RepairConflicts)
+		add("witchd_repair_errors_total %d", rs.RepairErrors)
+	}
+
+	sort.Strings(lines)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	for _, line := range lines {
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes())
 }

@@ -233,7 +233,9 @@ func OpenPersistence(dir string, st *store.Store, ded *Dedup, walOpts wal.Option
 			return nil
 		}
 		for _, prof := range profs {
-			st.IngestAt(prof, ts)
+			// Keyed batches replay into their pusher's partition, so the
+			// partitioned layout replication depends on is rebuilt too.
+			st.IngestKeyedAt(id, prof, ts)
 		}
 		if keyed && ded != nil {
 			// The batch is durably merged; a post-restart retry of the
@@ -348,6 +350,26 @@ func (p *Persistence) snapshot() error {
 		if old < lsn {
 			os.Remove(filepath.Join(p.dir, snapName(old)))
 		}
+	}
+	return nil
+}
+
+// Quiesce runs fn with the apply barrier held exclusively: no batch is
+// mid-journal or mid-merge while fn runs. Anti-entropy adoption runs
+// under it so a partition replace and its dedup adopt are one cut.
+func (p *Persistence) Quiesce(fn func()) {
+	p.applyMu.Lock()
+	defer p.applyMu.Unlock()
+	fn()
+}
+
+// Checkpoint forces a snapshot now — after a repair round adopted
+// partitions, so a crash does not forget what was just pulled (the
+// pulled data never went through this node's journal).
+func (p *Persistence) Checkpoint() error {
+	if err := p.snapshot(); err != nil {
+		p.snapErrors.Add(1)
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,548 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/wal"
+	"repro/witch"
+)
+
+// ReplicationConfig sizes the replication engine: synchronous fanout to
+// the other replica-set members, durable hinted handoff for the ones
+// that are down, and background anti-entropy repair.
+type ReplicationConfig struct {
+	// HintDir holds one hint journal per peer ("" = in-memory hints,
+	// matching a memory-only daemon's volatility).
+	HintDir string
+	// HintMaxBytes bounds one peer's hint journal; overflow evicts the
+	// oldest hints (counted), leaving convergence to repair
+	// (default 64 MiB, negative = unbounded).
+	HintMaxBytes int64
+	// DrainInterval is the hint-replay cadence (default 1s).
+	DrainInterval time.Duration
+	// RepairInterval is the anti-entropy cadence (default 30s,
+	// negative disables the background loop; RepairNow still works).
+	RepairInterval time.Duration
+	// WalOpts configures the hint journals (fault injection, segment
+	// size — default 1 MiB segments so the byte bound is enforceable).
+	WalOpts wal.Options
+	// Logf receives replication diagnostics (default: silent).
+	Logf func(string, ...any)
+}
+
+// replication is the running engine: the hint store plus the drain and
+// repair loops.
+type replication struct {
+	s      *Server
+	cfg    ReplicationConfig
+	hints  *hintStore
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	stopped  atomic.Bool
+	repairMu sync.Mutex // one repair round at a time (loop vs RepairNow)
+
+	repairRounds    atomic.Uint64
+	repairPulls     atomic.Uint64
+	repairConflicts atomic.Uint64
+	repairErrors    atomic.Uint64
+}
+
+// ReplicationStats is the engine's /healthz and /metrics snapshot.
+type ReplicationStats struct {
+	HintsQueued      uint64          `json:"hints_queued"`
+	HintsReplayed    uint64          `json:"hints_replayed"`
+	HintsDropped     uint64          `json:"hints_dropped"`
+	HintAppendErrors uint64          `json:"hint_append_errors"`
+	HintsPending     int             `json:"hints_pending"`
+	HintPeers        []HintPeerStats `json:"hint_peers,omitempty"`
+	RepairRounds     uint64          `json:"repair_rounds"`
+	RepairPulls      uint64          `json:"repair_pulls"`
+	RepairConflicts  uint64          `json:"repair_conflicts"`
+	RepairErrors     uint64          `json:"repair_errors"`
+}
+
+// StartReplication boots the engine. Call after AttachCluster (and
+// AttachPersistence, if any) and before SetState(StateServing): the
+// ingest path reads s.repl without a lock, so the handoff must happen
+// before requests can race it. With RF > 1 the engine is mandatory —
+// coordinators shed keyed batches until it runs.
+func (s *Server) StartReplication(cfg ReplicationConfig) error {
+	if s.cl == nil {
+		return errors.New("daemon: replication requires an attached cluster")
+	}
+	if s.repl != nil {
+		return errors.New("daemon: replication already running")
+	}
+	if cfg.HintMaxBytes == 0 {
+		cfg.HintMaxBytes = 64 << 20
+	}
+	if cfg.DrainInterval <= 0 {
+		cfg.DrainInterval = time.Second
+	}
+	if cfg.RepairInterval == 0 {
+		cfg.RepairInterval = 30 * time.Second
+	}
+	if cfg.WalOpts.SegmentBytes == 0 {
+		cfg.WalOpts.SegmentBytes = 1 << 20
+	}
+	hints, err := openHintStore(cfg.HintDir, cfg.HintMaxBytes, cfg.WalOpts, s.cl.Others(), cfg.Logf)
+	if err != nil {
+		return err
+	}
+	r := &replication{s: s, cfg: cfg, hints: hints}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	s.repl = r
+	r.wg.Add(1)
+	go r.drainLoop()
+	if cfg.RepairInterval > 0 {
+		r.wg.Add(1)
+		go r.repairLoop()
+	}
+	return nil
+}
+
+// StopReplication stops the loops and closes the hint journals
+// gracefully (undelivered hints stay on disk for the next boot). The
+// engine stays attached so concurrent readers of s.repl never see it
+// vanish; call during drain, after ingest is gated.
+func (s *Server) StopReplication() {
+	r := s.repl
+	if r == nil || !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	r.cancel()
+	r.wg.Wait()
+	r.hints.close()
+}
+
+// AbortReplication is the kill path: stop the loops and drop the hint
+// journals without syncing, mirroring Persistence.Abandon.
+func (s *Server) AbortReplication() {
+	r := s.repl
+	if r == nil || !r.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	r.cancel()
+	r.wg.Wait()
+	r.hints.abandon()
+}
+
+// DrainHintsNow runs one synchronous hint-drain sweep — the test and
+// harness hook for deterministic convergence waits.
+func (s *Server) DrainHintsNow(ctx context.Context) {
+	if s.repl != nil {
+		s.repl.drainOnce(ctx)
+	}
+}
+
+// RepairNow runs one synchronous anti-entropy round.
+func (s *Server) RepairNow(ctx context.Context) {
+	if s.repl != nil {
+		s.repl.repairRound(ctx)
+	}
+}
+
+// ReplicationStats snapshots the engine's counters (zero value when the
+// engine is not running).
+func (s *Server) ReplicationStats() ReplicationStats {
+	if s.repl == nil {
+		return ReplicationStats{}
+	}
+	return s.repl.stats()
+}
+
+func (r *replication) stats() ReplicationStats {
+	peers := r.hints.stats()
+	pending := 0
+	for _, p := range peers {
+		pending += p.Pending
+	}
+	return ReplicationStats{
+		HintsQueued:      r.hints.queued.Load(),
+		HintsReplayed:    r.hints.replayed.Load(),
+		HintsDropped:     r.hints.dropped.Load(),
+		HintAppendErrors: r.hints.appendErrors.Load(),
+		HintsPending:     pending,
+		HintPeers:        peers,
+		RepairRounds:     r.repairRounds.Load(),
+		RepairPulls:      r.repairPulls.Load(),
+		RepairConflicts:  r.repairConflicts.Load(),
+		RepairErrors:     r.repairErrors.Load(),
+	}
+}
+
+// fanout pushes one keyed batch to every other replica-set member
+// before the coordinator's own commit. A reachable member must ack
+// durably (its /v1/replicate journals before answering); an unreachable
+// one gets a durable hint instead. Only when neither works — peer down
+// AND the hint journal failing — does the batch shed, un-acked. A peer
+// with hints already queued gets this batch hinted too, behind them:
+// replicating around a backlog would deliver sequences out of order,
+// and a gap wider than the peer's dedup window turns the late hints
+// into discarded stale re-acks.
+func (r *replication) fanout(ctx context.Context, id string, seq uint64, ctype string, body []byte, now time.Time) error {
+	for _, peer := range r.s.cl.ReplicaSet(id) {
+		if peer == r.s.cl.Self() {
+			continue
+		}
+		if r.s.cl.Available(peer) && r.hints.pendingCount(peer) == 0 {
+			if _, err := r.s.cl.Replicate(ctx, peer, ctype, id, seq, now, body); err == nil {
+				continue
+			}
+		}
+		if err := r.hints.append(peer, now, id, seq, ctype, body); err != nil {
+			return fmt.Errorf("replica %s unreachable and hint not durable: %v", peer, err)
+		}
+	}
+	return nil
+}
+
+// handleReplicate applies one keyed batch on behalf of its coordinator.
+// The batch runs through the same gates as first-hand ingest — dedup
+// window, journal-before-ack — at the coordinator's ingest timestamp,
+// so both replicas bucket it identically. It never re-fanouts (the
+// coordinator owns RF), and a duplicate re-acks 200: hint replays and
+// coordinator retries must converge, not error.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.cl == nil {
+		httpError(w, http.StatusBadRequest, "replicate: not clustered")
+		return
+	}
+	if s.ringRejected(w, r) {
+		return
+	}
+	switch s.state.Load() {
+	case StateServing:
+	case StateDraining:
+		s.shedRequest(w, http.StatusServiceUnavailable, 5, "draining: witchd is shutting down")
+		return
+	default:
+		s.shedRequest(w, http.StatusServiceUnavailable, 1, "recovering: not yet serving")
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.shedRequest(w, http.StatusTooManyRequests, 1, "overloaded: %d ingests in flight", cap(s.sem))
+		return
+	}
+	id := r.Header.Get(witch.PusherIDHeader)
+	rawSeq := r.Header.Get(witch.PusherSeqHeader)
+	seq, perr := strconv.ParseUint(rawSeq, 10, 64)
+	if id == "" || rawSeq == "" || perr != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, "replicate: pusher id and sequence headers are required")
+		return
+	}
+	if s.pers != nil {
+		if s.pers.journal.Failed() {
+			s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal failed, restart required")
+			return
+		}
+		if s.cfg.MaxBacklog > 0 && s.pers.journal.UnsyncedBytes() > s.cfg.MaxBacklog {
+			s.shedRequest(w, http.StatusTooManyRequests, 1, "journal backlog over watermark, retry shortly")
+			return
+		}
+	}
+	// The coordinator's clock, not ours: replicas must agree on which
+	// retention bucket a batch lands in, or their digests would differ
+	// forever at bucket boundaries.
+	ts := s.cfg.Now()
+	if raw := r.Header.Get(cluster.TimestampHeader); raw != "" {
+		if ns, err := strconv.ParseInt(raw, 10, 64); err == nil {
+			ts = time.Unix(0, ns)
+		}
+	}
+
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)); err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, "replicate: %v", err)
+		return
+	}
+	body := buf.Bytes()
+	dec := decoders.Get().(*witch.BatchDecoder)
+	defer decoders.Put(dec)
+	profs, err := dec.Decode(body)
+	if err != nil {
+		s.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, "replicate: %v", err)
+		return
+	}
+	ingest := func(now time.Time) {
+		for _, p := range profs {
+			s.st.IngestKeyedAt(id, p, now)
+		}
+	}
+	apply := func(commit func()) error {
+		if s.pers != nil {
+			return s.pers.applyBatch(id, seq, true, body, ingest, ts, commit)
+		}
+		ingest(ts)
+		commit()
+		return nil
+	}
+	dup, stale, err := s.ded.Process(id, seq, apply)
+	if err != nil {
+		s.shedRequest(w, http.StatusServiceUnavailable, 10, "durable apply failed, batch not accepted: %v", err)
+		return
+	}
+	if dup {
+		if stale {
+			w.Header().Set("X-Witch-Duplicate", "stale")
+		} else {
+			w.Header().Set("X-Witch-Duplicate", "window")
+		}
+	}
+	s.replicatedIn.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"replicated\":%d}\n", len(profs))
+}
+
+// drainLoop replays queued hints to healed peers.
+func (r *replication) drainLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.DrainInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.drainOnce(r.ctx)
+		}
+	}
+}
+
+// drainOnce sweeps every peer with queued hints whose breaker looks
+// closed, replaying oldest-first through /v1/replicate.
+func (r *replication) drainOnce(ctx context.Context) {
+	for _, peer := range r.s.cl.Others() {
+		if ctx.Err() != nil {
+			return
+		}
+		if r.hints.pendingCount(peer) == 0 || !r.s.cl.Available(peer) {
+			continue
+		}
+		peer := peer
+		r.hints.drain(ctx, peer, func(ts time.Time, id string, seq uint64, ctype string, body []byte) error {
+			_, err := r.s.cl.Replicate(ctx, peer, ctype, id, seq, ts, body)
+			return err
+		})
+	}
+}
+
+// repairLoop runs anti-entropy on its cadence.
+func (r *replication) repairLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.RepairInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.repairRound(r.ctx)
+		}
+	}
+}
+
+// repairRound compares this node's per-pusher (maxSeq, checksum) digest
+// against every reachable peer's and pulls any partition this node
+// should replicate but holds a worse copy of: missing entirely, behind
+// on sequences, or — at equal sequence but differing checksum — owned
+// more authoritatively by the peer (owner wins; counted as a conflict).
+// A partition this node still has queued hints for is skipped until the
+// drain clears them: those hints are local batches the peer may lack,
+// and adopting the peer's image first would replace a superset with a
+// subset. Pulled rounds end in a snapshot checkpoint so the adopted
+// state (absent from the local journal) survives a restart.
+func (r *replication) repairRound(ctx context.Context) {
+	r.repairMu.Lock()
+	defer r.repairMu.Unlock()
+	r.repairRounds.Add(1)
+	cl := r.s.cl
+	local := r.s.digestLocal()
+	for _, peer := range cl.Others() {
+		if ctx.Err() != nil {
+			return
+		}
+		if !cl.Available(peer) {
+			continue
+		}
+		dig, err := cl.FetchDigest(ctx, peer)
+		if err != nil {
+			continue // unreachable peers are the breaker's problem, not repair's
+		}
+		if dig.Ring != cl.RingHash() {
+			r.repairErrors.Add(1)
+			continue
+		}
+		ids := make([]string, 0, len(dig.Pushers))
+		for id := range dig.Pushers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		pulled := false
+		for _, id := range ids {
+			if ctx.Err() != nil {
+				return
+			}
+			if !cl.InReplicaSet(id, cl.Self()) {
+				continue
+			}
+			de := dig.Pushers[id]
+			le, have := local[id]
+			conflict := false
+			switch {
+			case !have:
+			case de.Max > le.Max:
+			case de.Max == le.Max && de.N > le.N:
+				// Same frontier, fewer merges here: this copy is a
+				// gap-riddled suffix (a blank restart fed mid-sequence
+				// hint replays), not round-off noise. The fuller copy
+				// wins regardless of preference order — preferring the
+				// owner here could replicate the holes back out.
+			case de.Max == le.Max && de.N == le.N && de.Sum != le.Sum &&
+				cl.PreferenceIndex(id, peer) < cl.PreferenceIndex(id, cl.Self()):
+				conflict = true
+			default:
+				continue
+			}
+			if r.hints.pendingFor(id) > 0 {
+				continue
+			}
+			pt, err := cl.FetchPartition(ctx, peer, id)
+			if err != nil || pt.Image == nil {
+				if err != nil {
+					r.repairErrors.Add(1)
+				}
+				continue
+			}
+			r.adopt(id, pt)
+			r.repairPulls.Add(1)
+			if conflict {
+				r.repairConflicts.Add(1)
+			}
+			local[id] = r.s.digestEntry(id)
+			pulled = true
+			if r.cfg.Logf != nil {
+				r.cfg.Logf("witchd: repair pulled pusher %s from %s (max %d)", id, peer, pt.DedupMax)
+			}
+		}
+		if pulled && r.s.pers != nil {
+			if err := r.s.pers.Checkpoint(); err != nil {
+				r.repairErrors.Add(1)
+			}
+		}
+	}
+}
+
+// adopt installs a pulled partition — store image and dedup window
+// together, under the persistence apply barrier so no ingest interleaves
+// with the swap.
+func (r *replication) adopt(id string, pt *cluster.PartitionTransfer) {
+	do := func() {
+		r.s.st.ReplacePartition(id, pt.Image)
+		r.s.ded.Adopt(id, pt.DedupMax, pt.DedupBits)
+	}
+	if r.s.pers != nil {
+		r.s.pers.Quiesce(do)
+	} else {
+		do()
+	}
+}
+
+// digestLocal builds this node's anti-entropy digest: every pusher the
+// store or the dedup table knows, with its highest accepted sequence
+// and a checksum of the partition's merged state.
+func (s *Server) digestLocal() map[string]cluster.DigestEntry {
+	maxs := s.ded.MaxSeqs()
+	ids := make(map[string]bool, len(maxs))
+	for id := range maxs {
+		ids[id] = true
+	}
+	for _, id := range s.st.Partitions() {
+		ids[id] = true
+	}
+	out := make(map[string]cluster.DigestEntry, len(ids))
+	for id := range ids {
+		n, sum := s.partitionFingerprint(id)
+		out[id] = cluster.DigestEntry{Max: maxs[id], N: n, Sum: sum}
+	}
+	return out
+}
+
+// digestEntry recomputes one pusher's digest row (after a repair pull).
+func (s *Server) digestEntry(id string) cluster.DigestEntry {
+	max, _ := s.ded.WindowOf(id)
+	n, sum := s.partitionFingerprint(id)
+	return cluster.DigestEntry{Max: max, N: n, Sum: sum}
+}
+
+// partitionFingerprint returns one pusher partition's all-time merge
+// count and checksum: FNV-1a over its JSON encoding. agg.State is
+// deterministic — its slices are sorted and it contains no maps — and
+// JSON emits struct fields in declaration order, so equal data hashes
+// to equal sums on every node. (gob is unusable here: it numbers types
+// from a process-global registry in first-encode order, so two
+// processes with different encode histories gob identical values to
+// different bytes, and replicas would disagree about partitions they
+// hold byte-for-byte in common.) Replicas that merged the same batches
+// in a different order can still differ in float round-off; the one
+// redundant pull that triggers adopts the owner's image verbatim, after
+// which the sums are equal.
+func (s *Server) partitionFingerprint(id string) (uint64, string) {
+	part := s.st.QueryPartition(id, 0)
+	h := fnv.New64a()
+	if err := json.NewEncoder(h).Encode(part.State()); err != nil {
+		return part.Profiles(), "unencodable"
+	}
+	return part.Profiles(), fmt.Sprintf("%016x", h.Sum64())
+}
+
+// partitionSum is the checksum half of partitionFingerprint (tests
+// compare convergence on it).
+func (s *Server) partitionSum(id string) string {
+	_, sum := s.partitionFingerprint(id)
+	return sum
+}
+
+// handleDigest serves the anti-entropy digest peers diff against.
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cl == nil {
+		httpError(w, http.StatusBadRequest, "digest: not clustered")
+		return
+	}
+	if s.ringRejected(w, r) {
+		return
+	}
+	d := cluster.Digest{Self: s.cl.Self(), Ring: s.cl.RingHash(), Pushers: s.digestLocal()}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&d)
+}

@@ -1,0 +1,569 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/store"
+)
+
+// fakeClock is a shared, manually-advanced clock so breaker cooldowns
+// elapse exactly when a test says so.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// replicaNode is one member of an in-process replicated cluster whose
+// reachability tests flip with the down switch (the wrapper answers
+// 503 for everything, which is what a drowning or partitioned node
+// looks like to its peers' breakers).
+type replicaNode struct {
+	srv  *Server
+	ht   *httptest.Server
+	url  string
+	down atomic.Bool
+}
+
+// newReplicaCluster boots n daemons with the given replication factor
+// and a running replication engine (hints on disk when withHints).
+// Background drain/repair loops are effectively disabled — tests call
+// DrainHintsNow/RepairNow for determinism.
+func newReplicaCluster(t *testing.T, n, rf int, withHints bool, clock *fakeClock) []*replicaNode {
+	t.Helper()
+	nodes := make([]*replicaNode, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		nd := &replicaNode{srv: NewServer(store.New(store.Config{}), Config{})}
+		h := nd.srv.Handler()
+		nd.ht = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if nd.down.Load() {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			h.ServeHTTP(w, r)
+		}))
+		nd.url = nd.ht.URL
+		nodes[i] = nd
+		urls[i] = nd.url
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.ht.Close()
+		}
+	})
+	for _, nd := range nodes {
+		cl, err := cluster.New(cluster.Config{
+			Self: nd.url, Peers: urls,
+			ReplicationFactor: rf,
+			BreakerThreshold:  1,
+			Now:               clock.Now,
+			Logf:              t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.srv.AttachCluster(cl)
+		hintDir := ""
+		if withHints {
+			hintDir = t.TempDir()
+		}
+		if err := nd.srv.StartReplication(ReplicationConfig{
+			HintDir:        hintDir,
+			DrainInterval:  time.Hour,
+			RepairInterval: -1,
+			Logf:           t.Logf,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		srv := nd.srv
+		t.Cleanup(srv.StopReplication)
+		nd.srv.SetState(StateServing)
+	}
+	return nodes
+}
+
+// pickOwned returns a pusher id whose owner is nodes[want].
+func pickOwned(t *testing.T, nodes []*replicaNode, want int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("pusher-%04d", i)
+		if nodes[0].srv.Cluster().Owner(id) == nodes[want].url {
+			return id
+		}
+	}
+	t.Fatal("no pusher id hashes to the wanted owner")
+	return ""
+}
+
+// TestReplicaAckAfterReplicate: with RF=2 a keyed batch entering at a
+// non-member is forwarded to the owner, applied on BOTH replica-set
+// members before the ack, lives on exactly those two, and fleet
+// queries count it once.
+func TestReplicaAckAfterReplicate(t *testing.T) {
+	nodes := newReplicaCluster(t, 3, 2, false, newFakeClock())
+	prof := testProfile(t, 21)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+
+	const id = "replicated-pusher"
+	set := nodes[0].srv.Cluster().ReplicaSet(id)
+	if len(set) != 2 {
+		t.Fatalf("replica set %v, want 2 members", set)
+	}
+	owner, follower, entry := -1, -1, -1
+	for i, nd := range nodes {
+		switch nd.url {
+		case set[0]:
+			owner = i
+		case set[1]:
+			follower = i
+		default:
+			entry = i
+		}
+	}
+
+	resp := keyedIngest(t, nodes[entry].url, body.Bytes(), id, 1)
+	ack1, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replicated ingest: HTTP %d: %s", resp.StatusCode, ack1)
+	}
+	if nodes[owner].srv.batches.Load() != 1 {
+		t.Fatal("owner did not coordinate the batch")
+	}
+	if nodes[follower].srv.replicatedIn.Load() != 1 {
+		t.Fatal("follower did not apply the replication leg before the ack")
+	}
+	if got := nodes[follower].srv.st.Stats().Ingested; got != 1 {
+		t.Fatalf("follower store holds %d profiles, want 1", got)
+	}
+	if len(nodes[entry].srv.st.Partitions()) != 0 {
+		t.Fatal("non-member entry node kept a copy")
+	}
+	if os, fs := nodes[owner].srv.partitionSum(id), nodes[follower].srv.partitionSum(id); os != fs {
+		t.Fatalf("replica checksums diverge after ack: %s vs %s", os, fs)
+	}
+
+	// Duplicate retry re-acks byte-identically and does not re-fanout.
+	resp2 := keyedIngest(t, nodes[entry].url, body.Bytes(), id, 1)
+	ack2, _ := io.ReadAll(resp2.Body)
+	if resp2.Header.Get("X-Witch-Duplicate") != "window" || !bytes.Equal(ack1, ack2) {
+		t.Fatalf("duplicate not re-acked identically: dup=%q", resp2.Header.Get("X-Witch-Duplicate"))
+	}
+	if got := nodes[follower].srv.st.Stats().Ingested; got != 1 {
+		t.Fatalf("duplicate re-replicated: follower holds %d", got)
+	}
+
+	// Fleet queries from every node see the batch exactly once.
+	for i, nd := range nodes {
+		r, err := http.Get(nd.url + "/v1/top?tool=" + prof.Tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var top struct {
+			Waste float64 `json:"waste"`
+		}
+		if err := jsonDecode(r.Body, &top); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK || r.Header.Get("X-Witch-Incomplete") != "" {
+			t.Fatalf("node %d fleet query: HTTP %d incomplete=%q", i, r.StatusCode, r.Header.Get("X-Witch-Incomplete"))
+		}
+		if top.Waste != prof.Waste {
+			t.Fatalf("node %d counted the replicated batch %v times the waste", i, top.Waste/prof.Waste)
+		}
+	}
+}
+
+// TestHintedHandoffAndDrain: a dead follower does not block acks — the
+// coordinator journals durable hints instead — queries from survivors
+// stay complete (down peers < RF cannot hide keyed data), and healing
+// the follower drains the hints until both replicas are checksum-equal.
+func TestHintedHandoffAndDrain(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, true, clock)
+	prof := testProfile(t, 22)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	id := pickOwned(t, nodes, 0)
+	a, b := nodes[0], nodes[1]
+
+	b.down.Store(true)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if resp := keyedIngest(t, a.url, body.Bytes(), id, seq); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d with follower down: HTTP %d, want hint-backed 200", seq, resp.StatusCode)
+		}
+	}
+	rs := a.srv.ReplicationStats()
+	if rs.HintsQueued != 3 || rs.HintsPending != 3 {
+		t.Fatalf("hints not queued: %+v", rs)
+	}
+	if b.srv.st.Stats().Ingested != 0 {
+		t.Fatal("down follower somehow received batches")
+	}
+
+	// One unreachable peer < RF: the survivor's answer is complete.
+	r, err := http.Get(a.url + "/v1/top?tool=" + prof.Tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || r.Header.Get("X-Witch-Incomplete") != "" {
+		t.Fatalf("survivor query: HTTP %d incomplete=%q — one down peer under RF=2 must not degrade", r.StatusCode, r.Header.Get("X-Witch-Incomplete"))
+	}
+
+	// Heal, let the breaker cooldown lapse, drain.
+	b.down.Store(false)
+	clock.Advance(5 * time.Second)
+	a.srv.DrainHintsNow(context.Background())
+	rs = a.srv.ReplicationStats()
+	if rs.HintsPending != 0 || rs.HintsReplayed != 3 {
+		t.Fatalf("drain incomplete: %+v", rs)
+	}
+	if got := b.srv.replicatedIn.Load(); got != 3 {
+		t.Fatalf("follower applied %d replayed hints, want 3", got)
+	}
+	if as, bs := a.srv.partitionSum(id), b.srv.partitionSum(id); as != bs {
+		t.Fatalf("replicas diverge after drain: %s vs %s", as, bs)
+	}
+}
+
+// TestPromotedFollowerReacksDuplicates is the torn-retry matrix for a
+// dead owner: a forwarded retry of an already-replicated sequence must
+// be re-acked by the promoted follower from its own dedup window — not
+// re-merged — and fresh sequences keep flowing with the dead owner
+// hinted.
+func TestPromotedFollowerReacksDuplicates(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, true, clock)
+	prof := testProfile(t, 23)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	id := pickOwned(t, nodes, 0)
+	a, b := nodes[0], nodes[1]
+
+	// Healthy write: seq 1 lands on both members.
+	if resp := keyedIngest(t, a.url, body.Bytes(), id, 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest: HTTP %d", resp.StatusCode)
+	}
+	if b.srv.replicatedIn.Load() != 1 {
+		t.Fatal("seq 1 not replicated to the follower")
+	}
+
+	// Owner dies. The first retry through the follower still forwards
+	// (the breaker has no verdict yet) and relays the owner's 503 —
+	// which opens the breaker.
+	a.down.Store(true)
+	if resp := keyedIngest(t, b.url, body.Bytes(), id, 1); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first retry with dead owner: HTTP %d, want relayed 503", resp.StatusCode)
+	}
+	// The next retry finds the breaker open: the follower promotes
+	// itself and re-acks from its replicated dedup window.
+	resp := keyedIngest(t, b.url, body.Bytes(), id, 1)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Witch-Duplicate") != "window" {
+		t.Fatalf("promoted follower retry: HTTP %d dup=%q, want 200 re-ack", resp.StatusCode, resp.Header.Get("X-Witch-Duplicate"))
+	}
+	if got := b.srv.st.Stats().Ingested; got != 1 {
+		t.Fatalf("promoted follower re-merged the duplicate: %d profiles", got)
+	}
+
+	// Fresh sequences coordinate at the follower, hinting the dead owner.
+	if resp := keyedIngest(t, b.url, body.Bytes(), id, 2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh seq at promoted follower: HTTP %d", resp.StatusCode)
+	}
+	if rs := b.srv.ReplicationStats(); rs.HintsPending != 1 {
+		t.Fatalf("dead owner not hinted: %+v", rs)
+	}
+
+	// Owner returns; the hint drain completes the set.
+	a.down.Store(false)
+	clock.Advance(5 * time.Second)
+	b.srv.DrainHintsNow(context.Background())
+	if a.srv.replicatedIn.Load() != 1 {
+		t.Fatal("returned owner did not receive the hinted batch")
+	}
+	if as, bs := a.srv.partitionSum(id), b.srv.partitionSum(id); as != bs {
+		t.Fatalf("replicas diverge after owner return: %s vs %s", as, bs)
+	}
+}
+
+// TestAntiEntropyRepair: a replica missing a partition entirely (blank
+// replacement) pulls it from a peer and converges to checksum
+// equality; at equal sequence but divergent state the owner's copy
+// wins, counted as a conflict.
+func TestAntiEntropyRepair(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, false, clock)
+	prof := testProfile(t, 24)
+	ctx := context.Background()
+	a, b := nodes[0], nodes[1]
+
+	// Divergence: A holds a partition B has no trace of.
+	const id = "repair-pusher"
+	a.srv.st.IngestKeyedAt(id, prof, clock.Now())
+	a.srv.ded.Mark(id, 1)
+
+	b.srv.RepairNow(ctx)
+	rs := b.srv.ReplicationStats()
+	if rs.RepairRounds != 1 || rs.RepairPulls != 1 {
+		t.Fatalf("repair did not pull the missing partition: %+v", rs)
+	}
+	if as, bs := a.srv.partitionSum(id), b.srv.partitionSum(id); as != bs {
+		t.Fatalf("repair did not converge: %s vs %s", as, bs)
+	}
+	if max, _ := b.srv.ded.WindowOf(id); max != 1 {
+		t.Fatalf("repair did not adopt the dedup window: max=%d", max)
+	}
+	// A second round finds nothing to do.
+	b.srv.RepairNow(ctx)
+	if rs := b.srv.ReplicationStats(); rs.RepairPulls != 1 {
+		t.Fatalf("repair re-pulled a converged partition: %+v", rs)
+	}
+
+	// Conflict: same max sequence, different merged state. The node
+	// later in the preference list adopts the owner's copy.
+	const id2 = "conflict-pusher"
+	prof2 := testProfile(t, 25)
+	a.srv.st.IngestKeyedAt(id2, prof, clock.Now())
+	a.srv.ded.Mark(id2, 1)
+	b.srv.st.IngestKeyedAt(id2, prof2, clock.Now())
+	b.srv.ded.Mark(id2, 1)
+	ownNode, followNode := a, b
+	if a.srv.Cluster().Owner(id2) != a.url {
+		ownNode, followNode = b, a
+	}
+	wantSum := ownNode.srv.partitionSum(id2)
+
+	followNode.srv.RepairNow(ctx)
+	ownNode.srv.RepairNow(ctx)
+	if got := followNode.srv.partitionSum(id2); got != wantSum {
+		t.Fatalf("conflict did not resolve owner-wins: %s vs %s", got, wantSum)
+	}
+	if got := ownNode.srv.partitionSum(id2); got != wantSum {
+		t.Fatal("owner adopted the follower's conflicting copy")
+	}
+	var conflicts uint64
+	for _, nd := range nodes {
+		conflicts += nd.srv.ReplicationStats().RepairConflicts
+	}
+	if conflicts != 1 {
+		t.Fatalf("divergence not counted as a conflict: %d", conflicts)
+	}
+}
+
+// TestRingMismatchRejected: an inter-node request stamped with a
+// different ring hash is refused with 409 before any state changes,
+// the rejection is counted, and the ring hash is visible in /v1/healthz
+// and /metrics.
+func TestRingMismatchRejected(t *testing.T) {
+	servers, _, urls := newTestCluster(t, 2)
+	prof := testProfile(t, 26)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{"/v1/ingest", "/v1/replicate"} {
+		req, err := http.NewRequest(http.MethodPost, urls[0]+path, bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(cluster.RingHeader, "deadbeefdeadbeef")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("%s with skewed ring: HTTP %d, want 409", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodGet, urls[0]+"/v1/digest", nil)
+	req.Header.Set(cluster.RingHeader, "deadbeefdeadbeef")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("digest with skewed ring: HTTP %d, want 409", resp.StatusCode)
+	}
+	if got := servers[0].ringMismatches.Load(); got != 3 {
+		t.Fatalf("ring mismatches counted %d, want 3", got)
+	}
+	if got := servers[0].st.Stats().Ingested; got != 0 {
+		t.Fatal("a ring-mismatched batch was merged")
+	}
+
+	// The matching ring (and no ring at all — pushers) pass.
+	if resp := keyedIngest(t, urls[0], body.Bytes(), "ring-pusher", 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ringless pusher ingest: HTTP %d", resp.StatusCode)
+	}
+
+	ring := servers[0].Cluster().RingHash()
+	hr, err := http.Get(urls[0] + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if !strings.Contains(string(hb), ring) {
+		t.Fatalf("/v1/healthz does not expose the ring hash %s:\n%s", ring, hb)
+	}
+	mr, err := http.Get(urls[0] + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if !strings.Contains(string(mb), "witchd_ring_mismatches_total 3") {
+		t.Fatalf("metrics missing ring mismatch counter:\n%s", mb)
+	}
+}
+
+// TestMetricsSortedStableOrder: /metrics lines come out in sorted
+// order, so two scrapes diff textually and dashboards never see keys
+// move.
+func TestMetricsSortedStableOrder(t *testing.T) {
+	nodes := newReplicaCluster(t, 2, 2, false, newFakeClock())
+	r, err := http.Get(nodes[0].url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	text, _ := io.ReadAll(r.Body)
+	lines := strings.Split(strings.TrimSpace(string(text)), "\n")
+	if len(lines) < 20 {
+		t.Fatalf("suspiciously few metrics: %d", len(lines))
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Fatalf("metrics out of sorted order at line %d:\n%s\n%s", i, lines[i-1], lines[i])
+		}
+	}
+	for _, want := range []string{
+		"witchd_cluster_replication_factor 2",
+		"witchd_hints_pending 0",
+		"witchd_repair_rounds_total 0",
+		"witchd_ingest_replicated_in_total 0",
+	} {
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDedupTombstoneBounds: the tombstone table is bounded by the
+// pusher cap no matter how many pushers churn through — eviction GC
+// must not let dead pushers' residue grow without bound.
+func TestDedupTombstoneBounds(t *testing.T) {
+	d := NewDedup(64, 4)
+	apply := func(commit func()) error { commit(); return nil }
+	for p := 0; p < 100; p++ {
+		d.Process(fmt.Sprintf("churner-%d", p), 1, apply)
+	}
+	st := d.Stats()
+	if st.Pushers > 4 {
+		t.Fatalf("live windows %d exceed the cap 4", st.Pushers)
+	}
+	if st.Tombstones > 4 {
+		t.Fatalf("tombstones %d grew past the cap 4 (GC bound broken)", st.Tombstones)
+	}
+	if st.EvictedPushers < 90 {
+		t.Fatalf("churn did not evict: %+v", st)
+	}
+}
+
+// jsonDecode decodes JSON from r into v (helper kept tiny so tests
+// read linearly).
+func jsonDecode(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	return dec.Decode(v)
+}
+
+// TestRepairPrefersFullerCopyAtEqualMax: a node that restarted blank
+// and caught only mid-sequence hint replays can tie the survivor's max
+// sequence while holding a fraction of the batches. Repair must move
+// the fuller copy toward the holey one — even when the holey node is
+// the partition's owner — never the reverse.
+func TestRepairPrefersFullerCopyAtEqualMax(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, false, clock)
+	prof := testProfile(t, 27)
+	ctx := context.Background()
+
+	// The owner holds the incomplete copy: one merge at the shared
+	// frontier seq 3. The follower holds all three.
+	const id = "holey-pusher"
+	holey, full := nodes[0], nodes[1]
+	if nodes[0].srv.Cluster().Owner(id) != nodes[0].url {
+		holey, full = nodes[1], nodes[0]
+	}
+	holey.srv.st.IngestKeyedAt(id, prof, clock.Now())
+	holey.srv.ded.Mark(id, 3)
+	for seq := uint64(1); seq <= 3; seq++ {
+		full.srv.st.IngestKeyedAt(id, prof, clock.Now())
+		full.srv.ded.Mark(id, seq)
+	}
+	wantSum := full.srv.partitionSum(id)
+
+	// The full follower must not adopt the owner's subset...
+	full.srv.RepairNow(ctx)
+	if got := full.srv.partitionSum(id); got != wantSum {
+		t.Fatalf("full copy adopted the owner's holey subset: %s vs %s", got, wantSum)
+	}
+	if rs := full.srv.ReplicationStats(); rs.RepairPulls != 0 {
+		t.Fatalf("follower pulled despite holding the fuller copy: %+v", rs)
+	}
+	// ...and the holey owner must pull the fuller copy.
+	holey.srv.RepairNow(ctx)
+	if rs := holey.srv.ReplicationStats(); rs.RepairPulls != 1 {
+		t.Fatalf("owner did not pull the fuller copy: %+v", rs)
+	}
+	if got := holey.srv.partitionSum(id); got != wantSum {
+		t.Fatalf("owner did not converge on the fuller copy: %s vs %s", got, wantSum)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -81,15 +82,18 @@ type Server struct {
 	pers *Persistence    // nil = memory-only (no data dir)
 	cl   *cluster.Router // nil = single node
 	ded  *Dedup
+	repl *replication // nil until StartReplication; required when RF > 1
 
 	state atomic.Int32
 	sem   chan struct{}
 
-	batches     atomic.Uint64 // ingest requests accepted locally
-	rejected    atomic.Uint64 // ingest requests rejected (bad input)
-	shed        atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
-	forwardedIn atomic.Uint64 // batches that arrived via a peer's routing hop
-	queries     atomic.Uint64 // /v1/top + /v1/profile requests served
+	batches        atomic.Uint64 // ingest requests accepted locally
+	rejected       atomic.Uint64 // ingest requests rejected (bad input)
+	shed           atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
+	forwardedIn    atomic.Uint64 // batches that arrived via a peer's routing hop
+	replicatedIn   atomic.Uint64 // batches applied via a peer's replication leg
+	ringMismatches atomic.Uint64 // inter-node requests rejected for ring skew
+	queries        atomic.Uint64 // /v1/top + /v1/profile requests served
 }
 
 // NewServer builds a server over a retention store, applying defaults
@@ -139,23 +143,45 @@ func (s *Server) Cluster() *cluster.Router { return s.cl }
 
 // Handler routes the API:
 //
-//	POST /v1/ingest   WriteJSON payloads (single, batched, or binary)
-//	GET  /v1/top      ranked merged pairs (tool, window, program, n) — fleet-wide with a cluster
-//	GET  /v1/profile  full merged profile in the WriteJSON schema — fleet-wide with a cluster
-//	GET  /v1/shard    this node's raw aggregate State (gob), the scatter-gather unit
-//	GET  /v1/healthz  fleet health: every peer's row plus the merged rollup
-//	GET  /healthz     this node's lifecycle state, Health, retention + durability stats
-//	GET  /metrics     plaintext counters (ingest, forward, query, journal, dedup, breakers)
+//	POST /v1/ingest    WriteJSON payloads (single, batched, or binary)
+//	POST /v1/replicate one keyed batch from a replica coordinator (journal-before-ack, no re-fanout)
+//	GET  /v1/top       ranked merged pairs (tool, window, program, n) — fleet-wide with a cluster
+//	GET  /v1/profile   full merged profile in the WriteJSON schema — fleet-wide with a cluster
+//	GET  /v1/shard     this node's partitioned export (gob), the scatter/repair unit (?pusher= for one partition)
+//	GET  /v1/digest    per-pusher (maxSeq, checksum) anti-entropy digest
+//	GET  /v1/healthz   fleet health: every peer's row plus the merged rollup
+//	GET  /healthz      this node's lifecycle state, Health, retention + durability stats
+//	GET  /metrics      plaintext counters (ingest, forward, replicate, hints, repair, journal, dedup, breakers)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/replicate", s.handleReplicate)
 	mux.HandleFunc("/v1/top", s.handleTop)
 	mux.HandleFunc("/v1/profile", s.handleProfile)
 	mux.HandleFunc("/v1/shard", s.handleShard)
+	mux.HandleFunc("/v1/digest", s.handleDigest)
 	mux.HandleFunc("/v1/healthz", s.handleClusterHealthz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// ringRejected enforces the membership guard: an inter-node request
+// carrying a RingHeader that does not match this node's ring hash is
+// answered 409 before any state is touched. A typoed -peers list on
+// one node would otherwise silently split ownership. Requests without
+// the header (pushers, curl) always pass.
+func (s *Server) ringRejected(w http.ResponseWriter, r *http.Request) bool {
+	if s.cl == nil {
+		return false
+	}
+	got := r.Header.Get(cluster.RingHeader)
+	if got == "" || got == s.cl.RingHash() {
+		return false
+	}
+	s.ringMismatches.Add(1)
+	httpError(w, http.StatusConflict, "ring mismatch: request ring %s, local ring %s — peer lists differ, check -peers", got, s.cl.RingHash())
+	return true
 }
 
 // httpError sends a JSON error body with the given status.
@@ -242,16 +268,53 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if forwarded := r.Header.Get(cluster.ForwardedHeader) != ""; s.cl != nil && keyed && !forwarded && !s.cl.IsOwner(id) {
-		// Routing hop: relay the batch to its owner and the owner's
-		// verdict back, before any local journal gate — a node with a
-		// failed journal can still route to healthy owners. A batch that
-		// already hopped is processed here unconditionally (one hop only;
-		// skewed peer lists must not build loops).
-		s.forwardIngest(w, r, id, seq)
+	if s.ringRejected(w, r) {
 		return
-	} else if forwarded {
+	}
+	forwarded := r.Header.Get(cluster.ForwardedHeader) != ""
+	// coordinate means this node is a replica-set member applying the
+	// batch authoritatively: it replicates to the other members (or
+	// hints for the unreachable ones) before its own journal commit.
+	coordinate := false
+	if s.cl != nil && keyed {
+		set := s.cl.ReplicaSet(id)
+		selfIdx := -1
+		for i, p := range set {
+			if p == s.cl.Self() {
+				selfIdx = i
+			}
+		}
+		if !forwarded {
+			if selfIdx < 0 {
+				// Routing hop: relay the batch to a replica-set member and
+				// that member's verdict back, before any local journal gate
+				// — a node with a failed journal can still route to healthy
+				// owners. A batch that already hopped is processed here
+				// unconditionally (one hop only; skewed peer lists must not
+				// build loops).
+				s.forwardIngest(w, r, id, seq, set)
+				return
+			}
+			if selfIdx > 0 && s.cl.Available(set[0]) {
+				// A follower keeps routing to the owner while it looks
+				// reachable, so the owner's dedup window stays the one that
+				// judges fresh sequences; only when the owner's breaker is
+				// open does the follower coordinate (promoted follower).
+				s.forwardIngest(w, r, id, seq, set[:1])
+				return
+			}
+		}
+		coordinate = selfIdx >= 0
+	}
+	if forwarded {
 		s.forwardedIn.Add(1)
+	}
+	if coordinate && s.cl.RF() > 1 && s.repl == nil {
+		// RF>1 promises a follower ack before ours; without the
+		// replication engine running that promise cannot be kept, and
+		// acking anyway would silently drop to RF=1 durability.
+		s.shedRequest(w, http.StatusServiceUnavailable, 5, "replication engine not running, batch not accepted")
+		return
 	}
 
 	if s.pers != nil {
@@ -303,17 +366,27 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// mix tools freely without cross-contamination.
 	ingest := func(now time.Time) {
 		for _, p := range profs {
-			s.st.IngestAt(p, now)
+			s.st.IngestKeyedAt(id, p, now)
 		}
 	}
-	// Durability before acknowledgement: journal (and fsync, per
-	// policy) first; a journal error sheds the batch un-acked so the
-	// client retries against a daemon that can make it durable.
+	// Durability before acknowledgement: replicate to the other
+	// replica-set members (durable hint if one is down), then journal
+	// (and fsync, per policy) locally; any failure sheds the batch
+	// un-acked so the client retries against a fleet that can make it
+	// durable. Replication runs inside the dedup window lock and before
+	// the local commit: a batch is never marked seen while a copy
+	// exists on fewer than RF nodes (counting its hint record).
 	apply := func(commit func()) error {
-		if s.pers != nil {
-			return s.pers.applyBatch(id, seq, keyed, body, ingest, s.cfg.Now(), commit)
+		now := s.cfg.Now()
+		if coordinate && s.repl != nil {
+			if rerr := s.repl.fanout(r.Context(), id, seq, r.Header.Get("Content-Type"), body, now); rerr != nil {
+				return rerr
+			}
 		}
-		ingest(s.cfg.Now())
+		if s.pers != nil {
+			return s.pers.applyBatch(id, seq, keyed, body, ingest, now, commit)
+		}
+		ingest(now)
 		commit()
 		return nil
 	}
@@ -328,7 +401,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		decoders.Put(dec)
-		s.shedRequest(w, http.StatusServiceUnavailable, 10, "journal append failed, batch not accepted: %v", err)
+		s.shedRequest(w, http.StatusServiceUnavailable, 10, "durable apply failed, batch not accepted: %v", err)
 		return
 	}
 	if dup {
@@ -403,11 +476,16 @@ func queryWindow(r *http.Request) (time.Duration, error) {
 }
 
 // view resolves the tool/window/program parameters to a merged view.
-// With a cluster attached the view is fleet-wide: the local window
-// query is the gather seed and every peer's /v1/shard State is folded
-// in with agg's merge rules. Unreachable peers degrade the answer to
-// a partial one — their URLs come back in incomplete (and in an
-// X-Witch-Incomplete response header) instead of failing the query.
+// With a cluster attached the view is fleet-wide: every reachable
+// peer's /v1/shard export is gathered beside the local one, anonymous
+// partitions merge from every node, and each pusher partition merges
+// from exactly one holder — the reachable node ranked highest in that
+// pusher's preference list — so replicated data is never counted
+// twice. Unreachable peers degrade the answer to a partial one only
+// when the loss is provable: with RF replicas, fewer than RF
+// unreachable peers cannot hide a keyed partition, so the answer is
+// reported complete (X-Witch-Incomplete names the peers otherwise;
+// unkeyed node-local data on a down peer is the documented caveat).
 // scope=local bypasses the scatter (it is also how /v1/shard itself
 // stays local, so legs never recurse).
 func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggregator, tool, program string, incomplete []string, ok bool) {
@@ -421,21 +499,66 @@ func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggrega
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return nil, "", "", nil, false
 	}
-	view = s.st.Query(window)
-	if s.cl != nil && r.URL.Query().Get("scope") != "local" {
-		for _, sr := range s.cl.ScatterStates(r.Context(), r.URL.Query().Get("window")) {
-			if sr.Err != nil {
-				incomplete = append(incomplete, sr.Peer)
+	if s.cl == nil || r.URL.Query().Get("scope") == "local" {
+		return s.st.Query(window), tool, r.URL.Query().Get("program"), nil, true
+	}
+
+	exports := map[string]*store.Export{s.cl.Self(): s.st.Export(window)}
+	var unreachable []string
+	for _, sr := range s.cl.ScatterExports(r.Context(), r.URL.Query().Get("window")) {
+		if sr.Err != nil {
+			unreachable = append(unreachable, sr.Peer)
+			continue
+		}
+		exports[sr.Peer] = sr.Export
+	}
+
+	view = agg.New()
+	pushers := make(map[string]bool)
+	for _, peer := range s.cl.Peers() {
+		exp := exports[peer]
+		if exp == nil {
+			continue
+		}
+		if exp.Unkeyed != nil {
+			view.MergeState(exp.Unkeyed)
+		}
+		for id := range exp.Parts {
+			pushers[id] = true
+		}
+	}
+	ids := make([]string, 0, len(pushers))
+	for id := range pushers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		// One holder per pusher: the reachable one replication keeps
+		// most authoritative (lowest preference index). Replicas and
+		// repaired copies of the same partition thus collapse to a
+		// single contribution instead of double-counting.
+		best, bestIdx := "", len(s.cl.Peers())+1
+		for peer, exp := range exports {
+			if exp.Parts[id] == nil {
 				continue
 			}
-			view.MergeState(sr.State)
+			if idx := s.cl.PreferenceIndex(id, peer); idx < bestIdx {
+				best, bestIdx = peer, idx
+			}
 		}
-		if len(incomplete) > 0 {
-			// A header, not a body field, so /v1/profile's body stays
-			// byte-identical to what a complete fleet would produce when
-			// the missing peers happen to hold no rows for this view.
-			w.Header().Set("X-Witch-Incomplete", strings.Join(incomplete, ","))
-		}
+		view.MergeState(exports[best].Parts[id])
+	}
+
+	if len(unreachable) >= s.cl.RF() {
+		// Fewer than RF down peers provably hold no keyed data that a
+		// surviving replica does not also hold; at RF and beyond a
+		// whole replica set may be dark, so name the holes.
+		incomplete = unreachable
+		sort.Strings(incomplete)
+		// A header, not a body field, so /v1/profile's body stays
+		// byte-identical to what a complete fleet would produce when
+		// the missing peers happen to hold no rows for this view.
+		w.Header().Set("X-Witch-Incomplete", strings.Join(incomplete, ","))
 	}
 	return view, tool, r.URL.Query().Get("program"), incomplete, true
 }
@@ -518,6 +641,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"rejected_batches": s.rejected.Load(),
 		"shed_batches":     s.shed.Load(),
 		"forwarded_in":     s.forwardedIn.Load(),
+		"replicated_in":    s.replicatedIn.Load(),
+		"ring_mismatches":  s.ringMismatches.Load(),
 		"tools":            s.st.Query(0).Tools(),
 		"health":           health,
 		"store":            s.st.Stats(),
@@ -525,6 +650,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cl != nil {
 		out["cluster"] = s.cl.StatsSnapshot()
+		out["ring"] = s.cl.RingHash()
+	}
+	if s.repl != nil {
+		out["replication"] = s.repl.stats()
 	}
 	if p := s.pers; p != nil {
 		out["durability"] = map[string]any{

@@ -155,7 +155,9 @@ type clusterNode struct {
 	dir     string
 	addr    string
 	url     string
-	peers   []string // nil for a standalone node
+	peers   []string     // nil for a standalone node
+	rf      int          // replica-set size; 0 or 1 = single-owner
+	client  *http.Client // inter-node client (nil = plain; replica runs thread faults here)
 	now     func() time.Time
 	walOpts wal.Options
 
@@ -178,12 +180,29 @@ func (n *clusterNode) start() error {
 	n.pers = pers
 	n.srv.AttachPersistence(pers)
 	if len(n.peers) > 1 {
-		cl, err := cluster.New(cluster.Config{Self: n.url, Peers: n.peers, Logf: func(string, ...any) {}})
+		cl, err := cluster.New(cluster.Config{
+			Self: n.url, Peers: n.peers,
+			ReplicationFactor: n.rf,
+			Client:            n.client,
+			Logf:              func(string, ...any) {},
+		})
 		if err != nil {
 			return err
 		}
 		n.cl = cl
 		n.srv.AttachCluster(cl)
+		if n.rf > 1 {
+			// The hint journals live under the node's own data dir: a
+			// data-dir wipe is a full identity wipe, hints included.
+			if err := n.srv.StartReplication(daemon.ReplicationConfig{
+				HintDir:        filepath.Join(n.dir, "hints"),
+				DrainInterval:  25 * time.Millisecond,
+				RepairInterval: -1, // the harness drives RepairNow explicitly
+				WalOpts:        n.walOpts,
+			}); err != nil {
+				return fmt.Errorf("node %s replication: %w", n.url, err)
+			}
+		}
 	}
 	n.srv.SetState(daemon.StateServing)
 	n.hs = daemon.HardenedServer(n.srv.Handler(), time.Second)
@@ -198,15 +217,17 @@ func (n *clusterNode) start() error {
 	return nil
 }
 
-// kill is the node's kill -9: connections severed, journal abandoned
-// unsynced, no snapshot, no drain.
+// kill is the node's kill -9: connections severed, journal and hint
+// journals abandoned unsynced, no snapshot, no drain.
 func (n *clusterNode) kill() {
 	n.hs.Close()
+	n.srv.AbortReplication()
 	n.pers.Abandon()
 }
 
 func (n *clusterNode) stop() error {
 	n.hs.Close()
+	n.srv.StopReplication()
 	return n.pers.Shutdown()
 }
 
@@ -214,6 +235,13 @@ func (n *clusterNode) stop() error {
 // static and every node needs the full list at boot), then starts the
 // nodes.
 func bootCluster(root string, nodes int, now func() time.Time, walOpts wal.Options) ([]*clusterNode, error) {
+	return bootClusterWith(root, nodes, now, walOpts, nil)
+}
+
+// bootClusterWith is bootCluster with a per-node configure hook that
+// runs after the ports are reserved and before the node starts (the
+// replica experiment sets rf and the faulted inter-node client there).
+func bootClusterWith(root string, nodes int, now func() time.Time, walOpts wal.Options, configure func(*clusterNode)) ([]*clusterNode, error) {
 	cns := make([]*clusterNode, nodes)
 	urls := make([]string, nodes)
 	for i := range cns {
@@ -232,6 +260,9 @@ func bootCluster(root string, nodes int, now func() time.Time, walOpts wal.Optio
 	for _, cn := range cns {
 		if nodes > 1 {
 			cn.peers = urls
+		}
+		if configure != nil {
+			configure(cn)
 		}
 		if err := cn.start(); err != nil {
 			return nil, err

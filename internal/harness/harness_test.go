@@ -267,7 +267,7 @@ func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	for _, name := range []string{"fig2", "fig4", "fig5", "table1", "table2", "table3",
 		"blindspot", "dominance", "adversary", "stability", "rank", "ablations", "chaos",
-		"ingest", "delivery", "cluster", "all"} {
+		"ingest", "delivery", "cluster", "replica", "all"} {
 		if reg[name] == nil {
 			t.Fatalf("missing experiment %q", name)
 		}

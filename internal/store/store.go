@@ -1,11 +1,18 @@
 // Package store gives the witchd aggregation daemon bounded memory
 // under indefinite ingest: profiles land in a ring of fixed time-width
-// buckets (each an internal/agg aggregator), and when a ring slot is
-// reused its expired bucket is folded into a single long-tail rollup
-// aggregator. Because merge is associative (a sum — see internal/agg),
-// folding a bucket into the rollup is exactly the merge that would have
-// happened had its profiles been ingested there directly: retention
-// changes *where* data lives, never *what* a query over it reports.
+// buckets, and when a ring slot is reused its expired bucket is folded
+// into a long-tail rollup. Because merge is associative (a sum — see
+// internal/agg), folding a bucket into the rollup is exactly the merge
+// that would have happened had its profiles been ingested there
+// directly: retention changes *where* data lives, never *what* a query
+// over it reports.
+//
+// Each bucket (and the rollup) is partitioned by pusher identity: the
+// aggregate a keyed batch lands in is addressable by its pusher ID, so
+// the replication layer can export, checksum, and replace exactly one
+// pusher's slice of history without touching its neighbours. The empty
+// key holds unkeyed (anonymous) ingest. Queries merge every partition,
+// so single-node behavior is unchanged by partitioning.
 //
 // Queries select the live buckets overlapping a trailing window (plus
 // the rollup for unbounded queries) and merge them into a fresh
@@ -14,9 +21,12 @@
 package store
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,28 +46,71 @@ type Config struct {
 	Now func() time.Time
 }
 
-// bucket is one retention window's aggregate.
+// bucket is one retention window's aggregate, partitioned by pusher.
 type bucket struct {
 	start time.Time
-	agg   *agg.Aggregator
 	// rw lets eviction wait out in-flight merges: ingest holds the read
 	// side while merging, the evictor takes the write side before
 	// folding the bucket into the rollup, so no late merge is lost.
 	rw sync.RWMutex
+	// mu guards the partition map itself; the aggregators inside are
+	// internally locked, so concurrent merges into one partition are
+	// safe once the pointer is out.
+	mu    sync.Mutex
+	parts map[string]*agg.Aggregator
+}
+
+func newBucket(start time.Time) *bucket {
+	return &bucket{start: start, parts: make(map[string]*agg.Aggregator, 2)}
+}
+
+// part returns the partition for id, creating it sized by hint.
+func (b *bucket) part(id string, hint int) *agg.Aggregator {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a := b.parts[id]
+	if a == nil {
+		a = agg.NewSized(hint)
+		b.parts[id] = a
+	}
+	return a
+}
+
+// snapshotParts copies the partition pointer set under the map lock.
+func (b *bucket) snapshotParts() map[string]*agg.Aggregator {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]*agg.Aggregator, len(b.parts))
+	for id, a := range b.parts {
+		out[id] = a
+	}
+	return out
+}
+
+func (b *bucket) pairCount() int {
+	n := 0
+	for _, a := range b.snapshotParts() {
+		n += a.PairCount()
+	}
+	return n
 }
 
 // Store is the time-bucketed retention layer. Safe for concurrent use.
 type Store struct {
 	cfg Config
 
-	mu     sync.Mutex
-	ring   []*bucket
-	rollup *agg.Aggregator
+	mu   sync.Mutex
+	ring []*bucket
 	// pending holds buckets that have been displaced from the ring but
 	// whose fold into the rollup has not completed — the window during
 	// which a concurrent Snapshot must still see them, or their data
 	// would exist nowhere.
 	pending []*bucket
+
+	// rollup holds evicted history, partitioned like the buckets. The
+	// map (and its aggregators' membership) is touched only under
+	// foldMu.
+	rollup map[string]*agg.Aggregator
 
 	// foldMu serializes rollup mutation (fold) against Snapshot, so a
 	// bucket is always captured on exactly one side of the rollup
@@ -90,7 +143,7 @@ func New(cfg Config) *Store {
 	return &Store{
 		cfg:    cfg,
 		ring:   make([]*bucket, cfg.Buckets),
-		rollup: agg.New(),
+		rollup: make(map[string]*agg.Aggregator),
 	}
 }
 
@@ -100,11 +153,19 @@ func (s *Store) Ingest(p *witch.Profile) {
 	s.IngestAt(p, s.cfg.Now())
 }
 
-// IngestAt is Ingest with an explicit arrival time — the journal-replay
-// entry point: recovery re-ingests each batch at its original wall
-// time, so the restored bucket layout (and every windowed query) comes
-// back identical, not smeared into the restart instant.
+// IngestAt is unkeyed IngestKeyedAt — the profile lands in the
+// anonymous partition shared by all unidentified senders.
 func (s *Store) IngestAt(p *witch.Profile, now time.Time) {
+	s.IngestKeyedAt("", p, now)
+}
+
+// IngestKeyedAt merges one profile into pusher id's partition of the
+// bucket covering now, evicting any expired bucket whose ring slot it
+// reuses. The explicit arrival time is the journal-replay contract:
+// recovery re-ingests each batch at its original wall time, so the
+// restored bucket layout (and every windowed query) comes back
+// identical, not smeared into the restart instant.
+func (s *Store) IngestKeyedAt(id string, p *witch.Profile, now time.Time) {
 	start := now.Truncate(s.cfg.Window)
 	slot := s.slotFor(start)
 
@@ -113,7 +174,7 @@ func (s *Store) IngestAt(p *witch.Profile, now time.Time) {
 	var expired *bucket
 	if b == nil || !b.start.Equal(start) {
 		expired = b
-		b = &bucket{start: start, agg: agg.NewSized(int(s.bucketHint.Load()))}
+		b = newBucket(start)
 		s.ring[slot] = b
 		if expired != nil {
 			s.pending = append(s.pending, expired)
@@ -128,10 +189,10 @@ func (s *Store) IngestAt(p *witch.Profile, now time.Time) {
 	if expired != nil {
 		// The expired bucket's cardinality is the best predictor for the
 		// next bucket of the same traffic.
-		s.bucketHint.Store(int64(expired.agg.PairCount()))
+		s.bucketHint.Store(int64(expired.pairCount()))
 		s.fold(expired)
 	}
-	b.agg.Merge(p)
+	b.part(id, int(s.bucketHint.Load())).Merge(p)
 	b.rw.RUnlock()
 	s.ingested.Add(1)
 }
@@ -145,14 +206,28 @@ func (s *Store) slotFor(start time.Time) int {
 	return slot
 }
 
-// fold waits out in-flight merges on an expired bucket and rolls it up.
-// The rollup merge and the bucket's removal from the pending list are
-// one atomic step under foldMu, so a concurrent Snapshot sees the
-// bucket on exactly one side of the rollup — never both, never neither.
+// rollupPart returns the rollup partition for id, creating it. Callers
+// must hold foldMu.
+func (s *Store) rollupPart(id string) *agg.Aggregator {
+	a := s.rollup[id]
+	if a == nil {
+		a = agg.New()
+		s.rollup[id] = a
+	}
+	return a
+}
+
+// fold waits out in-flight merges on an expired bucket and rolls it up
+// partition by partition. The rollup merge and the bucket's removal
+// from the pending list are one atomic step under foldMu, so a
+// concurrent Snapshot sees the bucket on exactly one side of the
+// rollup — never both, never neither.
 func (s *Store) fold(b *bucket) {
 	b.rw.Lock()
 	s.foldMu.Lock()
-	s.rollup.MergeFrom(b.agg)
+	for id, a := range b.parts {
+		s.rollupPart(id).MergeFrom(a)
+	}
 	s.mu.Lock()
 	for i, p := range s.pending {
 		if p == b {
@@ -166,20 +241,11 @@ func (s *Store) fold(b *bucket) {
 	s.evictedBuckets.Add(1)
 }
 
-// Query merges every bucket overlapping the trailing window into a
-// fresh aggregator and returns it. window <= 0 means everything ever
-// ingested, including the rollup of evicted buckets; that path holds
-// the fold barrier so a bucket mid-eviction is counted exactly once
-// (from whichever side of the rollup it is on), never twice.
-func (s *Store) Query(window time.Duration) *agg.Aggregator {
-	now := s.cfg.Now()
-	out := agg.NewSized(int(s.queryHint.Load()))
-
-	if window <= 0 {
-		s.foldMu.Lock()
-		defer s.foldMu.Unlock()
-	}
+// liveBuckets collects the ring and pending buckets overlapping the
+// trailing window (all of them when window <= 0). Callers own locking.
+func (s *Store) liveBuckets(window time.Duration, now time.Time) []*bucket {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	live := make([]*bucket, 0, len(s.ring)+len(s.pending))
 	for _, b := range append(append([]*bucket(nil), s.ring...), s.pending...) {
 		if b == nil {
@@ -190,21 +256,233 @@ func (s *Store) Query(window time.Duration) *agg.Aggregator {
 		}
 		live = append(live, b)
 	}
-	rollup := s.rollup
-	s.mu.Unlock()
+	return live
+}
+
+// Query merges every partition of every bucket overlapping the trailing
+// window into a fresh aggregator and returns it. window <= 0 means
+// everything ever ingested, including the rollup of evicted buckets;
+// that path holds the fold barrier so a bucket mid-eviction is counted
+// exactly once (from whichever side of the rollup it is on), never
+// twice.
+func (s *Store) Query(window time.Duration) *agg.Aggregator {
+	now := s.cfg.Now()
+	out := agg.NewSized(int(s.queryHint.Load()))
 
 	if window <= 0 {
-		out.MergeFrom(rollup)
+		s.foldMu.Lock()
+		defer s.foldMu.Unlock()
+	}
+	live := s.liveBuckets(window, now)
+
+	if window <= 0 {
+		for _, a := range s.rollup {
+			out.MergeFrom(a)
+		}
 	}
 	for _, b := range live {
-		out.MergeFrom(b.agg)
+		for _, a := range b.snapshotParts() {
+			out.MergeFrom(a)
+		}
 	}
 	s.queryHint.Store(int64(out.PairCount()))
 	return out
 }
 
+// QueryPartition is Query restricted to one pusher's partition.
+func (s *Store) QueryPartition(id string, window time.Duration) *agg.Aggregator {
+	now := s.cfg.Now()
+	out := agg.New()
+
+	if window <= 0 {
+		s.foldMu.Lock()
+		defer s.foldMu.Unlock()
+	}
+	live := s.liveBuckets(window, now)
+
+	if window <= 0 {
+		if a := s.rollup[id]; a != nil {
+			out.MergeFrom(a)
+		}
+	}
+	for _, b := range live {
+		b.mu.Lock()
+		a := b.parts[id]
+		b.mu.Unlock()
+		if a != nil {
+			out.MergeFrom(a)
+		}
+	}
+	return out
+}
+
+// Partitions lists the pusher IDs holding data anywhere in the store
+// (ring, pending folds, or rollup), sorted. The anonymous partition is
+// omitted: it is not addressable for replication.
+func (s *Store) Partitions() []string {
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+	seen := make(map[string]bool)
+	for id := range s.rollup {
+		seen[id] = true
+	}
+	for _, b := range s.liveBuckets(0, time.Time{}) {
+		b.mu.Lock()
+		for id := range b.parts {
+			seen[id] = true
+		}
+		b.mu.Unlock()
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		if id != "" {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Export is the per-partition view of a trailing window, the unit the
+// cluster scatter plane ships between nodes: the anonymous partition
+// plus every pusher partition, each already merged across buckets.
+type Export struct {
+	Unkeyed *agg.State
+	Parts   map[string]*agg.State
+}
+
+// Export builds the per-partition window view. window <= 0 includes the
+// rollup under the fold barrier, like Query.
+func (s *Store) Export(window time.Duration) *Export {
+	now := s.cfg.Now()
+	if window <= 0 {
+		s.foldMu.Lock()
+		defer s.foldMu.Unlock()
+	}
+	live := s.liveBuckets(window, now)
+
+	accs := make(map[string]*agg.Aggregator)
+	acc := func(id string) *agg.Aggregator {
+		a := accs[id]
+		if a == nil {
+			a = agg.New()
+			accs[id] = a
+		}
+		return a
+	}
+	if window <= 0 {
+		for id, a := range s.rollup {
+			acc(id).MergeFrom(a)
+		}
+	}
+	for _, b := range live {
+		for id, a := range b.snapshotParts() {
+			acc(id).MergeFrom(a)
+		}
+	}
+
+	out := &Export{Parts: make(map[string]*agg.State, len(accs))}
+	for id, a := range accs {
+		if id == "" {
+			out.Unkeyed = a.State()
+			continue
+		}
+		out.Parts[id] = a.State()
+	}
+	return out
+}
+
+// PartitionBucket is one bucket's slice of a partition image.
+type PartitionBucket struct {
+	StartUnixNano int64
+	State         *agg.State
+}
+
+// PartitionImage is the transferable whole of one pusher's history —
+// bucket-structured so the receiver can rebuild the same windowed
+// layout, rollup included. It is what anti-entropy repair ships.
+type PartitionImage struct {
+	WindowNanos int64
+	Buckets     []PartitionBucket
+	Rollup      *agg.State
+}
+
+// PartitionImage captures pusher id's full state. Callers needing an
+// exact cut must quiesce ingest for that pusher around the call (witchd
+// holds its persistence apply barrier).
+func (s *Store) PartitionImage(id string) *PartitionImage {
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+	img := &PartitionImage{WindowNanos: int64(s.cfg.Window)}
+	if a := s.rollup[id]; a != nil {
+		img.Rollup = a.State()
+	}
+	for _, b := range s.liveBuckets(0, time.Time{}) {
+		b.mu.Lock()
+		a := b.parts[id]
+		b.mu.Unlock()
+		if a != nil {
+			img.Buckets = append(img.Buckets, PartitionBucket{
+				StartUnixNano: b.start.UnixNano(),
+				State:         a.State(),
+			})
+		}
+	}
+	return img
+}
+
+// ReplacePartition discards pusher id's local history everywhere and
+// installs the image in its place — the adoption step of anti-entropy
+// repair. Image buckets that no longer fit the ring geometry are folded
+// into the rollup partition, mirroring Restore. Callers needing an
+// exact cut (no concurrent ingest for id) must quiesce around the call.
+func (s *Store) ReplacePartition(id string, img *PartitionImage) {
+	s.foldMu.Lock()
+	defer s.foldMu.Unlock()
+
+	// Only the partition-map locks are taken here (never b.rw, whose
+	// order relative to foldMu belongs to fold): with ingest quiesced
+	// per the contract, no merge can be holding a discarded partition.
+	for _, b := range s.liveBuckets(0, time.Time{}) {
+		b.mu.Lock()
+		delete(b.parts, id)
+		b.mu.Unlock()
+	}
+	delete(s.rollup, id)
+	if img == nil {
+		return
+	}
+
+	if img.Rollup != nil {
+		s.rollupPart(id).MergeState(img.Rollup)
+	}
+	for _, pb := range img.Buckets {
+		start := time.Unix(0, pb.StartUnixNano)
+		slot := s.slotFor(start)
+		s.mu.Lock()
+		b := s.ring[slot]
+		fits := img.WindowNanos == int64(s.cfg.Window) && (b == nil || b.start.Equal(start))
+		if fits && b == nil {
+			b = newBucket(start)
+			s.ring[slot] = b
+		}
+		s.mu.Unlock()
+		if !fits {
+			// Doesn't fit the current ring geometry: keep the data, lose
+			// only its windowing.
+			s.rollupPart(id).MergeState(pb.State)
+			continue
+		}
+		b.part(id, 0).MergeState(pb.State)
+	}
+}
+
 // snapshotVersion guards the snapshot codec; bump on incompatible
 // layout changes so recovery skips (not crashes on) foreign files.
+// Partition maps were added as new gob fields without a bump: old
+// snapshots load with everything in the anonymous partition, new
+// snapshots load in old builds with keyed data ignored — acceptable
+// only because deployments snapshot locally and never downgrade.
 const snapshotVersion = 1
 
 // snapshotFile is the gob image of a store.
@@ -215,7 +493,10 @@ type snapshotFile struct {
 	Ingested    uint64
 	Evicted     uint64
 	Buckets     []bucketImage
+	// Rollup holds the anonymous rollup partition; RollupParts the
+	// keyed ones (absent in pre-partition snapshots — gob leaves nil).
 	Rollup      *agg.State
+	RollupParts map[string]*agg.State
 	// Extra is an opaque caller blob carried beside the retention state
 	// — witchd stores its idempotency-dedup windows here, so duplicate
 	// suppression survives the same snapshot/replay cycle the data
@@ -223,16 +504,40 @@ type snapshotFile struct {
 	Extra []byte
 }
 
-// bucketImage is one retention bucket's encoded state.
+// bucketImage is one retention bucket's encoded state: the anonymous
+// partition in State, keyed partitions in Parts.
 type bucketImage struct {
 	StartUnixNano int64
 	State         *agg.State
+	Parts         map[string]*agg.State
+}
+
+// Snapshot trailer: an 8-byte suffix [CRC-32C of everything before it]
+// [magic], so a truncated or bit-flipped snapshot is detected at load
+// time instead of decoding into silently wrong aggregates (gob detects
+// truncation but not payload corruption). The magic discriminates
+// trailer-less legacy snapshots, which are accepted unverified.
+const snapTrailerMagic = 0x57534e31 // "WSN1"
+
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter tees writes through a running CRC-32C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, snapCRCTable, p[:n])
+	return n, err
 }
 
 // Snapshot encodes the full retention state — ring, pending folds, and
-// rollup — to w. anchor is an opaque caller cursor (witchd stores the
-// journal LSN the snapshot covers) and extra an opaque caller blob
-// (witchd: dedup windows); both are returned verbatim by Restore.
+// rollup, partition structure included — to w, followed by the CRC-32C
+// trailer. anchor is an opaque caller cursor (witchd stores the journal
+// LSN the snapshot covers) and extra an opaque caller blob (witchd:
+// dedup windows); both are returned verbatim by Restore.
 //
 // The fold barrier is held for the duration, so eviction cannot move a
 // bucket across the rollup boundary mid-encode: every bucket lands on
@@ -243,16 +548,7 @@ func (s *Store) Snapshot(w io.Writer, anchor uint64, extra []byte) error {
 	s.foldMu.Lock()
 	defer s.foldMu.Unlock()
 
-	s.mu.Lock()
-	buckets := make([]*bucket, 0, len(s.ring)+len(s.pending))
-	for _, b := range s.ring {
-		if b != nil {
-			buckets = append(buckets, b)
-		}
-	}
-	buckets = append(buckets, s.pending...)
-	rollup := s.rollup
-	s.mu.Unlock()
+	buckets := s.liveBuckets(0, time.Time{})
 
 	img := snapshotFile{
 		Version:     snapshotVersion,
@@ -260,31 +556,71 @@ func (s *Store) Snapshot(w io.Writer, anchor uint64, extra []byte) error {
 		WindowNanos: int64(s.cfg.Window),
 		Ingested:    s.ingested.Load(),
 		Evicted:     s.evictedBuckets.Load(),
-		Rollup:      rollup.State(),
 		Extra:       extra,
 	}
-	for _, b := range buckets {
-		img.Buckets = append(img.Buckets, bucketImage{
-			StartUnixNano: b.start.UnixNano(),
-			State:         b.agg.State(),
-		})
+	for id, a := range s.rollup {
+		if id == "" {
+			img.Rollup = a.State()
+			continue
+		}
+		if img.RollupParts == nil {
+			img.RollupParts = make(map[string]*agg.State)
+		}
+		img.RollupParts[id] = a.State()
 	}
-	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+	for _, b := range buckets {
+		bi := bucketImage{StartUnixNano: b.start.UnixNano()}
+		for id, a := range b.snapshotParts() {
+			if id == "" {
+				bi.State = a.State()
+				continue
+			}
+			if bi.Parts == nil {
+				bi.Parts = make(map[string]*agg.State)
+			}
+			bi.Parts[id] = a.State()
+		}
+		img.Buckets = append(img.Buckets, bi)
+	}
+
+	cw := &crcWriter{w: w}
+	if err := gob.NewEncoder(cw).Encode(&img); err != nil {
 		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	var trailer [8]byte
+	binary.BigEndian.PutUint32(trailer[0:4], cw.crc)
+	binary.BigEndian.PutUint32(trailer[4:8], snapTrailerMagic)
+	if _, err := w.Write(trailer[:]); err != nil {
+		return fmt.Errorf("store: writing snapshot trailer: %w", err)
 	}
 	return nil
 }
 
 // Restore replaces the store's state with a snapshot, returning the
 // caller anchor and extra blob it was written with. Meant for a freshly
-// built store
-// during recovery, before serving. Buckets that no longer fit the
-// ring — a changed window width, or two buckets hashing to one slot
-// after a long outage — are folded into the rollup rather than dropped,
-// so all-time queries stay exact under any reconfiguration.
+// built store during recovery, before serving. The CRC-32C trailer is
+// verified when present (legacy trailer-less snapshots are accepted);
+// a mismatch returns an error so recovery can fall back to the
+// next-newest snapshot instead of loading corrupt aggregates. Buckets
+// that no longer fit the ring — a changed window width, or two buckets
+// hashing to one slot after a long outage — are folded into the rollup
+// rather than dropped, so all-time queries stay exact under any
+// reconfiguration.
 func (s *Store) Restore(r io.Reader) (anchor uint64, extra []byte, err error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if n := len(data); n >= 8 && binary.BigEndian.Uint32(data[n-4:]) == snapTrailerMagic {
+		want := binary.BigEndian.Uint32(data[n-8 : n-4])
+		body := data[:n-8]
+		if got := crc32.Checksum(body, snapCRCTable); got != want {
+			return 0, nil, fmt.Errorf("store: snapshot checksum mismatch: crc32c %08x, trailer says %08x", got, want)
+		}
+		data = body
+	}
 	var img snapshotFile
-	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+	if err := gob.NewDecoder(byteReader(data)).Decode(&img); err != nil {
 		return 0, nil, fmt.Errorf("store: decoding snapshot: %w", err)
 	}
 	if img.Version != snapshotVersion {
@@ -292,37 +628,77 @@ func (s *Store) Restore(r io.Reader) (anchor uint64, extra []byte, err error) {
 	}
 
 	ring := make([]*bucket, s.cfg.Buckets)
-	rollup := agg.FromState(img.Rollup)
+	rollup := make(map[string]*agg.Aggregator)
+	rollupFor := func(id string) *agg.Aggregator {
+		a := rollup[id]
+		if a == nil {
+			a = agg.New()
+			rollup[id] = a
+		}
+		return a
+	}
+	if img.Rollup != nil {
+		rollup[""] = agg.FromState(img.Rollup)
+	}
+	for id, st := range img.RollupParts {
+		rollupFor(id).MergeState(st)
+	}
 	evicted := img.Evicted
 	for _, bi := range img.Buckets {
 		start := time.Unix(0, bi.StartUnixNano)
-		a := agg.FromState(bi.State)
+		parts := make(map[string]*agg.Aggregator, len(bi.Parts)+1)
+		if bi.State != nil {
+			parts[""] = agg.FromState(bi.State)
+		}
+		for id, st := range bi.Parts {
+			parts[id] = agg.FromState(st)
+		}
 		slot := s.slotFor(start)
 		if int64(s.cfg.Window) != img.WindowNanos || ring[slot] != nil {
 			// Doesn't fit the current ring geometry: keep the data, lose
 			// only its windowing.
-			rollup.MergeFrom(a)
+			for id, a := range parts {
+				rollupFor(id).MergeFrom(a)
+			}
 			evicted++
 			continue
 		}
-		ring[slot] = &bucket{start: start, agg: a}
+		ring[slot] = &bucket{start: start, parts: parts}
 	}
 
 	s.foldMu.Lock()
 	s.mu.Lock()
 	s.ring = ring
-	s.rollup = rollup
 	s.pending = nil
 	s.mu.Unlock()
+	s.rollup = rollup
 	s.foldMu.Unlock()
 	s.ingested.Store(img.Ingested)
 	s.evictedBuckets.Store(evicted)
 	return img.Anchor, img.Extra, nil
 }
 
+// byteReader avoids re-buffering an already in-memory snapshot.
+type byteSlice struct {
+	b []byte
+	i int
+}
+
+func byteReader(b []byte) io.Reader { return &byteSlice{b: b} }
+
+func (r *byteSlice) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
 // Stats reports the retention state: live buckets, buckets folded into
 // the rollup, profiles ingested, and distinct pair streams held live
-// (the figure eviction keeps bounded) plus in the rollup.
+// (the figure eviction keeps bounded) plus in the rollup, and the
+// number of addressable pusher partitions.
 type Stats struct {
 	Window         time.Duration `json:"window_ns"`
 	LiveBuckets    int           `json:"live_buckets"`
@@ -331,6 +707,7 @@ type Stats struct {
 	Ingested       uint64        `json:"ingested_profiles"`
 	LivePairs      int           `json:"live_pairs"`
 	RollupPairs    int           `json:"rollup_pairs"`
+	Partitions     int           `json:"partitions"`
 }
 
 // Stats snapshots the retention counters.
@@ -341,20 +718,26 @@ func (s *Store) Stats() Stats {
 		EvictedBuckets: s.evictedBuckets.Load(),
 		Ingested:       s.ingested.Load(),
 	}
-	s.mu.Lock()
-	live := make([]*bucket, 0, len(s.ring))
-	for _, b := range s.ring {
-		if b != nil {
-			live = append(live, b)
+	s.foldMu.Lock()
+	live := s.liveBuckets(0, time.Time{})
+	seen := make(map[string]bool)
+	for id, a := range s.rollup {
+		st.RollupPairs += a.PairCount()
+		if id != "" {
+			seen[id] = true
 		}
 	}
-	rollup := s.rollup
-	s.mu.Unlock()
 	st.LiveBuckets = len(live)
 	for _, b := range live {
-		st.LivePairs += b.agg.PairCount()
+		for id, a := range b.snapshotParts() {
+			st.LivePairs += a.PairCount()
+			if id != "" {
+				seen[id] = true
+			}
+		}
 	}
-	st.RollupPairs = rollup.PairCount()
+	s.foldMu.Unlock()
+	st.Partitions = len(seen)
 	return st
 }
 

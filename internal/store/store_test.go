@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -347,5 +348,123 @@ func TestSnapshotRacesEviction(t *testing.T) {
 	}
 	if st := r.Stats(); st.EvictedBuckets == 0 {
 		t.Fatal("race never exercised eviction")
+	}
+}
+
+// TestSnapshotChecksumDetectsCorruption: every snapshot carries a
+// CRC-32C trailer; a single flipped byte anywhere in the payload fails
+// the restore loudly (the recovery layer then falls back to an older
+// snapshot), while a trailer-less legacy snapshot still loads.
+func TestSnapshotChecksumDetectsCorruption(t *testing.T) {
+	clk := newFakeClock()
+	s := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+	for i := 0; i < 6; i++ {
+		s.Ingest(synth(fmt.Sprintf("prog-%d", i), 16))
+		clk.advance(time.Minute)
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf, 7, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	snap := buf.Bytes()
+
+	// Pristine bytes restore.
+	if _, _, err := New(Config{}).Restore(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	// Bit rot anywhere in the body is caught by the trailer.
+	for _, pos := range []int{8, len(snap) / 2, len(snap) - 12} {
+		bad := append([]byte(nil), snap...)
+		bad[pos] ^= 0x40
+		if _, _, err := New(Config{}).Restore(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d restored silently", pos)
+		} else if !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("corruption at byte %d failed for the wrong reason: %v", pos, err)
+		}
+	}
+	// A corrupt trailer itself also fails closed.
+	bad := append([]byte(nil), snap...)
+	bad[len(bad)-6] ^= 0x01
+	if _, _, err := New(Config{}).Restore(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt trailer restored silently")
+	}
+	// Legacy snapshot (no trailer): accepted, data intact.
+	legacy := snap[:len(snap)-8]
+	r := New(Config{Window: time.Minute, Buckets: 4, Now: clk.now})
+	anchor, extra, err := r.Restore(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy trailer-less snapshot rejected: %v", err)
+	}
+	if anchor != 7 || string(extra) != "blob" {
+		t.Fatalf("legacy restore drifted: anchor=%d extra=%q", anchor, extra)
+	}
+	if got := r.Query(0).Profiles(); got != 6 {
+		t.Fatalf("legacy restore lost profiles: %d", got)
+	}
+}
+
+// TestKeyedPartitionsRoundTrip: keyed ingest isolates per-pusher
+// partitions inside the shared retention ring, exports carry them
+// separately from the unkeyed aggregate, and a PartitionImage replaces
+// a partition on another store without disturbing its neighbours.
+func TestKeyedPartitionsRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	cfg := Config{Window: time.Minute, Buckets: 4, Now: clk.now}
+	s := New(cfg)
+	s.IngestKeyedAt("alice", synth("prog-a", 10), clk.now())
+	s.IngestKeyedAt("bob", synth("prog-b", 20), clk.now())
+	s.Ingest(synth("prog-anon", 30))
+
+	if got := s.Partitions(); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Fatalf("Partitions() = %v, want [alice bob]", got)
+	}
+	if got := s.QueryPartition("alice", 0).Snapshot("dead", "").Waste; got != 10 {
+		t.Fatalf("alice partition waste %g, want 10 (isolation broken)", got)
+	}
+	if got := s.Query(0).Snapshot("dead", "").Waste; got != 60 {
+		t.Fatalf("merged query waste %g, want 60", got)
+	}
+
+	exp := s.Export(0)
+	if exp.Unkeyed == nil || len(exp.Parts) != 2 {
+		t.Fatalf("export shape: unkeyed=%v parts=%d", exp.Unkeyed != nil, len(exp.Parts))
+	}
+
+	// Ship alice's image to a second store holding its own data.
+	img := s.PartitionImage("alice")
+	if img == nil || len(img.Buckets) == 0 {
+		t.Fatalf("partition image empty: %+v", img)
+	}
+	r := New(cfg)
+	r.IngestKeyedAt("alice", synth("prog-stale", 99), clk.now())
+	r.IngestKeyedAt("carol", synth("prog-c", 5), clk.now())
+	r.ReplacePartition("alice", img)
+	if got := r.QueryPartition("alice", 0).Snapshot("dead", "").Waste; got != 10 {
+		t.Fatalf("replaced partition waste %g, want 10 (stale copy survived?)", got)
+	}
+	if r.QueryPartition("alice", 0).Snapshot("dead", "").Program == "prog-stale" {
+		t.Fatal("replace merged instead of replacing")
+	}
+	if got := r.QueryPartition("carol", 0).Snapshot("dead", "").Waste; got != 5 {
+		t.Fatalf("neighbour partition disturbed: %g", got)
+	}
+
+	// Partitions survive the snapshot codec.
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(cfg)
+	if _, _, err := s2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Partitions(); len(got) != 2 {
+		t.Fatalf("partitions lost in snapshot round trip: %v", got)
+	}
+	if got := s2.QueryPartition("bob", 0).Snapshot("dead", "").Waste; got != 20 {
+		t.Fatalf("restored bob partition waste %g, want 20", got)
+	}
+	if got := s2.Query(0).Snapshot("dead", "").Waste; got != 60 {
+		t.Fatalf("restored merged waste %g, want 60", got)
 	}
 }
