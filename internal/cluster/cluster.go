@@ -387,6 +387,7 @@ func rendezvousScore(peer, key string) uint64 {
 type PeerDownError struct {
 	Peer       string
 	RetryAfter time.Duration
+	Status     int   // HTTP status from the peer's refusal; 0 when no response arrived
 	Err        error // nil when the breaker was open
 }
 
@@ -398,6 +399,21 @@ func (e *PeerDownError) Error() string {
 }
 
 func (e *PeerDownError) Unwrap() error { return e.Err }
+
+// Permanent reports whether the peer durably rejected the request —
+// a 4xx verdict that retrying the identical bytes cannot change (too
+// large for the follower's MaxBody, malformed payload). Excluded:
+// 408 (the peer timed us out — transport, not verdict), 409 (ring
+// mismatch heals when config skew resolves), and 429 (overload is
+// retryable by definition). Transport failures and 5xx are never
+// permanent: the same bytes may well land after the peer recovers.
+func (e *PeerDownError) Permanent() bool {
+	switch e.Status {
+	case http.StatusRequestTimeout, http.StatusConflict, http.StatusTooManyRequests:
+		return false
+	}
+	return e.Status >= 400 && e.Status < 500
+}
 
 // Stats is the router's counter snapshot for /healthz and /metrics.
 type Stats struct {

@@ -219,7 +219,7 @@ func TestScatterPartial(t *testing.T) {
 		if got := r.URL.Query().Get("window"); got != "5m" {
 			t.Errorf("window not passed through: %q", got)
 		}
-		gob.NewEncoder(w).Encode(&store.Export{Unkeyed: a.State()})
+		gob.NewEncoder(w).Encode(&ShardPayload{Export: &store.Export{Unkeyed: a.State()}})
 	}))
 	defer live.Close()
 	self := "http://10.0.0.1:9147"

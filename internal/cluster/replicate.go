@@ -71,7 +71,7 @@ func (r *Router) Replicate(ctx context.Context, peer, ctype, pusherID string, se
 		}
 		r.breakerFailure(peer, ra, verdict)
 		r.replicateErrors.Add(1)
-		return nil, &PeerDownError{Peer: peer, RetryAfter: ra,
+		return nil, &PeerDownError{Peer: peer, RetryAfter: ra, Status: resp.StatusCode,
 			Err: fmt.Errorf("replica %s refused batch: status %d", peer, resp.StatusCode)}
 	}
 	r.breakerSuccess(peer)

@@ -13,12 +13,26 @@ import (
 	"repro/witch"
 )
 
+// ShardPayload is the gob wire envelope for a /v1/shard window export.
+// Alongside the raw export it carries the exporter's hinted-handoff
+// ledger: for each pusher with batches parked in the exporter's hint
+// queues, the destination peers those hints are bound for. The gather
+// side uses this to prefer a hinter as the partition holder (its copy
+// is a superset — a hint implies the data is in its own journal and
+// store too) and to flag divergence when two reachable nodes both hold
+// hints for the same pusher.
+type ShardPayload struct {
+	Export *store.Export
+	Hinted map[string][]string // pusher id -> destination peers with pending hints
+}
+
 // ShardResult is one peer's leg of a scatter-gather query: either its
 // partitioned export for the requested window, or the error that made
 // this leg partial.
 type ShardResult struct {
 	Peer   string
 	Export *store.Export
+	Hinted map[string][]string // exporter's pending-hint ledger, by pusher
 	Err    error
 }
 
@@ -43,8 +57,13 @@ func (r *Router) ScatterExports(ctx context.Context, rawWindow string) []ShardRe
 		wg.Add(1)
 		go func(i int, peer string) {
 			defer wg.Done()
-			exp, err := r.fetchShard(ctx, peer, rawWindow)
-			out[i] = ShardResult{Peer: peer, Export: exp, Err: err}
+			pl, err := r.fetchShard(ctx, peer, rawWindow)
+			sr := ShardResult{Peer: peer, Err: err}
+			if pl != nil {
+				sr.Export = pl.Export
+				sr.Hinted = pl.Hinted
+			}
+			out[i] = sr
 		}(i, peer)
 	}
 	wg.Wait()
@@ -63,7 +82,7 @@ func (r *Router) ScatterExports(ctx context.Context, rawWindow string) []ShardRe
 	return out
 }
 
-func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*store.Export, error) {
+func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*ShardPayload, error) {
 	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
 	defer cancel()
 	u := peer + "/v1/shard"
@@ -83,11 +102,11 @@ func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*store
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("shard query: %s", resp.Status)
 	}
-	exp := new(store.Export)
-	if err := gob.NewDecoder(resp.Body).Decode(exp); err != nil {
+	pl := new(ShardPayload)
+	if err := gob.NewDecoder(resp.Body).Decode(pl); err != nil {
 		return nil, fmt.Errorf("decoding shard export: %w", err)
 	}
-	return exp, nil
+	return pl, nil
 }
 
 // DigestEntry summarizes one pusher partition for anti-entropy: the

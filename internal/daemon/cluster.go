@@ -85,8 +85,11 @@ func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string
 // handleShard serves this node's partitioned export for a window — the
 // unit a peer's scatter-gather fetches — or, with ?pusher=, one
 // pusher's full transferable partition (bucket-structured history plus
-// its dedup window), the unit anti-entropy repair pulls. Always local
-// by construction, which is what keeps scatter legs from recursing.
+// its dedup window), the unit anti-entropy repair pulls. The window
+// export travels in a ShardPayload alongside this node's pending-hint
+// ledger, so the gathering side can prefer a hinter as a partition's
+// holder and spot diverged replicas. Always local by construction,
+// which is what keeps scatter legs from recursing.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -107,9 +110,12 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	exp := s.st.Export(window)
+	pl := cluster.ShardPayload{Export: s.st.Export(window)}
+	if s.repl != nil {
+		pl.Hinted = s.repl.hints.hintedPushers()
+	}
 	w.Header().Set("Content-Type", "application/x-gob")
-	if err := gob.NewEncoder(w).Encode(exp); err != nil {
+	if err := gob.NewEncoder(w).Encode(&pl); err != nil {
 		// Too late for a status change; the torn body fails the peer's
 		// decode and the leg lands in its Incomplete set.
 		return

@@ -325,30 +325,42 @@ func (d *Dedup) WindowOf(id string) (max uint64, bits []uint64) {
 // Adopt replaces one pusher's window with a transferred peer window —
 // the dedup half of anti-entropy adoption, paired with the store's
 // ReplacePartition so the data and the judgment that guards it move
-// together. Callers hold the persistence apply barrier, so no batch
-// for id is mid-apply. A transfer whose max is behind the local window
+// together. Adopt locks the pusher's window FIRST and only then runs
+// barrier — the caller's apply-exclusion section (Persistence.Quiesce,
+// or the memory-only equivalent) — handing it an install func that
+// must be invoked exactly once, inside the barrier, alongside the
+// partition swap. The order is load-bearing: ingest holds this same
+// window lock across its journal apply (Process → applyBatch →
+// applyMu.RLock), so adoption must also take w.mu before the apply
+// barrier — taking the barrier first deadlocks permanently against an
+// in-flight batch for the same pusher, with the apply write lock held
+// and every other ingest wedged behind it.
+//
+// Install semantics: a transfer whose max is behind the local window
 // (the local node learned more since the digest) keeps the local max
 // and conservatively marks everything seen; nil or width-mismatched
 // bits mark all seen likewise — re-acking an unseen batch loses at
 // most that batch, merging a seen one corrupts the aggregate forever.
-func (d *Dedup) Adopt(id string, max uint64, bits []uint64) {
+func (d *Dedup) Adopt(id string, max uint64, bits []uint64, barrier func(install func())) {
 	w := d.entry(id)
 	w.mu.Lock()
-	allSeen := func() {
-		for i := range w.bits {
-			w.bits[i] = ^uint64(0)
+	barrier(func() {
+		allSeen := func() {
+			for i := range w.bits {
+				w.bits[i] = ^uint64(0)
+			}
 		}
-	}
-	switch {
-	case max < w.max:
-		allSeen()
-	case uint64(len(bits))*64 == d.window:
-		w.max = max
-		copy(w.bits, bits)
-	default:
-		w.max = max
-		allSeen()
-	}
+		switch {
+		case max < w.max:
+			allSeen()
+		case uint64(len(bits))*64 == d.window:
+			w.max = max
+			copy(w.bits, bits)
+		default:
+			w.max = max
+			allSeen()
+		}
+	})
 	w.mu.Unlock()
 	d.release(w)
 }

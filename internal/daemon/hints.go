@@ -105,6 +105,7 @@ type hintStore struct {
 	queued       atomic.Uint64 // hints accepted (durable or queued)
 	replayed     atomic.Uint64 // hints delivered to their peer
 	dropped      atomic.Uint64 // hints lost to the per-peer byte bound
+	rejected     atomic.Uint64 // hints a healed peer durably refused (4xx)
 	appendErrors atomic.Uint64 // hint appends that failed (batch was shed)
 }
 
@@ -323,9 +324,19 @@ func (hs *hintStore) pendingFor(id string) int {
 // around the dedup window's stale bound).
 var errHintStop = errors.New("hint drain: peer failed mid-replay")
 
+// errHintRejected marks a hint the healed peer durably refused (a
+// permanent 4xx verdict: same bytes, same answer, forever). Unlike a
+// transport failure it does NOT stop the drain — the hint is retired
+// (counted rejected) and the queue moves on, because a hint that can
+// never land would otherwise pin every newer hint for that peer until
+// byte-bound eviction silently dropped them all. The data is still on
+// this node; anti-entropy repair remains the follower's path to it.
+var errHintRejected = errors.New("hint drain: peer durably rejected hint")
+
 // drain replays peer's queued hints through send, oldest first,
 // stopping at the first failure. send is the /v1/replicate leg; the
 // peer's dedup window makes re-sends after a cursor crash idempotent.
+// A send returning errHintRejected retires that hint and continues.
 func (hs *hintStore) drain(ctx context.Context, peer string, send func(ts time.Time, id string, seq uint64, ctype string, body []byte) error) {
 	hp, err := hs.peerFor(peer)
 	if err != nil {
@@ -336,14 +347,19 @@ func (hs *hintStore) drain(ctx context.Context, peer string, send func(ts time.T
 	if hp.j == nil {
 		for len(hp.mem) > 0 {
 			h := hp.mem[0]
-			if err := send(h.ts, h.id, h.seq, h.ctype, h.body); err != nil {
+			err := send(h.ts, h.id, h.seq, h.ctype, h.body)
+			if err != nil && !errors.Is(err, errHintRejected) {
 				return
 			}
 			hp.mem = hp.mem[1:]
 			hp.pending--
 			hp.bytes -= int64(len(h.body))
 			hp.perID[h.id]--
-			hs.replayed.Add(1)
+			if err != nil {
+				hs.rejected.Add(1)
+			} else {
+				hs.replayed.Add(1)
+			}
 			if ctx.Err() != nil {
 				return
 			}
@@ -361,7 +377,12 @@ func (hs *hintStore) drain(ctx context.Context, peer string, send func(ts time.T
 			return nil
 		}
 		if err := send(ts, id, seq, ctype, body); err != nil {
-			return errHintStop
+			if !errors.Is(err, errHintRejected) {
+				return errHintStop
+			}
+			hp.acked = r.LSN
+			hs.rejected.Add(1)
+			return nil
 		}
 		hp.acked = r.LSN
 		hs.replayed.Add(1)
@@ -399,6 +420,41 @@ func (hs *hintStore) stats() []HintPeerStats {
 		hs.mu.Unlock()
 		hp.mu.Lock()
 		out = append(out, HintPeerStats{Peer: p, Pending: hp.pending, Bytes: hp.bytes})
+		hp.mu.Unlock()
+	}
+	return out
+}
+
+// hintedPushers maps each pusher id with queued hints anywhere to the
+// sorted destination peers those hints are bound for. This is the
+// ledger a /v1/shard export ships alongside the data: a node holding
+// hints for a pusher provably holds that pusher's batches locally too
+// (hint and journal record were written by the same ack), so the query
+// gather prefers it as the partition holder over a destination that
+// may not have caught up yet. Returns nil when nothing is queued.
+func (hs *hintStore) hintedPushers() map[string][]string {
+	hs.mu.Lock()
+	names := make([]string, 0, len(hs.peers))
+	for p := range hs.peers {
+		names = append(names, p)
+	}
+	hs.mu.Unlock()
+	sort.Strings(names)
+	var out map[string][]string
+	for _, p := range names {
+		hs.mu.Lock()
+		hp := hs.peers[p]
+		hs.mu.Unlock()
+		hp.mu.Lock()
+		for id, n := range hp.perID {
+			if n <= 0 {
+				continue
+			}
+			if out == nil {
+				out = make(map[string][]string)
+			}
+			out[id] = append(out[id], p)
+		}
 		hp.mu.Unlock()
 	}
 	return out

@@ -85,7 +85,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		add("witchd_hints_queued_total %d", rs.HintsQueued)
 		add("witchd_hints_replayed_total %d", rs.HintsReplayed)
 		add("witchd_hints_dropped_total %d", rs.HintsDropped)
+		add("witchd_hints_rejected_total %d", rs.HintsRejected)
 		add("witchd_hint_append_errors_total %d", rs.HintAppendErrors)
+		add("witchd_replicate_rejected_total %d", rs.ReplicateRejected)
 		add("witchd_hints_pending %d", rs.HintsPending)
 		for _, hp := range rs.HintPeers {
 			add("witchd_hints_pending_peer{peer=%q} %d", hp.Peer, hp.Pending)

@@ -55,6 +55,7 @@ type replication struct {
 	stopped  atomic.Bool
 	repairMu sync.Mutex // one repair round at a time (loop vs RepairNow)
 
+	fanoutRejected  atomic.Uint64 // fanout legs a follower durably refused (no hint queued)
 	repairRounds    atomic.Uint64
 	repairPulls     atomic.Uint64
 	repairConflicts atomic.Uint64
@@ -63,16 +64,18 @@ type replication struct {
 
 // ReplicationStats is the engine's /healthz and /metrics snapshot.
 type ReplicationStats struct {
-	HintsQueued      uint64          `json:"hints_queued"`
-	HintsReplayed    uint64          `json:"hints_replayed"`
-	HintsDropped     uint64          `json:"hints_dropped"`
-	HintAppendErrors uint64          `json:"hint_append_errors"`
-	HintsPending     int             `json:"hints_pending"`
-	HintPeers        []HintPeerStats `json:"hint_peers,omitempty"`
-	RepairRounds     uint64          `json:"repair_rounds"`
-	RepairPulls      uint64          `json:"repair_pulls"`
-	RepairConflicts  uint64          `json:"repair_conflicts"`
-	RepairErrors     uint64          `json:"repair_errors"`
+	HintsQueued       uint64          `json:"hints_queued"`
+	HintsReplayed     uint64          `json:"hints_replayed"`
+	HintsDropped      uint64          `json:"hints_dropped"`
+	HintsRejected     uint64          `json:"hints_rejected"`
+	HintAppendErrors  uint64          `json:"hint_append_errors"`
+	HintsPending      int             `json:"hints_pending"`
+	HintPeers         []HintPeerStats `json:"hint_peers,omitempty"`
+	ReplicateRejected uint64          `json:"replicate_rejected"`
+	RepairRounds      uint64          `json:"repair_rounds"`
+	RepairPulls       uint64          `json:"repair_pulls"`
+	RepairConflicts   uint64          `json:"repair_conflicts"`
+	RepairErrors      uint64          `json:"repair_errors"`
 }
 
 // StartReplication boots the engine. Call after AttachCluster (and
@@ -172,16 +175,18 @@ func (r *replication) stats() ReplicationStats {
 		pending += p.Pending
 	}
 	return ReplicationStats{
-		HintsQueued:      r.hints.queued.Load(),
-		HintsReplayed:    r.hints.replayed.Load(),
-		HintsDropped:     r.hints.dropped.Load(),
-		HintAppendErrors: r.hints.appendErrors.Load(),
-		HintsPending:     pending,
-		HintPeers:        peers,
-		RepairRounds:     r.repairRounds.Load(),
-		RepairPulls:      r.repairPulls.Load(),
-		RepairConflicts:  r.repairConflicts.Load(),
-		RepairErrors:     r.repairErrors.Load(),
+		HintsQueued:       r.hints.queued.Load(),
+		HintsReplayed:     r.hints.replayed.Load(),
+		HintsDropped:      r.hints.dropped.Load(),
+		HintsRejected:     r.hints.rejected.Load(),
+		HintAppendErrors:  r.hints.appendErrors.Load(),
+		HintsPending:      pending,
+		HintPeers:         peers,
+		ReplicateRejected: r.fanoutRejected.Load(),
+		RepairRounds:      r.repairRounds.Load(),
+		RepairPulls:       r.repairPulls.Load(),
+		RepairConflicts:   r.repairConflicts.Load(),
+		RepairErrors:      r.repairErrors.Load(),
 	}
 }
 
@@ -194,13 +199,29 @@ func (r *replication) stats() ReplicationStats {
 // replicating around a backlog would deliver sequences out of order,
 // and a gap wider than the peer's dedup window turns the late hints
 // into discarded stale re-acks.
+//
+// A durable refusal (permanent 4xx — the follower rejects these exact
+// bytes, and always will) is NOT hinted: the hint would sit at the
+// queue head rejecting forever, pinning every newer hint for that peer
+// behind it. The leg is counted and skipped; the batch still acks on
+// the coordinator's own durability, and anti-entropy repair remains
+// the follower's route to the data.
 func (r *replication) fanout(ctx context.Context, id string, seq uint64, ctype string, body []byte, now time.Time) error {
 	for _, peer := range r.s.cl.ReplicaSet(id) {
 		if peer == r.s.cl.Self() {
 			continue
 		}
 		if r.s.cl.Available(peer) && r.hints.pendingCount(peer) == 0 {
-			if _, err := r.s.cl.Replicate(ctx, peer, ctype, id, seq, now, body); err == nil {
+			_, err := r.s.cl.Replicate(ctx, peer, ctype, id, seq, now, body)
+			if err == nil {
+				continue
+			}
+			var pde *cluster.PeerDownError
+			if errors.As(err, &pde) && pde.Permanent() {
+				r.fanoutRejected.Add(1)
+				if r.cfg.Logf != nil {
+					r.cfg.Logf("witchd: replica %s durably rejected %s/%d (status %d), not hinting", peer, id, seq, pde.Status)
+				}
 				continue
 			}
 		}
@@ -299,6 +320,8 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		if s.pers != nil {
 			return s.pers.applyBatch(id, seq, true, body, ingest, ts, commit)
 		}
+		s.memMu.RLock()
+		defer s.memMu.RUnlock()
 		ingest(ts)
 		commit()
 		return nil
@@ -348,6 +371,15 @@ func (r *replication) drainOnce(ctx context.Context) {
 		peer := peer
 		r.hints.drain(ctx, peer, func(ts time.Time, id string, seq uint64, ctype string, body []byte) error {
 			_, err := r.s.cl.Replicate(ctx, peer, ctype, id, seq, ts, body)
+			var pde *cluster.PeerDownError
+			if err != nil && errors.As(err, &pde) && pde.Permanent() {
+				// The healed peer will refuse this hint forever; retire it
+				// so it cannot wedge the queue (see errHintRejected).
+				if r.cfg.Logf != nil {
+					r.cfg.Logf("witchd: hint %s/%d durably rejected by %s (status %d), retiring", id, seq, peer, pde.Status)
+				}
+				return errHintRejected
+			}
 			return err
 		})
 	}
@@ -440,7 +472,7 @@ func (r *replication) repairRound(ctx context.Context) {
 				}
 				continue
 			}
-			r.adopt(id, pt)
+			r.s.adoptPartition(id, pt)
 			r.repairPulls.Add(1)
 			if conflict {
 				r.repairConflicts.Add(1)
@@ -459,19 +491,22 @@ func (r *replication) repairRound(ctx context.Context) {
 	}
 }
 
-// adopt installs a pulled partition — store image and dedup window
-// together, under the persistence apply barrier so no ingest interleaves
-// with the swap.
-func (r *replication) adopt(id string, pt *cluster.PartitionTransfer) {
-	do := func() {
-		r.s.st.ReplacePartition(id, pt.Image)
-		r.s.ded.Adopt(id, pt.DedupMax, pt.DedupBits)
-	}
-	if r.s.pers != nil {
-		r.s.pers.Quiesce(do)
-	} else {
-		do()
-	}
+// adoptPartition installs a pulled partition — store image and dedup
+// window together, inside the apply barrier so no ingest interleaves
+// with the swap. Lock order is the critical part: Dedup.Adopt takes
+// the pusher's window lock FIRST and only then runs the barrier
+// (applyBarrier → Quiesce → applyMu.Lock, or memMu.Lock when
+// memory-only). Ingest orders the same two locks the same way
+// (Process holds w.mu across applyBatch's applyMu.RLock), so an
+// adoption racing an in-flight batch for the same pusher serializes
+// cleanly instead of deadlocking with the apply write lock held.
+func (s *Server) adoptPartition(id string, pt *cluster.PartitionTransfer) {
+	s.ded.Adopt(id, pt.DedupMax, pt.DedupBits, func(install func()) {
+		s.applyBarrier(func() {
+			s.st.ReplacePartition(id, pt.Image)
+			install()
+		})
+	})
 }
 
 // digestLocal builds this node's anti-entropy digest: every pusher the

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/store"
+	"repro/internal/wal"
 )
 
 // fakeClock is a shared, manually-advanced clock so breaker cooldowns
@@ -42,12 +44,15 @@ func (c *fakeClock) Advance(d time.Duration) {
 // replicaNode is one member of an in-process replicated cluster whose
 // reachability tests flip with the down switch (the wrapper answers
 // 503 for everything, which is what a drowning or partitioned node
-// looks like to its peers' breakers).
+// looks like to its peers' breakers). The reject switch instead 400s
+// replication legs only — a healthy-looking follower that durably
+// refuses the bytes (smaller MaxBody, decode bug).
 type replicaNode struct {
-	srv  *Server
-	ht   *httptest.Server
-	url  string
-	down atomic.Bool
+	srv    *Server
+	ht     *httptest.Server
+	url    string
+	down   atomic.Bool
+	reject atomic.Bool
 }
 
 // newReplicaCluster boots n daemons with the given replication factor
@@ -65,6 +70,10 @@ func newReplicaCluster(t *testing.T, n, rf int, withHints bool, clock *fakeClock
 			if nd.down.Load() {
 				w.Header().Set("Retry-After", "1")
 				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			if nd.reject.Load() && r.URL.Path == "/v1/replicate" {
+				w.WriteHeader(http.StatusBadRequest)
 				return
 			}
 			h.ServeHTTP(w, r)
@@ -565,5 +574,373 @@ func TestRepairPrefersFullerCopyAtEqualMax(t *testing.T) {
 	}
 	if got := holey.srv.partitionSum(id); got != wantSum {
 		t.Fatalf("owner did not converge on the fuller copy: %s vs %s", got, wantSum)
+	}
+}
+
+// TestAdoptIngestAvoidsDeadlock is the ABBA regression for repair
+// adoption vs ingest on a persistent node. Ingest holds the pusher's
+// dedup window lock across its whole apply — including the (slow)
+// replication fanout — before taking the journal's apply read lock;
+// adoption must therefore take the window lock BEFORE the apply write
+// lock. The old order (Quiesce first, window lock inside) deadlocked
+// permanently against any in-flight batch for the same pusher, with
+// the apply write lock held and every other ingest wedged behind it.
+func TestAdoptIngestAvoidsDeadlock(t *testing.T) {
+	clock := newFakeClock()
+	st := store.New(store.Config{})
+	srv := NewServer(st, Config{Now: clock.Now})
+	pers, err := OpenPersistence(t.TempDir(), st, srv.Dedup(), wal.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pers.Abandon)
+	srv.AttachPersistence(pers)
+	srv.SetState(StateServing)
+
+	prof := testProfile(t, 31)
+	const id = "deadlock-pusher"
+	donor := store.New(store.Config{})
+	donor.IngestKeyedAt(id, prof, clock.Now())
+	pt := &cluster.PartitionTransfer{Image: donor.PartitionImage(id), DedupMax: 5}
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	ingDone := make(chan error, 1)
+	go func() {
+		_, _, perr := srv.ded.Process(id, 1, func(commit func()) error {
+			close(started) // window lock held from here on
+			<-unblock      // the in-flight stretch: the fanout RPC in production
+			return pers.applyBatch(id, 1, true, []byte("batch"), func(now time.Time) {
+				st.IngestKeyedAt(id, prof, now)
+			}, clock.Now(), commit)
+		})
+		ingDone <- perr
+	}()
+	<-started
+
+	adoptDone := make(chan struct{})
+	go func() {
+		srv.adoptPartition(id, pt)
+		close(adoptDone)
+	}()
+	// Give adoption time to reach whatever it blocks on, then release
+	// the in-flight batch. Under the broken lock order neither goroutine
+	// can ever finish.
+	time.Sleep(50 * time.Millisecond)
+	close(unblock)
+
+	timeout := time.After(10 * time.Second)
+	select {
+	case perr := <-ingDone:
+		if perr != nil {
+			t.Fatalf("in-flight ingest failed: %v", perr)
+		}
+	case <-timeout:
+		t.Fatal("ingest wedged against adoption: ABBA deadlock")
+	}
+	select {
+	case <-adoptDone:
+	case <-timeout:
+		t.Fatal("adoption wedged against ingest: ABBA deadlock")
+	}
+	if max, _ := srv.ded.WindowOf(id); max != 5 {
+		t.Fatalf("adopted dedup window max %d, want 5", max)
+	}
+}
+
+// TestMemoryAdoptBarrier: a memory-only node (no persistence, so no
+// Quiesce) must still exclude an in-flight batch from a partition
+// swap — the old code called ReplacePartition unguarded, so a
+// concurrent ingest could merge into the aggregator just as it was
+// deleted, losing an acked batch while its dedup mark survived.
+func TestMemoryAdoptBarrier(t *testing.T) {
+	clock := newFakeClock()
+	st := store.New(store.Config{})
+	srv := NewServer(st, Config{Now: clock.Now})
+	srv.SetState(StateServing)
+
+	prof := testProfile(t, 32)
+	const id = "mem-adopt-pusher"
+	donor := store.New(store.Config{})
+	donor.IngestKeyedAt(id, prof, clock.Now())
+	donorSrv := NewServer(donor, Config{Now: clock.Now})
+	wantSum := donorSrv.partitionSum(id)
+	pt := &cluster.PartitionTransfer{Image: donor.PartitionImage(id), DedupMax: 5}
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	ingDone := make(chan error, 1)
+	go func() {
+		_, _, perr := srv.ded.Process(id, 1, func(commit func()) error {
+			close(started)
+			<-unblock
+			// The memory-only apply path, as handleIngest runs it.
+			srv.memMu.RLock()
+			defer srv.memMu.RUnlock()
+			st.IngestKeyedAt(id, prof, clock.Now())
+			commit()
+			return nil
+		})
+		ingDone <- perr
+	}()
+	<-started
+
+	adoptDone := make(chan struct{})
+	go func() {
+		srv.adoptPartition(id, pt)
+		close(adoptDone)
+	}()
+	select {
+	case <-adoptDone:
+		t.Fatal("adoption completed while a batch for the same pusher was mid-apply")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(unblock)
+	if perr := <-ingDone; perr != nil {
+		t.Fatalf("in-flight ingest failed: %v", perr)
+	}
+	select {
+	case <-adoptDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("adoption never completed after the batch applied")
+	}
+	// Adoption ran strictly after the in-flight merge: the adopted
+	// image replaces it wholesale, and the window adopts the higher max.
+	if got := srv.partitionSum(id); got != wantSum {
+		t.Fatalf("partition %s after adopt, want the adopted image %s", got, wantSum)
+	}
+	if max, _ := srv.ded.WindowOf(id); max != 5 {
+		t.Fatalf("adopted dedup window max %d, want 5", max)
+	}
+}
+
+// TestQueryPrefersHintHolder: while hints are undrained, a hinted
+// batch's RF "copies" both live on the hinter. A healed destination
+// with the better preference rank must NOT be chosen as the pusher's
+// query holder over the hinter — the hinter's copy is a strict
+// superset — and the answer stays complete (one hinter holds
+// everything).
+func TestQueryPrefersHintHolder(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, true, clock)
+	prof := testProfile(t, 33)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	id := pickOwned(t, nodes, 0)
+	o, f := nodes[0], nodes[1]
+
+	// seq 1 lands on both. Then the owner dies and the follower
+	// coordinates seqs 2 and 3 with hints queued for the owner.
+	if resp := keyedIngest(t, o.url, body.Bytes(), id, 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest: HTTP %d", resp.StatusCode)
+	}
+	o.down.Store(true)
+	if resp := keyedIngest(t, f.url, body.Bytes(), id, 2); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first attempt should relay the dead owner's 503, got %d", resp.StatusCode)
+	}
+	for seq := uint64(2); seq <= 3; seq++ {
+		if resp := keyedIngest(t, f.url, body.Bytes(), id, seq); resp.StatusCode != http.StatusOK {
+			t.Fatalf("promoted seq %d: HTTP %d", seq, resp.StatusCode)
+		}
+	}
+	// The owner returns, breakers cool, but the hints have NOT drained:
+	// the owner's partition is stale (seq 1 only), the follower holds
+	// seqs 1-3 plus the owner's hints.
+	o.down.Store(false)
+	clock.Advance(20 * time.Second)
+	if rs := f.srv.ReplicationStats(); rs.HintsPending != 2 {
+		t.Fatalf("test premise broken: %d hints pending, want 2", rs.HintsPending)
+	}
+
+	want := fetchProfile(t, f.url+"/v1/profile?tool="+prof.Tool+"&scope=local")
+	for name, nd := range map[string]*replicaNode{"owner": o, "follower": f} {
+		r, err := http.Get(nd.url + "/v1/profile?tool=" + prof.Tool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s fleet query: HTTP %d", name, r.StatusCode)
+		}
+		if inc := r.Header.Get("X-Witch-Incomplete"); inc != "" {
+			t.Fatalf("%s fleet query marked incomplete (%q): a single hinter holds everything", name, inc)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s fleet query chose the stale healed owner over the hint holder:\ngot  %s\nwant %s", name, got, want)
+		}
+	}
+}
+
+// fetchProfile GETs a profile endpoint and returns the body.
+func fetchProfile(t *testing.T, url string) []byte {
+	t.Helper()
+	r, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	b, _ := io.ReadAll(r.Body)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", url, r.StatusCode, b)
+	}
+	return b
+}
+
+// TestQueryDivergedHintersMarkedIncomplete: when BOTH replicas hold
+// undrained hints for the same pusher (each coordinated while the
+// other looked down), neither copy subsumes the other, so the query
+// must stop claiming completeness and name both peers.
+func TestQueryDivergedHintersMarkedIncomplete(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, true, clock)
+	prof := testProfile(t, 34)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	id := pickOwned(t, nodes, 0)
+	o, f := nodes[0], nodes[1]
+
+	// Owner down: the follower coordinates seq 1, hinting the owner.
+	o.down.Store(true)
+	if resp := keyedIngest(t, f.url, body.Bytes(), id, 1); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first attempt should relay the dead owner's 503, got %d", resp.StatusCode)
+	}
+	if resp := keyedIngest(t, f.url, body.Bytes(), id, 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoted seq 1: HTTP %d", resp.StatusCode)
+	}
+	// Flip: owner back, follower down; the owner coordinates seq 2,
+	// hinting the follower. Now each holds a batch the other lacks.
+	o.down.Store(false)
+	f.down.Store(true)
+	clock.Advance(20 * time.Second)
+	if resp := keyedIngest(t, o.url, body.Bytes(), id, 2); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner seq 2 with follower down: HTTP %d", resp.StatusCode)
+	}
+	f.down.Store(false)
+	clock.Advance(20 * time.Second)
+
+	urls := []string{o.url, f.url}
+	sort.Strings(urls)
+	wantInc := strings.Join(urls, ",")
+	r, err := http.Get(o.url + "/v1/profile?tool=" + prof.Tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if got := r.Header.Get("X-Witch-Incomplete"); got != wantInc {
+		t.Fatalf("diverged hinters: X-Witch-Incomplete=%q, want %q", got, wantInc)
+	}
+	// Draining both sides restores a complete, converged answer.
+	o.srv.DrainHintsNow(context.Background())
+	f.srv.DrainHintsNow(context.Background())
+	r2, err := http.Get(o.url + "/v1/profile?tool=" + prof.Tool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if got := r2.Header.Get("X-Witch-Incomplete"); got != "" {
+		t.Fatalf("still incomplete after both drains: %q", got)
+	}
+	if os, fs := o.srv.partitionSum(id), f.srv.partitionSum(id); os != fs {
+		t.Fatalf("replicas did not converge after drains: %s vs %s", os, fs)
+	}
+}
+
+// TestFanoutPermanentRejectionNotHinted: a follower that durably 400s
+// a replication leg must not get that batch hinted — the hint could
+// never land and would pin the peer's queue head forever. The batch
+// still acks on the coordinator's durability and the rejection is
+// counted.
+func TestFanoutPermanentRejectionNotHinted(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, true, clock)
+	prof := testProfile(t, 35)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	id := pickOwned(t, nodes, 0)
+	o, f := nodes[0], nodes[1]
+
+	f.reject.Store(true)
+	if resp := keyedIngest(t, o.url, body.Bytes(), id, 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest with rejecting follower: HTTP %d, want 200 on local durability", resp.StatusCode)
+	}
+	rs := o.srv.ReplicationStats()
+	if rs.ReplicateRejected != 1 {
+		t.Fatalf("rejection not counted: %+v", rs)
+	}
+	if rs.HintsQueued != 0 || rs.HintsPending != 0 {
+		t.Fatalf("a durably rejected leg was hinted: %+v", rs)
+	}
+	if f.srv.st.Stats().Ingested != 0 {
+		t.Fatal("rejecting follower somehow merged the batch")
+	}
+}
+
+// TestDrainSkipsPermanentlyRejectedHints: a hint the healed peer
+// durably 400s is retired (counted) instead of wedging the queue —
+// and hints queued behind it still flow once the peer behaves.
+func TestDrainSkipsPermanentlyRejectedHints(t *testing.T) {
+	clock := newFakeClock()
+	nodes := newReplicaCluster(t, 2, 2, true, clock)
+	prof := testProfile(t, 36)
+	var body bytes.Buffer
+	if err := prof.WriteJSON(&body); err != nil {
+		t.Fatal(err)
+	}
+	id := pickOwned(t, nodes, 0)
+	o, f := nodes[0], nodes[1]
+	ctx := context.Background()
+
+	// Two hints queue while the follower is down.
+	f.down.Store(true)
+	for seq := uint64(1); seq <= 2; seq++ {
+		if resp := keyedIngest(t, o.url, body.Bytes(), id, seq); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d with follower down: HTTP %d", seq, resp.StatusCode)
+		}
+	}
+	if rs := o.srv.ReplicationStats(); rs.HintsPending != 2 {
+		t.Fatalf("hints not queued: %+v", rs)
+	}
+
+	// The follower heals into a rejecting state. Each 400 also opens
+	// the breaker (threshold 1), so clear the cooldown between sweeps;
+	// the point is that the queue ADVANCES past each rejected hint
+	// instead of wedging on the first one forever.
+	f.down.Store(false)
+	f.reject.Store(true)
+	clock.Advance(20 * time.Second)
+	o.srv.DrainHintsNow(ctx)
+	clock.Advance(20 * time.Second)
+	o.srv.DrainHintsNow(ctx)
+	rs := o.srv.ReplicationStats()
+	if rs.HintsPending != 0 || rs.HintsRejected != 2 || rs.HintsReplayed != 0 {
+		t.Fatalf("rejected hints did not retire: %+v", rs)
+	}
+	if f.srv.st.Stats().Ingested != 0 {
+		t.Fatal("rejecting follower somehow merged a hint")
+	}
+
+	// The queue is not poisoned: a later hint drains normally once the
+	// follower behaves.
+	f.reject.Store(false)
+	if resp := keyedIngest(t, o.url, body.Bytes(), id, 3); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seq 3: HTTP %d", resp.StatusCode)
+	}
+	clock.Advance(20 * time.Second)
+	o.srv.DrainHintsNow(ctx)
+	rs = o.srv.ReplicationStats()
+	if rs.HintsPending != 0 || rs.HintsReplayed != 1 {
+		t.Fatalf("queue poisoned after rejections: %+v", rs)
+	}
+	if got := f.srv.replicatedIn.Load(); got != 1 {
+		t.Fatalf("follower applied %d replayed hints, want 1", got)
 	}
 }

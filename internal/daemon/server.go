@@ -87,6 +87,12 @@ type Server struct {
 	state atomic.Int32
 	sem   chan struct{}
 
+	// memMu is the memory-only apply barrier: what Persistence.applyMu
+	// is for a persistent node. Ingest applies under RLock; partition
+	// adoption excludes them under Lock (via applyBarrier). Unused when
+	// pers != nil — the journal's barrier covers those nodes.
+	memMu sync.RWMutex
+
 	batches        atomic.Uint64 // ingest requests accepted locally
 	rejected       atomic.Uint64 // ingest requests rejected (bad input)
 	shed           atomic.Uint64 // ingest requests shed (overload/lifecycle/journal)
@@ -124,6 +130,21 @@ func NewServer(st *store.Store, cfg Config) *Server {
 // Dedup exposes the idempotency layer so persistence recovery can
 // restore and re-mark it (pass it to OpenPersistence).
 func (s *Server) Dedup() *Dedup { return s.ded }
+
+// applyBarrier runs fn with every batch apply excluded — Quiesce when
+// a journal is attached, the server's own memMu otherwise, so
+// memory-only nodes honor the same swap-vs-ingest exclusion contract
+// as persistent ones. Callers must already hold the affected pusher's
+// dedup window lock (see Dedup.Adopt) or no lock ordering is defined.
+func (s *Server) applyBarrier(fn func()) {
+	if s.pers != nil {
+		s.pers.Quiesce(fn)
+		return
+	}
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	fn()
+}
 
 // SetState moves the lifecycle forward.
 func (s *Server) SetState(st int32) { s.state.Store(st) }
@@ -386,6 +407,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if s.pers != nil {
 			return s.pers.applyBatch(id, seq, keyed, body, ingest, now, commit)
 		}
+		s.memMu.RLock()
+		defer s.memMu.RUnlock()
 		ingest(now)
 		commit()
 		return nil
@@ -479,13 +502,30 @@ func queryWindow(r *http.Request) (time.Duration, error) {
 // With a cluster attached the view is fleet-wide: every reachable
 // peer's /v1/shard export is gathered beside the local one, anonymous
 // partitions merge from every node, and each pusher partition merges
-// from exactly one holder — the reachable node ranked highest in that
-// pusher's preference list — so replicated data is never counted
-// twice. Unreachable peers degrade the answer to a partial one only
-// when the loss is provable: with RF replicas, fewer than RF
-// unreachable peers cannot hide a keyed partition, so the answer is
-// reported complete (X-Witch-Incomplete names the peers otherwise;
-// unkeyed node-local data on a down peer is the documented caveat).
+// from exactly one holder — so replicated data is never counted twice.
+//
+// Holder choice is hint-aware. Hinted handoff means a batch's RF
+// copies are not always on RF nodes: while hints are undrained, both
+// "copies" (journal record + hint record) live on the hinter. So for
+// each pusher, a reachable exporter holding queued hints for that
+// pusher outranks every non-hinter — its copy is provably a superset
+// of the hint destination's — and ties break by preference index as
+// usual. Without this, a healed-but-undrained destination with the
+// better preference rank would be chosen and its stale partition
+// reported as the complete answer.
+//
+// The answer degrades to a partial one only when loss or divergence
+// is provable: (a) RF or more peers unreachable — a whole replica set
+// may be dark; or (b) two reachable nodes both hold undrained hints
+// for the same pusher — each has batches the other lacks, so no
+// single holder is a superset. Fewer than RF down peers with a single
+// (or no) hinter cannot hide keyed data, so the answer is reported
+// complete. X-Witch-Incomplete names the implicated peers otherwise.
+// Residual caveats, undetectable by construction: unkeyed node-local
+// data on a down peer, and a coordinator that dies holding undrained
+// hints (both copies of those batches were on its disk — no survivor
+// can know they existed until it returns).
+//
 // scope=local bypasses the scatter (it is also how /v1/shard itself
 // stays local, so legs never recurse).
 func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggregator, tool, program string, incomplete []string, ok bool) {
@@ -504,6 +544,19 @@ func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggrega
 	}
 
 	exports := map[string]*store.Export{s.cl.Self(): s.st.Export(window)}
+	// hinters[id] = reachable exporters with queued hints for pusher id.
+	hinters := make(map[string]map[string]bool)
+	noteHints := func(peer string, hinted map[string][]string) {
+		for id := range hinted {
+			if hinters[id] == nil {
+				hinters[id] = make(map[string]bool)
+			}
+			hinters[id][peer] = true
+		}
+	}
+	if s.repl != nil {
+		noteHints(s.cl.Self(), s.repl.hints.hintedPushers())
+	}
 	var unreachable []string
 	for _, sr := range s.cl.ScatterExports(r.Context(), r.URL.Query().Get("window")) {
 		if sr.Err != nil {
@@ -511,6 +564,7 @@ func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggrega
 			continue
 		}
 		exports[sr.Peer] = sr.Export
+		noteHints(sr.Peer, sr.Hinted)
 	}
 
 	view = agg.New()
@@ -533,27 +587,52 @@ func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggrega
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		// One holder per pusher: the reachable one replication keeps
-		// most authoritative (lowest preference index). Replicas and
-		// repaired copies of the same partition thus collapse to a
-		// single contribution instead of double-counting.
-		best, bestIdx := "", len(s.cl.Peers())+1
+		// One holder per pusher: a hinter for this pusher beats every
+		// non-hinter (its copy subsumes the undrained destination's),
+		// then lowest preference index. Replicas and repaired copies of
+		// the same partition thus collapse to a single contribution
+		// instead of double-counting.
+		penalty := len(s.cl.Peers()) + 1
+		best, bestIdx := "", 2*penalty+1
 		for peer, exp := range exports {
 			if exp.Parts[id] == nil {
 				continue
 			}
-			if idx := s.cl.PreferenceIndex(id, peer); idx < bestIdx {
+			idx := s.cl.PreferenceIndex(id, peer)
+			if len(hinters[id]) > 0 && !hinters[id][peer] {
+				idx += penalty
+			}
+			if idx < bestIdx {
 				best, bestIdx = peer, idx
 			}
 		}
 		view.MergeState(exports[best].Parts[id])
 	}
 
+	partial := make(map[string]bool)
 	if len(unreachable) >= s.cl.RF() {
 		// Fewer than RF down peers provably hold no keyed data that a
 		// surviving replica does not also hold; at RF and beyond a
 		// whole replica set may be dark, so name the holes.
-		incomplete = unreachable
+		for _, peer := range unreachable {
+			partial[peer] = true
+		}
+	}
+	for _, hs := range hinters {
+		// Two reachable nodes hinting for the same pusher diverged —
+		// each holds acked batches the other lacks (both coordinated
+		// while the other looked down), and any single holder choice
+		// undercounts. Name both; drains converge them shortly.
+		if len(hs) >= 2 {
+			for peer := range hs {
+				partial[peer] = true
+			}
+		}
+	}
+	if len(partial) > 0 {
+		for peer := range partial {
+			incomplete = append(incomplete, peer)
+		}
 		sort.Strings(incomplete)
 		// A header, not a body field, so /v1/profile's body stays
 		// byte-identical to what a complete fleet would produce when
