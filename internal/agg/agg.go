@@ -412,19 +412,140 @@ func (a *Aggregator) pairsFor(tool, program string) []witch.Pair {
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Waste != out[j].Waste {
-			return out[i].Waste > out[j].Waste
-		}
-		if out[i].Chain != out[j].Chain {
-			return out[i].Chain < out[j].Chain
-		}
-		if out[i].Src != out[j].Src {
-			return out[i].Src < out[j].Src
-		}
-		return out[i].Dst < out[j].Dst
-	})
+	sort.Slice(out, func(i, j int) bool { return pairLess(&out[i], &out[j]) })
 	return out
+}
+
+// pairLess is the canonical pair ranking: waste descending, then chain,
+// source, destination ascending — the order a single profile ranks its
+// own pairs, shared by the full sort and the top-n selection.
+func pairLess(a, b *witch.Pair) bool {
+	if a.Waste != b.Waste {
+		return a.Waste > b.Waste
+	}
+	if a.Chain != b.Chain {
+		return a.Chain < b.Chain
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Dst < b.Dst
+}
+
+// pairsForTop is pairsFor truncated to the n best-ranked pairs without
+// sorting the rest: a bounded min-heap (worst-of-the-best at the root)
+// admits each candidate in O(log n), so selecting 20 of 100k pairs does
+// ~100k comparisons instead of a 100k-element sort. n <= 0 means no
+// bound (plain pairsFor). The result is the exact prefix a full sort
+// would produce.
+func (a *Aggregator) pairsForTop(tool, program string, n int) []witch.Pair {
+	if n <= 0 {
+		return a.pairsFor(tool, program)
+	}
+	match := func(acc *pairAcc) bool {
+		return acc.tool == tool && (program == "" || acc.program == program)
+	}
+	// heap[0] is the WORST retained pair; heapWorse orders the heap so a
+	// candidate better than the root evicts it.
+	heap := make([]witch.Pair, 0, n)
+	heapWorse := func(i, j int) bool { return pairLess(&heap[j], &heap[i]) }
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			w := i
+			if l < len(heap) && heapWorse(l, w) {
+				w = l
+			}
+			if r < len(heap) && heapWorse(r, w) {
+				w = r
+			}
+			if w == i {
+				return
+			}
+			heap[i], heap[w] = heap[w], heap[i]
+			i = w
+		}
+	}
+	siftUp := func(i int) {
+		for i > 0 {
+			p := (i - 1) / 2
+			if !heapWorse(i, p) {
+				return
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for _, head := range sh.pairs {
+			for acc := head; acc != nil; acc = acc.next {
+				if !match(acc) {
+					continue
+				}
+				p := witch.Pair{
+					Src: acc.src, Dst: acc.dst, Chain: acc.chain,
+					Waste: acc.waste, Use: acc.use,
+					SrcLine: acc.srcLine, DstLine: acc.dstLine,
+				}
+				if len(heap) < n {
+					heap = append(heap, p)
+					siftUp(len(heap) - 1)
+				} else if pairLess(&p, &heap[0]) {
+					heap[0] = p
+					siftDown(0)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(heap, func(i, j int) bool { return pairLess(&heap[i], &heap[j]) })
+	return heap
+}
+
+// SnapshotTop is Snapshot bounded to the n highest-ranked pairs — the
+// /v1/top serving path, where n is the dashboard's page size and the
+// pair population is the whole retained state. Identical to
+// Snapshot(tool, program) with the pair list truncated to n; meta
+// scalars still cover every matching pair.
+func (a *Aggregator) SnapshotTop(tool, program string, n int) *witch.Profile {
+	if n <= 0 {
+		return a.Snapshot(tool, program)
+	}
+	mk, cnt := a.combinedMeta(tool, program)
+	if cnt == 0 {
+		return nil
+	}
+	progName := program
+	if program == "" {
+		progs := a.Programs(tool)
+		if len(progs) == 1 {
+			progName = progs[0]
+		} else {
+			progName = fmt.Sprintf("merged(%d programs)", len(progs))
+		}
+	}
+	pairs := a.pairsForTop(tool, program, n)
+	red := 0.0
+	if mk.waste+mk.use > 0 {
+		red = mk.waste / (mk.waste + mk.use)
+	}
+	return witch.NewProfile(witch.Profile{
+		Program:    progName,
+		Tool:       tool,
+		Exhaustive: mk.exhaustive,
+		Redundancy: red,
+		Waste:      mk.waste,
+		Use:        mk.use,
+		WallTime:   time.Duration(mk.wallNanos),
+		ToolBytes:  mk.toolBytes,
+		Instrs:     mk.instrs,
+		Loads:      mk.loads,
+		Stores:     mk.stores,
+		Stats:      mk.stats,
+		Health:     mk.health,
+	}, pairs)
 }
 
 // Tools lists the tools with merged data, sorted.

@@ -126,6 +126,17 @@ type Router struct {
 	scatterPartials atomic.Uint64 // fleet queries with ≥1 unreachable peer
 	replicates      atomic.Uint64 // replication legs acked by a follower
 	replicateErrors atomic.Uint64 // replication legs that got no usable verdict
+
+	scatterBytes     atomic.Uint64 // shard response bytes received, delta legs included
+	scatterFullLegs  atomic.Uint64 // delta legs answered with a full export
+	scatterDeltaLegs atomic.Uint64 // delta legs answered incrementally
+
+	// scatterCache is the per-(peer, window) delta-scatter baseline: the
+	// last reconstructed full export per peer plus the version vector it
+	// was built at, patched in place by each delta leg. Entries are
+	// per-key locked so one slow peer's patch never blocks another's.
+	scMu         sync.Mutex
+	scatterCache map[string]*scatterEntry
 }
 
 // peerBreaker tracks one peer's forwarding health. Guarded by
@@ -189,6 +200,8 @@ func New(cfg Config) (*Router, error) {
 		logf:     cfg.Logf,
 		queryTO:  cfg.QueryTimeout,
 		brs:      make(map[string]*peerBreaker, len(others)),
+
+		scatterCache: make(map[string]*scatterEntry),
 	}
 	if r.client == nil {
 		r.client = &http.Client{}
@@ -376,6 +389,17 @@ func rendezvousScore(peer, key string) uint64 {
 		h ^= uint64(key[i])
 		h *= prime64
 	}
+	// FNV-1a alone has weak trailing-byte avalanche: two keys differing
+	// only in their last byte produce scores within ~2^49 of each other,
+	// so the argmax peer is almost always the same — sequential pusher
+	// IDs ("host-1", "host-2", ...) would all land on one node. The
+	// fmix64 finalizer (murmur3) diffuses every input bit across the
+	// whole word, restoring rendezvous hashing's balance guarantee.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return h
 }
 
@@ -429,6 +453,10 @@ type Stats struct {
 	ScatterPartials uint64   `json:"scatter_partials"`
 	Replicates      uint64   `json:"replicates"`
 	ReplicateErrors uint64   `json:"replicate_errors"`
+
+	ScatterBytes     uint64 `json:"scatter_bytes"`
+	ScatterFullLegs  uint64 `json:"scatter_full_legs"`
+	ScatterDeltaLegs uint64 `json:"scatter_delta_legs"`
 }
 
 // StatsSnapshot returns the router's counters.
@@ -446,6 +474,10 @@ func (r *Router) StatsSnapshot() Stats {
 		ScatterPartials: r.scatterPartials.Load(),
 		Replicates:      r.replicates.Load(),
 		ReplicateErrors: r.replicateErrors.Load(),
+
+		ScatterBytes:     r.scatterBytes.Load(),
+		ScatterFullLegs:  r.scatterFullLegs.Load(),
+		ScatterDeltaLegs: r.scatterDeltaLegs.Load(),
 	}
 }
 

@@ -105,6 +105,26 @@ func TestOwnerAgreementAndSpread(t *testing.T) {
 	}
 }
 
+// TestOwnerSpreadSequentialIDs: real pusher fleets use sequential
+// identities ("host-1", "host-2", ...). Raw FNV-1a scores for keys
+// differing only in trailing bytes are so close that one peer used to
+// win every one of them — the fmix64 finalizer in rendezvousScore
+// must keep near-identical keys spread across the ring.
+func TestOwnerSpreadSequentialIDs(t *testing.T) {
+	peers := threeNodes()
+	r := mustRouter(t, Config{Self: peers[0], Peers: peers})
+	counts := map[string]int{}
+	const keys = 90
+	for k := 0; k < keys; k++ {
+		counts[r.Owner(fmt.Sprintf("host-%02d", k))]++
+	}
+	for _, p := range peers {
+		if counts[p] < keys/10 {
+			t.Fatalf("sequential IDs lopsided: %s owns %d of %d (%v)", p, counts[p], keys, counts)
+		}
+	}
+}
+
 // TestForwardRelaysVerdict: the owner's status, body, and duplicate
 // marker come back verbatim — the pusher must not be able to tell it
 // hit a non-owner.

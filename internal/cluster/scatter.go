@@ -28,11 +28,14 @@ type ShardPayload struct {
 
 // ShardResult is one peer's leg of a scatter-gather query: either its
 // partitioned export for the requested window, or the error that made
-// this leg partial.
+// this leg partial. Rev (delta legs only) identifies the reconstructed
+// view's content: equal (Peer, Rev) across scatters means an identical
+// export, which is what rendered-response caches key on.
 type ShardResult struct {
 	Peer   string
 	Export *store.Export
 	Hinted map[string][]string // exporter's pending-hint ledger, by pusher
+	Rev    uint64
 	Err    error
 }
 

@@ -90,9 +90,21 @@ func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string
 // ledger, so the gathering side can prefer a hinter as a partition's
 // holder and spot diverged replicas. Always local by construction,
 // which is what keeps scatter legs from recursing.
+//
+// POST is the v2 delta protocol: the body is a gob cluster.DeltaRequest
+// carrying the caller's last-seen version vector, and the reply a gob
+// ShardDelta — only the partitions whose epochs moved, plus tombstones,
+// or a full export when the vector is unusable (first contact, another
+// generation, another clock quantum). GET remains the full v1 export
+// for mid-upgrade peers and repair transfers.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+	switch r.Method {
+	case http.MethodGet:
+	case http.MethodPost:
+		s.handleShardDelta(w, r)
+		return
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
 		return
 	}
 	if s.ringRejected(w, r) {
@@ -120,6 +132,32 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		// decode and the leg lands in its Incomplete set.
 		return
 	}
+}
+
+// handleShardDelta is the POST side of /v1/shard: diff this node's
+// window export against the caller's version vector. The window still
+// rides the URL query (same parser as every read), the vector rides
+// the body.
+func (s *Server) handleShardDelta(w http.ResponseWriter, r *http.Request) {
+	if s.ringRejected(w, r) {
+		return
+	}
+	window, err := queryWindow(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var dreq cluster.DeltaRequest
+	if err := gob.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)).Decode(&dreq); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding delta request: %v", err)
+		return
+	}
+	sd := cluster.ShardDelta{Delta: s.st.ExportDelta(window, dreq.Ver)}
+	if s.repl != nil {
+		sd.Hinted = s.repl.hints.hintedPushers()
+	}
+	w.Header().Set("Content-Type", "application/x-gob")
+	_ = gob.NewEncoder(w).Encode(&sd)
 }
 
 // handleClusterHealthz answers for the fleet: one row per node plus a

@@ -33,6 +33,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("witchd_ingest_replicated_in_total %d", s.replicatedIn.Load())
 	add("witchd_ring_mismatches_total %d", s.ringMismatches.Load())
 	add("witchd_queries_total %d", s.queries.Load())
+	add("witchd_query_cache_hits_total %d", s.viewHits.Load())
+	add("witchd_query_cache_misses_total %d", s.viewMisses.Load())
 
 	st := s.st.Stats()
 	add("witchd_store_ingested_profiles_total %d", st.Ingested)
@@ -41,6 +43,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	add("witchd_store_live_pairs %d", st.LivePairs)
 	add("witchd_store_rollup_pairs %d", st.RollupPairs)
 	add("witchd_store_partitions %d", st.Partitions)
+
+	cst := s.st.CacheStats()
+	add("witchd_store_query_cache_hits_total %d", cst.QueryHits)
+	add("witchd_store_query_cache_misses_total %d", cst.QueryMisses)
+	add("witchd_store_export_cache_hits_total %d", cst.ExportHits)
+	add("witchd_store_export_cache_misses_total %d", cst.ExportMisses)
 
 	ds := s.ded.Stats()
 	add("witchd_dedup_pushers %d", ds.Pushers)
@@ -72,6 +80,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		add("witchd_cluster_replicate_errors_total %d", cs.ReplicateErrors)
 		add("witchd_cluster_scatters_total %d", cs.Scatters)
 		add("witchd_cluster_scatter_partials_total %d", cs.ScatterPartials)
+		add("witchd_cluster_scatter_bytes_total %d", cs.ScatterBytes)
+		add("witchd_cluster_scatter_full_legs_total %d", cs.ScatterFullLegs)
+		add("witchd_cluster_scatter_delta_legs_total %d", cs.ScatterDeltaLegs)
 		for _, ps := range cl.PeerStates() {
 			add("witchd_peer_breaker_open{peer=%q} %d", ps.Peer, b2i(ps.Open))
 			add("witchd_peer_breaker_trips_total{peer=%q} %d", ps.Peer, ps.Trips)

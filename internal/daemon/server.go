@@ -72,6 +72,10 @@ type Config struct {
 	// MaxTopN caps /v1/top's n parameter — the response-size bound for
 	// the ranked-pairs query (default 1000).
 	MaxTopN int
+	// NoQueryCache disables the rendered-response cache on /v1/top and
+	// /v1/profile (the store's own memoization is controlled separately
+	// by store.Config.NoCache). Benchmarks use it as the oracle.
+	NoQueryCache bool
 }
 
 // Server wires the retention store, the persistence layer, and the
@@ -100,6 +104,13 @@ type Server struct {
 	replicatedIn   atomic.Uint64 // batches applied via a peer's replication leg
 	ringMismatches atomic.Uint64 // inter-node requests rejected for ring skew
 	queries        atomic.Uint64 // /v1/top + /v1/profile requests served
+
+	// respCache memoizes rendered /v1/top and /v1/profile bodies keyed
+	// by the view fingerprint (see viewcache.go). Only 200 responses.
+	respMu     sync.Mutex
+	respCache  map[string]*respEntry
+	viewHits   atomic.Uint64 // responses served from the rendered cache
+	viewMisses atomic.Uint64 // responses materialized and rendered
 }
 
 // NewServer builds a server over a retention store, applying defaults
@@ -121,7 +132,7 @@ func NewServer(st *store.Store, cfg Config) *Server {
 	if cfg.MaxTopN <= 0 {
 		cfg.MaxTopN = 1000
 	}
-	s := &Server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight)}
+	s := &Server{st: st, cfg: cfg, sem: make(chan struct{}, cfg.MaxInflight), respCache: make(map[string]*respEntry)}
 	s.ded = NewDedup(cfg.DedupWindow, cfg.DedupMaxPushers)
 	s.state.Store(StateStarting)
 	return s
@@ -528,49 +539,115 @@ func queryWindow(r *http.Request) (time.Duration, error) {
 //
 // scope=local bypasses the scatter (it is also how /v1/shard itself
 // stays local, so legs never recurse).
-func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggregator, tool, program string, incomplete []string, ok bool) {
-	tool = r.URL.Query().Get("tool")
-	if tool == "" {
+//
+// The work splits in two: gather collects the parameters, the local
+// export, and every peer's delta-patched export — after the first
+// query to a peer, only changed partitions travel — and derives the
+// view fingerprint; materialize pays the O(partitions) merge. The
+// split lets the rendered-response cache skip materialize entirely
+// when the fingerprint says nothing anywhere changed.
+//
+// gathered is one query's resolved inputs.
+type gathered struct {
+	local      bool // single node or scope=local: materialize via Store.Query
+	window     time.Duration
+	tool       string
+	program    string
+	exports    map[string]*store.Export
+	hinters    map[string]map[string]bool
+	incomplete []string
+	fp         string // view fingerprint (see viewcache.go)
+}
+
+func (s *Server) gather(w http.ResponseWriter, r *http.Request) (g gathered, ok bool) {
+	g.tool = r.URL.Query().Get("tool")
+	if g.tool == "" {
 		httpError(w, http.StatusBadRequest, "tool parameter is required (a profile tool string, e.g. DeadCraft)")
-		return nil, "", "", nil, false
+		return g, false
 	}
 	window, err := queryWindow(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
-		return nil, "", "", nil, false
+		return g, false
 	}
+	g.window = window
+	g.program = r.URL.Query().Get("program")
 	if s.cl == nil || r.URL.Query().Get("scope") == "local" {
-		return s.st.Query(window), tool, r.URL.Query().Get("program"), nil, true
+		g.local = true
+		g.fp = "local;" + s.localFingerprint(window)
+		return g, true
 	}
 
-	exports := map[string]*store.Export{s.cl.Self(): s.st.Export(window)}
+	g.exports = map[string]*store.Export{s.cl.Self(): s.st.Export(window)}
 	// hinters[id] = reachable exporters with queued hints for pusher id.
-	hinters := make(map[string]map[string]bool)
+	g.hinters = make(map[string]map[string]bool)
 	noteHints := func(peer string, hinted map[string][]string) {
 		for id := range hinted {
-			if hinters[id] == nil {
-				hinters[id] = make(map[string]bool)
+			if g.hinters[id] == nil {
+				g.hinters[id] = make(map[string]bool)
 			}
-			hinters[id][peer] = true
+			g.hinters[id][peer] = true
 		}
 	}
 	if s.repl != nil {
 		noteHints(s.cl.Self(), s.repl.hints.hintedPushers())
 	}
 	var unreachable []string
-	for _, sr := range s.cl.ScatterExports(r.Context(), r.URL.Query().Get("window")) {
+	legs := s.cl.ScatterDeltas(r.Context(), r.URL.Query().Get("window"))
+	for _, sr := range legs {
 		if sr.Err != nil {
 			unreachable = append(unreachable, sr.Peer)
 			continue
 		}
-		exports[sr.Peer] = sr.Export
+		g.exports[sr.Peer] = sr.Export
 		noteHints(sr.Peer, sr.Hinted)
 	}
 
-	view = agg.New()
+	partial := make(map[string]bool)
+	if len(unreachable) >= s.cl.RF() {
+		// Fewer than RF down peers provably hold no keyed data that a
+		// surviving replica does not also hold; at RF and beyond a
+		// whole replica set may be dark, so name the holes.
+		for _, peer := range unreachable {
+			partial[peer] = true
+		}
+	}
+	for _, hs := range g.hinters {
+		// Two reachable nodes hinting for the same pusher diverged —
+		// each holds acked batches the other lacks (both coordinated
+		// while the other looked down), and any single holder choice
+		// undercounts. Name both; drains converge them shortly.
+		if len(hs) >= 2 {
+			for peer := range hs {
+				partial[peer] = true
+			}
+		}
+	}
+	if len(partial) > 0 {
+		for peer := range partial {
+			g.incomplete = append(g.incomplete, peer)
+		}
+		sort.Strings(g.incomplete)
+		// A header, not a body field, so /v1/profile's body stays
+		// byte-identical to what a complete fleet would produce when
+		// the missing peers happen to hold no rows for this view.
+		w.Header().Set("X-Witch-Incomplete", strings.Join(g.incomplete, ","))
+	}
+	g.fp = s.fleetFingerprint(window, legs)
+	return g, true
+}
+
+// materialize pays the merge a gathered query describes. Holder choice
+// is the hint-aware selection documented above — preserved exactly
+// from the pre-delta scatter path.
+func (s *Server) materialize(g gathered) *agg.Aggregator {
+	if g.local {
+		return s.st.Query(g.window)
+	}
+	view := agg.New()
 	pushers := make(map[string]bool)
 	for _, peer := range s.cl.Peers() {
-		exp := exports[peer]
+		exp := g.exports[peer]
 		if exp == nil {
 			continue
 		}
@@ -594,52 +671,31 @@ func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggrega
 		// instead of double-counting.
 		penalty := len(s.cl.Peers()) + 1
 		best, bestIdx := "", 2*penalty+1
-		for peer, exp := range exports {
+		for peer, exp := range g.exports {
 			if exp.Parts[id] == nil {
 				continue
 			}
 			idx := s.cl.PreferenceIndex(id, peer)
-			if len(hinters[id]) > 0 && !hinters[id][peer] {
+			if len(g.hinters[id]) > 0 && !g.hinters[id][peer] {
 				idx += penalty
 			}
 			if idx < bestIdx {
 				best, bestIdx = peer, idx
 			}
 		}
-		view.MergeState(exports[best].Parts[id])
+		view.MergeState(g.exports[best].Parts[id])
 	}
+	return view
+}
 
-	partial := make(map[string]bool)
-	if len(unreachable) >= s.cl.RF() {
-		// Fewer than RF down peers provably hold no keyed data that a
-		// surviving replica does not also hold; at RF and beyond a
-		// whole replica set may be dark, so name the holes.
-		for _, peer := range unreachable {
-			partial[peer] = true
-		}
+// view resolves and materializes in one step — the compatibility shape
+// for callers that always merge.
+func (s *Server) view(w http.ResponseWriter, r *http.Request) (view *agg.Aggregator, tool, program string, incomplete []string, ok bool) {
+	g, ok := s.gather(w, r)
+	if !ok {
+		return nil, "", "", nil, false
 	}
-	for _, hs := range hinters {
-		// Two reachable nodes hinting for the same pusher diverged —
-		// each holds acked batches the other lacks (both coordinated
-		// while the other looked down), and any single holder choice
-		// undercounts. Name both; drains converge them shortly.
-		if len(hs) >= 2 {
-			for peer := range hs {
-				partial[peer] = true
-			}
-		}
-	}
-	if len(partial) > 0 {
-		for peer := range partial {
-			incomplete = append(incomplete, peer)
-		}
-		sort.Strings(incomplete)
-		// A header, not a body field, so /v1/profile's body stays
-		// byte-identical to what a complete fleet would produce when
-		// the missing peers happen to hold no rows for this view.
-		w.Header().Set("X-Witch-Incomplete", strings.Join(incomplete, ","))
-	}
-	return view, tool, r.URL.Query().Get("program"), incomplete, true
+	return s.materialize(g), g.tool, g.program, g.incomplete, true
 }
 
 func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
@@ -659,30 +715,39 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	view, tool, program, incomplete, ok := s.view(w, r)
+	g, ok := s.gather(w, r)
 	if !ok {
 		return
 	}
 	s.queries.Add(1)
-	prof := view.Snapshot(tool, program)
-	if prof == nil {
-		httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", tool, program)
-		return
-	}
-	out := map[string]any{
-		"tool":       tool,
-		"program":    prof.Program,
-		"programs":   view.Programs(tool),
-		"redundancy": prof.Redundancy,
-		"waste":      prof.Waste,
-		"use":        prof.Use,
-		"pairs":      prof.TopPairs(n),
-	}
-	if len(incomplete) > 0 {
-		out["incomplete"] = incomplete
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(out)
+	s.serveCached(w, respKey("top", g, strconv.Itoa(n)), func() *respEntry {
+		view := s.materialize(g)
+		// SnapshotTop ranks only the n pairs the response carries —
+		// heap selection instead of sorting the whole population.
+		prof := view.SnapshotTop(g.tool, g.program, n)
+		if prof == nil {
+			httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", g.tool, g.program)
+			return nil
+		}
+		out := map[string]any{
+			"tool":       g.tool,
+			"program":    prof.Program,
+			"programs":   view.Programs(g.tool),
+			"redundancy": prof.Redundancy,
+			"waste":      prof.Waste,
+			"use":        prof.Use,
+			"pairs":      prof.TopPairs(n),
+		}
+		if len(g.incomplete) > 0 {
+			out["incomplete"] = g.incomplete
+		}
+		body, err := json.Marshal(out)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "encoding response: %v", err)
+			return nil
+		}
+		return &respEntry{ctype: "application/json", body: append(body, '\n')}
+	})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
@@ -690,20 +755,23 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	view, tool, program, _, ok := s.view(w, r)
+	g, ok := s.gather(w, r)
 	if !ok {
 		return
 	}
 	s.queries.Add(1)
-	prof := view.Snapshot(tool, program)
-	if prof == nil {
-		httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", tool, program)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	// Compact on the wire: indented output is for files and humans; a
-	// fleet dashboard polling /v1/profile pays ~2x bytes for indentation.
-	prof.WriteJSONCompact(w)
+	s.serveCached(w, respKey("profile", g, ""), func() *respEntry {
+		prof := s.materialize(g).Snapshot(g.tool, g.program)
+		if prof == nil {
+			httpError(w, http.StatusNotFound, "no profiles for tool %q (program %q) in window", g.tool, g.program)
+			return nil
+		}
+		// Compact on the wire: indented output is for files and humans; a
+		// fleet dashboard polling /v1/profile pays ~2x bytes for indentation.
+		var buf bytes.Buffer
+		prof.WriteJSONCompact(&buf)
+		return &respEntry{ctype: "application/json", body: buf.Bytes()}
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -722,7 +790,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"forwarded_in":     s.forwardedIn.Load(),
 		"replicated_in":    s.replicatedIn.Load(),
 		"ring_mismatches":  s.ringMismatches.Load(),
-		"tools":            s.st.Query(0).Tools(),
+		"tools":            s.st.Tools(),
 		"health":           health,
 		"store":            s.st.Stats(),
 		"dedup":            s.ded.Stats(),

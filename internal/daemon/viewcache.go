@@ -1,0 +1,134 @@
+// Rendered-response cache for /v1/top and /v1/profile.
+//
+// With the store memoized and the scatter shipping deltas, the last
+// O(total state) cost on the query path is materializing the merged
+// view and rendering it to JSON. Both depend only on (endpoint,
+// parameters, view fingerprint), where the fingerprint names every
+// input the view folds: the local store's version for the window, the
+// local pending-hint set (a hint drain changes holder choice without
+// any store mutation), and each peer leg's reconstructed-view revision
+// or its down marker. Equal fingerprints mean provably identical
+// bodies, so serving the cached bytes is exact, not approximate — the
+// same epoch-compare-never-TTL rule the store caches follow.
+//
+// Only 200 bodies are cached; errors and empty-view 404s stay cheap to
+// rebuild and must not mask data arriving. A fleet query still pays
+// its (delta) scatter to learn the peers' revisions — what it skips is
+// the merge and the render.
+package daemon
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// maxCachedResponses bounds the rendered cache; overflow drops the
+// whole map (distinct fingerprints accumulate as data mutates, old
+// entries can never validate again — bulk drop beats LRU bookkeeping).
+const maxCachedResponses = 256
+
+type respEntry struct {
+	ctype string
+	body  []byte
+}
+
+// localFingerprint names the local store's contribution to a window's
+// view: generation, epoch, clock quantum, and the pending-hint set.
+func (s *Server) localFingerprint(window time.Duration) string {
+	ver := s.st.Version(window)
+	var b strings.Builder
+	b.WriteString("l:")
+	b.WriteString(strconv.FormatUint(ver.Gen, 36))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatUint(ver.Epoch, 10))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(ver.BucketIdx, 10))
+	if s.repl != nil {
+		hinted := s.repl.hints.hintedPushers()
+		if len(hinted) > 0 {
+			ids := make([]string, 0, len(hinted))
+			for id := range hinted {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			b.WriteString(";h:")
+			b.WriteString(strings.Join(ids, ","))
+		}
+	}
+	return b.String()
+}
+
+// fleetFingerprint extends the local fingerprint with one term per
+// scatter leg, in stable (sorted-peer) order: the leg's reconstructed
+// revision, or "down" — an unreachable peer changes the incomplete
+// set, so it must split the cache key even though it adds no data.
+func (s *Server) fleetFingerprint(window time.Duration, legs []cluster.ShardResult) string {
+	var b strings.Builder
+	b.WriteString(s.localFingerprint(window))
+	for _, sr := range legs {
+		b.WriteByte(';')
+		b.WriteString(sr.Peer)
+		b.WriteByte('=')
+		if sr.Err != nil {
+			b.WriteString("down")
+		} else {
+			b.WriteString(strconv.FormatUint(sr.Rev, 10))
+		}
+	}
+	return b.String()
+}
+
+// serveCached answers from the rendered cache when key matches, else
+// runs build and caches its 200 result. build returns nil when it
+// already wrote a non-200 response (cache nothing).
+func (s *Server) serveCached(w http.ResponseWriter, key string, build func() *respEntry) {
+	if s.cfg.NoQueryCache {
+		if e := build(); e != nil {
+			w.Header().Set("Content-Type", e.ctype)
+			w.Write(e.body)
+		}
+		return
+	}
+	s.respMu.Lock()
+	e := s.respCache[key]
+	s.respMu.Unlock()
+	if e != nil {
+		s.viewHits.Add(1)
+		w.Header().Set("Content-Type", e.ctype)
+		w.Write(e.body)
+		return
+	}
+	s.viewMisses.Add(1)
+	e = build()
+	if e == nil {
+		return
+	}
+	s.respMu.Lock()
+	if len(s.respCache) >= maxCachedResponses {
+		s.respCache = make(map[string]*respEntry)
+	}
+	s.respCache[key] = e
+	s.respMu.Unlock()
+	w.Header().Set("Content-Type", e.ctype)
+	w.Write(e.body)
+}
+
+// ViewCacheStats reports the rendered-response cache's hit/miss
+// counters (the harness gates on them; /metrics exports the same).
+func (s *Server) ViewCacheStats() (hits, misses uint64) {
+	return s.viewHits.Load(), s.viewMisses.Load()
+}
+
+// respKey builds the cache key: endpoint, every parameter that shapes
+// the body, and the view fingerprint. The raw window value is included
+// — two windows can share a bucket quantum while selecting different
+// bucket sets, so the fingerprint alone must not merge them.
+func respKey(endpoint string, g gathered, extra string) string {
+	return endpoint + "\x00" + g.tool + "\x00" + g.program + "\x00" +
+		strconv.FormatInt(int64(g.window), 10) + "\x00" + extra + "\x00" + g.fp
+}

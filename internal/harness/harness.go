@@ -727,7 +727,7 @@ func All(w io.Writer, o Options) error {
 	steps := []func(io.Writer, Options) error{
 		Figure2, Figure4, Figure5, Table1, Table2, Table3,
 		BlindSpots, Dominance, Adversary, Stability, RankOrder, Ablations,
-		RelatedWork, IBS, OMP, Precision, Chaos, Ingest, Delivery, Cluster, Replica,
+		RelatedWork, IBS, OMP, Precision, Chaos, Ingest, Delivery, Cluster, Replica, Query,
 	}
 	for _, step := range steps {
 		if err := step(w, o); err != nil {
@@ -762,6 +762,7 @@ func Registry() map[string]func(io.Writer, Options) error {
 		"delivery":  Delivery,
 		"cluster":   Cluster,
 		"replica":   Replica,
+		"query":     Query,
 		"all":       All,
 	}
 }

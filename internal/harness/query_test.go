@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQueryFastPathQuick is the tier-1 gate on the query fast path:
+// the quick run must beat the uncached oracle by >=3x on repeated
+// /v1/top, cut steady-state scatter bytes by >=80% on a 3-node ring,
+// and keep every /v1/top and /v1/profile body byte-identical to the
+// oracle under trickle ingest. Query itself fails on any gate miss, so
+// the test mostly asserts the run completed and reported both phases.
+func TestQueryFastPathQuick(t *testing.T) {
+	out := runExp(t, Query)
+	if !strings.Contains(out, "byte-identical to the oracle") {
+		t.Fatalf("oracle gate line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "bytes reduction") {
+		t.Fatalf("scatter reduction row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,255 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/agg"
+	"repro/witch"
+)
+
+func cacheProfile(program string, n int, seed int64) *witch.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]witch.Pair, 0, n)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(1 << 20)
+		pairs = append(pairs, witch.Pair{
+			Src:   fmt.Sprintf("s%06d", k),
+			Dst:   fmt.Sprintf("d%06d", k),
+			Chain: fmt.Sprintf("s%06d->d%06d", k, k),
+			Waste: float64(rng.Intn(100)), Use: float64(rng.Intn(100)),
+		})
+	}
+	return witch.NewProfile(witch.Profile{
+		Program: program, Tool: string(witch.DeadStores), Waste: 1, Use: 1,
+	}, pairs)
+}
+
+// aggJSON is the canonical byte form used to compare aggregators (gob
+// is unusable for this: type-registry ordering).
+func aggJSON(t *testing.T, a *agg.Aggregator) []byte {
+	t.Helper()
+	b, err := json.Marshal(a.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestQueryCacheHitsAndEpochInvalidation: repeated queries at one
+// epoch are served from cache (same pointer), every mutation class —
+// ingest, fold/eviction, ReplacePartition, snapshot restore —
+// invalidates, and the rebuilt result is byte-identical to an
+// uncached store fed the same history.
+func TestQueryCacheHitsAndEpochInvalidation(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	now := func() time.Time { return clock }
+	s := New(Config{Window: time.Minute, Buckets: 3, Now: now})
+	oracle := New(Config{Window: time.Minute, Buckets: 3, Now: now, NoCache: true})
+
+	ingestBoth := func(id, program string, seed int64) {
+		p := cacheProfile(program, 50, seed)
+		s.IngestKeyedAt(id, p, clock)
+		oracle.IngestKeyedAt(id, p, clock)
+	}
+
+	ingestBoth("p1", "prog-a", 1)
+	ingestBoth("p2", "prog-b", 2)
+
+	q1 := s.Query(0)
+	if q2 := s.Query(0); q2 != q1 {
+		t.Fatal("repeat Query(0) at one epoch should return the cached aggregator")
+	}
+	cs := s.CacheStats()
+	if cs.QueryHits == 0 {
+		t.Fatalf("no query cache hit recorded: %+v", cs)
+	}
+	if !bytes.Equal(aggJSON(t, q1), aggJSON(t, oracle.Query(0))) {
+		t.Fatal("cached query diverges from uncached oracle")
+	}
+
+	// Ingest invalidates.
+	e0 := s.Epoch()
+	ingestBoth("p1", "prog-a", 3)
+	if s.Epoch() == e0 {
+		t.Fatal("ingest did not bump the epoch")
+	}
+	if q3 := s.Query(0); q3 == q1 {
+		t.Fatal("Query after ingest returned the stale cached aggregator")
+	}
+	if !bytes.Equal(aggJSON(t, s.Query(0)), aggJSON(t, oracle.Query(0))) {
+		t.Fatal("post-ingest query diverges from oracle")
+	}
+
+	// Eviction (fold) invalidates: advance a full ring revolution (3
+	// buckets) so the next ingest reuses the original slot and folds
+	// its expired bucket into the rollup.
+	q4 := s.Query(0)
+	clock = clock.Add(3 * time.Minute)
+	ingestBoth("p2", "prog-b", 4)
+	if s.Stats().EvictedBuckets == 0 {
+		t.Fatal("expected a folded bucket after jumping past the ring")
+	}
+	if q5 := s.Query(0); q5 == q4 {
+		t.Fatal("Query after fold returned the stale cached aggregator")
+	}
+	if !bytes.Equal(aggJSON(t, s.Query(0)), aggJSON(t, oracle.Query(0))) {
+		t.Fatal("post-fold query diverges from oracle")
+	}
+
+	// ReplacePartition invalidates, and the replacement is visible.
+	qr := s.Query(0)
+	img := s.PartitionImage("p1")
+	s.ReplacePartition("p1", nil)
+	if s.Query(0) == qr {
+		t.Fatal("Query after partition removal returned the stale cached aggregator")
+	}
+	s.ReplacePartition("p1", img)
+	if !bytes.Equal(aggJSON(t, s.Query(0)), aggJSON(t, oracle.Query(0))) {
+		t.Fatal("remove+reinstall round trip diverges from oracle")
+	}
+
+	// Snapshot restore: fresh store, fresh generation, same bytes.
+	var snap bytes.Buffer
+	if err := s.Snapshot(&snap, 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Window: time.Minute, Buckets: 3, Now: now})
+	genBefore := s2.gen.Load()
+	if _, _, err := s2.Restore(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if s2.gen.Load() == genBefore {
+		t.Fatal("Restore did not regenerate the store generation")
+	}
+	if !bytes.Equal(aggJSON(t, s2.Query(0)), aggJSON(t, oracle.Query(0))) {
+		t.Fatal("restored store diverges from oracle")
+	}
+	if got, want := s2.Tools(), oracle.Query(0).Tools(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored tool set %v, want %v", got, want)
+	}
+}
+
+// TestWindowedCacheFollowsClock: a windowed query's cache entry is
+// valid only within one bucket quantum — moving the clock across a
+// bucket boundary must invalidate without any mutation.
+func TestWindowedCacheFollowsClock(t *testing.T) {
+	// Chosen so now-window starts exactly on a bucket boundary: the
+	// +10s step below stays inside one quantum, the +60s step crosses.
+	clock := time.Unix(1700000010, 0)
+	s := New(Config{Window: time.Minute, Buckets: 5, Now: func() time.Time { return clock }})
+	s.IngestKeyedAt("p1", cacheProfile("prog-a", 20, 1), clock)
+
+	w := 90 * time.Second
+	q1 := s.Query(w)
+	clock = clock.Add(10 * time.Second) // same quantum
+	if s.Query(w) != q1 {
+		t.Fatal("clock moved within a bucket quantum; cache should have held")
+	}
+	clock = clock.Add(time.Minute) // crosses a boundary
+	if s.Query(w) == q1 {
+		t.Fatal("clock crossed a bucket boundary; cache should have invalidated")
+	}
+	// The ingested bucket ages out of the window entirely.
+	clock = clock.Add(5 * time.Minute)
+	if got := s.Query(w).PairCount(); got != 0 {
+		t.Fatalf("aged-out window still reports %d pairs", got)
+	}
+}
+
+// TestToolsMaintained: the maintained tool set tracks ingest and
+// removal without folding all-time state.
+func TestToolsMaintained(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	s := New(Config{Window: time.Minute, Buckets: 3, Now: func() time.Time { return clock }})
+	if got := s.Tools(); len(got) != 0 {
+		t.Fatalf("fresh store lists tools %v", got)
+	}
+	p := cacheProfile("prog-a", 5, 1)
+	s.IngestKeyedAt("p1", p, clock)
+	if got := s.Tools(); len(got) != 1 || got[0] != p.Tool {
+		t.Fatalf("tools = %v, want [%s]", got, p.Tool)
+	}
+	// Removing the only partition holding the tool drops it.
+	s.ReplacePartition("p1", nil)
+	if got := s.Tools(); len(got) != 0 {
+		t.Fatalf("tools after removing the only holder = %v, want none", got)
+	}
+}
+
+// TestStoreCacheRace: concurrent ingest, windowed + all-time queries,
+// partition queries, exports, and clock movement (driving folds) must
+// be data-race free and never panic. Run under -race.
+func TestStoreCacheRace(t *testing.T) {
+	var clockMu sync.Mutex
+	clock := time.Unix(1700000000, 0)
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	s := New(Config{Window: 10 * time.Millisecond, Buckets: 2, Now: now})
+	profs := []*witch.Profile{
+		cacheProfile("prog-a", 30, 1),
+		cacheProfile("prog-b", 30, 2),
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("p%d", g%2)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.IngestKeyedAt(id, profs[g%2], now())
+				if i%8 == 0 {
+					// Drive the clock so ring slots recycle and folds run
+					// concurrently with the queries below.
+					clockMu.Lock()
+					clock = clock.Add(7 * time.Millisecond)
+					clockMu.Unlock()
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch g % 4 {
+				case 0:
+					s.Query(0).PairCount()
+				case 1:
+					s.Query(15 * time.Millisecond).PairCount()
+				case 2:
+					s.QueryPartition("p0", 0).PairCount()
+				case 3:
+					s.ExportVersioned(0)
+					s.Stats()
+					s.Tools()
+				}
+			}
+		}(g)
+	}
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
