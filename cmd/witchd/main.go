@@ -42,7 +42,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -55,6 +54,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/daemon"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wal"
 )
@@ -85,7 +85,12 @@ type daemonFlags struct {
 	hintMax     int64
 	hintDrain   time.Duration
 	repairEvery time.Duration
+	traceRing   int
+	slowCap     int
+	slowThresh  time.Duration
+	logLevel    string
 	peerList    []string // validated split of peers
+	level       obs.Level
 }
 
 func parseFlags(args []string) (*daemonFlags, error) {
@@ -113,6 +118,10 @@ func parseFlags(args []string) (*daemonFlags, error) {
 	fs.Int64Var(&f.hintMax, "hint-max-bytes", 64<<20, "per-peer hinted-handoff journal bound; overflow evicts oldest hints, leaving convergence to repair (negative: unbounded)")
 	fs.DurationVar(&f.hintDrain, "hint-drain-interval", time.Second, "how often queued hints are replayed at healed peers")
 	fs.DurationVar(&f.repairEvery, "repair-interval", 30*time.Second, "anti-entropy digest-compare cadence (negative: disabled)")
+	fs.IntVar(&f.traceRing, "trace-ring", 4096, "completed spans retained for /v1/trace (0: tracing off)")
+	fs.IntVar(&f.slowCap, "slow-capture", 32, "slowest recent requests retained for /v1/slow (0: capture off)")
+	fs.DurationVar(&f.slowThresh, "slow-threshold", 0, "log one structured warn line per request at or over this duration (0: off)")
+	fs.StringVar(&f.logLevel, "log-level", "info", "lowest log severity emitted: debug, info, warn, or error")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -188,6 +197,20 @@ func (f *daemonFlags) validate() error {
 	if f.repairEvery == 0 {
 		return fmt.Errorf("-repair-interval must be nonzero (use a negative value to disable)")
 	}
+	if f.traceRing < 0 {
+		return fmt.Errorf("-trace-ring must be >= 0, got %d", f.traceRing)
+	}
+	if f.slowCap < 0 {
+		return fmt.Errorf("-slow-capture must be >= 0, got %d", f.slowCap)
+	}
+	if f.slowThresh < 0 {
+		return fmt.Errorf("-slow-threshold must be >= 0, got %v", f.slowThresh)
+	}
+	lv, err := obs.ParseLevel(f.logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %v", err)
+	}
+	f.level = lv
 	if f.peers != "" {
 		if f.advertise == "" {
 			f.advertise = "http://" + f.addr
@@ -221,6 +244,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The structured logger and the observer come up before anything
+	// that might want to log or record: recovery warnings and cluster
+	// boot lines go through the same key=value pipe as steady state.
+	obs.SetDefault(obs.NewLogger(os.Stderr, f.level))
+	logger := obs.Default()
+	node := f.advertise
+	if node == "" {
+		node = f.addr
+	}
+	ob := obs.New(obs.Options{
+		Node:          node,
+		TraceRing:     f.traceRing,
+		SlowCapture:   f.slowCap,
+		SlowThreshold: f.slowThresh,
+		Log:           logger,
+	})
+
 	st := store.New(store.Config{Window: f.window, Buckets: f.buckets})
 	srv := daemon.NewServer(st, daemon.Config{
 		MaxBody:         f.maxBody,
@@ -229,6 +269,7 @@ func main() {
 		DedupWindow:     f.dedupWindow,
 		DedupMaxPushers: f.dedupMax,
 		MaxTopN:         f.maxTopN,
+		Obs:             ob,
 	})
 	clustered := len(f.peerList) > 0
 	if clustered {
@@ -236,15 +277,16 @@ func main() {
 			Self:              f.advertise,
 			Peers:             f.peerList,
 			ReplicationFactor: f.rf,
-			Logf:              log.Printf,
+			Logf:              logger.Logf("cluster"),
+			Obs:               ob,
 		})
 		if err != nil { // validate() already ran this; belt and braces
 			fmt.Fprintf(os.Stderr, "witchd: %v\n", err)
 			os.Exit(2)
 		}
 		srv.AttachCluster(cl)
-		log.Printf("witchd: cluster of %d nodes, self %s, replication factor %d",
-			len(cl.Peers()), cl.Self(), f.rf)
+		logger.Info("witchd", "cluster joined",
+			"nodes", len(cl.Peers()), "self", cl.Self(), "rf", f.rf)
 	}
 
 	// Bind before recovery so a taken port fails fast, but serve only
@@ -272,10 +314,10 @@ func main() {
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			if err := http.Serve(pln, pmux); err != nil {
-				log.Printf("witchd: pprof server: %v", err)
+				logger.Warn("witchd", "pprof server exited", "err", err)
 			}
 		}()
-		log.Printf("witchd: pprof on %s", f.pprofAddr)
+		logger.Info("witchd", "pprof listening", "addr", f.pprofAddr)
 	}
 
 	var pers *daemon.Persistence
@@ -287,6 +329,9 @@ func main() {
 			NoSync:         f.fsync == "off",
 			GroupCommit:    f.fsync == "group",
 			MaxCommitDelay: f.commitDelay,
+			ObserveCommit: func(wait time.Duration) {
+				ob.Stage(obs.StageJournal, wait)
+			},
 		}, uint64(f.snapEvery))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "witchd: recovery: %v\n", err)
@@ -294,9 +339,11 @@ func main() {
 		}
 		srv.AttachPersistence(pers)
 		rec := pers.Recovery()
-		log.Printf("witchd: recovered in %v: snapshot lsn %d (loaded=%v), %d batches replayed, torn tail=%v (%d bytes truncated)",
-			time.Since(start).Round(time.Millisecond), rec.SnapshotLSN, rec.SnapshotLoaded,
-			rec.ReplayedBatches, rec.TornTail, rec.TruncatedBytes)
+		logger.Info("witchd", "recovered",
+			"took", time.Since(start).Round(time.Millisecond),
+			"snapshot_lsn", rec.SnapshotLSN, "snapshot_loaded", rec.SnapshotLoaded,
+			"replayed_batches", rec.ReplayedBatches,
+			"torn_tail", rec.TornTail, "truncated_bytes", rec.TruncatedBytes)
 	}
 	if clustered {
 		// After AttachCluster and AttachPersistence, before serving: the
@@ -312,7 +359,7 @@ func main() {
 			DrainInterval:  f.hintDrain,
 			RepairInterval: f.repairEvery,
 			WalOpts:        wal.Options{NoSync: f.fsync == "off"},
-			Logf:           log.Printf,
+			Logf:           logger.Logf("repl"),
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "witchd: replication: %v\n", err)
 			os.Exit(1)
@@ -323,16 +370,18 @@ func main() {
 	hs := daemon.HardenedServer(srv.Handler(), f.hdrTimeout)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	log.Printf("witchd: serving on %s (retention %v x %d buckets, durability %s)",
-		f.addr, f.window, f.buckets, durabilityLabel(f))
+	logger.Info("witchd", "serving",
+		"addr", f.addr, "window", f.window, "buckets", f.buckets,
+		"durability", durabilityLabel(f), "trace_ring", f.traceRing)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-errc:
-		log.Fatalf("witchd: %v", err)
+		logger.Error("witchd", "server failed", "err", err)
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("witchd: %v: draining (ingest now 503)", sig)
+		logger.Info("witchd", "draining (ingest now 503)", "signal", sig)
 	}
 
 	// Graceful drain: refuse new ingest, finish in-flight requests,
@@ -341,7 +390,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("witchd: drain: %v", err)
+		logger.Warn("witchd", "drain incomplete", "err", err)
 	}
 	// Stop replication before the final snapshot: the loops write
 	// through the same journal barrier, and undelivered hints stay on
@@ -351,11 +400,11 @@ func main() {
 	}
 	if pers != nil {
 		if err := pers.Shutdown(); err != nil {
-			log.Printf("witchd: final snapshot: %v", err)
+			logger.Error("witchd", "final snapshot failed", "err", err)
 			os.Exit(1)
 		}
 	}
-	log.Printf("witchd: drained clean")
+	logger.Info("witchd", "drained clean")
 }
 
 func durabilityLabel(f *daemonFlags) string {

@@ -22,6 +22,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -31,7 +32,26 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// traceSpan opens a client-side child span for one peer call when the
+// context carries a trace, stamping the outgoing request so the peer's
+// own span chains under it. It returns the span (inert without a
+// trace) — the caller Ends it around the round trip.
+func (r *Router) traceSpan(ctx context.Context, req *http.Request, stage, peer string) obs.ActiveSpan {
+	sc, ok := obs.SpanFromContext(ctx)
+	if !ok {
+		return obs.ActiveSpan{}
+	}
+	sp := r.obs.StartChild(sc, stage)
+	if sp.Active() {
+		sp.SetPeer(peer)
+		req.Header.Set(obs.TraceHeader, sp.Header())
+	}
+	return sp
+}
 
 // ForwardedHeader marks a batch that already made its routing hop.
 // A node receiving it ingests locally no matter what its own ring
@@ -96,6 +116,11 @@ type Config struct {
 	// Logf, when set, receives one line per breaker transition and
 	// per failed scatter leg.
 	Logf func(format string, args ...any)
+	// Obs, when set, witnesses every peer call: per-(op, peer) RTT
+	// histograms, and client-side spans for forward, replicate, and
+	// scatter legs when the inbound request carries a trace context
+	// (obs.ContextWithSpan). Nil disables at zero cost.
+	Obs *obs.Observer
 }
 
 // Router is one node's routing, forwarding, and scatter engine.
@@ -109,6 +134,7 @@ type Router struct {
 	client   *http.Client
 	now      func() time.Time
 	logf     func(string, ...any)
+	obs      *obs.Observer
 	queryTO  time.Duration
 
 	threshold int
@@ -198,6 +224,7 @@ func New(cfg Config) (*Router, error) {
 		client:   cfg.Client,
 		now:      cfg.Now,
 		logf:     cfg.Logf,
+		obs:      cfg.Obs,
 		queryTO:  cfg.QueryTimeout,
 		brs:      make(map[string]*peerBreaker, len(others)),
 

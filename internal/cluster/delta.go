@@ -214,6 +214,15 @@ func (r *Router) fetchShardDelta(ctx context.Context, peer, rawWindow string) Sh
 		return sr
 	}
 	req.Header.Set(RingHeader, r.ringHash)
+	sp := r.traceSpan(ctx, req, "scatter_leg", peer)
+	t0 := r.obs.Start()
+	defer func() {
+		r.obs.PeerSince("scatter", peer, t0)
+		if sr.Err != nil {
+			sp.Fail(sr.Err.Error())
+		}
+		sp.End()
+	}()
 	resp, err := r.client.Do(req)
 	if err != nil {
 		sr.Err = err

@@ -60,14 +60,24 @@ func (r *Router) Forward(ctx context.Context, owner, ctype, pusherID string, seq
 	req.Header.Set(witch.PusherSeqHeader, strconv.FormatUint(seq, 10))
 	req.Header.Set(ForwardedHeader, r.self)
 	req.Header.Set(RingHeader, r.ringHash)
+	sp := r.traceSpan(ctx, req, "forward_leg", owner)
+	sp.Annotate(pusherID, seq)
+	t0 := r.obs.Start()
 	resp, err := r.client.Do(req)
 	if err != nil {
+		sp.Fail(err.Error())
+		sp.End()
 		r.breakerFailure(owner, 0, false)
 		r.forwardErrors.Add(1)
 		return nil, &PeerDownError{Peer: owner, RetryAfter: DefaultRetryAfter, Err: err}
 	}
 	ack, err := io.ReadAll(io.LimitReader(resp.Body, maxAckBody))
 	resp.Body.Close()
+	r.obs.PeerSince("forward", owner, t0)
+	if err != nil {
+		sp.Fail(err.Error())
+	}
+	sp.End()
 	if err != nil {
 		// The owner may have committed before the response tore, so this
 		// is NOT a safe moment to re-route; shed and let the pusher retry

@@ -51,8 +51,13 @@ func (r *Router) Replicate(ctx context.Context, peer, ctype, pusherID string, se
 	req.Header.Set(witch.PusherSeqHeader, strconv.FormatUint(seq, 10))
 	req.Header.Set(TimestampHeader, strconv.FormatInt(ts.UnixNano(), 10))
 	req.Header.Set(RingHeader, r.ringHash)
+	sp := r.traceSpan(ctx, req, "replicate_leg", peer)
+	sp.Annotate(pusherID, seq)
+	t0 := r.obs.Start()
 	resp, err := r.client.Do(req)
 	if err != nil {
+		sp.Fail(err.Error())
+		sp.End()
 		r.breakerFailure(peer, 0, false)
 		r.replicateErrors.Add(1)
 		return nil, &PeerDownError{Peer: peer, RetryAfter: DefaultRetryAfter, Err: err}
@@ -63,6 +68,11 @@ func (r *Router) Replicate(ctx context.Context, peer, ctype, pusherID string, se
 	// 2xx means the follower committed before writing it.
 	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxAckBody))
 	resp.Body.Close()
+	r.obs.PeerSince("replicate", peer, t0)
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		sp.Fail(resp.Status)
+	}
+	sp.End()
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 		ra := r.parseRetryAfter(resp.Header)
 		verdict := resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable

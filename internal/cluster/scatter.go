@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/witch"
 )
@@ -97,16 +98,25 @@ func (r *Router) fetchShard(ctx context.Context, peer, rawWindow string) (*Shard
 		return nil, err
 	}
 	req.Header.Set(RingHeader, r.ringHash)
+	sp := r.traceSpan(ctx, req, "scatter_leg", peer)
+	t0 := r.obs.Start()
+	defer func() {
+		r.obs.PeerSince("scatter", peer, t0)
+		sp.End()
+	}()
 	resp, err := r.client.Do(req)
 	if err != nil {
+		sp.Fail(err.Error())
 		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		sp.Fail(resp.Status)
 		return nil, fmt.Errorf("shard query: %s", resp.Status)
 	}
 	pl := new(ShardPayload)
 	if err := gob.NewDecoder(resp.Body).Decode(pl); err != nil {
+		sp.Fail(err.Error())
 		return nil, fmt.Errorf("decoding shard export: %w", err)
 	}
 	return pl, nil
@@ -190,6 +200,37 @@ func (r *Router) FetchPartition(ctx context.Context, peer, pusherID string) (*Pa
 		return nil, fmt.Errorf("decoding partition transfer: %w", err)
 	}
 	return pt, nil
+}
+
+// FetchTrace pulls one peer's locally retained spans for a trace ID
+// (the scope=local leg of a /v1/trace gather — legs never recurse).
+func (r *Router) FetchTrace(ctx context.Context, peer, traceID string) ([]obs.Span, error) {
+	ctx, cancel := context.WithTimeout(ctx, r.queryTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/v1/trace/"+url.PathEscape(traceID)+"?scope=local", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(RingHeader, r.ringHash)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil // peer holds no spans for this trace (or traces disabled)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("trace query: %s", resp.Status)
+	}
+	var body struct {
+		Spans []obs.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding trace: %w", err)
+	}
+	return body.Spans, nil
 }
 
 // PeerHealth is one peer's row in the fleet health view.

@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"encoding/json"
 	"errors"
@@ -27,7 +28,7 @@ import (
 // same sequence against the same dedup windows is safe. When no
 // verdict exists the batch is shed with 503 + Retry-After — the pusher
 // spools it and retries.
-func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string, seq uint64, candidates []string) {
+func (s *Server) forwardIngest(ctx context.Context, w http.ResponseWriter, r *http.Request, id string, seq uint64, candidates []string) {
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)
@@ -46,7 +47,7 @@ func (s *Server) forwardIngest(w http.ResponseWriter, r *http.Request, id string
 		if peer == s.cl.Self() {
 			continue
 		}
-		fr, err := s.cl.Forward(r.Context(), peer, r.Header.Get("Content-Type"), id, seq, buf.Bytes())
+		fr, err := s.cl.Forward(ctx, peer, r.Header.Get("Content-Type"), id, seq, buf.Bytes())
 		if err != nil {
 			lastErr = err
 			var pd *cluster.PeerDownError

@@ -3,7 +3,6 @@ package daemon
 import (
 	"encoding/binary"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -13,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/wal"
 	"repro/witch"
@@ -179,7 +179,8 @@ func OpenPersistence(dir string, st *store.Store, ded *Dedup, walOpts wal.Option
 		got, extra, err := st.Restore(f)
 		f.Close()
 		if err != nil {
-			log.Printf("witchd: skipping corrupt snapshot %s: %v", snapName(lsn), err)
+			obs.Default().Warn("persist", "skipping corrupt snapshot",
+				"snapshot", snapName(lsn), "err", err.Error())
 			p.recovery.SnapshotsSkipped++
 			continue
 		}
@@ -187,7 +188,8 @@ func OpenPersistence(dir string, st *store.Store, ded *Dedup, walOpts wal.Option
 			if err := ded.Load(extra); err != nil {
 				// Lost dedup state degrades to at-least-once for batches
 				// older than the journal suffix — log, don't refuse to start.
-				log.Printf("witchd: dedup state in snapshot %s unreadable: %v", snapName(lsn), err)
+				obs.Default().Warn("persist", "dedup state in snapshot unreadable",
+					"snapshot", snapName(lsn), "err", err.Error())
 			}
 		}
 		anchor = got
@@ -284,7 +286,8 @@ func (p *Persistence) applyBatch(id string, seq uint64, keyed bool, body []byte,
 	if n := p.batches.Add(1); p.snapEvery > 0 && n%p.snapEvery == 0 {
 		if err := p.snapshot(); err != nil {
 			p.snapErrors.Add(1)
-			log.Printf("witchd: periodic snapshot failed (journal still covers everything): %v", err)
+			obs.Default().Warn("persist", "periodic snapshot failed (journal still covers everything)",
+				"err", err.Error())
 		}
 	}
 	return nil
@@ -344,7 +347,7 @@ func (p *Persistence) snapshot() error {
 
 	// GC: journal records <= lsn and snapshots < lsn are now dead weight.
 	if _, err := p.journal.RemoveThrough(lsn); err != nil {
-		log.Printf("witchd: journal gc: %v", err)
+		obs.Default().Warn("persist", "journal gc failed", "err", err.Error())
 	}
 	for _, old := range listSnapshots(p.dir) {
 		if old < lsn {

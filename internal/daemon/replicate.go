@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/wal"
 	"repro/witch"
 )
@@ -207,6 +208,7 @@ func (r *replication) stats() ReplicationStats {
 // the coordinator's own durability, and anti-entropy repair remains
 // the follower's route to the data.
 func (r *replication) fanout(ctx context.Context, id string, seq uint64, ctype string, body []byte, now time.Time) error {
+	o := r.s.cfg.Obs
 	for _, peer := range r.s.cl.ReplicaSet(id) {
 		if peer == r.s.cl.Self() {
 			continue
@@ -225,7 +227,10 @@ func (r *replication) fanout(ctx context.Context, id string, seq uint64, ctype s
 				continue
 			}
 		}
-		if err := r.hints.append(peer, now, id, seq, ctype, body); err != nil {
+		ht0 := o.Start()
+		err := r.hints.append(peer, now, id, seq, ctype, body)
+		o.StageSince(obs.StageHintAppend, ht0)
+		if err != nil {
 			return fmt.Errorf("replica %s unreachable and hint not durable: %v", peer, err)
 		}
 	}
@@ -294,6 +299,17 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The replica's span joins the coordinator's trace (the replicate_leg
+	// span on the other side is its parent). No header, no span: hint
+	// drains and repair-era coordinators would otherwise mint orphan
+	// traces per replayed batch.
+	o := s.cfg.Obs
+	var sp obs.ActiveSpan
+	if th := r.Header.Get(obs.TraceHeader); th != "" {
+		sp = o.StartSpan(th, "replicate_apply")
+		sp.Annotate(id, seq)
+	}
+
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	defer bufPool.Put(buf)
@@ -305,20 +321,30 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	body := buf.Bytes()
 	dec := decoders.Get().(*witch.BatchDecoder)
 	defer decoders.Put(dec)
+	dt0 := o.Start()
 	profs, err := dec.Decode(body)
+	o.StageSince(obs.StageDecode, dt0)
 	if err != nil {
 		s.rejected.Add(1)
 		httpError(w, http.StatusBadRequest, "replicate: %v", err)
 		return
 	}
 	ingest := func(now time.Time) {
+		mt0 := o.Start()
 		for _, p := range profs {
 			s.st.IngestKeyedAt(id, p, now)
 		}
+		o.StageSince(obs.StageMerge, mt0)
 	}
 	apply := func(commit func()) error {
 		if s.pers != nil {
-			return s.pers.applyBatch(id, seq, true, body, ingest, ts, commit)
+			jsp := o.StartChild(sp.Context(), "journal_commit")
+			aerr := s.pers.applyBatch(id, seq, true, body, ingest, ts, commit)
+			if aerr != nil {
+				jsp.Fail(aerr.Error())
+			}
+			jsp.End()
+			return aerr
 		}
 		s.memMu.RLock()
 		defer s.memMu.RUnlock()
@@ -328,6 +354,8 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	dup, stale, err := s.ded.Process(id, seq, apply)
 	if err != nil {
+		sp.Fail(err.Error())
+		sp.End()
 		s.shedRequest(w, http.StatusServiceUnavailable, 10, "durable apply failed, batch not accepted: %v", err)
 		return
 	}
@@ -341,6 +369,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	s.replicatedIn.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, "{\"replicated\":%d}\n", len(profs))
+	sp.End()
 }
 
 // drainLoop replays queued hints to healed peers.

@@ -466,24 +466,62 @@ func TestRingMismatchRejected(t *testing.T) {
 	}
 }
 
-// TestMetricsSortedStableOrder: /metrics lines come out in sorted
-// order, so two scrapes diff textually and dashboards never see keys
-// move.
+// TestMetricsSortedStableOrder: /metrics is valid Prometheus text
+// exposition — every family led by # HELP and # TYPE, families in
+// sorted name order, every sample belonging to the family above it —
+// and a second scrape with unchanged counters is byte-identical, so
+// scrapes diff textually and dashboards never see keys move.
 func TestMetricsSortedStableOrder(t *testing.T) {
 	nodes := newReplicaCluster(t, 2, 2, false, newFakeClock())
-	r, err := http.Get(nodes[0].url + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+	scrape := func() (string, string) {
+		r, err := http.Get(nodes[0].url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		text, _ := io.ReadAll(r.Body)
+		return string(text), r.Header.Get("Content-Type")
 	}
-	defer r.Body.Close()
-	text, _ := io.ReadAll(r.Body)
-	lines := strings.Split(strings.TrimSpace(string(text)), "\n")
-	if len(lines) < 20 {
-		t.Fatalf("suspiciously few metrics: %d", len(lines))
+	text, ctype := scrape()
+	if want := "text/plain; version=0.0.4; charset=utf-8"; ctype != want {
+		t.Fatalf("content type %q, want %q", ctype, want)
 	}
-	for i := 1; i < len(lines); i++ {
-		if lines[i-1] > lines[i] {
-			t.Fatalf("metrics out of sorted order at line %d:\n%s\n%s", i, lines[i-1], lines[i])
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) < 40 {
+		t.Fatalf("suspiciously few metrics lines: %d", len(lines))
+	}
+	// Walk the exposition: HELP then TYPE then >=1 samples per family,
+	// family names strictly increasing.
+	prevFam := ""
+	for i := 0; i < len(lines); {
+		if !strings.HasPrefix(lines[i], "# HELP ") {
+			t.Fatalf("line %d: family must open with # HELP, got %q", i, lines[i])
+		}
+		fam := strings.Fields(lines[i])[2]
+		if fam <= prevFam {
+			t.Fatalf("family %q not after %q: families must be sorted", fam, prevFam)
+		}
+		prevFam = fam
+		i++
+		if i >= len(lines) || !strings.HasPrefix(lines[i], "# TYPE "+fam+" ") {
+			t.Fatalf("family %q missing # TYPE after # HELP", fam)
+		}
+		i++
+		samples := 0
+		for i < len(lines) && !strings.HasPrefix(lines[i], "# ") {
+			name := lines[i]
+			if j := strings.IndexAny(name, "{ "); j >= 0 {
+				name = name[:j]
+			}
+			// Histogram families also emit name_bucket/_sum/_count.
+			if name != fam && !strings.HasPrefix(name, fam+"_") {
+				t.Fatalf("sample %q under family %q", lines[i], fam)
+			}
+			samples++
+			i++
+		}
+		if samples == 0 {
+			t.Fatalf("family %q has metadata but no samples", fam)
 		}
 	}
 	for _, want := range []string{
@@ -491,17 +529,15 @@ func TestMetricsSortedStableOrder(t *testing.T) {
 		"witchd_hints_pending 0",
 		"witchd_repair_rounds_total 0",
 		"witchd_ingest_replicated_in_total 0",
+		`witchd_build_info{go="`,
 	} {
-		found := false
-		for _, l := range lines {
-			if l == want {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
+	}
+	again, _ := scrape()
+	if again != text {
+		t.Fatalf("two quiescent scrapes differ:\n--- first\n%s\n--- second\n%s", text, again)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/agg"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/witch"
 )
@@ -76,6 +77,12 @@ type Config struct {
 	// /v1/profile (the store's own memoization is controlled separately
 	// by store.Config.NoCache). Benchmarks use it as the oracle.
 	NoQueryCache bool
+	// Obs is the observability bundle: stage latency histograms, the
+	// span ring behind /v1/trace, and the slow-request capture behind
+	// /v1/slow. nil disables the whole layer at zero cost — every
+	// handler's response bytes are identical either way (the layer is a
+	// pure witness).
+	Obs *obs.Observer
 }
 
 // Server wires the retention store, the persistence layer, and the
@@ -182,8 +189,10 @@ func (s *Server) Cluster() *cluster.Router { return s.cl }
 //	GET  /v1/shard     this node's partitioned export (gob), the scatter/repair unit (?pusher= for one partition)
 //	GET  /v1/digest    per-pusher (maxSeq, checksum) anti-entropy digest
 //	GET  /v1/healthz   fleet health: every peer's row plus the merged rollup
+//	GET  /v1/trace/{id} cross-node span tree for one trace (?scope=local for this node's spans only)
+//	GET  /v1/slow      top-K slowest recent requests with their span breakdowns
 //	GET  /healthz      this node's lifecycle state, Health, retention + durability stats
-//	GET  /metrics      plaintext counters (ingest, forward, replicate, hints, repair, journal, dedup, breakers)
+//	GET  /metrics      Prometheus exposition (counters, gauges, stage/peer latency histograms)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.handleIngest)
@@ -193,6 +202,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/shard", s.handleShard)
 	mux.HandleFunc("/v1/digest", s.handleDigest)
 	mux.HandleFunc("/v1/healthz", s.handleClusterHealthz)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
+	mux.HandleFunc("/v1/slow", s.handleSlow)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -303,6 +314,29 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.ringRejected(w, r) {
 		return
 	}
+
+	// Observability is witness-only from here down: reqStart/sp/ctx feed
+	// histograms and the span ring, never a verdict. With cfg.Obs nil
+	// every call below is an inlineable nil-check no-op and ctx stays
+	// the request's own.
+	o := s.cfg.Obs
+	reqStart := o.Start()
+	sp := o.StartSpan(r.Header.Get(obs.TraceHeader), "ingest")
+	sp.Annotate(id, seq)
+	ctx := r.Context()
+	if sp.Active() {
+		ctx = obs.ContextWithSpan(ctx, sp.Context())
+	}
+	finish := func() {
+		if o == nil {
+			return
+		}
+		d := time.Since(reqStart)
+		o.Stage(obs.StageIngest, d)
+		sp.End()
+		o.CaptureSlow("ingest", sp.Context(), id, seq, "", reqStart, d)
+	}
+
 	forwarded := r.Header.Get(cluster.ForwardedHeader) != ""
 	// coordinate means this node is a replica-set member applying the
 	// batch authoritatively: it replicates to the other members (or
@@ -324,7 +358,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				// owners. A batch that already hopped is processed here
 				// unconditionally (one hop only; skewed peer lists must not
 				// build loops).
-				s.forwardIngest(w, r, id, seq, set)
+				s.forwardIngest(ctx, w, r, id, seq, set)
+				finish()
 				return
 			}
 			if selfIdx > 0 && s.cl.Available(set[0]) {
@@ -332,7 +367,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 				// reachable, so the owner's dedup window stays the one that
 				// judges fresh sequences; only when the owner's breaker is
 				// open does the follower coordinate (promoted follower).
-				s.forwardIngest(w, r, id, seq, set[:1])
+				s.forwardIngest(ctx, w, r, id, seq, set[:1])
+				finish()
 				return
 			}
 		}
@@ -385,7 +421,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// interned strings across requests. Everything below up to the Put
 	// must finish with the batch before the decoder can be reused.
 	dec := decoders.Get().(*witch.BatchDecoder)
+	dt0 := o.Start()
 	profs, err := dec.Decode(body)
+	o.StageSince(obs.StageDecode, dt0)
 	if err != nil {
 		decoders.Put(dec)
 		s.rejected.Add(1)
@@ -397,9 +435,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// carries its tool, and merge keys are tool-scoped, so a batch may
 	// mix tools freely without cross-contamination.
 	ingest := func(now time.Time) {
+		mt0 := o.Start()
 		for _, p := range profs {
 			s.st.IngestKeyedAt(id, p, now)
 		}
+		o.StageSince(obs.StageMerge, mt0)
 	}
 	// Durability before acknowledgement: replicate to the other
 	// replica-set members (durable hint if one is down), then journal
@@ -411,12 +451,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	apply := func(commit func()) error {
 		now := s.cfg.Now()
 		if coordinate && s.repl != nil {
-			if rerr := s.repl.fanout(r.Context(), id, seq, r.Header.Get("Content-Type"), body, now); rerr != nil {
+			if rerr := s.repl.fanout(ctx, id, seq, r.Header.Get("Content-Type"), body, now); rerr != nil {
 				return rerr
 			}
 		}
 		if s.pers != nil {
-			return s.pers.applyBatch(id, seq, keyed, body, ingest, now, commit)
+			// The child span covers the whole durable apply — journal
+			// append + fsync/gang wait + merge + dedup mark. The pure
+			// journal-wait histogram comes from the wal seam
+			// (Options.ObserveCommit), which sees only the commit wait.
+			jsp := o.StartChild(sp.Context(), "journal_commit")
+			aerr := s.pers.applyBatch(id, seq, keyed, body, ingest, now, commit)
+			if aerr != nil {
+				jsp.Fail(aerr.Error())
+			}
+			jsp.End()
+			return aerr
 		}
 		s.memMu.RLock()
 		defer s.memMu.RUnlock()
@@ -429,12 +479,30 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Process holds the pusher's window lock across apply, making
 		// check→journal→merge→mark atomic per pusher; the commit
 		// callback marks the key inside the persistence apply barrier.
-		dup, stale, err = s.ded.Process(id, seq, apply)
+		// The dedup histogram sees the window-lock acquire + bitmap
+		// probe: Process total minus the time apply itself consumed.
+		var applyDur time.Duration
+		timedApply := apply
+		if o != nil {
+			timedApply = func(commit func()) error {
+				at0 := time.Now()
+				aerr := apply(commit)
+				applyDur = time.Since(at0)
+				return aerr
+			}
+		}
+		pt0 := o.Start()
+		dup, stale, err = s.ded.Process(id, seq, timedApply)
+		if o != nil {
+			o.Stage(obs.StageDedup, time.Since(pt0)-applyDur)
+		}
 	} else {
 		err = apply(func() {})
 	}
 	if err != nil {
 		decoders.Put(dec)
+		sp.Fail(err.Error())
+		finish()
 		s.shedRequest(w, http.StatusServiceUnavailable, 10, "durable apply failed, batch not accepted: %v", err)
 		return
 	}
@@ -489,6 +557,7 @@ countTools:
 	buf.WriteString("}}\n")
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
+	finish()
 }
 
 // queryWindow parses the window parameter: a Go duration, with an
@@ -641,6 +710,7 @@ func (s *Server) gather(w http.ResponseWriter, r *http.Request) (g gathered, ok 
 // is the hint-aware selection documented above — preserved exactly
 // from the pre-delta scatter path.
 func (s *Server) materialize(g gathered) *agg.Aggregator {
+	defer s.cfg.Obs.StageSince(obs.StageFold, s.cfg.Obs.Start())
 	if g.local {
 		return s.st.Query(g.window)
 	}
@@ -715,11 +785,27 @@ func (s *Server) handleTop(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	o := s.cfg.Obs
+	qStart := o.Start()
+	sp := o.StartSpan(r.Header.Get(obs.TraceHeader), "query")
+	if sp.Active() {
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp.Context()))
+	}
 	g, ok := s.gather(w, r)
 	if !ok {
+		sp.End()
 		return
 	}
 	s.queries.Add(1)
+	defer func() {
+		if o == nil {
+			return
+		}
+		d := time.Since(qStart)
+		o.Stage(obs.StageQuery, d)
+		sp.End()
+		o.CaptureSlow("query", sp.Context(), "", 0, "top "+g.tool, qStart, d)
+	}()
 	s.serveCached(w, respKey("top", g, strconv.Itoa(n)), func() *respEntry {
 		view := s.materialize(g)
 		// SnapshotTop ranks only the n pairs the response carries —
@@ -755,11 +841,27 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	o := s.cfg.Obs
+	qStart := o.Start()
+	sp := o.StartSpan(r.Header.Get(obs.TraceHeader), "query")
+	if sp.Active() {
+		r = r.WithContext(obs.ContextWithSpan(r.Context(), sp.Context()))
+	}
 	g, ok := s.gather(w, r)
 	if !ok {
+		sp.End()
 		return
 	}
 	s.queries.Add(1)
+	defer func() {
+		if o == nil {
+			return
+		}
+		d := time.Since(qStart)
+		o.Stage(obs.StageQuery, d)
+		sp.End()
+		o.CaptureSlow("query", sp.Context(), "", 0, "profile "+g.tool, qStart, d)
+	}()
 	s.serveCached(w, respKey("profile", g, ""), func() *respEntry {
 		prof := s.materialize(g).Snapshot(g.tool, g.program)
 		if prof == nil {
@@ -794,6 +896,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"health":           health,
 		"store":            s.st.Stats(),
 		"dedup":            s.ded.Stats(),
+		"build":            buildInfoBlock(),
+	}
+	if o := s.cfg.Obs; o != nil {
+		held, recorded, dropped := o.TracerStats()
+		kept, captured := o.SlowStats()
+		out["obs"] = map[string]any{
+			"tracing":        o.TracingEnabled(),
+			"spans_held":     held,
+			"spans_recorded": recorded,
+			"spans_evicted":  dropped,
+			"slow_kept":      kept,
+			"slow_captured":  captured,
+		}
 	}
 	if s.cl != nil {
 		out["cluster"] = s.cl.StatsSnapshot()

@@ -1,0 +1,128 @@
+// Trace and slow-request endpoints.
+//
+// /v1/trace/{id} reconstructs one request's cross-node span tree: this
+// node's retained spans plus a scatter to every peer's scope=local
+// view. A span ring is bounded and overwrite-on-wrap, so the answer is
+// best-effort by design — an evicted span leaves a hole, never an
+// error. Trace collection is read-only and touches no store state;
+// like /metrics it can run against a draining node.
+//
+// /v1/slow serves the node's top-K slowest recent requests with the
+// span breakdown captured when each entered the ring.
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// handleTrace serves GET /v1/trace/{id}. Without ?scope=local the
+// handler fans out to every peer's local view and merges, so one curl
+// against any node yields the fleet-wide tree; peers that fail the
+// fetch are named in "incomplete" rather than failing the query.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	o := s.cfg.Obs
+	if !o.TracingEnabled() {
+		httpError(w, http.StatusNotFound, "tracing disabled (start witchd with -trace-ring > 0)")
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	tid, ok := obs.ParseTraceID(raw)
+	if !ok {
+		httpError(w, http.StatusBadRequest, "bad trace id %q: need 16 hex digits", raw)
+		return
+	}
+	if s.ringRejected(w, r) {
+		return
+	}
+	id := obs.FormatTraceID(tid) // normalized (lower-case) form
+	spans := o.CollectTrace(tid)
+	var incomplete []string
+	if s.cl != nil && r.URL.Query().Get("scope") != "local" {
+		others := s.cl.Others()
+		legs := make([][]obs.Span, len(others))
+		errs := make([]error, len(others))
+		var wg sync.WaitGroup
+		for i, peer := range others {
+			wg.Add(1)
+			go func(i int, peer string) {
+				defer wg.Done()
+				legs[i], errs[i] = s.cl.FetchTrace(r.Context(), peer, id)
+			}(i, peer)
+		}
+		wg.Wait()
+		for i, peer := range others {
+			if errs[i] != nil {
+				incomplete = append(incomplete, peer)
+				continue
+			}
+			spans = append(spans, legs[i]...)
+		}
+	}
+	if len(spans) == 0 {
+		httpError(w, http.StatusNotFound, "no spans retained for trace %s (evicted, or never seen here)", id)
+		return
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	nodeSet := make(map[string]bool, 4)
+	for _, sp := range spans {
+		nodeSet[sp.Node] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	out := map[string]any{
+		"trace": id,
+		"nodes": nodes,
+		"spans": spans,
+	}
+	if len(incomplete) > 0 {
+		sort.Strings(incomplete)
+		out["incomplete"] = incomplete
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleSlow serves GET /v1/slow: the local top-K slowest captured
+// requests, slowest first. Always local — slowness is a per-node
+// property, and the entries already name the peers their spans touch.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	o := s.cfg.Obs
+	if o == nil {
+		httpError(w, http.StatusNotFound, "slow capture disabled (start witchd with -slow-capture > 0)")
+		return
+	}
+	entries := o.SlowEntries()
+	if entries == nil {
+		entries = []obs.SlowEntry{}
+	}
+	kept, captured := o.SlowStats()
+	out := map[string]any{
+		"slow":     entries,
+		"kept":     kept,
+		"captured": captured,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // maxCachedResponses bounds the rendered cache; overflow drops the
@@ -94,6 +95,8 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, build func() *re
 		}
 		return
 	}
+	o := s.cfg.Obs
+	t0 := o.Start()
 	s.respMu.Lock()
 	e := s.respCache[key]
 	s.respMu.Unlock()
@@ -101,11 +104,13 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, build func() *re
 		s.viewHits.Add(1)
 		w.Header().Set("Content-Type", e.ctype)
 		w.Write(e.body)
+		o.StageSince(obs.StageCacheHit, t0)
 		return
 	}
 	s.viewMisses.Add(1)
 	e = build()
 	if e == nil {
+		o.StageSince(obs.StageCacheMiss, t0)
 		return
 	}
 	s.respMu.Lock()
@@ -116,6 +121,7 @@ func (s *Server) serveCached(w http.ResponseWriter, key string, build func() *re
 	s.respMu.Unlock()
 	w.Header().Set("Content-Type", e.ctype)
 	w.Write(e.body)
+	o.StageSince(obs.StageCacheMiss, t0)
 }
 
 // ViewCacheStats reports the rendered-response cache's hit/miss

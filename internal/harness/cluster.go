@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/daemon"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/store"
 	"repro/internal/wal"
@@ -160,6 +161,7 @@ type clusterNode struct {
 	client  *http.Client // inter-node client (nil = plain; replica runs thread faults here)
 	now     func() time.Time
 	walOpts wal.Options
+	ob      *obs.Observer // nil (the default) leaves the layer off
 
 	st   *store.Store
 	srv  *daemon.Server
@@ -171,9 +173,14 @@ type clusterNode struct {
 
 func (n *clusterNode) start() error {
 	n.st = store.New(store.Config{Now: n.now})
-	n.srv = daemon.NewServer(n.st, daemon.Config{Now: n.now, MaxInflight: 64})
+	n.srv = daemon.NewServer(n.st, daemon.Config{Now: n.now, MaxInflight: 64, Obs: n.ob})
 	n.srv.SetState(daemon.StateRecovering)
-	pers, err := daemon.OpenPersistence(n.dir, n.st, n.srv.Dedup(), n.walOpts, 16)
+	walOpts := n.walOpts
+	if n.ob != nil {
+		ob := n.ob
+		walOpts.ObserveCommit = func(wait time.Duration) { ob.Stage(obs.StageJournal, wait) }
+	}
+	pers, err := daemon.OpenPersistence(n.dir, n.st, n.srv.Dedup(), walOpts, 16)
 	if err != nil {
 		return fmt.Errorf("node %s recovery: %w", n.url, err)
 	}
@@ -185,6 +192,7 @@ func (n *clusterNode) start() error {
 			ReplicationFactor: n.rf,
 			Client:            n.client,
 			Logf:              func(string, ...any) {},
+			Obs:               n.ob,
 		})
 		if err != nil {
 			return err

@@ -727,7 +727,7 @@ func All(w io.Writer, o Options) error {
 	steps := []func(io.Writer, Options) error{
 		Figure2, Figure4, Figure5, Table1, Table2, Table3,
 		BlindSpots, Dominance, Adversary, Stability, RankOrder, Ablations,
-		RelatedWork, IBS, OMP, Precision, Chaos, Ingest, Delivery, Cluster, Replica, Query,
+		RelatedWork, IBS, OMP, Precision, Chaos, Ingest, Delivery, Cluster, Replica, Query, Obs,
 	}
 	for _, step := range steps {
 		if err := step(w, o); err != nil {
@@ -763,6 +763,7 @@ func Registry() map[string]func(io.Writer, Options) error {
 		"cluster":   Cluster,
 		"replica":   Replica,
 		"query":     Query,
+		"obs":       Obs,
 		"all":       All,
 	}
 }

@@ -1,0 +1,207 @@
+// Package obs is witchd's observability layer: log-linear latency
+// histograms, distributed trace spans, a slow-request capture ring,
+// and a small structured logger. Everything in this package is a
+// witness — it records what the pipeline did without ever changing
+// what the pipeline does. A nil *Observer (the disabled default for
+// embedders) turns every entry point into a no-op that performs no
+// allocation and takes no lock, so the layer can stay compiled into
+// the hot path unconditionally.
+package obs
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket scheme: log-linear over nanoseconds, two buckets per octave.
+// Finite boundaries run 2^10 ns (~1.02µs) .. 2^36 ns (~68.7s), with a
+// midpoint boundary at 1.5*2^k inside each octave, so a bucket is
+// never more than 50% wider than its lower bound — a recorded latency
+// is misattributed by at most a third of its value, at any magnitude,
+// from microsecond decode times to multi-second gang-commit stalls.
+// The boundaries are shared by every histogram in the process, which
+// makes Merge a plain bucket-wise add (no interpolation, no rebinning)
+// and keeps the /metrics exposition one fixed, diffable set of le
+// labels.
+const (
+	minExp = 10 // lowest finite boundary: 2^10 ns ≈ 1.02 µs
+	maxExp = 36 // highest finite boundary: 2^36 ns ≈ 68.7 s
+
+	// numBoundaries counts the finite le boundaries: two per octave
+	// below maxExp, plus 2^maxExp itself. One extra bucket at the end
+	// of the counts array catches overflow (+Inf only).
+	numBoundaries = 2*(maxExp-minExp) + 1
+	numBuckets    = numBoundaries + 1
+)
+
+// boundaryNS holds the finite boundaries in nanoseconds, ascending.
+var boundaryNS [numBoundaries]int64
+
+// leLabels holds each boundary rendered in seconds for the `le` label,
+// precomputed so a scrape never calls FormatFloat.
+var leLabels [numBoundaries]string
+
+func init() {
+	i := 0
+	for e := minExp; e < maxExp; e++ {
+		boundaryNS[i] = 1 << e
+		boundaryNS[i+1] = 3 << (e - 1) // 1.5 * 2^e
+		i += 2
+	}
+	boundaryNS[i] = 1 << maxExp
+	for j, ns := range boundaryNS {
+		leLabels[j] = strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+	}
+}
+
+// bucketIndex maps a duration in nanoseconds to the first bucket whose
+// boundary is >= ns, or numBoundaries (the overflow bucket) when the
+// value exceeds every finite boundary. Branch-free of loops: one
+// Len64 and two compares.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<minExp {
+		return 0
+	}
+	e := bits.Len64(uint64(ns)) - 1 // floor(log2 ns), e >= minExp here
+	if e >= maxExp {
+		if e == maxExp && ns == 1<<maxExp {
+			return numBoundaries - 1
+		}
+		return numBoundaries
+	}
+	idx := 2 * (e - minExp)
+	if ns == 1<<e {
+		return idx
+	}
+	if ns <= 3<<(e-1) {
+		return idx + 1
+	}
+	return idx + 2
+}
+
+// Histogram is a fixed-bucket log-linear latency histogram. Observe is
+// wait-free — one atomic add into the bucket and one into the running
+// sum — so it can sit on the ingest hot path without a lock. The zero
+// value is ready to use.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	sumNS  atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[bucketIndex(int64(d))].Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Count is
+// derived from the copied buckets, so Count always equals the +Inf
+// cumulative bucket a scrape renders — internally consistent even when
+// snapped mid-write. SumNS is read separately and may lag or lead the
+// bucket copy by whatever samples were in flight during the snapshot;
+// the skew is bounded by the write concurrency and irrelevant to the
+// rates a scraper derives.
+type HistogramSnapshot struct {
+	Counts [numBuckets]uint64
+	Count  uint64
+	SumNS  int64
+}
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// Merge adds another snapshot bucket-wise. Shared boundaries make this
+// exact — no rebinning.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets,
+// returning the upper boundary of the bucket holding that rank — a
+// conservative (never-understated) estimate, 0 when empty. Overflow
+// samples report the top finite boundary.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i >= numBoundaries {
+				break
+			}
+			return time.Duration(boundaryNS[i])
+		}
+	}
+	return time.Duration(boundaryNS[numBoundaries-1])
+}
+
+// Mean returns the average sample, 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Count))
+}
+
+// Boundaries returns the finite bucket boundaries as durations,
+// ascending — the scheme documented above, exported so client-side
+// consumers (the witch pusher's Stats) can label their buckets without
+// depending on exposition internals.
+func Boundaries() []time.Duration {
+	out := make([]time.Duration, numBoundaries)
+	for i, ns := range boundaryNS {
+		out[i] = time.Duration(ns)
+	}
+	return out
+}
+
+// AppendExposition appends the Prometheus sample lines for one series
+// of a histogram family: cumulative `_bucket` lines for every finite
+// boundary and +Inf, then `_sum` (seconds) and `_count`. labels is the
+// rendered label set without braces (e.g. `stage="decode"`), empty for
+// an unlabelled series; the `le` label is appended after it. The
+// family's # HELP/# TYPE lines are the exposition writer's job — this
+// emits samples only, in ascending-boundary order.
+func (s HistogramSnapshot) AppendExposition(dst []string, family, labels string) []string {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i := 0; i < numBoundaries; i++ {
+		cum += s.Counts[i]
+		dst = append(dst, family+`_bucket{`+labels+sep+`le="`+leLabels[i]+`"} `+
+			strconv.FormatUint(cum, 10))
+	}
+	dst = append(dst, family+`_bucket{`+labels+sep+`le="+Inf"} `+
+		strconv.FormatUint(s.Count, 10))
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	dst = append(dst, family+"_sum"+brace+" "+
+		strconv.FormatFloat(float64(s.SumNS)/1e9, 'g', -1, 64))
+	dst = append(dst, family+"_count"+brace+" "+strconv.FormatUint(s.Count, 10))
+	return dst
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMatchesLinearScan: the bit-twiddled index must agree
+// with the obvious linear search over the boundary table for every
+// magnitude, including exact boundary hits and both extremes.
+func TestBucketIndexMatchesLinearScan(t *testing.T) {
+	linear := func(ns int64) int {
+		for i, b := range boundaryNS {
+			if ns <= b {
+				return i
+			}
+		}
+		return numBoundaries
+	}
+	var values []int64
+	for e := 0; e < 63; e++ {
+		v := int64(1) << e
+		values = append(values, v-1, v, v+1, v+v/2-1, v+v/2, v+v/2+1)
+	}
+	values = append(values, 0, 1, 999, 1000, 1024, 1536, int64(time.Second), int64(time.Minute), 1<<62)
+	for _, v := range values {
+		if v < 0 {
+			continue
+		}
+		if got, want := bucketIndex(v), linear(v); got != want {
+			t.Fatalf("bucketIndex(%d) = %d, linear scan says %d", v, got, want)
+		}
+	}
+}
+
+// TestHistogramConcurrentRecordMergeSnapshot: hammered from many
+// goroutines under -race, every sample lands exactly once, snapshots
+// stay internally consistent (Count == Σ buckets), and merging the
+// per-goroutine shards reproduces the combined histogram exactly.
+func TestHistogramConcurrentRecordMergeSnapshot(t *testing.T) {
+	const workers = 8
+	const perWorker = 5000
+	var combined Histogram
+	shards := make([]Histogram, workers)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshots while writes are in flight: each must be
+	// internally consistent regardless of what it catches mid-write.
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := combined.Snapshot()
+			var sum uint64
+			for _, c := range s.Counts {
+				sum += c
+			}
+			if sum != s.Count {
+				panic(fmt.Sprintf("snapshot inconsistent: Σbuckets %d != Count %d", sum, s.Count))
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				d := time.Duration((w*perWorker+i)%2_000_000) * time.Microsecond
+				combined.Observe(d)
+				shards[w].Observe(d)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	got := combined.Snapshot()
+	if got.Count != workers*perWorker {
+		t.Fatalf("combined count %d, want %d", got.Count, workers*perWorker)
+	}
+	var merged HistogramSnapshot
+	for w := range shards {
+		merged.Merge(shards[w].Snapshot())
+	}
+	if merged != got {
+		t.Fatalf("merged shards differ from combined histogram:\nmerged   %+v\ncombined %+v", merged, got)
+	}
+}
+
+// TestQuantileConservative: the quantile estimate is the bucket upper
+// bound, so it never understates.
+func TestQuantileConservative(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < time.Millisecond || q > 2*time.Millisecond {
+		t.Fatalf("p50 %v outside [1ms, 2ms]", q)
+	}
+	if q := s.Quantile(1.0); q < time.Second {
+		t.Fatalf("p100 %v understates the 1s sample", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+// TestExpositionCumulative: rendered _bucket lines are cumulative and
+// end at a +Inf equal to _count.
+func TestExpositionCumulative(t *testing.T) {
+	var h Histogram
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(90 * time.Second) // overflow
+	lines := h.Snapshot().AppendExposition(nil, "x_seconds", `stage="t"`)
+	if len(lines) != numBoundaries+3 {
+		t.Fatalf("got %d lines, want %d", len(lines), numBoundaries+3)
+	}
+	last := lines[numBoundaries]
+	if !strings.Contains(last, `le="+Inf"`) || !strings.HasSuffix(last, " 3") {
+		t.Fatalf("+Inf line wrong: %q", last)
+	}
+	if got := lines[len(lines)-1]; got != `x_seconds_count{stage="t"} 3` {
+		t.Fatalf("count line wrong: %q", got)
+	}
+	prev := uint64(0)
+	for _, l := range lines[:numBoundaries+1] {
+		var v uint64
+		if _, err := fmt.Sscanf(l[strings.LastIndexByte(l, ' ')+1:], "%d", &v); err != nil {
+			t.Fatalf("unparseable line %q", l)
+		}
+		if v < prev {
+			t.Fatalf("non-cumulative bucket line %q (prev %d)", l, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// ParseLevel reads a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("bad log level %q: want debug, info, warn, or error", s)
+}
+
+// Logger writes structured key=value lines:
+//
+//	ts=2026-08-08T12:00:00.000Z level=warn component=repl msg="hint append failed" peer=http://... err="..."
+//
+// One line per event, fields space-separated, values quoted only when
+// they need it — greppable by both humans and the CI's shell checks.
+// A nil *Logger discards everything.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	now func() time.Time // injectable for deterministic tests
+}
+
+// NewLogger builds a logger writing at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{w: w, min: min, now: time.Now}
+}
+
+// std is the process default logger, stderr at info — what call sites
+// without an explicitly wired logger (journal recovery warnings, for
+// example) use. cmd/witchd repoints it per -log-level.
+var std atomic.Pointer[Logger]
+
+func init() { std.Store(NewLogger(os.Stderr, LevelInfo)) }
+
+// Default returns the process default logger.
+func Default() *Logger { return std.Load() }
+
+// SetDefault replaces the process default logger (nil is ignored).
+func SetDefault(l *Logger) {
+	if l != nil {
+		std.Store(l)
+	}
+}
+
+// Enabled reports whether the logger would emit at lv.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Log emits one line. kv is alternating key, value pairs; values
+// render via %v with quoting when they contain spaces or quotes.
+func (l *Logger) Log(lv Level, component, msg string, kv ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" component=")
+	b.WriteString(component)
+	b.WriteString(" msg=")
+	appendValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, _ := kv[i].(string)
+		if key == "" {
+			key = fmt.Sprintf("arg%d", i/2)
+		}
+		val := fmt.Sprint(kv[i+1])
+		if val == "" {
+			continue // empty fields are noise, not information
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		appendValue(&b, val)
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func appendValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \"=\n\t") {
+		b.WriteString(strconv.Quote(v))
+		return
+	}
+	b.WriteString(v)
+}
+
+// Debug, Info, Warn, Error are Log at fixed levels.
+func (l *Logger) Debug(component, msg string, kv ...any) { l.Log(LevelDebug, component, msg, kv...) }
+func (l *Logger) Info(component, msg string, kv ...any)  { l.Log(LevelInfo, component, msg, kv...) }
+func (l *Logger) Warn(component, msg string, kv ...any)  { l.Log(LevelWarn, component, msg, kv...) }
+func (l *Logger) Error(component, msg string, kv ...any) { l.Log(LevelError, component, msg, kv...) }
+
+// Logf adapts the logger to the `func(format, ...any)` seams the
+// cluster router and replication engine already expose: the formatted
+// message becomes the msg field of one info line.
+func (l *Logger) Logf(component string) func(format string, args ...any) {
+	return func(format string, args ...any) {
+		l.Log(LevelInfo, component, fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLoggerFormatAndLevels: one key=value line per event, values
+// quoted only when needed, empty fields elided, below-min levels
+// suppressed.
+func TestLoggerFormatAndLevels(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.now = func() time.Time { return time.Unix(1700000000, 42e6).UTC() }
+
+	l.Debug("daemon", "should be suppressed")
+	l.Warn("repl", "hint append failed", "peer", "http://127.0.0.1:9", "err", "connection refused", "empty", "")
+	out := buf.String()
+	want := `ts=2023-11-14T22:13:20.042Z level=warn component=repl msg="hint append failed" peer=http://127.0.0.1:9 err="connection refused"` + "\n"
+	if out != want {
+		t.Fatalf("line mismatch:\ngot  %q\nwant %q", out, want)
+	}
+
+	var nilLogger *Logger
+	nilLogger.Error("x", "must not panic")
+	if nilLogger.Enabled(LevelError) {
+		t.Fatal("nil logger reports enabled")
+	}
+}
+
+// TestParseLevel covers the -log-level flag values.
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+// TestLogfAdapter: the printf seam renders into the msg field.
+func TestLogfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo)
+	l.now = func() time.Time { return time.Unix(0, 0).UTC() }
+	l.Logf("cluster")("peer %s marked down after %d failures", "http://x", 3)
+	if !strings.Contains(buf.String(), `component=cluster msg="peer http://x marked down after 3 failures"`) {
+		t.Fatalf("adapter output: %q", buf.String())
+	}
+}

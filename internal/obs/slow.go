@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one captured slow request: what it was, how long it
+// took, and the full local span breakdown retained at capture time
+// (copied out of the ring, so later ring wraps cannot gut it).
+type SlowEntry struct {
+	Kind   string `json:"kind"` // "ingest" or "query"
+	Trace  string `json:"trace,omitempty"`
+	Pusher string `json:"pusher,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Target string `json:"target,omitempty"` // query endpoint + tool for queries
+	Start  int64  `json:"start_unix_ns"`
+	DurNS  int64  `json:"duration_ns"`
+	Spans  []Span `json:"spans,omitempty"`
+}
+
+// slowLog keeps the top-K slowest recent requests. Insertion keeps the
+// slice sorted descending by duration (K is small — tens); a request
+// faster than the current K-th is rejected with one comparison under
+// the lock, so the steady-state cost on the fast path is negligible.
+type slowLog struct {
+	mu       sync.Mutex
+	k        int
+	entries  []SlowEntry
+	captured uint64
+}
+
+func newSlowLog(k int) *slowLog {
+	if k <= 0 {
+		return nil
+	}
+	return &slowLog{k: k}
+}
+
+// floor returns the duration a new request must beat to be captured.
+func (l *slowLog) floor() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.k {
+		return -1
+	}
+	return l.entries[len(l.entries)-1].DurNS
+}
+
+func (l *slowLog) insert(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) >= l.k && e.DurNS <= l.entries[len(l.entries)-1].DurNS {
+		return
+	}
+	l.entries = append(l.entries, e)
+	sort.Slice(l.entries, func(i, j int) bool { return l.entries[i].DurNS > l.entries[j].DurNS })
+	if len(l.entries) > l.k {
+		l.entries = l.entries[:l.k]
+	}
+	l.captured++
+}
+
+// snapshot copies the current top-K, slowest first.
+func (l *slowLog) snapshot() []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+func (l *slowLog) stats() (kept int, captured uint64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries), l.captured
+}
+
+// SlowEntries returns the node's current top-K slowest captured
+// requests, slowest first (nil receiver or capture disabled: nil).
+func (o *Observer) SlowEntries() []SlowEntry {
+	if o == nil {
+		return nil
+	}
+	return o.slow.snapshot()
+}
+
+// CaptureSlow offers a finished request to the slow log. kind is
+// "ingest" or "query"; sc ties the entry to its trace so the capture
+// can carry the span breakdown; target annotates queries. Threshold
+// logging fires here too: a request at or over SlowThreshold emits one
+// structured warn line whether or not it makes the top-K.
+func (o *Observer) CaptureSlow(kind string, sc SpanContext, pusher string, seq uint64, target string, start time.Time, d time.Duration) {
+	if o == nil {
+		return
+	}
+	if o.slowThreshold > 0 && d >= o.slowThreshold && o.log != nil {
+		o.log.Warn("slow", "request over threshold",
+			"kind", kind, "dur", d.String(), "trace", traceLabel(sc),
+			"pusher", pusher, "seq", seq, "target", target)
+	}
+	if o.slow == nil {
+		return
+	}
+	dur := int64(d)
+	if floor := o.slow.floor(); dur <= floor {
+		return
+	}
+	e := SlowEntry{
+		Kind:   kind,
+		Pusher: pusher,
+		Seq:    seq,
+		Target: target,
+		Start:  start.UnixNano(),
+		DurNS:  dur,
+	}
+	if sc.Valid() {
+		e.Trace = FormatTraceID(sc.Trace)
+		e.Spans = o.tracer.CollectSince(sc.Trace, start.UnixNano())
+	}
+	o.slow.insert(e)
+}
+
+func traceLabel(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return FormatTraceID(sc.Trace)
+}

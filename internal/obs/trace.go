@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries a request's trace context between nodes (and
+// from the witch pusher into the fleet): `<trace>-<span>`, two
+// 16-hex-digit IDs. The span half names the sender's span, which
+// becomes the parent of whatever span the receiver opens. The header
+// is a pure witness — a daemon's response bytes never depend on it.
+const TraceHeader = "X-Witch-Trace"
+
+// SpanContext is a parsed trace header: which trace a request belongs
+// to and which span is the current parent. The zero value means "no
+// trace" and propagates nothing.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context carries a trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// String renders the wire form, `<trace>-<span>` in fixed-width hex.
+func (c SpanContext) String() string {
+	var b [33]byte
+	hexPut(b[:16], c.Trace)
+	b[16] = '-'
+	hexPut(b[17:], c.Span)
+	return string(b[:])
+}
+
+const hexDigits = "0123456789abcdef"
+
+func hexPut(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ParseTrace parses a trace header value. Malformed input yields the
+// zero (invalid) context — a garbage header degrades to "untraced",
+// never to an error a client could observe.
+func ParseTrace(s string) (SpanContext, bool) {
+	if len(s) != 33 || s[16] != '-' {
+		return SpanContext{}, false
+	}
+	tr, err1 := strconv.ParseUint(s[:16], 16, 64)
+	sp, err2 := strconv.ParseUint(s[17:], 16, 64)
+	if err1 != nil || err2 != nil || tr == 0 {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: tr, Span: sp}, true
+}
+
+// ParseTraceID parses a bare 16-hex trace ID (the /v1/trace/{id} path
+// element).
+func ParseTraceID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// FormatTraceID renders a trace ID the way ParseTraceID reads it.
+func FormatTraceID(v uint64) string {
+	var b [16]byte
+	hexPut(b[:], v)
+	return string(b[:])
+}
+
+// ID generation: a crypto-seeded base mixed with an atomic counter
+// through splitmix64. Uniqueness across nodes comes from the 64-bit
+// random base; the counter guarantees process-local uniqueness without
+// per-call entropy reads.
+var (
+	idBase = func() uint64 {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return uint64(time.Now().UnixNano()) | 1
+		}
+		return binary.LittleEndian.Uint64(b[:]) | 1
+	}()
+	idCounter atomic.Uint64
+)
+
+// NewSpanContext mints a fresh root trace context — the entry point
+// for clients (the witch pusher) that carry no Observer but want their
+// requests traceable end to end: the minted header names the pusher's
+// send as the root span, and every daemon hop chains under it.
+func NewSpanContext() SpanContext {
+	return SpanContext{Trace: newID(), Span: newID()}
+}
+
+func newID() uint64 {
+	x := idBase + idCounter.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+// Span is one completed span as rendered to JSON (/v1/trace, /v1/slow).
+type Span struct {
+	Trace  string `json:"trace"`
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	Node   string `json:"node"`
+	Stage  string `json:"stage"`
+	Start  int64  `json:"start_unix_ns"`
+	DurNS  int64  `json:"duration_ns"`
+	Pusher string `json:"pusher,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	Peer   string `json:"peer,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
+// span is the ring's storage form: IDs stay numeric until a query
+// renders them, so recording a span allocates nothing beyond what the
+// caller already holds (stage names are constants, pusher/peer strings
+// come from the request).
+type span struct {
+	trace, id, parent uint64
+	start, dur        int64
+	seq               uint64
+	stage             string
+	pusher, peer, err string
+}
+
+// Tracer keeps the node's bounded ring of completed spans. The ring is
+// overwrite-on-wrap: old spans evict silently (counted), queries scan
+// the whole ring — at the sizes witchd runs (thousands), a scan per
+// /v1/trace query is cheaper than maintaining an index on the record
+// path.
+type Tracer struct {
+	node string
+
+	mu   sync.Mutex
+	ring []span
+	next int
+	full bool
+
+	recorded atomic.Uint64
+	dropped  atomic.Uint64 // spans overwritten before ever being queried
+}
+
+// NewTracer builds a tracer holding up to ringSize completed spans.
+// ringSize <= 0 returns nil — the disabled tracer.
+func NewTracer(node string, ringSize int) *Tracer {
+	if ringSize <= 0 {
+		return nil
+	}
+	return &Tracer{node: node, ring: make([]span, ringSize)}
+}
+
+func (t *Tracer) record(sp span) {
+	t.recorded.Add(1)
+	t.mu.Lock()
+	if t.full {
+		t.dropped.Add(1)
+	}
+	t.ring[t.next] = sp
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Stats reports the tracer's counters: spans recorded and spans
+// evicted by ring wrap.
+func (t *Tracer) Stats() (recorded, dropped uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.recorded.Load(), t.dropped.Load()
+}
+
+// Len reports how many spans the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Collect renders every retained span of one trace, oldest first.
+func (t *Tracer) Collect(trace uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	raw := t.collectRaw(trace)
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]Span, len(raw))
+	for i, sp := range raw {
+		out[i] = t.render(sp)
+	}
+	return out
+}
+
+// CollectSince renders the retained spans of one trace that ended at
+// or after sinceNS, oldest first. The ring is in completion order, so
+// the scan walks backward from the newest slot and stops at the first
+// span that finished before the window — a slow-capture on the ingest
+// fast path touches the handful of spans recorded during that request,
+// not the whole ring. Spans whose ring slot landed out of end-order
+// (concurrent recorders) may be missed past the stop point; the result
+// feeds diagnostics, never a verdict.
+func (t *Tracer) CollectSince(trace uint64, sinceNS int64) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	var raw []span
+	for i := 0; i < n; i++ {
+		sp := &t.ring[(t.next-1-i+len(t.ring))%len(t.ring)]
+		if sp.start+sp.dur < sinceNS {
+			break
+		}
+		if sp.trace == trace {
+			raw = append(raw, *sp)
+		}
+	}
+	t.mu.Unlock()
+	if len(raw) == 0 {
+		return nil
+	}
+	out := make([]Span, len(raw))
+	for i, sp := range raw {
+		out[len(raw)-1-i] = t.render(sp)
+	}
+	return out
+}
+
+func (t *Tracer) collectRaw(trace uint64) []span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.next
+	if t.full {
+		n = len(t.ring)
+	}
+	var out []span
+	// Scan in insertion order: oldest retained span first.
+	start := 0
+	if t.full {
+		start = t.next
+	}
+	for i := 0; i < n; i++ {
+		sp := &t.ring[(start+i)%len(t.ring)]
+		if sp.trace == trace {
+			out = append(out, *sp)
+		}
+	}
+	return out
+}
+
+func (t *Tracer) render(sp span) Span {
+	out := Span{
+		Trace:  FormatTraceID(sp.trace),
+		ID:     FormatTraceID(sp.id),
+		Node:   t.node,
+		Stage:  sp.stage,
+		Start:  sp.start,
+		DurNS:  sp.dur,
+		Pusher: sp.pusher,
+		Seq:    sp.seq,
+		Peer:   sp.peer,
+		Err:    sp.err,
+	}
+	if sp.parent != 0 {
+		out.Parent = FormatTraceID(sp.parent)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceWireFormat: header render/parse round-trips; malformed
+// input degrades to the invalid context rather than erroring.
+func TestTraceWireFormat(t *testing.T) {
+	sc := SpanContext{Trace: 0xdeadbeefcafef00d, Span: 0x0123456789abcdef}
+	h := sc.String()
+	if h != "deadbeefcafef00d-0123456789abcdef" {
+		t.Fatalf("header render %q", h)
+	}
+	got, ok := ParseTrace(h)
+	if !ok || got != sc {
+		t.Fatalf("round trip: %+v ok=%v", got, ok)
+	}
+	for _, bad := range []string{"", "xyz", h + "0", "deadbeefcafef00d_0123456789abcdef",
+		"0000000000000000-0123456789abcdef", "ZZadbeefcafef00d-0123456789abcdef"} {
+		if _, ok := ParseTrace(bad); ok {
+			t.Fatalf("accepted malformed header %q", bad)
+		}
+	}
+	if id, ok := ParseTraceID("deadbeefcafef00d"); !ok || id != 0xdeadbeefcafef00d {
+		t.Fatalf("ParseTraceID: %x ok=%v", id, ok)
+	}
+	if FormatTraceID(0xdeadbeefcafef00d) != "deadbeefcafef00d" {
+		t.Fatal("FormatTraceID mismatch")
+	}
+}
+
+// TestStartSpanMintsAndChains: an entry request without a header mints
+// a fresh trace; a downstream hop joins the trace and links its parent
+// to the sender's span.
+func TestStartSpanMintsAndChains(t *testing.T) {
+	o := New(Options{Node: "n1", TraceRing: 64})
+	entry := o.StartSpan("", StageName(StageIngest))
+	if !entry.Active() || !entry.Context().Valid() {
+		t.Fatal("entry span inert despite tracing enabled")
+	}
+	leg := o.StartChild(entry.Context(), "forward_leg")
+	hop := o.StartSpan(leg.Header(), StageName(StageIngest))
+	if hop.Context().Trace != entry.Context().Trace {
+		t.Fatal("hop did not join the entry trace")
+	}
+	hop.Annotate("pusher-1", 7)
+	hop.End()
+	leg.End()
+	entry.End()
+
+	spans := o.CollectTrace(entry.Context().Trace)
+	if len(spans) != 3 {
+		t.Fatalf("collected %d spans, want 3", len(spans))
+	}
+	byID := map[string]Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	hopSpan := byID[FormatTraceID(hop.Context().Span)]
+	if hopSpan.Parent != FormatTraceID(leg.Context().Span) {
+		t.Fatalf("hop parent %q, want leg span %q", hopSpan.Parent, FormatTraceID(leg.Context().Span))
+	}
+	if hopSpan.Pusher != "pusher-1" || hopSpan.Seq != 7 {
+		t.Fatalf("annotation lost: %+v", hopSpan)
+	}
+	legSpan := byID[FormatTraceID(leg.Context().Span)]
+	if legSpan.Parent != FormatTraceID(entry.Context().Span) {
+		t.Fatal("leg parent is not the entry span")
+	}
+}
+
+// TestSpanRingEvictionUnderChurn: a small ring hammered from many
+// goroutines stays bounded, counts its evictions, and retains only the
+// newest spans — run under -race this is also the locking test.
+func TestSpanRingEvictionUnderChurn(t *testing.T) {
+	const ringSize = 32
+	o := New(Options{Node: "n1", TraceRing: ringSize})
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := o.StartSpan("", "churn")
+				sp.End()
+				// Interleave reads with the churn.
+				if i%64 == 0 {
+					o.CollectTrace(sp.Context().Trace)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	held, recorded, dropped := o.TracerStats()
+	if held != ringSize {
+		t.Fatalf("ring holds %d spans, want exactly %d", held, ringSize)
+	}
+	if recorded != workers*perWorker {
+		t.Fatalf("recorded %d, want %d", recorded, workers*perWorker)
+	}
+	if dropped != recorded-ringSize {
+		t.Fatalf("dropped %d, want %d", dropped, recorded-ringSize)
+	}
+	// A span recorded after the churn is retrievable; ancient ones are
+	// not (evicted by wrap).
+	last := o.StartSpan("", "final")
+	last.End()
+	if got := o.CollectTrace(last.Context().Trace); len(got) != 1 {
+		t.Fatalf("fresh span not retained: %d", len(got))
+	}
+}
+
+// TestDisabledObserverZeroAllocs: the entire per-request call pattern
+// on a nil observer — stage timings, span lifecycle, slow capture —
+// must allocate nothing, so the disabled layer is free on the ingest
+// hot path.
+func TestDisabledObserverZeroAllocs(t *testing.T) {
+	var o *Observer
+	allocs := testing.AllocsPerRun(1000, func() {
+		t0 := o.Start()
+		sp := o.StartSpan("", "ingest")
+		sp.Annotate("p", 1)
+		o.StageSince(StageDecode, t0)
+		o.Stage(StageDedup, time.Microsecond)
+		o.Peer("replicate", "http://x", time.Microsecond)
+		child := o.StartChild(sp.Context(), "leg")
+		child.End()
+		d := sp.End()
+		o.CaptureSlow("ingest", sp.Context(), "p", 1, "", t0, d)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observer allocates %v per request, want 0", allocs)
+	}
+}
+
+// TestSlowCaptureTopK: only the K slowest stick, ordered, with their
+// span breakdowns; the threshold emits a structured warn line.
+func TestSlowCaptureTopK(t *testing.T) {
+	var logBuf bytes.Buffer
+	lg := NewLogger(&logBuf, LevelDebug)
+	lg.now = func() time.Time { return time.Unix(1700000000, 0) }
+	o := New(Options{Node: "n1", TraceRing: 256, SlowCapture: 3, SlowThreshold: 40 * time.Millisecond, Log: lg})
+	base := time.Unix(1700000000, 0)
+	for i := 1; i <= 10; i++ {
+		sp := o.StartSpan("", "ingest")
+		sp.End()
+		o.CaptureSlow("ingest", sp.Context(), "p", uint64(i), "", base, time.Duration(i)*10*time.Millisecond)
+	}
+	entries := o.SlowEntries()
+	if len(entries) != 3 {
+		t.Fatalf("kept %d entries, want 3", len(entries))
+	}
+	if entries[0].Seq != 10 || entries[1].Seq != 9 || entries[2].Seq != 8 {
+		t.Fatalf("top-K wrong: %+v", entries)
+	}
+	for _, e := range entries {
+		if len(e.Spans) == 0 || e.Trace == "" {
+			t.Fatalf("entry lost its span breakdown: %+v", e)
+		}
+	}
+	out := logBuf.String()
+	if n := strings.Count(out, "level=warn"); n != 7 { // 40ms..100ms inclusive
+		t.Fatalf("threshold warned %d times, want 7:\n%s", n, out)
+	}
+	if !strings.Contains(out, "component=slow") || !strings.Contains(out, "kind=ingest") {
+		t.Fatalf("warn line missing fields:\n%s", out)
+	}
+}
+
+// TestObserverMetricFamilies: exposition families carry HELP/TYPE
+// metadata and the samples the scrape splices in.
+func TestObserverMetricFamilies(t *testing.T) {
+	o := New(Options{Node: "n1", TraceRing: 8})
+	o.Stage(StageIngest, time.Millisecond)
+	o.Peer("scatter", "http://peer", 2*time.Millisecond)
+	fams := o.MetricFamilies()
+	byName := map[string]MetricFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	st, ok := byName["witchd_stage_duration_seconds"]
+	if !ok || st.Type != "histogram" || st.Help == "" {
+		t.Fatalf("stage family missing or untyped: %+v", st)
+	}
+	if len(st.Samples) != int(numStages)*(numBoundaries+3) {
+		t.Fatalf("stage family has %d samples, want %d", len(st.Samples), int(numStages)*(numBoundaries+3))
+	}
+	pr, ok := byName["witchd_peer_rtt_seconds"]
+	if !ok {
+		t.Fatal("peer family missing")
+	}
+	found := false
+	for _, s := range pr.Samples {
+		if strings.Contains(s, `op="scatter",peer="http://peer"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("peer series missing labels")
+	}
+	if _, ok := byName["witchd_trace_spans_recorded_total"]; !ok {
+		t.Fatal("tracer counter family missing")
+	}
+}

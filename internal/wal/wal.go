@@ -105,6 +105,12 @@ type Options struct {
 	// test — e.g. the cluster's N-journal parallelism — rather than
 	// whatever disk the host happens to have.
 	SyncDelay time.Duration
+	// ObserveCommit, when non-nil, receives the durability wait of each
+	// successful Append: frame write + fsync per policy, including the
+	// whole group-commit gang wait. A timing witness only — it runs
+	// after the record is durable and must not block (witchd points it
+	// at a wait-free latency histogram).
+	ObserveCommit func(wait time.Duration)
 }
 
 // RecoveryInfo reports what Open found and repaired.
@@ -377,8 +383,16 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 		// recovery, so it is not representable.
 		return 0, errors.New("wal: empty payload")
 	}
+	var t0 time.Time
+	if j.opts.ObserveCommit != nil {
+		t0 = time.Now()
+	}
 	if j.opts.GroupCommit {
-		return j.appendGrouped(payload)
+		lsn, err := j.appendGrouped(payload)
+		if err == nil && j.opts.ObserveCommit != nil {
+			j.opts.ObserveCommit(time.Since(t0))
+		}
+		return lsn, err
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -419,6 +433,9 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 	j.commits++
 	if j.opts.NoSync {
 		j.unsynced += int64(n)
+	}
+	if j.opts.ObserveCommit != nil {
+		j.opts.ObserveCommit(time.Since(t0))
 	}
 	return lsn, nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Drop reasons, the keys of PusherStats.DroppedByReason.
@@ -123,6 +124,21 @@ type PusherOptions struct {
 	// journal writes — the chaos seam for delivery experiments. Nil in
 	// production.
 	SpoolInjector *fault.Injector
+	// NoTrace disables delivery observability: no X-Witch-Trace header
+	// is minted per attempt and no attempt-latency histogram is kept.
+	// The header is a pure witness (a daemon's verdict never depends on
+	// it), so this exists for byte-level A/B oracles and overhead
+	// measurements, not correctness.
+	NoTrace bool
+}
+
+// LatencySummary condenses the pusher's attempt-latency histogram for
+// Stats: quantiles are conservative (bucket upper bounds).
+type LatencySummary struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
 }
 
 // PusherStats counts a pusher's lifetime outcomes.
@@ -154,6 +170,14 @@ type PusherStats struct {
 	// (across process restarts; also included in Dropped for evictions
 	// this incarnation performed).
 	Spooled, Replayed, SpoolPending, SpoolEvicted uint64
+	// AttemptLatency summarizes per-POST delivery latency over every
+	// attempt, successful or not (zero with PusherOptions.NoTrace).
+	AttemptLatency LatencySummary
+	// LastTrace is the trace ID the most recent delivery attempt carried
+	// in its X-Witch-Trace header — paste it into GET /v1/trace/{id} on
+	// any node for the cross-node span tree ("" with NoTrace or before
+	// the first attempt).
+	LastTrace string
 }
 
 // Pusher streams profiles to a witchd daemon from the profiled process.
@@ -233,6 +257,12 @@ type Pusher struct {
 
 	// rng drives backoff and cooldown jitter; sender-owned.
 	rng *rand.Rand
+
+	// hist is the attempt-latency histogram (nil with NoTrace);
+	// lastTrace holds the most recent attempt's trace ID, written by the
+	// sender per POST and read by Stats.
+	hist      *obs.Histogram
+	lastTrace atomic.Pointer[string]
 
 	// Encoder state, touched only by the sender goroutine: binary flips
 	// to false (permanently) when the daemon rejects the format, and the
@@ -321,6 +351,9 @@ func NewPusher(opts PusherOptions) (*Pusher, error) {
 		brCooldown: opts.BreakerCooldown,
 		binary:     opts.Encoding == "binary",
 		rng:        rand.New(rand.NewSource(randSeed())),
+	}
+	if !opts.NoTrace {
+		p.hist = &obs.Histogram{}
 	}
 	if opts.SpoolDir != "" {
 		sp, err := openSpool(opts.SpoolDir, opts.SpoolSegmentBytes, opts.SpoolMaxBytes, opts.SpoolInjector)
@@ -451,7 +484,7 @@ func (p *Pusher) Stats() PusherStats {
 		byReason[k] = v
 	}
 	p.reasonMu.Unlock()
-	return PusherStats{
+	st := PusherStats{
 		Enqueued:          p.enqueued.Load(),
 		Sent:              p.sent.Load(),
 		Dropped:           p.dropped.Load(),
@@ -466,6 +499,19 @@ func (p *Pusher) Stats() PusherStats {
 		SpoolPending:      p.spoolPending.Load(),
 		SpoolEvicted:      p.spoolEvicted.Load(),
 	}
+	if p.hist != nil {
+		snap := p.hist.Snapshot()
+		st.AttemptLatency = LatencySummary{
+			Count: snap.Count,
+			Mean:  snap.Mean(),
+			P50:   snap.Quantile(0.5),
+			P99:   snap.Quantile(0.99),
+		}
+	}
+	if tp := p.lastTrace.Load(); tp != nil {
+		st.LastTrace = *tp
+	}
+	return st
 }
 
 // syncSpoolStats mirrors spool state into the atomics Stats reads.
@@ -1064,7 +1110,20 @@ func (p *Pusher) post(body []byte, ctype string, seq uint64) (retryAfter time.Du
 	req.Header.Set("Content-Type", ctype)
 	req.Header.Set(PusherIDHeader, p.id)
 	req.Header.Set(PusherSeqHeader, strconv.FormatUint(seq, 10))
+	// Each attempt mints a fresh trace: the pusher's POST is the root
+	// span of whatever forward/replicate tree the fleet builds for it.
+	var t0 time.Time
+	if p.hist != nil {
+		sc := obs.NewSpanContext()
+		req.Header.Set(obs.TraceHeader, sc.String())
+		tid := obs.FormatTraceID(sc.Trace)
+		p.lastTrace.Store(&tid)
+		t0 = time.Now()
+	}
 	resp, err := p.opts.Client.Do(req)
+	if p.hist != nil {
+		p.hist.Observe(time.Since(t0))
+	}
 	if err != nil {
 		return 0, 0, false
 	}
